@@ -1,0 +1,150 @@
+// Ablation: decision-time (late) vs insert-time (eager) identifier binding
+// (paper Section III-B, Entity Resolution Manager).
+//
+// DFI maps the low-level identifiers in each packet *up* to high-level
+// identifiers at decision time. The alternative — compiling policies down
+// to IP-level rules when they are inserted — breaks in two ways the paper
+// calls out:
+//   1. correctness: the compiled rule goes stale the moment a binding
+//      changes (DHCP churn, log-on/log-off), until a recompile runs;
+//   2. coverage: a policy naming a user who is logged off compiles to
+//      nothing at insert time.
+// Eager binding can chase correctness by recompiling every affected policy
+// on every binding change; we count that work.
+//
+// Scenario: U users with one Allow policy each; K binding-churn events
+// (user moves to a new host/IP). After each churn, a flow from the user's
+// *current* IP is evaluated by both engines.
+#include <cstdio>
+#include <map>
+
+#include "bus/message_bus.h"
+#include "common/rng.h"
+#include "core/entity_resolution.h"
+#include "core/policy_manager.h"
+#include "harness/report.h"
+
+using namespace dfi;
+
+namespace {
+
+struct EagerEngine {
+  // Insert-time compilation: policy (user -> allow) becomes an IP set.
+  std::map<Username, std::vector<Ipv4Address>> compiled;
+  std::uint64_t recompiles = 0;
+
+  void compile(const Username& user, const EntityResolutionManager& erm) {
+    std::vector<Ipv4Address> ips;
+    for (const auto& host : erm.hosts_of_user(user)) {
+      for (const auto& ip : erm.ips_of_host(host)) ips.push_back(ip);
+    }
+    compiled[user] = std::move(ips);
+    ++recompiles;
+  }
+
+  bool allows(const Username& user, Ipv4Address src) const {
+    const auto it = compiled.find(user);
+    if (it == compiled.end()) return false;
+    for (const auto& ip : it->second) {
+      if (ip == src) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "DFI reproduction — ablation: decision-time vs insert-time binding\n");
+
+  constexpr int kUsers = 50;
+  constexpr int kChurnEvents = 2000;
+  Rng rng(7);
+
+  MessageBus bus;
+  EntityResolutionManager erm(bus);
+  PolicyManager manager(bus);
+
+  // Late engine: policies over usernames, inserted once, never recompiled.
+  for (int u = 0; u < kUsers; ++u) {
+    PolicyRule rule;
+    rule.action = PolicyAction::kAllow;
+    rule.source.user = Username{"user-" + std::to_string(u)};
+    manager.insert(rule, PdpPriority{10}, "late");
+  }
+
+  // Eager engines: one recompiles on churn, one does not.
+  EagerEngine eager_stale, eager_recompiled;
+
+  // Initial bindings: user-u on host-u with ip 10.0.(u/250).(u%250+1).
+  std::map<int, Ipv4Address> current_ip;
+  const auto bind_user = [&](int u, Ipv4Address ip) {
+    const Username user{"user-" + std::to_string(u)};
+    const Hostname host{"host-" + std::to_string(u)};
+    if (current_ip.count(u) != 0) {
+      BindingEvent stale_ip;
+      stale_ip.kind = BindingKind::kHostIp;
+      stale_ip.host = host;
+      stale_ip.ip = current_ip[u];
+      stale_ip.retracted = true;
+      erm.apply(stale_ip);
+    }
+    BindingEvent host_ip;
+    host_ip.kind = BindingKind::kHostIp;
+    host_ip.host = host;
+    host_ip.ip = ip;
+    erm.apply(host_ip);
+    BindingEvent user_host;
+    user_host.kind = BindingKind::kUserHost;
+    user_host.user = user;
+    user_host.host = host;
+    erm.apply(user_host);
+    current_ip[u] = ip;
+  };
+
+  std::uint32_t next_ip = Ipv4Address(10, 0, 0, 1).value();
+  for (int u = 0; u < kUsers; ++u) bind_user(u, Ipv4Address(next_ip++));
+  for (int u = 0; u < kUsers; ++u) {
+    eager_stale.compile(Username{"user-" + std::to_string(u)}, erm);
+    eager_recompiled.compile(Username{"user-" + std::to_string(u)}, erm);
+  }
+
+  std::uint64_t late_wrong = 0, stale_wrong = 0, recompiled_wrong = 0;
+  std::uint64_t late_queries = 0;
+  for (int event = 0; event < kChurnEvents; ++event) {
+    // A random user's machine gets a new DHCP lease (binding churn).
+    const int u = static_cast<int>(rng.uniform_int(0, kUsers - 1));
+    bind_user(u, Ipv4Address(next_ip++));
+    // The recompiling engine must recompile every policy naming an entity
+    // whose binding changed.
+    eager_recompiled.compile(Username{"user-" + std::to_string(u)}, erm);
+
+    // Evaluate a packet from the user's current address with all engines.
+    const Username user{"user-" + std::to_string(u)};
+    FlowView flow;
+    flow.ether_type = 0x0800;
+    flow.src.ip = current_ip[u];
+    flow.src = erm.enrich(flow.src);
+    ++late_queries;
+    const bool late_ok = manager.query(flow).action == PolicyAction::kAllow;
+    if (!late_ok) ++late_wrong;
+    if (!eager_stale.allows(user, current_ip[u])) ++stale_wrong;
+    if (!eager_recompiled.allows(user, current_ip[u])) ++recompiled_wrong;
+  }
+
+  Report report("Binding-time ablation: " + std::to_string(kUsers) + " user policies, " +
+                std::to_string(kChurnEvents) + " binding-churn events");
+  report.columns({"Engine", "Wrong decisions", "Recompiles", "Per-decision work"});
+  report.row({"late binding (DFI)", std::to_string(late_wrong), "0",
+              "1 enrich + 1 policy query"});
+  report.row({"eager, no recompile", std::to_string(stale_wrong),
+              std::to_string(kUsers), "1 set lookup"});
+  report.row({"eager + recompile-on-churn", std::to_string(recompiled_wrong),
+              std::to_string(eager_recompiled.recompiles),
+              "1 set lookup (+recompile per churn)"});
+  report.note("late binding is always correct with zero recompilation; eager binding");
+  report.note("is wrong after every churn unless it recompiles on every binding event");
+  report.print();
+  return 0;
+}

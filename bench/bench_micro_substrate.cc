@@ -1,0 +1,182 @@
+// Substrate micro-benchmarks (google-benchmark): the hot-path costs of the
+// packet codec, match engine, flow tables, wire codec, ERM and Policy
+// Manager that every simulated flow exercises.
+#include <benchmark/benchmark.h>
+
+#include "bus/message_bus.h"
+#include "common/rng.h"
+#include "core/entity_resolution.h"
+#include "core/policy_manager.h"
+#include "openflow/flow_table.h"
+#include "openflow/wire.h"
+
+namespace dfi {
+namespace {
+
+Packet sample_packet() {
+  return make_tcp_packet(MacAddress::from_u64(0xa), MacAddress::from_u64(0xb),
+                         Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 49152,
+                         445);
+}
+
+void BM_PacketSerialize(benchmark::State& state) {
+  const Packet packet = sample_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packet.serialize());
+  }
+}
+BENCHMARK(BM_PacketSerialize);
+
+void BM_PacketParse(benchmark::State& state) {
+  const auto bytes = sample_packet().serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Packet::parse(bytes));
+  }
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_MatchExactFromPacket(benchmark::State& state) {
+  const Packet packet = sample_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Match::exact_from_packet(packet, PortNo{1}));
+  }
+}
+BENCHMARK(BM_MatchExactFromPacket);
+
+void BM_MatchMatches(benchmark::State& state) {
+  const Packet packet = sample_packet();
+  const Match match = Match::exact_from_packet(packet, PortNo{1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match.matches(packet, PortNo{1}));
+  }
+}
+BENCHMARK(BM_MatchMatches);
+
+// Wildcard (partial-match) rules live on the linear list: O(N) by design.
+void BM_FlowTableLookupWildcardRules(benchmark::State& state) {
+  const auto rules = static_cast<std::size_t>(state.range(0));
+  FlowTable table(0, rules + 1);
+  Rng rng(1);
+  for (std::size_t i = 0; i < rules; ++i) {
+    FlowRule rule;
+    rule.priority = 100;
+    rule.match.ipv4_src = Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    rule.match.tcp_src = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    table.add(std::move(rule), SimTime{});
+  }
+  const Packet packet = sample_packet();  // matches none: worst case
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(packet, PortNo{1}, 64, SimTime{}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlowTableLookupWildcardRules)->Range(16, 16384)->Complexity(benchmark::oN);
+
+// Exact-match (DFI-style) rules hit the hash index: O(1) regardless of N.
+void BM_FlowTableLookupExactRules(benchmark::State& state) {
+  const auto rules = static_cast<std::size_t>(state.range(0));
+  FlowTable table(0, rules + 1);
+  Rng rng(2);
+  for (std::size_t i = 0; i < rules; ++i) {
+    const Packet packet = make_tcp_packet(
+        MacAddress::from_u64(rng.next_u64() & 0xffffffffffull),
+        MacAddress::from_u64(rng.next_u64() & 0xffffffffffull),
+        Ipv4Address(static_cast<std::uint32_t>(rng.next_u64())),
+        Ipv4Address(static_cast<std::uint32_t>(rng.next_u64())),
+        static_cast<std::uint16_t>(rng.uniform_int(1, 65535)), 445);
+    FlowRule rule;
+    rule.priority = 100;
+    rule.match = Match::exact_from_packet(packet, PortNo{1});
+    table.add(std::move(rule), SimTime{});
+  }
+  const Packet probe = sample_packet();  // miss: must prove nothing matches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(probe, PortNo{1}, 64, SimTime{}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlowTableLookupExactRules)->Range(16, 16384)->Complexity(benchmark::o1);
+
+void BM_WireEncodeFlowMod(benchmark::State& state) {
+  FlowModMsg mod;
+  mod.match = Match::exact_from_packet(sample_packet(), PortNo{1});
+  mod.instructions = Instructions::to_table(1);
+  const OfMessage message{1, mod};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode(message));
+  }
+}
+BENCHMARK(BM_WireEncodeFlowMod);
+
+void BM_WireDecodeFlowMod(benchmark::State& state) {
+  FlowModMsg mod;
+  mod.match = Match::exact_from_packet(sample_packet(), PortNo{1});
+  mod.instructions = Instructions::to_table(1);
+  const auto bytes = encode(OfMessage{1, mod});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode(bytes));
+  }
+}
+BENCHMARK(BM_WireDecodeFlowMod);
+
+void BM_PolicyQuery(benchmark::State& state) {
+  const auto rule_count = static_cast<int>(state.range(0));
+  MessageBus bus;
+  PolicyManager manager(bus);
+  for (int i = 0; i < rule_count; ++i) {
+    PolicyRule rule;
+    rule.action = PolicyAction::kAllow;
+    rule.source.host = Hostname{"host-" + std::to_string(i)};
+    rule.destination.host = Hostname{"host-" + std::to_string(i + 1)};
+    manager.insert(rule, PdpPriority{10}, "bench");
+  }
+  FlowView flow;
+  flow.ether_type = 0x0800;
+  flow.src.hostnames = {Hostname{"host-0"}};
+  flow.dst.hostnames = {Hostname{"host-1"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.query(flow));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PolicyQuery)->Range(16, 4096)->Complexity(benchmark::oN);
+
+void BM_ErmEnrich(benchmark::State& state) {
+  MessageBus bus;
+  EntityResolutionManager erm(bus);
+  const auto bindings = static_cast<int>(state.range(0));
+  for (int i = 0; i < bindings; ++i) {
+    BindingEvent host_ip;
+    host_ip.kind = BindingKind::kHostIp;
+    host_ip.host = Hostname{"host-" + std::to_string(i)};
+    host_ip.ip = Ipv4Address(static_cast<std::uint32_t>(0x0a000001 + i));
+    erm.apply(host_ip);
+    BindingEvent user_host;
+    user_host.kind = BindingKind::kUserHost;
+    user_host.user = Username{"user-" + std::to_string(i)};
+    user_host.host = Hostname{"host-" + std::to_string(i)};
+    erm.apply(user_host);
+  }
+  EndpointView view;
+  view.ip = Ipv4Address(0x0a000001 + static_cast<std::uint32_t>(bindings / 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(erm.enrich(view));
+  }
+}
+BENCHMARK(BM_ErmEnrich)->Range(64, 8192);
+
+void BM_MessageBusPublish(benchmark::State& state) {
+  MessageBus bus;
+  int sink = 0;
+  auto sub = bus.subscribe<int>("t", [&sink](const int& v) { sink += v; });
+  for (auto _ : state) {
+    bus.publish("t", 1);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_MessageBusPublish);
+
+}  // namespace
+}  // namespace dfi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Enterprise access control demo: the full 92-endpoint paper testbed with
+// the AT-RBAC policy, showing how reachability follows user sessions.
+//
+// The example provisions the enterprise, logs users on and off, and probes
+// concrete flows through the real OpenFlow data plane after each event —
+// the reachability matrix changes in front of you as sessions change.
+#include <cstdio>
+
+#include "testbed/enterprise.h"
+
+using namespace dfi;
+
+namespace {
+
+void probe(EnterpriseTestbed& testbed, const char* from, const char* to,
+           std::uint16_t port) {
+  Host* source = testbed.host(Hostname{from});
+  Host* target = testbed.host(Hostname{to});
+  if (source == nullptr || target == nullptr) return;
+  ConnectResult outcome;
+  source->connect(target->ip(), port, [&](const ConnectResult& r) { outcome = r; },
+                  ConnectOptions{seconds(3.0), milliseconds(500), 2});
+  testbed.sim().run_until(testbed.sim().now() + seconds(5.0));
+  std::printf("  %-12s -> %-12s :%-4u  %s\n", from, to, port,
+              outcome.connected ? "ALLOWED"
+                                : (outcome.refused ? "refused (port closed)"
+                                                   : "denied"));
+}
+
+void logon(EnterpriseTestbed& testbed, const char* host) {
+  const auto user = testbed.primary_user(Hostname{host});
+  if (!user.has_value()) return;
+  std::printf("\n== %s logs onto %s ==\n", user->value.c_str(), host);
+  testbed.directory().record_logon(*user, Hostname{host});
+  testbed.siem().process_created(*user, Hostname{host});
+  testbed.sim().run_until(testbed.sim().now() + seconds(1.0));
+}
+
+void logoff(EnterpriseTestbed& testbed, const char* host) {
+  const auto user = testbed.primary_user(Hostname{host});
+  if (!user.has_value()) return;
+  std::printf("\n== %s logs off %s ==\n", user->value.c_str(), host);
+  testbed.siem().process_terminated(*user, Hostname{host});
+  testbed.sim().run_until(testbed.sim().now() + seconds(1.0));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("DFI enterprise ACL demo — AT-RBAC on the paper's 92-endpoint testbed\n");
+
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kAtRbac;
+  config.dfi = DfiConfig::functional();
+  config.controller.zero_latency = true;
+  EnterpriseTestbed testbed(config);
+
+  std::printf("\ntestbed: %zu endpoints (%zu servers), %zu switches, policy = %s\n",
+              testbed.endpoints().size(), testbed.servers().size(),
+              testbed.network().switches().size(), to_string(config.condition));
+  std::printf("policy rules in the Policy Manager: %zu (standing auth set)\n",
+              testbed.dfi()->policy_manager().size());
+
+  std::printf("\n-- everyone logged off: only the authentication set is open --\n");
+  probe(testbed, "host-d1-2", "host-d1-3", 445);  // enclave peer: denied
+  probe(testbed, "host-d1-2", "srv-email", 445);  // server: denied
+  probe(testbed, "host-d1-2", "srv-ad", 88);      // Kerberos on AD: allowed
+
+  logon(testbed, "host-d1-2");
+  std::printf("policy rules now: %zu\n", testbed.dfi()->policy_manager().size());
+  probe(testbed, "host-d1-2", "host-d1-3", 445);  // enclave peer: allowed
+  probe(testbed, "host-d1-2", "srv-email", 445);  // server: allowed
+  probe(testbed, "host-d1-2", "host-d2-1", 445);  // cross-enclave: denied
+
+  logon(testbed, "host-d2-1");
+  probe(testbed, "host-d1-2", "host-d2-1", 445);  // still cross-enclave: denied
+  probe(testbed, "host-d2-1", "srv-file", 445);   // its own role set: allowed
+
+  logoff(testbed, "host-d1-2");
+  probe(testbed, "host-d1-2", "host-d1-3", 445);  // revoked: denied again
+  probe(testbed, "host-d1-2", "srv-ad", 88);      // auth set persists
+
+  const auto& pcp = testbed.dfi()->pcp().stats();
+  std::printf("\nDFI: %llu packet-ins (%llu allowed, %llu denied/default), "
+              "%llu flushes, %llu spoof rejections\n",
+              static_cast<unsigned long long>(pcp.packet_ins),
+              static_cast<unsigned long long>(pcp.allowed),
+              static_cast<unsigned long long>(pcp.denied + pcp.default_denied),
+              static_cast<unsigned long long>(pcp.flush_directives),
+              static_cast<unsigned long long>(pcp.spoof_denied));
+  return 0;
+}

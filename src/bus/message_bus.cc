@@ -1,0 +1,64 @@
+#include "bus/message_bus.h"
+
+#include <algorithm>
+
+namespace dfi {
+
+Subscription::Subscription(Subscription&& other) noexcept
+    : bus_(other.bus_), topic_(std::move(other.topic_)), id_(other.id_) {
+  other.bus_ = nullptr;
+}
+
+Subscription& Subscription::operator=(Subscription&& other) noexcept {
+  if (this != &other) {
+    reset();
+    bus_ = other.bus_;
+    topic_ = std::move(other.topic_);
+    id_ = other.id_;
+    other.bus_ = nullptr;
+  }
+  return *this;
+}
+
+Subscription::~Subscription() { reset(); }
+
+void Subscription::reset() {
+  if (bus_ != nullptr) {
+    bus_->unsubscribe(topic_, id_);
+    bus_ = nullptr;
+  }
+}
+
+MessageBus::~MessageBus() = default;
+
+Subscription MessageBus::subscribe_raw(const std::string& topic, RawHandler handler) {
+  const std::uint64_t id = next_id_++;
+  topics_[topic].push_back(Entry{id, std::move(handler)});
+  return Subscription(this, topic, id);
+}
+
+void MessageBus::publish_raw(const std::string& topic, const std::any& payload) {
+  ++published_count_;
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  // Copy the entry list so handlers may subscribe/unsubscribe re-entrantly.
+  const std::vector<Entry> entries = it->second;
+  for (const auto& entry : entries) entry.handler(payload);
+}
+
+void MessageBus::unsubscribe(const std::string& topic, std::uint64_t id) {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  auto& entries = it->second;
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [id](const Entry& entry) { return entry.id == id; }),
+                entries.end());
+  if (entries.empty()) topics_.erase(it);
+}
+
+std::size_t MessageBus::subscriber_count(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.size();
+}
+
+}  // namespace dfi

@@ -1,0 +1,96 @@
+// In-process topic-based publish/subscribe bus.
+//
+// The paper's implementation connects DFI's components (PDPs, Policy
+// Manager, Entity Resolution Manager, PCP) and the identifier-binding
+// sensors over RabbitMQ with protobuf messages. This bus reproduces that
+// messaging topology in-process: named topics, any number of subscribers,
+// typed payloads checked at runtime. Dispatch is synchronous and in
+// subscription order, which keeps the discrete-event simulation
+// deterministic; delivery latency is modeled by the simulator, not the bus.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+namespace dfi {
+
+class MessageBus;
+
+// RAII subscription handle; unsubscribes on destruction.
+class Subscription {
+ public:
+  Subscription() = default;
+  Subscription(Subscription&& other) noexcept;
+  Subscription& operator=(Subscription&& other) noexcept;
+  ~Subscription();
+
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+
+  void reset();
+  bool active() const { return bus_ != nullptr; }
+
+ private:
+  friend class MessageBus;
+  Subscription(MessageBus* bus, std::string topic, std::uint64_t id)
+      : bus_(bus), topic_(std::move(topic)), id_(id) {}
+
+  MessageBus* bus_ = nullptr;
+  std::string topic_;
+  std::uint64_t id_ = 0;
+};
+
+class MessageBus {
+ public:
+  MessageBus() = default;
+  ~MessageBus();
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  // Subscribe `handler` to typed messages on `topic`. Messages published
+  // with a different payload type on the same topic are not delivered to
+  // this handler (mirrors protobuf message-type separation per queue).
+  template <typename T>
+  [[nodiscard]] Subscription subscribe(const std::string& topic,
+                                       std::function<void(const T&)> handler) {
+    auto wrapper = [handler = std::move(handler)](const std::any& payload) {
+      if (const T* typed = std::any_cast<T>(&payload)) handler(*typed);
+    };
+    return subscribe_raw(topic, std::move(wrapper));
+  }
+
+  // Publish a typed message to all current subscribers of `topic`.
+  template <typename T>
+  void publish(const std::string& topic, const T& message) {
+    publish_raw(topic, std::any(message));
+  }
+
+  std::size_t subscriber_count(const std::string& topic) const;
+  std::uint64_t published_count() const { return published_count_; }
+
+ private:
+  friend class Subscription;
+  using RawHandler = std::function<void(const std::any&)>;
+
+  [[nodiscard]] Subscription subscribe_raw(const std::string& topic, RawHandler handler);
+  void publish_raw(const std::string& topic, const std::any& payload);
+  void unsubscribe(const std::string& topic, std::uint64_t id);
+
+  struct Entry {
+    std::uint64_t id;
+    RawHandler handler;
+  };
+
+  std::map<std::string, std::vector<Entry>> topics_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t published_count_ = 0;
+};
+
+}  // namespace dfi

@@ -1,0 +1,67 @@
+// Minimal leveled logger.
+//
+// Experiments run millions of simulated events, so logging is off by default
+// and filtered by level; sinks are swappable for tests. Not thread-safe by
+// design: the simulator is single-threaded and deterministic.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dfi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace log_detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { Logger::instance().log(level_, stream_.str()); }
+
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace dfi
+
+#define DFI_LOG(lvl)                                          \
+  if (static_cast<int>(lvl) <                                 \
+      static_cast<int>(::dfi::Logger::instance().level())) {} \
+  else ::dfi::log_detail::LineBuilder(lvl)
+
+#define DFI_DEBUG DFI_LOG(::dfi::LogLevel::kDebug)
+#define DFI_INFO DFI_LOG(::dfi::LogLevel::kInfo)
+#define DFI_WARN DFI_LOG(::dfi::LogLevel::kWarn)
+#define DFI_ERROR DFI_LOG(::dfi::LogLevel::kError)

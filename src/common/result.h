@@ -1,0 +1,123 @@
+// Minimal expected-style result types.
+//
+// The toolchain targets C++20, which predates std::expected, so we provide a
+// small equivalent. Errors carry a code plus a human-readable message; the
+// codes cover the failure classes that appear on DFI's hot paths (malformed
+// wire data, unknown entities, queue overload).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dfi {
+
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kMalformed,      // wire data failed to decode
+  kUnsupported,    // valid but outside the implemented OpenFlow subset
+  kOverloaded,     // bounded queue rejected work (paper Fig. 4 saturation)
+  kPermissionDenied,
+  kInternal,
+};
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+// Result of an operation that produces no value.
+class Status {
+ public:
+  Status() = default;  // OK
+  explicit Status(Error error) : error_(std::move(error)) {}
+
+  static Status Ok() { return Status{}; }
+  static Status Fail(ErrorCode code, std::string message) {
+    return Status{Error{code, std::move(message)}};
+  }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(error_.has_value());
+    return *error_;
+  }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(dfi::to_string(error_->code)) + ": " + error_->message;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Result of an operation that produces a T on success.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT
+
+  static Result Fail(ErrorCode code, std::string message) {
+    return Result(Error{code, std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return Status(error());
+  }
+
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(storage_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+}  // namespace dfi

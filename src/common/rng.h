@@ -1,0 +1,69 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic behaviour in the reproduction (service-time jitter, worm
+// target shuffling, user log-on scripts, randomized packet headers) draws
+// from explicitly seeded Rng instances so every experiment is replayable.
+// The core generator is xoshiro256** seeded via splitmix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dfi {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  // Standard normal via Box-Muller (cached spare value).
+  double normal();
+
+  // Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  // Log-normal parameterized by the *target* mean and standard deviation of
+  // the resulting distribution (not the underlying normal). Used for
+  // component service times calibrated to the paper's Table II.
+  double lognormal_from_moments(double mean, double stddev);
+
+  // Exponential with the given mean (inter-arrival times for open-loop
+  // traffic generation in the Fig. 4 reproduction).
+  double exponential(double mean);
+
+  // Fisher-Yates shuffle. The NotPetya surrogate shuffles its target list on
+  // each infected host (paper Section V-B).
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derive an independent generator (for per-entity streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace dfi

@@ -1,0 +1,124 @@
+// Strong identifier types shared across the DFI reproduction.
+//
+// Network-element and policy identifiers are wrapped in distinct types so
+// that a switch datapath id cannot silently be passed where a policy-rule id
+// is expected. All wrappers are trivially copyable value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dfi {
+
+// OpenFlow datapath identifier of a switch (64-bit per the OF spec).
+struct Dpid {
+  std::uint64_t value = 0;
+
+  friend auto operator<=>(const Dpid&, const Dpid&) = default;
+};
+
+// Physical or logical port number on a switch. OpenFlow 1.3 reserves the
+// high range (>= 0xffffff00) for special ports; we model the ones we need.
+struct PortNo {
+  std::uint32_t value = 0;
+
+  friend auto operator<=>(const PortNo&, const PortNo&) = default;
+};
+
+// Reserved OpenFlow port numbers (subset used by this implementation).
+inline constexpr PortNo kPortFlood{0xfffffffb};
+inline constexpr PortNo kPortController{0xfffffffd};
+inline constexpr PortNo kPortAny{0xffffffff};
+
+// 64-bit opaque metadata attached to flow rules. DFI tags each installed
+// rule with the policy-rule id it derives from so stale rules can be
+// flushed by cookie when policy changes (paper Section III-B, PCP).
+struct Cookie {
+  std::uint64_t value = 0;
+
+  friend auto operator<=>(const Cookie&, const Cookie&) = default;
+};
+
+// Unique identifier the Policy Manager assigns to every inserted policy
+// rule; PDPs use it to revoke rules they emitted.
+struct PolicyRuleId {
+  std::uint64_t value = 0;
+
+  friend auto operator<=>(const PolicyRuleId&, const PolicyRuleId&) = default;
+};
+
+// Administrator-assigned priority of a Policy Decision Point. Rules inherit
+// the priority of the PDP that emitted them; higher wins.
+struct PdpPriority {
+  std::uint32_t value = 0;
+
+  friend auto operator<=>(const PdpPriority&, const PdpPriority&) = default;
+};
+
+// High-level entity identifiers used in policy (paper Section III-A).
+struct Username {
+  std::string value;
+
+  friend auto operator<=>(const Username&, const Username&) = default;
+};
+
+struct Hostname {
+  std::string value;
+
+  friend auto operator<=>(const Hostname&, const Hostname&) = default;
+};
+
+inline std::string to_string(Dpid d) { return "dpid:" + std::to_string(d.value); }
+inline std::string to_string(PortNo p) {
+  if (p == kPortFlood) return "port:FLOOD";
+  if (p == kPortController) return "port:CONTROLLER";
+  if (p == kPortAny) return "port:ANY";
+  return "port:" + std::to_string(p.value);
+}
+inline std::string to_string(Cookie c) { return "cookie:" + std::to_string(c.value); }
+inline std::string to_string(PolicyRuleId id) { return "policy:" + std::to_string(id.value); }
+inline std::string to_string(const Username& u) { return u.value; }
+inline std::string to_string(const Hostname& h) { return h.value; }
+
+}  // namespace dfi
+
+namespace std {
+template <>
+struct hash<dfi::Dpid> {
+  size_t operator()(const dfi::Dpid& d) const noexcept {
+    return hash<uint64_t>{}(d.value);
+  }
+};
+template <>
+struct hash<dfi::PortNo> {
+  size_t operator()(const dfi::PortNo& p) const noexcept {
+    return hash<uint32_t>{}(p.value);
+  }
+};
+template <>
+struct hash<dfi::Cookie> {
+  size_t operator()(const dfi::Cookie& c) const noexcept {
+    return hash<uint64_t>{}(c.value);
+  }
+};
+template <>
+struct hash<dfi::PolicyRuleId> {
+  size_t operator()(const dfi::PolicyRuleId& id) const noexcept {
+    return hash<uint64_t>{}(id.value);
+  }
+};
+template <>
+struct hash<dfi::Username> {
+  size_t operator()(const dfi::Username& u) const noexcept {
+    return hash<string>{}(u.value);
+  }
+};
+template <>
+struct hash<dfi::Hostname> {
+  size_t operator()(const dfi::Hostname& h) const noexcept {
+    return hash<string>{}(h.value);
+  }
+};
+}  // namespace std

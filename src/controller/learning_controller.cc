@@ -1,0 +1,146 @@
+#include "controller/learning_controller.h"
+
+#include "common/logging.h"
+
+namespace dfi {
+
+LearningController::LearningController(Simulator& sim, ControllerConfig config, Rng rng)
+    : sim_(sim), config_(config), rng_(rng) {}
+
+LearningController::Session& LearningController::accept_connection(SendFn send) {
+  sessions_.push_back(std::make_unique<Session>(*this, std::move(send)));
+  return *sessions_.back();
+}
+
+LearningController::Session::Session(LearningController& controller, SendFn send)
+    : controller_(controller), send_(std::move(send)) {}
+
+void LearningController::Session::send(const OfMessage& message) {
+  send_(encode(message));
+}
+
+void LearningController::Session::receive(const std::vector<std::uint8_t>& chunk) {
+  decoder_.feed(chunk);
+  for (auto& result : decoder_.drain()) {
+    if (!result.ok()) {
+      DFI_WARN << "controller: malformed frame: " << result.error().message;
+      continue;
+    }
+    handle(result.value());
+  }
+}
+
+void LearningController::Session::handle(const OfMessage& message) {
+  struct Visitor {
+    Session& session;
+    std::uint32_t xid;
+
+    void operator()(const HelloMsg&) {
+      // Complete the handshake: our HELLO, then learn the datapath.
+      session.send(OfMessage{session.next_xid_++, HelloMsg{}});
+      session.send(OfMessage{session.next_xid_++, FeaturesRequestMsg{}});
+    }
+    void operator()(const FeaturesReplyMsg& m) {
+      session.dpid_ = m.datapath_id;
+      session.advertised_tables_ = m.n_tables;
+    }
+    void operator()(const PacketInMsg& m) {
+      ++session.controller_.stats_.packet_ins;
+      // Model controller compute time, then react.
+      auto& controller = session.controller_;
+      double delay_ms = 0.0;
+      if (!controller.config_.zero_latency) {
+        delay_ms = controller.rng_.lognormal_from_moments(
+            controller.config_.processing_mean_ms, controller.config_.processing_sd_ms);
+      }
+      Session* target = &session;
+      controller.sim_.schedule_after(
+          milliseconds(delay_ms),
+          [target, m, id = xid]() { target->handle_packet_in(m, id); });
+    }
+    void operator()(const EchoRequestMsg& m) {
+      session.send(OfMessage{xid, EchoReplyMsg{m.data}});
+    }
+    void operator()(const ErrorMsg&) { ++session.controller_.stats_.errors_received; }
+    void operator()(const FlowRemovedMsg&) {
+      ++session.controller_.stats_.flow_removed_received;
+    }
+    void operator()(const PortStatusMsg& m) {
+      ++session.controller_.stats_.port_status_received;
+      if (m.desc.link_down() || m.reason == PortStatusReason::kDelete) {
+        // Unlearn every MAC last seen on the failed port; traffic to those
+        // hosts falls back to flooding until they are seen again.
+        for (auto it = session.mac_table_.begin(); it != session.mac_table_.end();) {
+          if (it->second == m.desc.port_no) {
+            it = session.mac_table_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    void operator()(const EchoReplyMsg&) {}
+    void operator()(const FeaturesRequestMsg&) {}
+    void operator()(const PacketOutMsg&) {}
+    void operator()(const FlowModMsg&) {}
+    void operator()(const MultipartRequestMsg&) {}
+    void operator()(const MultipartReplyMsg&) {}
+    void operator()(const BarrierRequestMsg&) {}
+    void operator()(const BarrierReplyMsg&) {}
+  };
+  std::visit(Visitor{*this, message.xid}, message.payload);
+}
+
+void LearningController::Session::handle_packet_in(const PacketInMsg& packet_in,
+                                                   std::uint32_t) {
+  const auto parsed = Packet::parse(packet_in.data);
+  if (!parsed.ok()) return;
+  const Packet& packet = parsed.value();
+
+  // Learn the source location.
+  if (!packet.eth.src.is_multicast()) {
+    mac_table_[packet.eth.src] = packet_in.in_port;
+  }
+
+  const auto destination = mac_table_.find(packet.eth.dst);
+  const bool known =
+      !packet.eth.dst.is_broadcast() && !packet.eth.dst.is_multicast() &&
+      destination != mac_table_.end();
+
+  if (known) {
+    // Install a forwarding rule for this destination, then forward the
+    // triggering packet. The controller addresses its "Table 0" — the
+    // proxy shifts it to the switch's Table 1.
+    FlowModMsg mod;
+    mod.command = FlowModCommand::kAdd;
+    mod.table_id = 0;
+    mod.priority = controller_.config_.forwarding_rule_priority;
+    mod.idle_timeout = controller_.config_.idle_timeout_sec;
+    if (controller_.config_.exact_match_rules) {
+      mod.match = Match::exact_from_packet(packet, packet_in.in_port);
+    } else {
+      mod.match.eth_dst = packet.eth.dst;
+    }
+    mod.instructions = Instructions::output(destination->second);
+    send(OfMessage{next_xid_++, mod});
+    ++controller_.stats_.flow_mods_sent;
+
+    PacketOutMsg out;
+    out.in_port = packet_in.in_port;
+    out.actions = {OutputAction{destination->second}};
+    out.data = packet_in.data;
+    send(OfMessage{next_xid_++, std::move(out)});
+    ++controller_.stats_.packet_outs_sent;
+  } else {
+    // Unknown destination (or broadcast): flood.
+    PacketOutMsg out;
+    out.in_port = packet_in.in_port;
+    out.actions = {OutputAction{kPortFlood}};
+    out.data = packet_in.data;
+    send(OfMessage{next_xid_++, std::move(out)});
+    ++controller_.stats_.packet_outs_sent;
+    ++controller_.stats_.floods;
+  }
+}
+
+}  // namespace dfi

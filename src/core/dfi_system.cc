@@ -1,0 +1,14 @@
+#include "core/dfi_system.h"
+
+namespace dfi {
+
+DfiSystem::DfiSystem(Simulator& sim, MessageBus& bus, DfiConfig config)
+    : sim_(sim),
+      bus_(bus),
+      erm_(bus),
+      policy_manager_(bus),
+      pcp_(sim, bus, erm_, policy_manager_, config.pcp, Rng(config.seed)),
+      proxy_(sim, pcp_, config.proxy, Rng(config.seed ^ 0x9e3779b97f4a7c15ull)),
+      sensors_(bus) {}
+
+}  // namespace dfi

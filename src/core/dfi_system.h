@@ -1,0 +1,63 @@
+// DfiSystem: facade wiring the complete DFI control plane.
+//
+// Owns the message bus, Entity Resolution Manager, Policy Manager, Policy
+// Compilation Point, DFI Proxy and the data-plane binding sensors, in the
+// topology of paper Figure 1. PDPs are created by the application (they
+// embody specific policies) against `policy_manager()` and `bus()`.
+#pragma once
+
+#include <memory>
+
+#include "bus/message_bus.h"
+#include "common/rng.h"
+#include "core/entity_resolution.h"
+#include "core/pcp.h"
+#include "core/policy_manager.h"
+#include "core/proxy.h"
+#include "services/sensors.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+
+struct DfiConfig {
+  PcpConfig pcp;
+  ProxyConfig proxy;
+  std::uint64_t seed = 0xdf1df1df1ull;
+
+  // Convenience: zero out all modeled latencies (functional tests).
+  static DfiConfig functional() {
+    DfiConfig config;
+    config.pcp.zero_latency = true;
+    config.proxy.zero_latency = true;
+    return config;
+  }
+};
+
+class DfiSystem {
+ public:
+  // `bus` is the deployment's message bus, shared with the data-plane
+  // services whose sensors feed the ERM; it must outlive this object.
+  DfiSystem(Simulator& sim, MessageBus& bus, DfiConfig config = {});
+
+  DfiSystem(const DfiSystem&) = delete;
+  DfiSystem& operator=(const DfiSystem&) = delete;
+
+  Simulator& sim() { return sim_; }
+  MessageBus& bus() { return bus_; }
+  EntityResolutionManager& erm() { return erm_; }
+  PolicyManager& policy_manager() { return policy_manager_; }
+  PolicyCompilationPoint& pcp() { return pcp_; }
+  DfiProxy& proxy() { return proxy_; }
+  SensorSuite& sensors() { return sensors_; }
+
+ private:
+  Simulator& sim_;
+  MessageBus& bus_;
+  EntityResolutionManager erm_;
+  PolicyManager policy_manager_;
+  PolicyCompilationPoint pcp_;
+  DfiProxy proxy_;
+  SensorSuite sensors_;
+};
+
+}  // namespace dfi

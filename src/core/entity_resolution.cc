@@ -1,0 +1,199 @@
+#include "core/entity_resolution.h"
+
+#include "common/logging.h"
+
+namespace dfi {
+namespace {
+
+template <typename K, typename V>
+void insert_pair(std::map<K, std::set<V>>& forward, const K& key, const V& value) {
+  forward[key].insert(value);
+}
+
+template <typename K, typename V>
+void erase_pair(std::map<K, std::set<V>>& forward, const K& key, const V& value) {
+  const auto it = forward.find(key);
+  if (it == forward.end()) return;
+  it->second.erase(value);
+  if (it->second.empty()) forward.erase(it);
+}
+
+template <typename K, typename V>
+std::vector<V> values_of(const std::map<K, std::set<V>>& forward, const K& key) {
+  const auto it = forward.find(key);
+  if (it == forward.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+}  // namespace
+
+EntityResolutionManager::EntityResolutionManager(MessageBus& bus)
+    : bus_(bus),
+      subscription_(bus.subscribe<BindingEvent>(
+          topics::kErmBindings,
+          [this](const BindingEvent& event) { apply(event); })) {}
+
+void EntityResolutionManager::apply(const BindingEvent& event) {
+  ++stats_.binding_updates;
+  switch (event.kind) {
+    case BindingKind::kUserHost:
+      if (event.retracted) {
+        erase_pair(user_to_hosts_, event.user, event.host);
+        erase_pair(host_to_users_, event.host, event.user);
+      } else {
+        insert_pair(user_to_hosts_, event.user, event.host);
+        insert_pair(host_to_users_, event.host, event.user);
+      }
+      break;
+    case BindingKind::kHostIp:
+      if (event.retracted) {
+        erase_pair(host_to_ips_, event.host, event.ip);
+        erase_pair(ip_to_hosts_, event.ip, event.host);
+      } else {
+        insert_pair(host_to_ips_, event.host, event.ip);
+        insert_pair(ip_to_hosts_, event.ip, event.host);
+      }
+      break;
+    case BindingKind::kIpMac:
+      if (event.retracted) {
+        ip_to_mac_.erase(event.ip);
+        erase_pair(mac_to_ips_, event.mac, event.ip);
+      } else {
+        // DHCP is authoritative: a lease replaces any prior MAC for the IP.
+        if (const auto prev = ip_to_mac_.find(event.ip);
+            prev != ip_to_mac_.end() && prev->second != event.mac) {
+          erase_pair(mac_to_ips_, prev->second, event.ip);
+        }
+        ip_to_mac_[event.ip] = event.mac;
+        insert_pair(mac_to_ips_, event.mac, event.ip);
+      }
+      break;
+    case BindingKind::kMacLocation: {
+      const auto key = std::make_pair(event.dpid, event.mac);
+      if (event.retracted) {
+        mac_location_.erase(key);
+      } else {
+        mac_location_[key] = event.port;  // at most one port per switch
+      }
+      break;
+    }
+  }
+}
+
+EndpointView EntityResolutionManager::enrich(EndpointView view) const {
+  ++stats_.queries;
+  if (view.ip.has_value()) {
+    view.hostnames = hosts_of_ip(*view.ip);
+    for (const auto& host : view.hostnames) {
+      for (const auto& user : users_of_host(host)) {
+        view.usernames.push_back(user);
+      }
+    }
+  }
+  return view;
+}
+
+SpoofCheck EntityResolutionManager::validate(const std::optional<MacAddress>& mac,
+                                             const std::optional<Ipv4Address>& ip,
+                                             const std::optional<Dpid>& dpid,
+                                             const std::optional<PortNo>& port) const {
+  if (ip.has_value() && mac.has_value()) {
+    const auto bound = ip_to_mac_.find(*ip);
+    if (bound != ip_to_mac_.end() && bound->second != *mac) {
+      ++stats_.spoof_rejections;
+      return {true, "IP " + ip->to_string() + " is bound to MAC " +
+                        bound->second.to_string() + ", not " + mac->to_string()};
+    }
+  }
+  if (mac.has_value() && dpid.has_value() && port.has_value()) {
+    const auto located = mac_location_.find({*dpid, *mac});
+    if (located != mac_location_.end() && located->second != *port) {
+      ++stats_.spoof_rejections;
+      return {true, "MAC " + mac->to_string() + " is located at port " +
+                        std::to_string(located->second.value) + " of " +
+                        to_string(*dpid) + ", not port " +
+                        std::to_string(port->value)};
+    }
+  }
+  return {false, ""};
+}
+
+std::vector<Hostname> EntityResolutionManager::hosts_of_ip(Ipv4Address ip) const {
+  return values_of(ip_to_hosts_, ip);
+}
+
+std::vector<Ipv4Address> EntityResolutionManager::ips_of_host(const Hostname& host) const {
+  return values_of(host_to_ips_, host);
+}
+
+std::vector<Username> EntityResolutionManager::users_of_host(const Hostname& host) const {
+  return values_of(host_to_users_, host);
+}
+
+std::vector<Hostname> EntityResolutionManager::hosts_of_user(const Username& user) const {
+  return values_of(user_to_hosts_, user);
+}
+
+std::optional<MacAddress> EntityResolutionManager::mac_of_ip(Ipv4Address ip) const {
+  const auto it = ip_to_mac_.find(ip);
+  if (it == ip_to_mac_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Ipv4Address> EntityResolutionManager::ips_of_mac(MacAddress mac) const {
+  return values_of(mac_to_ips_, mac);
+}
+
+std::optional<PortNo> EntityResolutionManager::location_of_mac(Dpid dpid,
+                                                               MacAddress mac) const {
+  const auto it = mac_location_.find({dpid, mac});
+  if (it == mac_location_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
+  std::vector<BindingEvent> out;
+  for (const auto& [user, hosts] : user_to_hosts_) {
+    for (const auto& host : hosts) {
+      BindingEvent event;
+      event.kind = BindingKind::kUserHost;
+      event.user = user;
+      event.host = host;
+      out.push_back(std::move(event));
+    }
+  }
+  for (const auto& [host, ips] : host_to_ips_) {
+    for (const auto& ip : ips) {
+      BindingEvent event;
+      event.kind = BindingKind::kHostIp;
+      event.host = host;
+      event.ip = ip;
+      out.push_back(std::move(event));
+    }
+  }
+  for (const auto& [ip, mac] : ip_to_mac_) {
+    BindingEvent event;
+    event.kind = BindingKind::kIpMac;
+    event.ip = ip;
+    event.mac = mac;
+    out.push_back(std::move(event));
+  }
+  for (const auto& [key, port] : mac_location_) {
+    BindingEvent event;
+    event.kind = BindingKind::kMacLocation;
+    event.dpid = key.first;
+    event.mac = key.second;
+    event.port = port;
+    out.push_back(std::move(event));
+  }
+  return out;
+}
+
+std::size_t EntityResolutionManager::binding_count() const {
+  std::size_t count = mac_location_.size() + ip_to_mac_.size();
+  for (const auto& [user, hosts] : user_to_hosts_) count += hosts.size();
+  for (const auto& [host, ips] : host_to_ips_) count += ips.size();
+  return count;
+}
+
+}  // namespace dfi

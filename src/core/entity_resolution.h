@@ -1,0 +1,97 @@
+// Entity Resolution Manager (paper Section III-B).
+//
+// Maintains the current many-to-many identifier bindings
+//   username <-> hostname <-> IP <-> MAC <-> (switch, port)
+// fed by authoritative sensors over the `erm.bindings` bus topic, and
+// answers enrichment queries from the PCP at access-control decision time
+// (low-level identifiers observed in the packet are mapped *up*; policies
+// are never compiled down at insert time).
+//
+// It also performs spoof validation: identifiers present in a packet must
+// agree with the authoritative bindings (e.g. a source IP bound by DHCP to
+// a different MAC marks the packet spoofed, and the PCP denies it).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bus/message_bus.h"
+#include "core/policy.h"
+#include "services/events.h"
+
+namespace dfi {
+
+struct ErmStats {
+  std::uint64_t binding_updates = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t spoof_rejections = 0;
+};
+
+// Result of spoof validation.
+struct SpoofCheck {
+  bool spoofed = false;
+  std::string reason;
+};
+
+class EntityResolutionManager {
+ public:
+  explicit EntityResolutionManager(MessageBus& bus);
+
+  // Apply one binding assertion/retraction (also invoked via the bus).
+  void apply(const BindingEvent& event);
+
+  // Enrich the low-level identifiers of one endpoint: returns the input
+  // plus all hostnames bound to the IP and all usernames bound to those
+  // hostnames. `view.dpid`/`switch_port` pass through untouched.
+  EndpointView enrich(EndpointView view) const;
+
+  // Validate that packet-observed identifiers agree with authoritative
+  // bindings. Missing bindings are not spoofing (the host may simply be
+  // unknown — it will match no identity-based policy); a *conflicting*
+  // binding is.
+  SpoofCheck validate(const std::optional<MacAddress>& mac,
+                      const std::optional<Ipv4Address>& ip,
+                      const std::optional<Dpid>& dpid,
+                      const std::optional<PortNo>& port) const;
+
+  // ------------------------------------------------------------- queries
+  std::vector<Hostname> hosts_of_ip(Ipv4Address ip) const;
+  std::vector<Ipv4Address> ips_of_host(const Hostname& host) const;
+  std::vector<Username> users_of_host(const Hostname& host) const;
+  std::vector<Hostname> hosts_of_user(const Username& user) const;
+  std::optional<MacAddress> mac_of_ip(Ipv4Address ip) const;
+  std::vector<Ipv4Address> ips_of_mac(MacAddress mac) const;
+  std::optional<PortNo> location_of_mac(Dpid dpid, MacAddress mac) const;
+
+  const ErmStats& stats() const { return stats_; }
+  std::size_t binding_count() const;
+
+  // Every current binding, as assertion events (persistence snapshots and
+  // diagnostics; replaying them into a fresh ERM reproduces this state).
+  std::vector<BindingEvent> snapshot() const;
+
+ private:
+  void apply_pair_binding(BindingKind kind, const BindingEvent& event);
+
+  MessageBus& bus_;
+  Subscription subscription_;
+
+  // Each binding is stored as a bidirectional multimap.
+  std::map<Username, std::set<Hostname>> user_to_hosts_;
+  std::map<Hostname, std::set<Username>> host_to_users_;
+  std::map<Hostname, std::set<Ipv4Address>> host_to_ips_;
+  std::map<Ipv4Address, std::set<Hostname>> ip_to_hosts_;
+  std::map<Ipv4Address, MacAddress> ip_to_mac_;  // DHCP: one MAC per IP
+  std::map<MacAddress, std::set<Ipv4Address>> mac_to_ips_;
+  // (dpid, mac) -> port. At most one port per MAC per switch; the PCP's
+  // location sensor replaces the binding when a MAC legitimately moves.
+  std::map<std::pair<Dpid, MacAddress>, PortNo> mac_location_;
+
+  mutable ErmStats stats_;
+};
+
+}  // namespace dfi

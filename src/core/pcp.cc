@@ -1,0 +1,253 @@
+#include "core/pcp.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "core/rule_cache.h"
+
+namespace dfi {
+
+PolicyCompilationPoint::PolicyCompilationPoint(Simulator& sim, MessageBus& bus,
+                                               EntityResolutionManager& erm,
+                                               PolicyManager& policy,
+                                               PcpConfig config, Rng rng)
+    : sim_(sim),
+      bus_(bus),
+      erm_(erm),
+      policy_(policy),
+      config_(config),
+      rng_(rng),
+      station_(sim, config.workers, config.queue_capacity),
+      flush_subscription_(bus.subscribe<FlushDirective>(
+          topics::kRuleFlush,
+          [this](const FlushDirective& directive) { flush(directive); })) {
+  if (config_.wildcard_caching) {
+    // Identity-derived cached rules depend on the bindings used to narrow
+    // them; retraction invalidates those caches (see core/rule_cache.h).
+    binding_subscription_ = bus.subscribe<BindingEvent>(
+        topics::kErmBindings,
+        [this](const BindingEvent& event) { on_binding_changed(event); });
+  }
+}
+
+void PolicyCompilationPoint::register_switch(Dpid dpid, SwitchWriter writer) {
+  switches_[dpid] = std::move(writer);
+}
+
+void PolicyCompilationPoint::unregister_switch(Dpid dpid) {
+  switches_.erase(dpid);
+}
+
+bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
+                                              DecisionCallback done) {
+  ++stats_.packet_ins;
+
+  // Sample the simulated cost of this decision's subtasks (Table II).
+  double binding_ms = 0.0, policy_ms = 0.0, other_ms = 0.0;
+  if (!config_.zero_latency) {
+    binding_ms = rng_.lognormal_from_moments(config_.binding_query_mean_ms,
+                                             config_.binding_query_sd_ms);
+    policy_ms = rng_.lognormal_from_moments(config_.policy_query_mean_ms,
+                                            config_.policy_query_sd_ms);
+    other_ms =
+        rng_.lognormal_from_moments(config_.other_mean_ms, config_.other_sd_ms);
+  }
+  const double total_ms = binding_ms + policy_ms + other_ms;
+
+  const bool accepted = station_.submit(
+      [total_ms]() { return milliseconds(total_ms); },
+      [this, dpid, msg = std::move(msg), done = std::move(done), binding_ms,
+       policy_ms, other_ms, total_ms](SimTime, SimTime) {
+        binding_latency_ms_.add(binding_ms);
+        policy_latency_ms_.add(policy_ms);
+        other_latency_ms_.add(other_ms);
+        total_latency_ms_.add(total_ms);
+        const PcpDecision decision = decide(dpid, msg);
+        if (done) done(decision);
+      });
+  if (!accepted) ++stats_.dropped_overload;
+  return accepted;
+}
+
+PcpDecision PolicyCompilationPoint::decide(Dpid dpid, const PacketInMsg& msg) {
+  PcpDecision decision;
+
+  const auto parsed = Packet::parse(msg.data);
+  if (!parsed.ok()) {
+    // Unparsable traffic cannot be matched to policy; default deny, but no
+    // rule can be compiled for it (no usable header fields).
+    ++stats_.unparsable;
+    ++stats_.default_denied;
+    decision.allow = false;
+    decision.policy =
+        PolicyDecision{PolicyAction::kDeny, PolicyRuleId{kDefaultDenyCookie.value}, true};
+    return decision;
+  }
+  const Packet& packet = parsed.value();
+
+  // MAC<->switch-port sensor: the PCP observes data-plane locations from
+  // Packet-in metadata and keeps the ERM binding current (Section IV-A).
+  observe_mac_location(dpid, msg.in_port, packet.eth.src);
+
+  // Collect all source/destination identifiers present in the packet.
+  EndpointView src;
+  src.mac = packet.eth.src;
+  src.dpid = dpid;
+  src.switch_port = msg.in_port;
+  EndpointView dst;
+  dst.mac = packet.eth.dst;
+  if (packet.ipv4.has_value()) {
+    src.ip = packet.ipv4->src;
+    dst.ip = packet.ipv4->dst;
+  }
+  if (packet.tcp.has_value()) {
+    src.l4_port = packet.tcp->src_port;
+    dst.l4_port = packet.tcp->dst_port;
+  } else if (packet.udp.has_value()) {
+    src.l4_port = packet.udp->src_port;
+    dst.l4_port = packet.udp->dst_port;
+  }
+
+  // Spoof validation against authoritative bindings (source side; the
+  // destination's claimed identifiers are not attacker-controlled claims).
+  const SpoofCheck spoof = erm_.validate(src.mac, src.ip, src.dpid, src.switch_port);
+  if (spoof.spoofed) {
+    ++stats_.spoof_denied;
+    decision.spoofed = true;
+    decision.allow = false;
+    decision.policy =
+        PolicyDecision{PolicyAction::kDeny, PolicyRuleId{kDefaultDenyCookie.value}, true};
+    decision.installed_rule = compile_rule(packet, msg.in_port, /*allow=*/false,
+                                           kDefaultDenyCookie);
+    install(dpid, decision.installed_rule);
+    DFI_INFO << "PCP: spoofed packet denied (" << spoof.reason << ")";
+    return decision;
+  }
+
+  // Enrichment: map low-level identifiers up to hostnames and usernames at
+  // decision time (late binding).
+  FlowView flow;
+  flow.ether_type = packet.eth.ether_type;
+  if (packet.ipv4.has_value()) flow.ip_proto = packet.ipv4->protocol;
+  flow.src = erm_.enrich(std::move(src));
+  flow.dst = erm_.enrich(std::move(dst));
+
+  // Policy query: highest-priority matching rule, default deny.
+  decision.policy = policy_.query(flow);
+  decision.allow = decision.policy.action == PolicyAction::kAllow;
+  decision.flow = flow;
+
+  if (decision.allow) {
+    ++stats_.allowed;
+  } else if (decision.policy.default_deny) {
+    ++stats_.default_denied;
+  } else {
+    ++stats_.denied;
+  }
+
+  decision.installed_rule =
+      compile_rule(packet, msg.in_port, decision.allow,
+                   Cookie{decision.policy.rule_id.value});
+
+  // Wildcard caching extension: replace the exact match with a safe
+  // generalization of the deciding policy when one exists.
+  if (config_.wildcard_caching) {
+    const auto cached = compile_wildcard(policy_, decision.policy, flow);
+    if (cached.has_value()) {
+      decision.installed_rule.match = cached->match;
+      ++stats_.wildcard_rules_installed;
+      if (cached->identity_derived) {
+        identity_cached_policies_.insert(decision.policy.rule_id);
+      }
+    } else {
+      ++stats_.wildcard_fallbacks;
+    }
+  }
+
+  install(dpid, decision.installed_rule);
+  return decision;
+}
+
+void PolicyCompilationPoint::on_binding_changed(const BindingEvent& event) {
+  if (!event.retracted) return;
+  if (event.kind != BindingKind::kUserHost && event.kind != BindingKind::kHostIp) {
+    return;
+  }
+  if (identity_cached_policies_.empty()) return;
+  // Conservative invalidation: flush every identity-derived cached rule.
+  // (Tracking which identities narrowed which rule would allow precision;
+  // correctness only needs that no stale cached rule survives.)
+  ++stats_.binding_invalidations;
+  const std::set<PolicyRuleId> to_flush = std::move(identity_cached_policies_);
+  identity_cached_policies_.clear();
+  for (const PolicyRuleId id : to_flush) {
+    bus_.publish(topics::kRuleFlush, FlushDirective{id});
+  }
+}
+
+void PolicyCompilationPoint::observe_mac_location(Dpid dpid, PortNo port,
+                                                  const MacAddress& mac) {
+  if (mac.is_multicast()) return;
+  const auto current = erm_.location_of_mac(dpid, mac);
+  if (current.has_value() && *current == port) return;
+  if (current.has_value()) {
+    ++stats_.mac_moves;
+    BindingEvent retract;
+    retract.kind = BindingKind::kMacLocation;
+    retract.retracted = true;
+    retract.mac = mac;
+    retract.dpid = dpid;
+    retract.port = *current;
+    retract.at = sim_.now();
+    bus_.publish(topics::kErmBindings, retract);
+  }
+  BindingEvent assert_event;
+  assert_event.kind = BindingKind::kMacLocation;
+  assert_event.mac = mac;
+  assert_event.dpid = dpid;
+  assert_event.port = port;
+  assert_event.at = sim_.now();
+  bus_.publish(topics::kErmBindings, assert_event);
+}
+
+FlowModMsg PolicyCompilationPoint::compile_rule(const Packet& packet, PortNo in_port,
+                                                bool allow, Cookie cookie) const {
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.table_id = 0;  // DFI's reserved table
+  mod.priority = config_.rule_priority;
+  mod.cookie = cookie;
+  // Exact match: every identifier available in the packet is specified so
+  // each new flow gets its own policy check (Section III-B).
+  mod.match = Match::exact_from_packet(packet, in_port);
+  mod.instructions = allow ? Instructions::to_table(config_.controller_first_table)
+                           : Instructions::drop();
+  return mod;
+}
+
+void PolicyCompilationPoint::install(Dpid dpid, const FlowModMsg& rule) {
+  const auto it = switches_.find(dpid);
+  if (it == switches_.end()) {
+    DFI_WARN << "PCP: no registered switch for " << to_string(dpid);
+    return;
+  }
+  ++stats_.rules_installed;
+  it->second(OfMessage{0, rule});
+}
+
+void PolicyCompilationPoint::flush(const FlushDirective& directive) {
+  ++stats_.flush_directives;
+  FlowModMsg del;
+  del.command = FlowModCommand::kDelete;
+  del.table_id = 0;
+  del.cookie = Cookie{directive.policy.value};
+  del.cookie_mask = Cookie{~0ull};
+  del.out_port = kPortAny;
+  // Wildcard match + cookie filter: removes exactly the rules derived from
+  // this policy, in every switch.
+  for (const auto& [dpid, writer] : switches_) {
+    writer(OfMessage{0, del});
+  }
+}
+
+}  // namespace dfi

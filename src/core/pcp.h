@@ -1,0 +1,154 @@
+// Policy Compilation Point (paper Section III-B).
+//
+// The PCP turns Packet-in events into installed Table-0 flow rules:
+//   1. parse the packet and collect all low-level identifiers present
+//      (MAC/IP addresses, L4 ports, ingress switch and port);
+//   2. validate them against authoritative bindings (spoofed -> deny);
+//   3. query the Entity Resolution Manager to enrich with hostnames and
+//      usernames (late binding, at decision time);
+//   4. query the Policy Manager for the highest-priority matching rule
+//      (default deny);
+//   5. compile an exact-match flow rule — every identifier available in the
+//      packet is specified — tagged with the deciding policy's id as the
+//      OpenFlow cookie, and install it in the ingress switch's Table 0.
+//
+// The PCP also hosts the MAC<->switch-port binding sensor (Section IV-A)
+// and executes flush directives from the Policy Manager by issuing
+// cookie-masked FLOW_MOD deletes to every registered switch.
+//
+// Capacity model: requests are served by a bounded worker pool (paper
+// Section V-A: saturation at ~1350 flows/sec, bounded queue, drops past
+// saturation). Component latencies are sampled from log-normal
+// distributions calibrated to Table II.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <optional>
+
+#include "bus/message_bus.h"
+#include "common/rng.h"
+#include "core/entity_resolution.h"
+#include "core/policy_manager.h"
+#include "openflow/messages.h"
+#include "sim/service_station.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace dfi {
+
+struct PcpConfig {
+  // Capacity (paper Section V-A calibration — see DESIGN.md §5): 7 workers
+  // at ~5.3 ms mean service time saturate near the paper's ~1350 flows/sec.
+  std::size_t workers = 7;
+  std::size_t queue_capacity = 32;
+
+  // Flow-rule shape.
+  std::uint16_t rule_priority = 100;
+  std::uint8_t controller_first_table = 1;  // allow -> goto this table
+
+  // Component service times in ms (paper Table II). Set zero_latency for
+  // functional tests where timing is irrelevant.
+  double binding_query_mean_ms = 2.41;
+  double binding_query_sd_ms = 0.97;
+  double policy_query_mean_ms = 2.52;
+  double policy_query_sd_ms = 0.85;
+  double other_mean_ms = 0.39;
+  double other_sd_ms = 0.27;
+  bool zero_latency = false;
+
+  // Extension (paper Section III-B future work, CAB-ACME): install safe
+  // wildcard generalizations of the deciding policy instead of one
+  // exact-match rule per flow. See core/rule_cache.h for the safety gates.
+  bool wildcard_caching = false;
+};
+
+struct PcpStats {
+  std::uint64_t packet_ins = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t denied = 0;           // policy Deny
+  std::uint64_t default_denied = 0;   // no matching rule
+  std::uint64_t spoof_denied = 0;
+  std::uint64_t dropped_overload = 0;
+  std::uint64_t rules_installed = 0;
+  std::uint64_t flush_directives = 0;
+  std::uint64_t mac_moves = 0;
+  std::uint64_t unparsable = 0;
+  std::uint64_t wildcard_rules_installed = 0;  // caching extension
+  std::uint64_t wildcard_fallbacks = 0;        // safety gate fired
+  std::uint64_t binding_invalidations = 0;     // identity caches flushed
+};
+
+// Outcome of one access-control decision.
+struct PcpDecision {
+  bool allow = false;
+  bool spoofed = false;
+  PolicyDecision policy;
+  FlowView flow;            // the enriched view the decision was made on
+  FlowModMsg installed_rule;
+};
+
+class PolicyCompilationPoint {
+ public:
+  using SwitchWriter = std::function<void(const OfMessage&)>;
+  using DecisionCallback = std::function<void(const PcpDecision&)>;
+
+  PolicyCompilationPoint(Simulator& sim, MessageBus& bus,
+                         EntityResolutionManager& erm, PolicyManager& policy,
+                         PcpConfig config, Rng rng);
+
+  // The proxy registers a direct writer to each switch's control channel.
+  void register_switch(Dpid dpid, SwitchWriter writer);
+  void unregister_switch(Dpid dpid);
+
+  // Queue a Packet-in for processing. Returns false when the bounded queue
+  // rejects it (control-plane saturation): the packet is dropped and the
+  // flow must re-enter on retransmission. On completion the compiled rule
+  // has been written to the switch and `done` is invoked.
+  bool handle_packet_in(Dpid dpid, PacketInMsg msg, DecisionCallback done);
+
+  // Synchronous decision core (no queueing/latency). Used internally, by
+  // tests, and by the insert-time-binding ablation.
+  PcpDecision decide(Dpid dpid, const PacketInMsg& msg);
+
+  const PcpStats& stats() const { return stats_; }
+  std::size_t queue_depth() const { return station_.queue_depth(); }
+
+  // Per-component simulated latency, for the Table II reproduction.
+  const SampleStats& binding_latency_ms() const { return binding_latency_ms_; }
+  const SampleStats& policy_latency_ms() const { return policy_latency_ms_; }
+  const SampleStats& other_latency_ms() const { return other_latency_ms_; }
+  const SampleStats& total_latency_ms() const { return total_latency_ms_; }
+
+ private:
+  void observe_mac_location(Dpid dpid, PortNo port, const MacAddress& mac);
+  void flush(const FlushDirective& directive);
+  FlowModMsg compile_rule(const Packet& packet, PortNo in_port, bool allow,
+                          Cookie cookie) const;
+  void install(Dpid dpid, const FlowModMsg& rule);
+  void on_binding_changed(const BindingEvent& event);
+
+  Simulator& sim_;
+  MessageBus& bus_;
+  EntityResolutionManager& erm_;
+  PolicyManager& policy_;
+  PcpConfig config_;
+  Rng rng_;
+  ServiceStation station_;
+  Subscription flush_subscription_;
+  Subscription binding_subscription_;  // active only with wildcard_caching
+  std::map<Dpid, SwitchWriter> switches_;
+  // Policies whose cached wildcard rules were narrowed using identity
+  // bindings; flushed when bindings are retracted.
+  std::set<PolicyRuleId> identity_cached_policies_;
+  PcpStats stats_;
+
+  SampleStats binding_latency_ms_;
+  SampleStats policy_latency_ms_;
+  SampleStats other_latency_ms_;
+  SampleStats total_latency_ms_;
+};
+
+}  // namespace dfi

@@ -1,0 +1,27 @@
+#include "core/pdp.h"
+
+#include <algorithm>
+
+namespace dfi {
+
+Pdp::~Pdp() = default;
+
+PolicyRuleId Pdp::emit_rule(PolicyRule rule) {
+  const PolicyRuleId id = policy_.insert(std::move(rule), priority_, name_);
+  emitted_.push_back(id);
+  return id;
+}
+
+void Pdp::revoke_rule(PolicyRuleId id) {
+  const auto it = std::find(emitted_.begin(), emitted_.end(), id);
+  if (it == emitted_.end()) return;
+  emitted_.erase(it);
+  policy_.revoke(id);
+}
+
+void Pdp::revoke_all() {
+  for (PolicyRuleId id : emitted_) policy_.revoke(id);
+  emitted_.clear();
+}
+
+}  // namespace dfi

@@ -1,0 +1,55 @@
+// Policy Decision Point framework (paper Section III-B).
+//
+// A PDP evaluates the conditions of one event-driven access-control policy
+// and emits/revokes policy rules in the Policy Manager accordingly. PDPs
+// subscribe to sensor feeds on the message bus (data plane services, end
+// hosts, control plane, or off-network sources) and carry a unique
+// administrator-assigned priority that their rules inherit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.h"
+#include "common/types.h"
+#include "core/policy_manager.h"
+
+namespace dfi {
+
+class Pdp {
+ public:
+  Pdp(std::string name, PdpPriority priority, PolicyManager& policy)
+      : name_(std::move(name)), priority_(priority), policy_(policy) {}
+
+  virtual ~Pdp();
+
+  Pdp(const Pdp&) = delete;
+  Pdp& operator=(const Pdp&) = delete;
+
+  const std::string& name() const { return name_; }
+  PdpPriority priority() const { return priority_; }
+
+  // Rules this PDP currently has inserted.
+  const std::vector<PolicyRuleId>& emitted() const { return emitted_; }
+
+ protected:
+  // Insert a rule with this PDP's priority; the id is remembered so the PDP
+  // can revoke it later.
+  PolicyRuleId emit_rule(PolicyRule rule);
+
+  // Revoke one previously emitted rule.
+  void revoke_rule(PolicyRuleId id);
+
+  // Revoke everything this PDP emitted.
+  void revoke_all();
+
+  PolicyManager& policy() { return policy_; }
+
+ private:
+  std::string name_;
+  PdpPriority priority_;
+  PolicyManager& policy_;
+  std::vector<PolicyRuleId> emitted_;
+};
+
+}  // namespace dfi

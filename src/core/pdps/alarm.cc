@@ -1,0 +1,41 @@
+#include "core/pdps/alarm.h"
+
+#include "common/logging.h"
+
+namespace dfi {
+
+AlarmPdp::AlarmPdp(PdpPriority priority, PolicyManager& policy,
+                   const DirectoryService& directory, MessageBus& bus)
+    : Pdp("building-alarm", priority, policy),
+      directory_(directory),
+      subscription_(bus.subscribe<BuildingAlarmEvent>(
+          topics::kFacilityAlarms, [this](const BuildingAlarmEvent& event) {
+            if (event.active) {
+              engage_lockdown();
+            } else {
+              clear_lockdown();
+            }
+          })) {}
+
+void AlarmPdp::engage_lockdown() {
+  if (lockdown_) return;
+  lockdown_ = true;
+  DFI_INFO << "building-alarm: lockdown engaged";
+  for (const auto& host : directory_.all_hosts()) {
+    const HostRecord* record = directory_.find_host(host);
+    if (record == nullptr || record->is_server) continue;  // servers stay up
+    PolicyRule rule;
+    rule.action = PolicyAction::kDeny;
+    rule.source.host = host;
+    emit_rule(rule);
+  }
+}
+
+void AlarmPdp::clear_lockdown() {
+  if (!lockdown_) return;
+  lockdown_ = false;
+  DFI_INFO << "building-alarm: all clear";
+  revoke_all();
+}
+
+}  // namespace dfi

@@ -1,0 +1,49 @@
+// Building-alarm PDP.
+//
+// The paper names sensor feeds "even off-network (e.g., a building alarm
+// system)" as PDP event sources (Section III-B). This PDP subscribes to
+// facility alarms: while an alarm is active it emits a high-priority Deny
+// on all outbound flows from every end host — the building is evacuating;
+// workstations have no business talking — while infrastructure servers
+// stay reachable (monitoring, paging, door systems). Clearing the alarm
+// revokes the lockdown, and the Policy Manager's consistency machinery
+// flushes cached rules both ways.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.h"
+#include "core/pdp.h"
+#include "services/directory.h"
+
+namespace dfi {
+
+// Published by the facility system (off-network feed).
+struct BuildingAlarmEvent {
+  std::string zone;   // informational
+  bool active = true; // false = all-clear
+};
+
+namespace topics {
+inline const std::string kFacilityAlarms = "facility.alarms";
+}  // namespace topics
+
+class AlarmPdp : public Pdp {
+ public:
+  AlarmPdp(PdpPriority priority, PolicyManager& policy,
+           const DirectoryService& directory, MessageBus& bus);
+
+  bool lockdown_active() const { return lockdown_; }
+
+  // Direct controls (also driven via the bus topic).
+  void engage_lockdown();
+  void clear_lockdown();
+
+ private:
+  const DirectoryService& directory_;
+  Subscription subscription_;
+  bool lockdown_ = false;
+};
+
+}  // namespace dfi

@@ -1,0 +1,128 @@
+#include "core/pdps/atrbac.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dfi {
+
+AtRbacPdp::AtRbacPdp(PdpPriority priority, PolicyManager& policy,
+                     const DirectoryService& directory, MessageBus& bus,
+                     std::vector<Hostname> infra_servers,
+                     std::vector<std::uint16_t> infra_ports)
+    : Pdp("at-rbac", priority, policy),
+      directory_(directory),
+      bus_(bus),
+      infra_servers_(std::move(infra_servers)),
+      infra_ports_(std::move(infra_ports)) {}
+
+void AtRbacPdp::activate() {
+  deactivate();
+
+  // Standing rules: every host can always reach the authentication
+  // *services* (and receive their replies) so log-on itself is possible.
+  // Scoped to the service ports: a logged-off host gets DNS/DHCP/Kerberos/
+  // LDAP on the infra servers and nothing more.
+  for (const auto& host : directory_.all_hosts()) {
+    for (const auto& infra : infra_servers_) {
+      if (host == infra) continue;
+      for (const std::uint16_t port : infra_ports_) {
+        PolicyRule to_infra;
+        to_infra.action = PolicyAction::kAllow;
+        to_infra.source.host = host;
+        to_infra.destination.host = infra;
+        to_infra.destination.l4_port = port;
+        emit_rule(to_infra);
+
+        PolicyRule from_infra;
+        from_infra.action = PolicyAction::kAllow;
+        from_infra.source.host = infra;
+        from_infra.source.l4_port = port;
+        from_infra.destination.host = host;
+        emit_rule(from_infra);
+      }
+    }
+  }
+
+  subscription_ = bus_.subscribe<SessionEvent>(
+      topics::kSiemSessions, [this](const SessionEvent& event) { on_session(event); });
+}
+
+void AtRbacPdp::deactivate() {
+  subscription_.reset();
+  sessions_.clear();
+  role_rules_.clear();
+  revoke_all();
+}
+
+void AtRbacPdp::on_session(const SessionEvent& event) {
+  const HostRecord* record = directory_.find_host(event.host);
+  if (record == nullptr) return;
+  // Servers have no interactive users; their reachability is not
+  // session-conditioned (they are part of every role set instead).
+  if (record->is_server) return;
+
+  auto& users = sessions_[event.host];
+  if (event.logged_on) {
+    const bool first = users.empty();
+    users.insert(event.user);
+    if (first) grant_role_set(event.host);
+  } else {
+    users.erase(event.user);
+    if (users.empty()) {
+      sessions_.erase(event.host);
+      revoke_role_set(event.host);
+    }
+  }
+}
+
+void AtRbacPdp::grant_role_set(const Hostname& host) {
+  if (role_rules_.count(host) != 0) return;
+  ++grants_;
+  DFI_INFO << "AT-RBAC: granting role set to " << host.value;
+
+  std::vector<PolicyRuleId>& ids = role_rules_[host];
+  const auto allow = [&](const Hostname& src, const Hostname& dst) {
+    PolicyRule rule;
+    rule.action = PolicyAction::kAllow;
+    rule.source.host = src;
+    rule.destination.host = dst;
+    ids.push_back(emit_rule(rule));
+  };
+
+  const HostRecord* record = directory_.find_host(host);
+  if (record == nullptr) return;
+
+  // 1) All hosts in its own enclave, both directions.
+  for (const auto& peer : directory_.hosts_in_enclave(record->enclave)) {
+    if (peer == host) continue;
+    allow(host, peer);
+    allow(peer, host);
+  }
+  // 2) Each of the servers, both directions.
+  for (const auto& other : directory_.all_hosts()) {
+    const HostRecord* other_record = directory_.find_host(other);
+    if (other_record == nullptr || !other_record->is_server) continue;
+    if (other_record->enclave == record->enclave) continue;  // covered above
+    allow(host, other);
+    allow(other, host);
+  }
+}
+
+void AtRbacPdp::revoke_role_set(const Hostname& host) {
+  const auto it = role_rules_.find(host);
+  if (it == role_rules_.end()) return;
+  ++revocations_;
+  DFI_INFO << "AT-RBAC: revoking role set of " << host.value;
+  for (PolicyRuleId id : it->second) revoke_rule(id);
+  role_rules_.erase(it);
+}
+
+std::vector<Hostname> AtRbacPdp::active_hosts() const {
+  std::vector<Hostname> out;
+  out.reserve(role_rules_.size());
+  for (const auto& [host, ids] : role_rules_) out.push_back(host);
+  return out;
+}
+
+}  // namespace dfi

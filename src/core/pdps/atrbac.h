@@ -1,0 +1,63 @@
+// Authentication-Triggered Role-Based Access Control PDP
+// (paper Section V-B, "AT-RBAC" — the policy uniquely enabled by DFI).
+//
+// Role-based access for a host is granted only while a user is logged on:
+// on the SIEM's log-on event the PDP emits the host's role set (flows to
+// all hosts of its enclave and to every server, both directions); on the
+// last log-off it revokes the set. With no user present, a host can reach
+// only the small authentication set (DHCP/DNS/AD — the directory's servers
+// flagged as infrastructure), expressed as standing rules. Infected hosts
+// thus become "moving targets" whose reachability follows real usage.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/pdp.h"
+#include "services/directory.h"
+#include "services/events.h"
+
+namespace dfi {
+
+class AtRbacPdp : public Pdp {
+ public:
+  // `infra_servers`: the authentication services that remain reachable for
+  // logged-off hosts (AD/DNS/DHCP hosts in the testbed). The standing rules
+  // are scoped to `infra_ports` — the service ports needed to authenticate
+  // (DNS 53, DHCP 67, Kerberos 88, LDAP 389 by default) — so a logged-off
+  // host can reach the AD server's authentication services but nothing
+  // else on it (e.g. not SMB, which is the worm's vector).
+  AtRbacPdp(PdpPriority priority, PolicyManager& policy,
+            const DirectoryService& directory, MessageBus& bus,
+            std::vector<Hostname> infra_servers,
+            std::vector<std::uint16_t> infra_ports = {53, 67, 88, 389});
+
+  // Emit the standing authentication-set rules and subscribe to sessions.
+  void activate();
+  void deactivate();
+
+  // Exposed for tests: hosts currently holding an active role set.
+  std::vector<Hostname> active_hosts() const;
+
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t revocations() const { return revocations_; }
+
+ private:
+  void on_session(const SessionEvent& event);
+  void grant_role_set(const Hostname& host);
+  void revoke_role_set(const Hostname& host);
+
+  const DirectoryService& directory_;
+  MessageBus& bus_;
+  std::vector<Hostname> infra_servers_;
+  std::vector<std::uint16_t> infra_ports_;
+  Subscription subscription_;
+
+  std::map<Hostname, std::set<Username>> sessions_;       // users per host
+  std::map<Hostname, std::vector<PolicyRuleId>> role_rules_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t revocations_ = 0;
+};
+
+}  // namespace dfi

@@ -1,0 +1,45 @@
+#include "core/pdps/quarantine.h"
+
+#include "common/logging.h"
+
+namespace dfi {
+
+QuarantinePdp::QuarantinePdp(PdpPriority priority, PolicyManager& policy,
+                             MessageBus& bus)
+    : Pdp("quarantine", priority, policy),
+      subscription_(bus.subscribe<QuarantineAlert>(
+          topics::kQuarantineAlerts, [this](const QuarantineAlert& alert) {
+            if (alert.release) {
+              release(alert.host);
+            } else {
+              quarantine(alert.host);
+            }
+          })) {}
+
+void QuarantinePdp::quarantine(const Hostname& host) {
+  if (rules_.count(host) != 0) return;
+  DFI_INFO << "quarantine: isolating " << host.value;
+
+  PolicyRule outbound;
+  outbound.action = PolicyAction::kDeny;
+  outbound.source.host = host;
+  const PolicyRuleId out_id = emit_rule(outbound);
+
+  PolicyRule inbound;
+  inbound.action = PolicyAction::kDeny;
+  inbound.destination.host = host;
+  const PolicyRuleId in_id = emit_rule(inbound);
+
+  rules_.emplace(host, std::make_pair(out_id, in_id));
+}
+
+void QuarantinePdp::release(const Hostname& host) {
+  const auto it = rules_.find(host);
+  if (it == rules_.end()) return;
+  DFI_INFO << "quarantine: releasing " << host.value;
+  revoke_rule(it->second.first);
+  revoke_rule(it->second.second);
+  rules_.erase(it);
+}
+
+}  // namespace dfi

@@ -1,0 +1,48 @@
+// Quarantine-Upon-Compromise PDP.
+//
+// The paper names "Quarantine Upon Compromise" as a policy type a dedicated
+// PDP can provide (Section III-B). This PDP subscribes to IDS/IR alerts and
+// emits a pair of high-priority Deny rules that cut an endpoint off in both
+// directions; releasing the quarantine revokes them. Because quarantine
+// PDPs are given a higher priority than the RBAC PDPs, their Deny rules win
+// the Policy Manager's priority resolution, and the insert-time consistency
+// check flushes the host's cached Allow rules from the switches so ongoing
+// flows are cut immediately.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "bus/message_bus.h"
+#include "core/pdp.h"
+
+namespace dfi {
+
+// Published by detection systems (or the incident-response examples).
+struct QuarantineAlert {
+  Hostname host;
+  bool release = false;
+};
+
+namespace topics {
+inline const std::string kQuarantineAlerts = "ids.alerts";
+}  // namespace topics
+
+class QuarantinePdp : public Pdp {
+ public:
+  QuarantinePdp(PdpPriority priority, PolicyManager& policy, MessageBus& bus);
+
+  void quarantine(const Hostname& host);
+  void release(const Hostname& host);
+
+  bool is_quarantined(const Hostname& host) const {
+    return rules_.count(host) != 0;
+  }
+  std::size_t quarantined_count() const { return rules_.size(); }
+
+ private:
+  Subscription subscription_;
+  std::map<Hostname, std::pair<PolicyRuleId, PolicyRuleId>> rules_;
+};
+
+}  // namespace dfi

@@ -1,0 +1,65 @@
+#include "core/pdps/srbac.h"
+
+namespace dfi {
+
+std::vector<PolicyRule> make_rbac_ruleset(const DirectoryService& directory) {
+  std::vector<PolicyRule> rules;
+  const auto allow_between = [&rules](const Hostname& a, const Hostname& b) {
+    PolicyRule rule;
+    rule.action = PolicyAction::kAllow;
+    rule.source.host = a;
+    rule.destination.host = b;
+    rules.push_back(std::move(rule));
+  };
+
+  std::vector<Hostname> servers;
+  for (const auto& host : directory.all_hosts()) {
+    const HostRecord* record = directory.find_host(host);
+    if (record != nullptr && record->is_server) servers.push_back(host);
+  }
+
+  for (const auto& enclave : directory.enclaves()) {
+    const auto hosts = directory.hosts_in_enclave(enclave);
+    // Intra-enclave reachability (both directions).
+    for (const auto& a : hosts) {
+      for (const auto& b : hosts) {
+        if (a == b) continue;
+        allow_between(a, b);
+      }
+    }
+    // Host <-> every server, both directions (operational needs).
+    for (const auto& host : hosts) {
+      const HostRecord* record = directory.find_host(host);
+      if (record != nullptr && record->is_server) continue;  // covered below
+      for (const auto& server : servers) {
+        allow_between(host, server);
+        allow_between(server, host);
+      }
+    }
+  }
+
+  // Servers may talk among themselves (cross-enclave server pairs; the
+  // intra-enclave loop already covered same-enclave pairs).
+  for (const auto& a : servers) {
+    for (const auto& b : servers) {
+      if (a == b) continue;
+      const HostRecord* record_a = directory.find_host(a);
+      const HostRecord* record_b = directory.find_host(b);
+      if (record_a != nullptr && record_b != nullptr &&
+          record_a->enclave == record_b->enclave) {
+        continue;
+      }
+      allow_between(a, b);
+    }
+  }
+  return rules;
+}
+
+void SRbacPdp::activate() {
+  revoke_all();
+  for (PolicyRule& rule : make_rbac_ruleset(directory_)) {
+    emit_rule(std::move(rule));
+  }
+}
+
+}  // namespace dfi

@@ -1,0 +1,36 @@
+// Static Role-Based Access Control PDP (paper Section V-B, "S-RBAC").
+//
+// Installs a fixed policy once: every end host may exchange flows with
+// (1) all hosts in its own enclave and (2) every server; everything else is
+// denied by DFI's default. The policy never changes in response to events —
+// it is the static baseline the AT-RBAC policy is compared against.
+#pragma once
+
+#include <vector>
+
+#include "core/pdp.h"
+#include "services/directory.h"
+
+namespace dfi {
+
+// The role-based allow set shared by the RBAC-family PDPs: every end host
+// to (1) all hosts of its own enclave and (2) every server, plus
+// server-to-server, all bidirectional.
+std::vector<PolicyRule> make_rbac_ruleset(const DirectoryService& directory);
+
+class SRbacPdp : public Pdp {
+ public:
+  SRbacPdp(PdpPriority priority, PolicyManager& policy,
+           const DirectoryService& directory)
+      : Pdp("s-rbac", priority, policy), directory_(directory) {}
+
+  // Emit the full static rule set. Idempotent: re-activation revokes the
+  // previous rule set first.
+  void activate();
+  void deactivate() { revoke_all(); }
+
+ private:
+  const DirectoryService& directory_;
+};
+
+}  // namespace dfi

@@ -1,0 +1,58 @@
+#include "core/pdps/time_of_day.h"
+
+#include "common/logging.h"
+
+namespace dfi {
+
+TimeOfDayPdp::TimeOfDayPdp(PdpPriority priority, PolicyManager& policy,
+                           const DirectoryService& directory, Simulator& sim,
+                           int open_hour, int close_hour)
+    : Pdp("time-of-day", priority, policy),
+      directory_(directory),
+      sim_(sim),
+      open_hour_(open_hour),
+      close_hour_(close_hour) {}
+
+void TimeOfDayPdp::activate() {
+  active_ = true;
+  const SimTime now = sim_.now();
+  const SimTime opens_at = clock_time(open_hour_);
+  const SimTime closes_at = clock_time(close_hour_);
+
+  if (now >= opens_at && now < closes_at) {
+    open();
+  }
+  if (now < opens_at) {
+    sim_.schedule_at(opens_at, [this]() {
+      if (active_) open();
+    });
+  }
+  if (now < closes_at) {
+    sim_.schedule_at(closes_at, [this]() {
+      if (active_) close();
+    });
+  }
+}
+
+void TimeOfDayPdp::deactivate() {
+  active_ = false;
+  close();
+}
+
+void TimeOfDayPdp::open() {
+  if (open_) return;
+  open_ = true;
+  DFI_INFO << "time-of-day: business hours begin; granting role sets";
+  for (PolicyRule& rule : make_rbac_ruleset(directory_)) {
+    emit_rule(std::move(rule));
+  }
+}
+
+void TimeOfDayPdp::close() {
+  if (!open_) return;
+  open_ = false;
+  DFI_INFO << "time-of-day: business hours end; revoking role sets";
+  revoke_all();
+}
+
+}  // namespace dfi

@@ -1,0 +1,42 @@
+// Time-of-day PDP.
+//
+// The paper's PDPs subscribe to arbitrary event sources; the simplest
+// security-relevant signal is the clock. This PDP grants the role-based
+// allow set only inside configured business hours and revokes it outside
+// them — the static-policy middle ground between S-RBAC (always on) and
+// AT-RBAC (per-session): a network that is simply unreachable at night.
+#pragma once
+
+#include "core/pdp.h"
+#include "core/pdps/srbac.h"
+#include "services/directory.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+
+class TimeOfDayPdp : public Pdp {
+ public:
+  TimeOfDayPdp(PdpPriority priority, PolicyManager& policy,
+               const DirectoryService& directory, Simulator& sim,
+               int open_hour = 7, int close_hour = 19);
+
+  // Schedule the day's open/close transitions (and apply the current state
+  // immediately if activated mid-day).
+  void activate();
+  void deactivate();
+
+  bool is_open() const { return open_; }
+
+ private:
+  void open();
+  void close();
+
+  const DirectoryService& directory_;
+  Simulator& sim_;
+  int open_hour_;
+  int close_hour_;
+  bool active_ = false;
+  bool open_ = false;
+};
+
+}  // namespace dfi

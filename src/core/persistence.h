@@ -1,0 +1,45 @@
+// Persistence (paper Section IV: "Both the Policy Manager and the Entity
+// Resolution Manager are backed by MySQL databases that maintain a record
+// of current policy rules and current identifier bindings").
+//
+// The surrogate is a line-oriented text snapshot: deterministic to write,
+// strict to parse (any malformed line fails with its line number), and
+// sufficient to restart a DFI control plane with the policy database and
+// binding state it had before. PolicyRuleIds are not preserved across a
+// reload — they are runtime handles; PDP ownership (name + priority) is.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "core/entity_resolution.h"
+#include "core/policy_manager.h"
+
+namespace dfi {
+
+// ------------------------------------------------------------- policies
+
+// One line per rule:
+//   policy|<pdp>|<priority>|allow/deny|ether=..|proto=..|SRC|DST
+// where SRC/DST are comma-joined key=value pairs ("*" for none).
+std::string save_policies(const PolicyManager& manager);
+
+// Insert every rule from `snapshot` into `manager`. Returns the number of
+// rules loaded, or a parse error naming the offending line.
+Result<std::size_t> load_policies(PolicyManager& manager, const std::string& snapshot);
+
+// ------------------------------------------------------------- bindings
+
+// One line per binding:
+//   binding|user-host|<user>|<host>
+//   binding|host-ip|<host>|<ip>
+//   binding|ip-mac|<ip>|<mac>
+//   binding|mac-location|<mac>|<dpid>|<port>
+std::string save_bindings(const EntityResolutionManager& erm);
+
+// Apply every binding from `snapshot` to `erm` (as assertions).
+Result<std::size_t> load_bindings(EntityResolutionManager& erm,
+                                  const std::string& snapshot);
+
+}  // namespace dfi

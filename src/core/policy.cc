@@ -1,0 +1,119 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dfi {
+namespace spec_detail {
+namespace {
+
+// Concrete spec field vs. single observed value: wildcard always matches;
+// a concrete field requires the value to be present and equal. A rule that
+// names a TCP port cannot match a flow with no transport header.
+template <typename T>
+bool field_matches(const std::optional<T>& spec, const std::optional<T>& observed) {
+  if (!spec.has_value()) return true;
+  return observed.has_value() && *observed == *spec;
+}
+
+// Concrete spec field vs. set of enriched identifiers: matches if the named
+// identifier is among those bound to the endpoint ("any machine that Alice
+// is using" — paper Section III-B).
+template <typename T>
+bool field_matches_any(const std::optional<T>& spec, const std::vector<T>& observed) {
+  if (!spec.has_value()) return true;
+  return std::find(observed.begin(), observed.end(), *spec) != observed.end();
+}
+
+// Two spec fields overlap unless both are concrete and different.
+template <typename T>
+bool fields_overlap(const std::optional<T>& a, const std::optional<T>& b) {
+  if (!a.has_value() || !b.has_value()) return true;
+  return *a == *b;
+}
+
+}  // namespace
+
+bool endpoint_matches(const EndpointSpec& spec, const EndpointView& view) {
+  return field_matches_any(spec.user, view.usernames) &&
+         field_matches_any(spec.host, view.hostnames) &&
+         field_matches(spec.ip, view.ip) &&
+         field_matches(spec.l4_port, view.l4_port) &&
+         field_matches(spec.mac, view.mac) &&
+         field_matches(spec.switch_port, view.switch_port) &&
+         field_matches(spec.dpid, view.dpid);
+}
+
+bool endpoints_overlap(const EndpointSpec& a, const EndpointSpec& b) {
+  return fields_overlap(a.user, b.user) && fields_overlap(a.host, b.host) &&
+         fields_overlap(a.ip, b.ip) && fields_overlap(a.l4_port, b.l4_port) &&
+         fields_overlap(a.mac, b.mac) &&
+         fields_overlap(a.switch_port, b.switch_port) &&
+         fields_overlap(a.dpid, b.dpid);
+}
+
+}  // namespace spec_detail
+
+bool PolicyRule::matches(const FlowView& flow) const {
+  if (properties.ether_type.has_value() && *properties.ether_type != flow.ether_type) {
+    return false;
+  }
+  if (properties.ip_proto.has_value()) {
+    if (!flow.ip_proto.has_value() || *flow.ip_proto != *properties.ip_proto) {
+      return false;
+    }
+  }
+  return spec_detail::endpoint_matches(source, flow.src) &&
+         spec_detail::endpoint_matches(destination, flow.dst);
+}
+
+bool PolicyRule::overlaps(const PolicyRule& other) const {
+  const auto props_overlap = [](const FlowProperties& a, const FlowProperties& b) {
+    const auto field = [](const auto& x, const auto& y) {
+      return !x.has_value() || !y.has_value() || *x == *y;
+    };
+    return field(a.ether_type, b.ether_type) && field(a.ip_proto, b.ip_proto);
+  };
+  return props_overlap(properties, other.properties) &&
+         spec_detail::endpoints_overlap(source, other.source) &&
+         spec_detail::endpoints_overlap(destination, other.destination);
+}
+
+std::string EndpointSpec::to_string() const {
+  std::ostringstream out;
+  out << "(" << (user ? user->value : "*") << ", " << (host ? host->value : "*")
+      << ", " << (ip ? ip->to_string() : "*") << ", "
+      << (l4_port ? std::to_string(*l4_port) : "*") << ", "
+      << (mac ? mac->to_string() : "*") << ", "
+      << (switch_port ? std::to_string(switch_port->value) : "*") << ", "
+      << (dpid ? std::to_string(dpid->value) : "*") << ")";
+  return out.str();
+}
+
+std::string EndpointView::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  if (mac) out << "mac=" << mac->to_string() << " ";
+  if (ip) out << "ip=" << ip->to_string() << " ";
+  if (l4_port) out << "port=" << *l4_port << " ";
+  for (const auto& host : hostnames) out << "host=" << host.value << " ";
+  for (const auto& user : usernames) out << "user=" << user.value << " ";
+  out << "}";
+  return out.str();
+}
+
+std::string PolicyRule::to_string() const {
+  std::ostringstream out;
+  out << "(" << dfi::to_string(action) << ", (";
+  out << (properties.ether_type ? "0x" + [&] {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%04x", *properties.ether_type);
+    return std::string(buf);
+  }() : std::string("*"));
+  out << ", "
+      << (properties.ip_proto ? std::to_string(*properties.ip_proto) : std::string("*"))
+      << "), " << source.to_string() << ", " << destination.to_string() << ")";
+  return out.str();
+}
+
+}  // namespace dfi

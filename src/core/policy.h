@@ -1,0 +1,101 @@
+// DFI policy model (paper Section III-B, "Policy Decision Points").
+//
+// Policy rules are tuples (Action, Flow Properties, Source, Destination).
+// Source and Destination are endpoint specifications over both high-level
+// identifiers (username, hostname) and low-level ones (IP, L4 port, MAC,
+// switch port, switch DPID); every field may be a wildcard. Rules match
+// *enriched* flow views: the PCP maps the low-level identifiers observed in
+// a packet up to high-level identifiers at decision time (late binding —
+// Section III-B, Entity Resolution Manager).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/ipv4.h"
+#include "net/mac.h"
+
+namespace dfi {
+
+enum class PolicyAction { kAllow, kDeny };
+
+inline const char* to_string(PolicyAction action) {
+  return action == PolicyAction::kAllow ? "Allow" : "Deny";
+}
+
+// Flow-level properties a rule may constrain: EtherType and IP protocol.
+struct FlowProperties {
+  std::optional<std::uint16_t> ether_type;
+  std::optional<std::uint8_t> ip_proto;
+
+  friend bool operator==(const FlowProperties&, const FlowProperties&) = default;
+};
+
+// One side of a flow as named in policy. Absent fields are wildcards.
+struct EndpointSpec {
+  std::optional<Username> user;
+  std::optional<Hostname> host;
+  std::optional<Ipv4Address> ip;
+  std::optional<std::uint16_t> l4_port;
+  std::optional<MacAddress> mac;
+  std::optional<PortNo> switch_port;
+  std::optional<Dpid> dpid;
+
+  friend bool operator==(const EndpointSpec&, const EndpointSpec&) = default;
+
+  bool is_wildcard() const { return *this == EndpointSpec{}; }
+  std::string to_string() const;
+};
+
+// One side of a flow as observed in the network and enriched by the Entity
+// Resolution Manager. Hostnames/usernames are sets because bindings are
+// many-to-many (a host may have several names bound through multiple IPs; a
+// host may have several logged-on users).
+struct EndpointView {
+  std::optional<MacAddress> mac;
+  std::optional<Ipv4Address> ip;
+  std::optional<std::uint16_t> l4_port;
+  std::optional<Dpid> dpid;          // ingress switch (source side only)
+  std::optional<PortNo> switch_port;
+  std::vector<Hostname> hostnames;
+  std::vector<Username> usernames;
+
+  std::string to_string() const;
+};
+
+// A fully enriched flow, ready for policy evaluation.
+struct FlowView {
+  std::uint16_t ether_type = 0;
+  std::optional<std::uint8_t> ip_proto;
+  EndpointView src;
+  EndpointView dst;
+};
+
+struct PolicyRule {
+  PolicyAction action = PolicyAction::kDeny;
+  FlowProperties properties;
+  EndpointSpec source;
+  EndpointSpec destination;
+
+  friend bool operator==(const PolicyRule&, const PolicyRule&) = default;
+
+  // True if this rule applies to the enriched flow.
+  bool matches(const FlowView& flow) const;
+
+  // True if some flow could match both this rule and `other` (field-wise
+  // overlap: wildcards overlap everything, concrete values only if equal).
+  // Used by the Policy Manager's consistency check (Section III-B).
+  bool overlaps(const PolicyRule& other) const;
+
+  std::string to_string() const;
+};
+
+namespace spec_detail {
+bool endpoint_matches(const EndpointSpec& spec, const EndpointView& view);
+bool endpoints_overlap(const EndpointSpec& a, const EndpointSpec& b);
+}  // namespace spec_detail
+
+}  // namespace dfi

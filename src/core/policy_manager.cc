@@ -1,0 +1,82 @@
+#include "core/policy_manager.h"
+
+#include "common/logging.h"
+
+namespace dfi {
+
+PolicyManager::PolicyManager(MessageBus& bus) : bus_(bus) {}
+
+PolicyRuleId PolicyManager::insert(PolicyRule rule, PdpPriority priority,
+                                   std::string pdp_name) {
+  ++stats_.inserts;
+  const PolicyRuleId id{next_id_++};
+
+  // Consistency check: flush switch rules derived from existing
+  // lower-priority rules with the opposite action that overlap the new one.
+  for (const auto& [existing_id, stored] : rules_) {
+    if (stored.rule.action == rule.action) continue;
+    if (stored.priority >= priority) continue;
+    if (!stored.rule.overlaps(rule)) continue;
+    ++stats_.conflict_flushes;
+    publish_flush(existing_id);
+  }
+  // A new Allow rule may override previous default-deny decisions whose
+  // exact-match deny rules are cached in switches; flush those too.
+  if (rule.action == PolicyAction::kAllow) {
+    publish_flush(PolicyRuleId{kDefaultDenyCookie.value});
+  }
+
+  rules_.emplace(id, StoredPolicyRule{id, std::move(rule), priority, std::move(pdp_name)});
+  return id;
+}
+
+bool PolicyManager::revoke(PolicyRuleId id) {
+  const auto it = rules_.find(id);
+  if (it == rules_.end()) return false;
+  ++stats_.revocations;
+  rules_.erase(it);
+  // Flush every switch rule derived from the revoked policy so ongoing
+  // flows are re-evaluated against the remaining policy (Section III-B).
+  publish_flush(id);
+  return true;
+}
+
+PolicyDecision PolicyManager::query(const FlowView& flow) const {
+  ++stats_.queries;
+  const StoredPolicyRule* best = nullptr;
+  for (const auto& [id, stored] : rules_) {
+    if (!stored.rule.matches(flow)) continue;
+    if (best == nullptr || stored.priority > best->priority) {
+      best = &stored;
+    } else if (stored.priority == best->priority &&
+               stored.rule.action == PolicyAction::kDeny &&
+               best->rule.action == PolicyAction::kAllow) {
+      best = &stored;  // equal-priority conflict: Deny wins
+    }
+  }
+  if (best == nullptr) {
+    return PolicyDecision{PolicyAction::kDeny, PolicyRuleId{kDefaultDenyCookie.value},
+                          /*default_deny=*/true};
+  }
+  return PolicyDecision{best->rule.action, best->id, /*default_deny=*/false};
+}
+
+std::optional<StoredPolicyRule> PolicyManager::find(PolicyRuleId id) const {
+  const auto it = rules_.find(id);
+  if (it == rules_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<StoredPolicyRule> PolicyManager::rules() const {
+  std::vector<StoredPolicyRule> out;
+  out.reserve(rules_.size());
+  for (const auto& [id, stored] : rules_) out.push_back(stored);
+  return out;
+}
+
+void PolicyManager::publish_flush(PolicyRuleId id) {
+  DFI_DEBUG << "PolicyManager: flush derivations of " << to_string(id);
+  bus_.publish(topics::kRuleFlush, FlushDirective{id});
+}
+
+}  // namespace dfi

@@ -1,0 +1,94 @@
+// Policy Manager (paper Section III-B).
+//
+// Receives policy rules and revocations from PDPs, performs the consistency
+// checks that keep switch-cached flow rules in sync with the policy
+// database, stores the current global policy, and answers match queries
+// from the Policy Compilation Point.
+//
+// Consistency (Section III-B): when a rule is inserted, every existing rule
+// that (1) overlaps it field-wise, (2) has the opposite action, and (3) has
+// *lower* priority may have derived now-stale flow rules in switches; the
+// Policy Manager publishes flush directives for those rules (the rules stay
+// in the database — only their cached derivations are flushed, forcing
+// re-evaluation of ongoing flows). Explicit revocation flushes the revoked
+// rule's derivations. Inserting an Allow rule additionally flushes
+// default-deny derivations, since flows previously denied by default may
+// now be allowed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.h"
+#include "common/types.h"
+#include "core/policy.h"
+#include "services/events.h"
+
+namespace dfi {
+
+// Cookie value reserved for flow rules the PCP installs for the default
+// Deny decision (no matching policy rule). PolicyRuleIds start above it.
+inline constexpr Cookie kDefaultDenyCookie{1};
+
+// Directive to the PCP: flush all switch flow rules derived from `policy`.
+struct FlushDirective {
+  PolicyRuleId policy{};
+};
+
+struct StoredPolicyRule {
+  PolicyRuleId id{};
+  PolicyRule rule;
+  PdpPriority priority{};
+  std::string pdp_name;
+};
+
+// Outcome of a policy query for one flow.
+struct PolicyDecision {
+  PolicyAction action = PolicyAction::kDeny;
+  // Id of the deciding rule; kDefaultDenyCookie.value when no rule matched
+  // (default deny).
+  PolicyRuleId rule_id{kDefaultDenyCookie.value};
+  bool default_deny = false;
+};
+
+struct PolicyManagerStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t revocations = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t conflict_flushes = 0;
+};
+
+class PolicyManager {
+ public:
+  explicit PolicyManager(MessageBus& bus);
+
+  // Insert a rule on behalf of a PDP; returns the unique id the PDP must
+  // use to revoke it later. Triggers consistency flushes as described above.
+  PolicyRuleId insert(PolicyRule rule, PdpPriority priority, std::string pdp_name);
+
+  // Revoke a previously inserted rule. Returns false if unknown.
+  bool revoke(PolicyRuleId id);
+
+  // Highest-priority rule matching the flow. PDP priority orders rules; on
+  // a same-priority Allow/Deny conflict the Deny wins ("err on the side of
+  // stopping unauthorized flows"). No match -> default deny.
+  PolicyDecision query(const FlowView& flow) const;
+
+  std::optional<StoredPolicyRule> find(PolicyRuleId id) const;
+  std::vector<StoredPolicyRule> rules() const;
+  std::size_t size() const { return rules_.size(); }
+  const PolicyManagerStats& stats() const { return stats_; }
+
+ private:
+  void publish_flush(PolicyRuleId id);
+
+  MessageBus& bus_;
+  std::map<PolicyRuleId, StoredPolicyRule> rules_;
+  std::uint64_t next_id_ = kDefaultDenyCookie.value + 1;
+  mutable PolicyManagerStats stats_;
+};
+
+}  // namespace dfi

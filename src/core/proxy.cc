@@ -1,0 +1,245 @@
+#include "core/proxy.h"
+
+#include "common/logging.h"
+
+namespace dfi {
+
+DfiProxy::DfiProxy(Simulator& sim, PolicyCompilationPoint& pcp, ProxyConfig config,
+                   Rng rng)
+    : sim_(sim), pcp_(pcp), config_(config), rng_(rng) {}
+
+DfiProxy::~DfiProxy() {
+  for (const auto& session : sessions_) {
+    if (session->dpid_.has_value()) pcp_.unregister_switch(*session->dpid_);
+  }
+}
+
+DfiProxy::Session& DfiProxy::create_session(SendFn to_switch, SendFn to_controller) {
+  sessions_.push_back(
+      std::make_unique<Session>(*this, std::move(to_switch), std::move(to_controller)));
+  return *sessions_.back();
+}
+
+void DfiProxy::after_proxy_delay(std::function<void()> deliver) {
+  double delay_ms = 0.0;
+  if (!config_.zero_latency) {
+    delay_ms = rng_.lognormal_from_moments(config_.latency_mean_ms, config_.latency_sd_ms);
+  }
+  latency_ms_.add(delay_ms);
+  sim_.schedule_after(milliseconds(delay_ms), std::move(deliver));
+}
+
+DfiProxy::Session::Session(DfiProxy& proxy, SendFn to_switch, SendFn to_controller)
+    : proxy_(proxy), to_switch_(std::move(to_switch)),
+      to_controller_(std::move(to_controller)) {}
+
+void DfiProxy::Session::send_to_switch(const OfMessage& message) {
+  const auto bytes = encode(message);
+  to_switch_(bytes);
+}
+
+void DfiProxy::Session::send_to_controller(const OfMessage& message) {
+  const auto bytes = encode(message);
+  to_controller_(bytes);
+}
+
+void DfiProxy::Session::from_switch(const std::vector<std::uint8_t>& chunk) {
+  switch_decoder_.feed(chunk);
+  for (auto& result : switch_decoder_.drain()) {
+    ++proxy_.stats_.from_switch;
+    if (!result.ok()) {
+      ++proxy_.stats_.malformed;
+      DFI_WARN << "proxy: malformed frame from switch: " << result.error().message;
+      continue;
+    }
+    handle_switch_message(std::move(result).value());
+  }
+}
+
+void DfiProxy::Session::from_controller(const std::vector<std::uint8_t>& chunk) {
+  controller_decoder_.feed(chunk);
+  for (auto& result : controller_decoder_.drain()) {
+    ++proxy_.stats_.from_controller;
+    if (!result.ok()) {
+      ++proxy_.stats_.malformed;
+      DFI_WARN << "proxy: malformed frame from controller: " << result.error().message;
+      continue;
+    }
+    handle_controller_message(std::move(result).value());
+  }
+}
+
+void DfiProxy::Session::handle_switch_message(OfMessage message) {
+  // Learn identity from the handshake and register this switch with the
+  // PCP; the PCP's writes (Table 0 flow mods) go straight to the switch,
+  // not through table shifting.
+  if (auto* features = std::get_if<FeaturesReplyMsg>(&message.payload)) {
+    dpid_ = features->datapath_id;
+    switch_num_tables_ = features->n_tables;
+    proxy_.pcp_.register_switch(*dpid_, [this](const OfMessage& msg) {
+      proxy_.after_proxy_delay([this, msg]() { send_to_switch(msg); });
+    });
+    // Hide DFI's reserved table from the controller.
+    FeaturesReplyMsg shifted = *features;
+    if (shifted.n_tables > 0) --shifted.n_tables;
+    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, shifted}]() {
+      send_to_controller(out);
+    });
+    return;
+  }
+
+  if (auto* packet_in = std::get_if<PacketInMsg>(&message.payload)) {
+    if (packet_in->table_id == 0) {
+      // Miss in DFI's table: this flow has no access-control decision yet.
+      // The PCP decides first; only allowed packets reach the controller.
+      if (!dpid_.has_value()) {
+        ++proxy_.stats_.packet_ins_suppressed;
+        DFI_WARN << "proxy: packet-in before handshake completed; dropped";
+        return;
+      }
+      ++proxy_.stats_.packet_ins_to_pcp;
+      const std::uint32_t xid = message.xid;
+      PacketInMsg copy = *packet_in;
+      const bool accepted = proxy_.pcp_.handle_packet_in(
+          *dpid_, std::move(copy),
+          [this, xid, original = *packet_in](const PcpDecision& decision) {
+            if (!decision.allow) {
+              ++proxy_.stats_.packet_ins_suppressed;
+              return;  // denied: the controller never sees this packet
+            }
+            ++proxy_.stats_.packet_ins_forwarded;
+            // Table 0 in the controller's shifted view is its own first
+            // table, so table_id 0 is already correct after the allow.
+            proxy_.after_proxy_delay([this, out = OfMessage{xid, original}]() {
+              send_to_controller(out);
+            });
+          });
+      if (!accepted) {
+        // PCP queue full: the packet-in is dropped entirely; the flow
+        // re-enters on endpoint retransmission (paper Section V-A).
+        ++proxy_.stats_.packet_ins_suppressed;
+      }
+      return;
+    }
+    // Miss in a controller table: the flow already passed DFI's Table 0.
+    PacketInMsg shifted = *packet_in;
+    --shifted.table_id;
+    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, shifted}]() {
+      send_to_controller(out);
+    });
+    return;
+  }
+
+  if (auto* removed = std::get_if<FlowRemovedMsg>(&message.payload)) {
+    if (removed->table_id == 0) return;  // DFI-internal; invisible to controller
+    FlowRemovedMsg shifted = *removed;
+    --shifted.table_id;
+    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, shifted}]() {
+      send_to_controller(out);
+    });
+    return;
+  }
+
+  if (auto* reply = std::get_if<MultipartReplyMsg>(&message.payload)) {
+    MultipartReplyMsg shifted;
+    shifted.stats_type = reply->stats_type;
+    shifted.port_stats = reply->port_stats;  // port stats carry no table ids
+    for (const auto& entry : reply->flow_stats) {
+      if (entry.table_id == 0) {
+        ++proxy_.stats_.stats_entries_hidden;
+        continue;  // DFI rules are not reported to the controller
+      }
+      FlowStatsEntry adjusted = entry;
+      --adjusted.table_id;
+      if (adjusted.instructions.goto_table.has_value() &&
+          *adjusted.instructions.goto_table > 0) {
+        --*adjusted.instructions.goto_table;
+      }
+      shifted.flow_stats.push_back(std::move(adjusted));
+    }
+    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, std::move(shifted)}]() {
+      send_to_controller(out);
+    });
+    return;
+  }
+
+  // Hello, Echo, Error, Barrier replies: pass through unchanged.
+  proxy_.after_proxy_delay([this, out = std::move(message)]() {
+    send_to_controller(out);
+  });
+}
+
+void DfiProxy::Session::handle_controller_message(OfMessage message) {
+  if (auto* flow_mod = std::get_if<FlowModMsg>(&message.payload)) {
+    FlowModMsg shifted = *flow_mod;
+    if (shifted.table_id == 0xff) {
+      // OFPTT_ALL is only valid for deletes; it must not touch Table 0.
+      // Expand to one delete per controller-visible table.
+      if (shifted.command == FlowModCommand::kDelete ||
+          shifted.command == FlowModCommand::kDeleteStrict) {
+        const std::uint8_t tables = switch_num_tables_ == 0 ? 4 : switch_num_tables_;
+        for (std::uint8_t table = 1; table < tables; ++table) {
+          FlowModMsg per_table = shifted;
+          per_table.table_id = table;
+          if (per_table.instructions.goto_table.has_value()) {
+            ++*per_table.instructions.goto_table;
+          }
+          ++proxy_.stats_.flow_mods_shifted;
+          proxy_.after_proxy_delay(
+              [this, out = OfMessage{message.xid, std::move(per_table)}]() {
+                send_to_switch(out);
+              });
+        }
+        return;
+      }
+      // ADD/MODIFY to ALL is a controller bug; reject.
+      ++proxy_.stats_.controller_errors;
+      proxy_.after_proxy_delay([this, out = OfMessage{
+                                          message.xid,
+                                          ErrorMsg{/*FLOW_MOD_FAILED*/ 5,
+                                                   /*BAD_TABLE_ID*/ 2, {}}}]() {
+        send_to_controller(out);
+      });
+      return;
+    }
+    const std::uint8_t tables = switch_num_tables_ == 0 ? 4 : switch_num_tables_;
+    if (shifted.table_id + 1 >= tables) {
+      // The controller addressed a table beyond its shifted range.
+      ++proxy_.stats_.controller_errors;
+      proxy_.after_proxy_delay([this, out = OfMessage{
+                                          message.xid,
+                                          ErrorMsg{/*FLOW_MOD_FAILED*/ 5,
+                                                   /*BAD_TABLE_ID*/ 2, {}}}]() {
+        send_to_controller(out);
+      });
+      return;
+    }
+    ++shifted.table_id;
+    if (shifted.instructions.goto_table.has_value()) {
+      ++*shifted.instructions.goto_table;
+    }
+    ++proxy_.stats_.flow_mods_shifted;
+    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, std::move(shifted)}]() {
+      send_to_switch(out);
+    });
+    return;
+  }
+
+  if (auto* request = std::get_if<MultipartRequestMsg>(&message.payload)) {
+    MultipartRequestMsg shifted = *request;
+    if (shifted.stats_type == kStatsTypeFlow && shifted.flow_request.table_id != 0xff) {
+      ++shifted.flow_request.table_id;
+    }
+    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, std::move(shifted)}]() {
+      send_to_switch(out);
+    });
+    return;
+  }
+
+  // Hello, Echo, FeaturesRequest, PacketOut, Barrier: pass through.
+  proxy_.after_proxy_delay([this, out = std::move(message)]() {
+    send_to_switch(out);
+  });
+}
+
+}  // namespace dfi

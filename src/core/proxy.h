@@ -1,0 +1,116 @@
+// DFI Proxy (paper Sections III-B and IV-B).
+//
+// Interposes transparently on the OpenFlow byte stream between each switch
+// and the SDN controller. Two jobs:
+//
+//  * Isolation via table shifting: Table 0 of every switch is reserved for
+//    DFI's access-control rules. Every table_id reference in messages from
+//    the controller (FLOW_MOD including goto-table instructions, flow-stats
+//    requests) is incremented; every table reference toward the controller
+//    (PACKET_IN, FLOW_REMOVED, flow-stats replies) is decremented, and
+//    entries describing Table 0 are filtered out entirely. FEATURES_REPLY
+//    advertises one fewer table. The controller cannot observe, modify, or
+//    even learn of DFI's table.
+//
+//  * Packet-in routing: a table-miss in Table 0 means the flow has no DFI
+//    decision yet; the proxy hands it to the PCP *first*. Denied flows are
+//    never forwarded to the controller, so a malicious/faulty controller or
+//    app never sees (and cannot be poisoned by) traffic DFI rejects.
+//
+// The proxy is deliberately stateless across sessions: per-session state is
+// only the datapath id and table count learned from the handshake, so
+// multiple proxies can run in parallel (paper: not a single point of
+// failure).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pcp.h"
+#include "openflow/wire.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace dfi {
+
+struct ProxyConfig {
+  // Per-message proxy processing time (paper Table II: 0.16 ms ± 0.72 ms).
+  double latency_mean_ms = 0.16;
+  double latency_sd_ms = 0.72;
+  bool zero_latency = false;
+};
+
+struct ProxyStats {
+  std::uint64_t from_switch = 0;
+  std::uint64_t from_controller = 0;
+  std::uint64_t packet_ins_to_pcp = 0;
+  std::uint64_t packet_ins_forwarded = 0;
+  std::uint64_t packet_ins_suppressed = 0;  // denied or PCP overloaded
+  std::uint64_t flow_mods_shifted = 0;
+  std::uint64_t stats_entries_hidden = 0;   // Table-0 rows filtered
+  std::uint64_t controller_errors = 0;      // bad table id from controller
+  std::uint64_t malformed = 0;
+};
+
+class DfiProxy {
+ public:
+  using SendFn = std::function<void(const std::vector<std::uint8_t>&)>;
+
+  // One proxied switch<->controller connection pair.
+  class Session {
+   public:
+    Session(DfiProxy& proxy, SendFn to_switch, SendFn to_controller);
+
+    // Bytes arriving from the switch side / the controller side.
+    void from_switch(const std::vector<std::uint8_t>& chunk);
+    void from_controller(const std::vector<std::uint8_t>& chunk);
+
+    std::optional<Dpid> dpid() const { return dpid_; }
+
+   private:
+    friend class DfiProxy;
+
+    void handle_switch_message(OfMessage message);
+    void handle_controller_message(OfMessage message);
+    void send_to_switch(const OfMessage& message);
+    void send_to_controller(const OfMessage& message);
+
+    DfiProxy& proxy_;
+    SendFn to_switch_;
+    SendFn to_controller_;
+    FrameDecoder switch_decoder_;
+    FrameDecoder controller_decoder_;
+    std::optional<Dpid> dpid_;
+    std::uint8_t switch_num_tables_ = 0;
+  };
+
+  DfiProxy(Simulator& sim, PolicyCompilationPoint& pcp, ProxyConfig config, Rng rng);
+  ~DfiProxy();
+
+  DfiProxy(const DfiProxy&) = delete;
+  DfiProxy& operator=(const DfiProxy&) = delete;
+
+  Session& create_session(SendFn to_switch, SendFn to_controller);
+
+  const ProxyStats& stats() const { return stats_; }
+  const SampleStats& latency_ms() const { return latency_ms_; }
+
+ private:
+  friend class Session;
+
+  // Schedule `deliver` after the sampled proxy processing delay.
+  void after_proxy_delay(std::function<void()> deliver);
+
+  Simulator& sim_;
+  PolicyCompilationPoint& pcp_;
+  ProxyConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  ProxyStats stats_;
+  SampleStats latency_ms_;
+};
+
+}  // namespace dfi

@@ -1,0 +1,67 @@
+// cbench surrogate (paper Section V-A, Table I / Table II).
+//
+// The paper measures the DFI control plane with cbench, a synthetic
+// OpenFlow benchmark that emulates a switch and blasts Packet-in events
+// with randomized headers at the control plane. This surrogate applies the
+// same method to our stack: a real SwitchDevice is attached through the
+// DFI Proxy (zero-latency channels isolate the control plane itself, as
+// cbench-over-localhost does), an allow-all policy is installed, and
+// randomized packets are injected.
+//
+//  * Latency mode: one flow at a time — inject, wait for the compiled flow
+//    rule to come back, measure, repeat.
+//  * Throughput mode: open-loop Poisson arrivals at a configured rate;
+//    completed flow-rule installs per second is the achieved throughput.
+#pragma once
+
+#include <memory>
+
+#include "bus/message_bus.h"
+#include "common/rng.h"
+#include "controller/learning_controller.h"
+#include "core/dfi_system.h"
+#include "openflow/switch_device.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace dfi {
+
+struct CbenchConfig {
+  DfiConfig dfi;
+  std::uint64_t seed = 0xcbe9c4;
+};
+
+class CbenchEmulator {
+ public:
+  explicit CbenchEmulator(CbenchConfig config = {});
+  ~CbenchEmulator();
+
+  // Serial request/response; returns per-flow latency samples in ms.
+  SampleStats run_latency_mode(int samples);
+
+  // Open-loop arrivals at `offered_fps` for `duration`; returns completed
+  // flow installs per second.
+  double run_throughput_mode(double offered_fps, SimDuration duration);
+
+  // Ramp the offered rate until completions stop growing; returns the
+  // saturation throughput (flows/sec).
+  double find_saturation(double start_fps = 800.0, double step_fps = 200.0,
+                         double max_fps = 4000.0,
+                         SimDuration window = seconds(10.0));
+
+  DfiSystem& dfi() { return *dfi_; }
+
+ private:
+  void inject_random_flow();
+
+  Simulator sim_;
+  MessageBus bus_;
+  std::unique_ptr<DfiSystem> dfi_;
+  std::unique_ptr<LearningController> controller_;
+  std::unique_ptr<SwitchDevice> switch_;
+  Rng rng_;
+  // Completion signal: flow-mod frames observed on the proxy->switch leg.
+  std::uint64_t flow_mods_seen_ = 0;
+};
+
+}  // namespace dfi

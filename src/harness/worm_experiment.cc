@@ -1,0 +1,48 @@
+#include "harness/worm_experiment.h"
+
+namespace dfi {
+
+WormExperimentResult run_worm_experiment(const WormExperimentConfig& config) {
+  EnterpriseConfig enterprise;
+  enterprise.condition = config.condition;
+  enterprise.seed = config.seed;
+  if (config.condition != PolicyCondition::kBaseline) {
+    // Fig. 5 evaluates policy dynamics, not control-plane latency; the
+    // functional configuration keeps multi-hour day simulations cheap
+    // while every flow still traverses the full DFI decision path.
+    enterprise.dfi = DfiConfig::functional();
+  }
+  enterprise.controller.zero_latency = true;
+
+  EnterpriseTestbed testbed(enterprise);
+  testbed.schedule_all_activity();
+
+  WormConfig worm_config = config.worm;
+  worm_config.seed ^= config.seed;
+  WormScenario worm(testbed, worm_config);
+
+  const SimTime foothold_at = clock_time(config.foothold_hour);
+  worm.infect_foothold(config.foothold, foothold_at);
+  worm.run_until(foothold_at + config.horizon_after_foothold);
+
+  WormExperimentResult result;
+  result.total_infected = worm.infected_count();
+  result.endpoints = testbed.endpoints().size();
+  result.stats = worm.stats();
+
+  const double t0 = static_cast<double>(foothold_at.us) / 1e6;
+  result.curve.add(0.0, 0.0);
+  std::size_t count = 0;
+  for (const auto& record : worm.infections()) {
+    ++count;
+    const double t = static_cast<double>(record.at.us) / 1e6 - t0;
+    result.curve.add(t, static_cast<double>(count));
+    if (!record.infected_from.value.empty() && result.first_infection_s < 0.0) {
+      result.first_infection_s = t;
+    }
+    result.last_infection_s = t;
+  }
+  return result;
+}
+
+}  // namespace dfi

@@ -1,0 +1,38 @@
+// Shared driver for the security evaluation (paper Section V-B, Fig. 5).
+//
+// Builds the paper-shaped enterprise testbed under a policy condition,
+// schedules a day of user activity, plants the NotPetya-surrogate foothold
+// at a chosen hour, and runs the simulation to a horizon.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.h"
+#include "testbed/enterprise.h"
+#include "worm/worm.h"
+
+namespace dfi {
+
+struct WormExperimentConfig {
+  PolicyCondition condition = PolicyCondition::kBaseline;
+  int foothold_hour = 9;
+  Hostname foothold{"host-d3-2"};
+  SimDuration horizon_after_foothold = hours(2.0);
+  std::uint64_t seed = 42;
+  WormConfig worm;  // paper-faithful defaults
+};
+
+struct WormExperimentResult {
+  TimeSeries curve;   // seconds since foothold -> infected count
+  std::size_t total_infected = 0;
+  std::size_t endpoints = 0;
+  // Seconds from foothold to first non-foothold infection; <0 if none.
+  double first_infection_s = -1.0;
+  // Seconds from foothold until the last infection observed; <0 if none.
+  double last_infection_s = -1.0;
+  WormStats stats;
+};
+
+WormExperimentResult run_worm_experiment(const WormExperimentConfig& config);
+
+}  // namespace dfi

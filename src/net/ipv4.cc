@@ -1,0 +1,27 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+namespace dfi {
+
+Result<Ipv4Address> Ipv4Address::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  const int matched =
+      std::sscanf(text.c_str(), "%3u.%3u.%3u.%3u%c", &a, &b, &c, &d, &trailing);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    return Result<Ipv4Address>::Fail(ErrorCode::kInvalidArgument,
+                                     "bad IPv4 address: " + text);
+  }
+  return Ipv4Address(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace dfi

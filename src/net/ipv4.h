@@ -1,0 +1,58 @@
+// IPv4 address value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+
+namespace dfi {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  // Parse dotted-quad "10.1.2.3".
+  static Result<Ipv4Address> parse(const std::string& text);
+
+  static constexpr Ipv4Address broadcast() { return Ipv4Address(0xffffffffu); }
+  static constexpr Ipv4Address any() { return Ipv4Address(0); }
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_broadcast() const { return value_ == 0xffffffffu; }
+
+  // True if this address is inside `network`/`prefix_len`.
+  constexpr bool in_subnet(Ipv4Address network, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    const std::uint32_t mask =
+        prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (network.value_ & mask);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+inline std::string to_string(const Ipv4Address& ip) { return ip.to_string(); }
+
+}  // namespace dfi
+
+namespace std {
+template <>
+struct hash<dfi::Ipv4Address> {
+  size_t operator()(const dfi::Ipv4Address& ip) const noexcept {
+    return hash<uint32_t>{}(ip.value());
+  }
+};
+}  // namespace std

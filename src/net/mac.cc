@@ -1,0 +1,32 @@
+#include "net/mac.h"
+
+#include <cstdio>
+
+namespace dfi {
+
+Result<MacAddress> MacAddress::parse(const std::string& text) {
+  std::array<unsigned, 6> parts{};
+  char trailing = 0;
+  const int matched =
+      std::sscanf(text.c_str(), "%2x:%2x:%2x:%2x:%2x:%2x%c", &parts[0],
+                  &parts[1], &parts[2], &parts[3], &parts[4], &parts[5],
+                  &trailing);
+  if (matched != 6) {
+    return Result<MacAddress>::Fail(ErrorCode::kInvalidArgument,
+                                    "bad MAC address: " + text);
+  }
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    octets[i] = static_cast<std::uint8_t>(parts[i]);
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace dfi

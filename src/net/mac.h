@@ -1,0 +1,68 @@
+// 48-bit Ethernet MAC address value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+
+namespace dfi {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  // Construct from the low 48 bits of an integer (deterministic synthetic
+  // address generation for the testbed).
+  static constexpr MacAddress from_u64(std::uint64_t value) {
+    return MacAddress({static_cast<std::uint8_t>(value >> 40),
+                       static_cast<std::uint8_t>(value >> 32),
+                       static_cast<std::uint8_t>(value >> 24),
+                       static_cast<std::uint8_t>(value >> 16),
+                       static_cast<std::uint8_t>(value >> 8),
+                       static_cast<std::uint8_t>(value)});
+  }
+
+  // Parse "aa:bb:cc:dd:ee:ff".
+  static Result<MacAddress> parse(const std::string& text);
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  constexpr const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+
+  constexpr std::uint64_t to_u64() const {
+    std::uint64_t value = 0;
+    for (auto octet : octets_) value = (value << 8) | octet;
+    return value;
+  }
+
+  constexpr bool is_broadcast() const { return *this == broadcast(); }
+  constexpr bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+inline std::string to_string(const MacAddress& mac) { return mac.to_string(); }
+
+}  // namespace dfi
+
+namespace std {
+template <>
+struct hash<dfi::MacAddress> {
+  size_t operator()(const dfi::MacAddress& mac) const noexcept {
+    return hash<uint64_t>{}(mac.to_u64());
+  }
+};
+}  // namespace std

@@ -1,0 +1,98 @@
+// Flow rules and instructions (OpenFlow 1.3 subset).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "openflow/match.h"
+
+namespace dfi {
+
+// Actions (apply-actions instruction contents).
+struct OutputAction {
+  PortNo port;
+
+  friend auto operator<=>(const OutputAction&, const OutputAction&) = default;
+};
+
+using Action = std::variant<OutputAction>;
+
+inline bool operator==(const Action& a, const Action& b) {
+  return std::get<OutputAction>(a) == std::get<OutputAction>(b);
+}
+
+// OpenFlow 1.3 instruction set subset: apply-actions and goto-table.
+// An empty instruction set drops the packet (per the OF spec: no output
+// action and no goto ends processing, discarding the packet). This is how
+// DFI expresses Deny rules; Allow rules carry goto-table(next) so the
+// controller's tables decide forwarding (paper Section IV-B).
+struct Instructions {
+  std::vector<Action> apply_actions;
+  std::optional<std::uint8_t> goto_table;
+
+  friend bool operator==(const Instructions&, const Instructions&) = default;
+
+  static Instructions drop() { return Instructions{}; }
+  static Instructions output(PortNo port) {
+    return Instructions{{OutputAction{port}}, std::nullopt};
+  }
+  static Instructions to_table(std::uint8_t table) {
+    return Instructions{{}, table};
+  }
+
+  std::string to_string() const;
+};
+
+struct FlowRuleCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+// A rule installed in one flow table of a switch.
+struct FlowRule {
+  std::uint8_t table_id = 0;
+  std::uint16_t priority = 0;
+  Cookie cookie{};
+  Match match;
+  Instructions instructions;
+  // 0 means no timeout (DFI relies on cookie flushing, not timeouts —
+  // paper Section III-A "Policy-Switch Consistency").
+  std::uint16_t idle_timeout_sec = 0;
+  std::uint16_t hard_timeout_sec = 0;
+  // OFPFF_SEND_FLOW_REM: emit Flow-Removed to the control plane on removal.
+  bool send_flow_removed = false;
+
+  FlowRuleCounters counters;
+  SimTime installed_at{};
+  SimTime last_matched_at{};
+
+  std::string to_string() const;
+};
+
+inline std::string Instructions::to_string() const {
+  std::string text;
+  for (const auto& action : apply_actions) {
+    const auto& output = std::get<OutputAction>(action);
+    if (!text.empty()) text += ",";
+    text += "output:" + std::to_string(output.port.value);
+  }
+  if (goto_table.has_value()) {
+    if (!text.empty()) text += ",";
+    text += "goto:" + std::to_string(*goto_table);
+  }
+  if (text.empty()) text = "drop";
+  return text;
+}
+
+inline std::string FlowRule::to_string() const {
+  return "table=" + std::to_string(table_id) + " prio=" + std::to_string(priority) +
+         " cookie=" + std::to_string(cookie.value) + " [" + match.to_string() +
+         "] -> " + instructions.to_string();
+}
+
+}  // namespace dfi

@@ -1,0 +1,293 @@
+#include "openflow/flow_table.h"
+
+#include <algorithm>
+
+namespace dfi {
+namespace {
+
+bool ordered_before(const FlowRule& a, const FlowRule& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  const int sa = a.match.specified_fields();
+  const int sb = b.match.specified_fields();
+  if (sa != sb) return sa > sb;
+  return a.installed_at < b.installed_at;
+}
+
+void hash_combine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+void hash_field(std::size_t& seed, const std::optional<T>& field) {
+  if (!field.has_value()) {
+    hash_combine(seed, 0x517cc1b727220a95ull);
+    return;
+  }
+  if constexpr (std::is_same_v<T, PortNo>) {
+    hash_combine(seed, field->value);
+  } else if constexpr (std::is_same_v<T, MacAddress>) {
+    hash_combine(seed, static_cast<std::size_t>(field->to_u64()));
+  } else if constexpr (std::is_same_v<T, Ipv4Address>) {
+    hash_combine(seed, field->value());
+  } else {
+    hash_combine(seed, static_cast<std::size_t>(*field));
+  }
+}
+
+}  // namespace
+
+std::size_t FlowTable::MatchHasher::operator()(const Match& match) const {
+  std::size_t seed = 0;
+  hash_field(seed, match.in_port);
+  hash_field(seed, match.eth_src);
+  hash_field(seed, match.eth_dst);
+  hash_field(seed, match.eth_type);
+  hash_field(seed, match.ip_proto);
+  hash_field(seed, match.ipv4_src);
+  hash_field(seed, match.ipv4_dst);
+  hash_field(seed, match.tcp_src);
+  hash_field(seed, match.tcp_dst);
+  hash_field(seed, match.udp_src);
+  hash_field(seed, match.udp_dst);
+  return seed;
+}
+
+bool FlowTable::cookie_selected(const FlowRule& rule, Cookie cookie, Cookie mask) {
+  return (rule.cookie.value & mask.value) == (cookie.value & mask.value);
+}
+
+bool FlowTable::is_indexable_exact(const Match& match) {
+  // The exact_from_packet shape: L2 fields always concrete...
+  if (!match.in_port || !match.eth_src || !match.eth_dst || !match.eth_type) {
+    return false;
+  }
+  const bool is_ipv4 =
+      *match.eth_type == static_cast<std::uint16_t>(EtherType::kIpv4);
+  if (!is_ipv4) {
+    // ...non-IP: no L3/L4 fields may be set (they'd be unreachable anyway).
+    return !match.ip_proto && !match.ipv4_src && !match.ipv4_dst &&
+           !match.tcp_src && !match.tcp_dst && !match.udp_src && !match.udp_dst;
+  }
+  if (!match.ip_proto || !match.ipv4_src || !match.ipv4_dst) return false;
+  if (*match.ip_proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
+    return match.tcp_src && match.tcp_dst && !match.udp_src && !match.udp_dst;
+  }
+  if (*match.ip_proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
+    return match.udp_src && match.udp_dst && !match.tcp_src && !match.tcp_dst;
+  }
+  return !match.tcp_src && !match.tcp_dst && !match.udp_src && !match.udp_dst;
+}
+
+void FlowTable::index_rule(FlowRule* rule) {
+  if (is_indexable_exact(rule->match)) {
+    const auto [it, inserted] = exact_index_.emplace(rule->match, rule);
+    if (!inserted) {
+      // Same match at a different priority: the index keeps the one that
+      // wins lookups (higher priority; equal priority favors existing,
+      // which installed earlier).
+      if (rule->priority > it->second->priority) {
+        wildcard_rules_.push_back(it->second);
+        it->second = rule;
+        return;
+      }
+      wildcard_rules_.push_back(rule);
+    }
+    return;
+  }
+  wildcard_rules_.push_back(rule);
+}
+
+void FlowTable::deindex_rule(const FlowRule* rule) {
+  const auto it = exact_index_.find(rule->match);
+  if (it != exact_index_.end() && it->second == rule) {
+    exact_index_.erase(it);
+    // Promote a displaced same-match rule from the wildcard list, if any.
+    for (auto wit = wildcard_rules_.begin(); wit != wildcard_rules_.end(); ++wit) {
+      if ((*wit)->match == rule->match && is_indexable_exact((*wit)->match)) {
+        exact_index_.emplace((*wit)->match, *wit);
+        wildcard_rules_.erase(wit);
+        break;
+      }
+    }
+    return;
+  }
+  wildcard_rules_.erase(
+      std::remove(wildcard_rules_.begin(), wildcard_rules_.end(), rule),
+      wildcard_rules_.end());
+}
+
+void FlowTable::sort_rules() {
+  std::sort(wildcard_rules_.begin(), wildcard_rules_.end(),
+            [](const FlowRule* a, const FlowRule* b) { return ordered_before(*a, *b); });
+}
+
+Status FlowTable::add(FlowRule rule, SimTime now) {
+  rule.table_id = table_id_;
+  rule.installed_at = now;
+  rule.last_matched_at = now;
+
+  // Identical match+priority replaces in place, preserving counters. The
+  // duplicate, if any, is either in the exact index or on the (small)
+  // wildcard list — never an unindexed exact rule — so this stays O(1 + W).
+  FlowRule* duplicate = nullptr;
+  if (is_indexable_exact(rule.match)) {
+    const auto it = exact_index_.find(rule.match);
+    if (it != exact_index_.end() && it->second->priority == rule.priority) {
+      duplicate = it->second;
+    }
+  }
+  if (duplicate == nullptr) {
+    for (FlowRule* candidate : wildcard_rules_) {
+      if (candidate->priority == rule.priority && candidate->match == rule.match) {
+        duplicate = candidate;
+        break;
+      }
+    }
+  }
+  if (duplicate != nullptr) {
+    rule.counters = duplicate->counters;  // OF add w/o RESET_COUNTS keeps them
+    rule.installed_at = duplicate->installed_at;
+    *duplicate = std::move(rule);
+    ++stats_.inserts;
+    return Status::Ok();
+  }
+
+  if (rules_.size() >= capacity_) {
+    ++stats_.rejected_full;
+    return Status::Fail(ErrorCode::kOutOfRange,
+                        "flow table " + std::to_string(table_id_) + " full (" +
+                            std::to_string(capacity_) + " rules)");
+  }
+
+  rules_.push_back(std::make_unique<FlowRule>(std::move(rule)));
+  index_rule(rules_.back().get());
+  sort_rules();
+  ++stats_.inserts;
+  return Status::Ok();
+}
+
+std::size_t FlowTable::modify(const Match& match, Cookie cookie, Cookie cookie_mask,
+                              const Instructions& instructions) {
+  std::size_t modified = 0;
+  for (auto& rule : rules_) {
+    if (!cookie_selected(*rule, cookie, cookie_mask)) continue;
+    if (!match.covers(rule->match)) continue;
+    rule->instructions = instructions;
+    ++modified;
+  }
+  return modified;
+}
+
+std::vector<FlowRule> FlowTable::remove(const Match& match, Cookie cookie,
+                                        Cookie cookie_mask) {
+  std::vector<FlowRule> removed;
+  auto keep = rules_.begin();
+  for (auto& rule : rules_) {
+    if (cookie_selected(*rule, cookie, cookie_mask) && match.covers(rule->match)) {
+      deindex_rule(rule.get());
+      removed.push_back(std::move(*rule));
+    } else {
+      *keep++ = std::move(rule);
+    }
+  }
+  rules_.erase(keep, rules_.end());
+  stats_.deletes += removed.size();
+  return removed;
+}
+
+std::vector<FlowRule> FlowTable::remove_strict(const Match& match,
+                                               std::uint16_t priority, Cookie cookie,
+                                               Cookie cookie_mask) {
+  std::vector<FlowRule> removed;
+  const auto it = std::find_if(rules_.begin(), rules_.end(),
+                               [&](const std::unique_ptr<FlowRule>& rule) {
+                                 return rule->priority == priority &&
+                                        rule->match == match &&
+                                        cookie_selected(*rule, cookie, cookie_mask);
+                               });
+  if (it != rules_.end()) {
+    deindex_rule(it->get());
+    removed.push_back(std::move(**it));
+    rules_.erase(it);
+    ++stats_.deletes;
+  }
+  return removed;
+}
+
+FlowRule* FlowTable::lookup(const Packet& packet, PortNo in_port,
+                            std::size_t packet_bytes, SimTime now) {
+  ++stats_.lookups;
+
+  // Fast path: the fully-specified match this packet would hash to.
+  FlowRule* exact_hit = nullptr;
+  if (!exact_index_.empty()) {
+    const Match key = Match::exact_from_packet(packet, in_port);
+    const auto it = exact_index_.find(key);
+    if (it != exact_index_.end()) {
+      exact_hit = it->second;
+      ++stats_.exact_index_hits;
+    }
+  }
+
+  // Wildcard rules are few; first match in lookup order wins among them.
+  FlowRule* wildcard_hit = nullptr;
+  for (FlowRule* rule : wildcard_rules_) {
+    if (rule->match.matches(packet, in_port)) {
+      wildcard_hit = rule;
+      break;
+    }
+  }
+
+  FlowRule* best = exact_hit;
+  if (wildcard_hit != nullptr &&
+      (best == nullptr || ordered_before(*wildcard_hit, *best))) {
+    best = wildcard_hit;
+  }
+  if (best == nullptr) return nullptr;
+
+  ++stats_.hits;
+  ++best->counters.packets;
+  best->counters.bytes += packet_bytes;
+  best->last_matched_at = now;
+  return best;
+}
+
+std::vector<FlowRule> FlowTable::expire(SimTime now) {
+  std::vector<FlowRule> expired;
+  auto keep = rules_.begin();
+  for (auto& rule : rules_) {
+    bool is_expired = false;
+    if (rule->hard_timeout_sec > 0 &&
+        now - rule->installed_at >= seconds(rule->hard_timeout_sec)) {
+      is_expired = true;
+    }
+    if (rule->idle_timeout_sec > 0 &&
+        now - rule->last_matched_at >= seconds(rule->idle_timeout_sec)) {
+      is_expired = true;
+    }
+    if (is_expired) {
+      deindex_rule(rule.get());
+      expired.push_back(std::move(*rule));
+    } else {
+      *keep++ = std::move(rule);
+    }
+  }
+  rules_.erase(keep, rules_.end());
+  stats_.deletes += expired.size();
+  return expired;
+}
+
+std::vector<const FlowRule*> FlowTable::rules() const {
+  std::vector<const FlowRule*> out;
+  out.reserve(rules_.size());
+  for (const auto& rule : rules_) out.push_back(rule.get());
+  std::sort(out.begin(), out.end(),
+            [](const FlowRule* a, const FlowRule* b) { return ordered_before(*a, *b); });
+  return out;
+}
+
+void FlowTable::for_each(const std::function<void(const FlowRule&)>& fn) const {
+  for (const auto& rule : rules()) fn(*rule);
+}
+
+}  // namespace dfi

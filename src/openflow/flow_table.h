@@ -1,0 +1,109 @@
+// A single flow table: priority-ordered rule storage with OpenFlow
+// add/modify/delete semantics and capacity accounting.
+//
+// Hardware switches store 512–8192 rules (paper Section III-A); the table
+// enforces a configurable capacity so experiments can observe eviction
+// pressure from DFI's exact-match rules.
+//
+// Lookup fast path: DFI fills Table 0 with exact-match rules (one per
+// flow), so the table keeps a hash index over fully-specified matches —
+// the shape Match::exact_from_packet produces. Rules with any wildcard
+// stay on a small linear list. A lookup consults both and resolves by the
+// same (priority desc, specificity desc, install-time asc) order the
+// naive scan would use, so behaviour is identical while a miss over N
+// exact rules costs O(1 + wildcard rules) instead of O(N).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "openflow/flow_rule.h"
+
+namespace dfi {
+
+struct FlowTableStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t exact_index_hits = 0;
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(std::uint8_t table_id, std::size_t capacity = 8192)
+      : table_id_(table_id), capacity_(capacity) {}
+
+  std::uint8_t table_id() const { return table_id_; }
+  std::size_t size() const { return rules_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const FlowTableStats& stats() const { return stats_; }
+
+  // OFPFC_ADD: replaces a rule with identical match and priority (the OF
+  // overlap case we need); otherwise inserts. Fails when the table is full.
+  Status add(FlowRule rule, SimTime now);
+
+  // OFPFC_MODIFY (non-strict): update instructions of every rule whose
+  // match is covered by `match` and whose cookie passes the mask filter.
+  // Returns the number of rules modified.
+  std::size_t modify(const Match& match, Cookie cookie, Cookie cookie_mask,
+                     const Instructions& instructions);
+
+  // OFPFC_DELETE (non-strict): remove every rule covered by `match` that
+  // passes the cookie filter. Returns removed rules (for Flow-Removed).
+  std::vector<FlowRule> remove(const Match& match, Cookie cookie, Cookie cookie_mask);
+
+  // OFPFC_DELETE_STRICT: remove the single rule with identical match and
+  // priority (cookie filter still applies).
+  std::vector<FlowRule> remove_strict(const Match& match, std::uint16_t priority,
+                                      Cookie cookie, Cookie cookie_mask);
+
+  // Highest-priority rule matching the packet; updates counters on hit.
+  // Ties are broken by most-specific match then earliest install, making
+  // lookups deterministic (the OF spec leaves overlapping same-priority
+  // behaviour undefined; OVS picks an arbitrary one).
+  FlowRule* lookup(const Packet& packet, PortNo in_port, std::size_t packet_bytes,
+                   SimTime now);
+
+  // Expire rules whose idle/hard timeout has elapsed; returns expired rules.
+  std::vector<FlowRule> expire(SimTime now);
+
+  // Rules in lookup order (priority desc, specificity desc, install asc).
+  std::vector<const FlowRule*> rules() const;
+
+  void for_each(const std::function<void(const FlowRule&)>& fn) const;
+
+ private:
+  struct MatchHasher {
+    std::size_t operator()(const Match& match) const;
+  };
+
+  static bool cookie_selected(const FlowRule& rule, Cookie cookie, Cookie mask);
+  // True if `match` has the exact shape Match::exact_from_packet produces
+  // (and therefore can be found via the hash index).
+  static bool is_indexable_exact(const Match& match);
+
+  void index_rule(FlowRule* rule);
+  void deindex_rule(const FlowRule* rule);
+  void sort_rules();
+
+  std::uint8_t table_id_;
+  std::size_t capacity_;
+  // Stable storage; ordering maintained separately by sort_rules().
+  std::vector<std::unique_ptr<FlowRule>> rules_;
+  // Exact-match fast path (match -> rule). Only indexable rules appear.
+  std::unordered_map<Match, FlowRule*, MatchHasher> exact_index_;
+  // Rules not in the index; scanned linearly (kept in lookup order).
+  std::vector<FlowRule*> wildcard_rules_;
+  FlowTableStats stats_;
+};
+
+}  // namespace dfi

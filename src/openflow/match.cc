@@ -1,0 +1,118 @@
+#include "openflow/match.h"
+
+#include <sstream>
+
+namespace dfi {
+namespace {
+
+// Field-wise cover check: wildcard covers anything; concrete only equality.
+template <typename T>
+bool field_covers(const std::optional<T>& wider, const std::optional<T>& narrower) {
+  if (!wider.has_value()) return true;
+  return narrower.has_value() && *wider == *narrower;
+}
+
+}  // namespace
+
+bool Match::matches(const Packet& packet, PortNo port) const {
+  if (in_port.has_value() && *in_port != port) return false;
+  if (eth_src.has_value() && *eth_src != packet.eth.src) return false;
+  if (eth_dst.has_value() && *eth_dst != packet.eth.dst) return false;
+  if (eth_type.has_value() && *eth_type != packet.eth.ether_type) return false;
+
+  if (ip_proto.has_value() || ipv4_src.has_value() || ipv4_dst.has_value()) {
+    if (!packet.ipv4.has_value()) return false;
+    if (ip_proto.has_value() && *ip_proto != packet.ipv4->protocol) return false;
+    if (ipv4_src.has_value() && *ipv4_src != packet.ipv4->src) return false;
+    if (ipv4_dst.has_value() && *ipv4_dst != packet.ipv4->dst) return false;
+  }
+
+  if (tcp_src.has_value() || tcp_dst.has_value()) {
+    if (!packet.tcp.has_value()) return false;
+    if (tcp_src.has_value() && *tcp_src != packet.tcp->src_port) return false;
+    if (tcp_dst.has_value() && *tcp_dst != packet.tcp->dst_port) return false;
+  }
+
+  if (udp_src.has_value() || udp_dst.has_value()) {
+    if (!packet.udp.has_value()) return false;
+    if (udp_src.has_value() && *udp_src != packet.udp->src_port) return false;
+    if (udp_dst.has_value() && *udp_dst != packet.udp->dst_port) return false;
+  }
+  return true;
+}
+
+bool Match::covers(const Match& other) const {
+  return field_covers(in_port, other.in_port) &&
+         field_covers(eth_src, other.eth_src) &&
+         field_covers(eth_dst, other.eth_dst) &&
+         field_covers(eth_type, other.eth_type) &&
+         field_covers(ip_proto, other.ip_proto) &&
+         field_covers(ipv4_src, other.ipv4_src) &&
+         field_covers(ipv4_dst, other.ipv4_dst) &&
+         field_covers(tcp_src, other.tcp_src) &&
+         field_covers(tcp_dst, other.tcp_dst) &&
+         field_covers(udp_src, other.udp_src) &&
+         field_covers(udp_dst, other.udp_dst);
+}
+
+int Match::specified_fields() const {
+  int count = 0;
+  count += in_port.has_value();
+  count += eth_src.has_value();
+  count += eth_dst.has_value();
+  count += eth_type.has_value();
+  count += ip_proto.has_value();
+  count += ipv4_src.has_value();
+  count += ipv4_dst.has_value();
+  count += tcp_src.has_value();
+  count += tcp_dst.has_value();
+  count += udp_src.has_value();
+  count += udp_dst.has_value();
+  return count;
+}
+
+std::string Match::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  const auto sep = [&]() -> std::ostream& {
+    if (!first) out << ",";
+    first = false;
+    return out;
+  };
+  if (in_port) sep() << "in_port=" << in_port->value;
+  if (eth_src) sep() << "eth_src=" << eth_src->to_string();
+  if (eth_dst) sep() << "eth_dst=" << eth_dst->to_string();
+  if (eth_type) sep() << "eth_type=0x" << std::hex << *eth_type << std::dec;
+  if (ip_proto) sep() << "ip_proto=" << static_cast<int>(*ip_proto);
+  if (ipv4_src) sep() << "ipv4_src=" << ipv4_src->to_string();
+  if (ipv4_dst) sep() << "ipv4_dst=" << ipv4_dst->to_string();
+  if (tcp_src) sep() << "tcp_src=" << *tcp_src;
+  if (tcp_dst) sep() << "tcp_dst=" << *tcp_dst;
+  if (udp_src) sep() << "udp_src=" << *udp_src;
+  if (udp_dst) sep() << "udp_dst=" << *udp_dst;
+  if (first) out << "*";
+  return out.str();
+}
+
+Match Match::exact_from_packet(const Packet& packet, PortNo port) {
+  Match match;
+  match.in_port = port;
+  match.eth_src = packet.eth.src;
+  match.eth_dst = packet.eth.dst;
+  match.eth_type = packet.eth.ether_type;
+  if (packet.ipv4.has_value()) {
+    match.ip_proto = packet.ipv4->protocol;
+    match.ipv4_src = packet.ipv4->src;
+    match.ipv4_dst = packet.ipv4->dst;
+    if (packet.tcp.has_value()) {
+      match.tcp_src = packet.tcp->src_port;
+      match.tcp_dst = packet.tcp->dst_port;
+    } else if (packet.udp.has_value()) {
+      match.udp_src = packet.udp->src_port;
+      match.udp_dst = packet.udp->dst_port;
+    }
+  }
+  return match;
+}
+
+}  // namespace dfi

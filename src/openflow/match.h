@@ -1,0 +1,58 @@
+// OpenFlow 1.3 match (OXM subset).
+//
+// Absent fields are wildcards. The subset covers the identifiers DFI's
+// policies compile down to (paper Section III-A): in-port, Ethernet
+// addresses and type, IP protocol and addresses, and TCP/UDP ports.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "net/ipv4.h"
+#include "net/mac.h"
+#include "net/packet.h"
+
+namespace dfi {
+
+struct Match {
+  std::optional<PortNo> in_port;
+  std::optional<MacAddress> eth_src;
+  std::optional<MacAddress> eth_dst;
+  std::optional<std::uint16_t> eth_type;
+  std::optional<std::uint8_t> ip_proto;
+  std::optional<Ipv4Address> ipv4_src;
+  std::optional<Ipv4Address> ipv4_dst;
+  std::optional<std::uint16_t> tcp_src;
+  std::optional<std::uint16_t> tcp_dst;
+  std::optional<std::uint16_t> udp_src;
+  std::optional<std::uint16_t> udp_dst;
+
+  friend auto operator<=>(const Match&, const Match&) = default;
+
+  // True if this match matches `packet` arriving on `port`.
+  // OpenFlow prerequisite semantics apply: IP fields only match IPv4
+  // packets, TCP/UDP ports only match the corresponding protocol.
+  bool matches(const Packet& packet, PortNo port) const;
+
+  // True if every packet matched by `other` is also matched by this match
+  // (i.e. this is equal or strictly wider). Used for OpenFlow non-strict
+  // FLOW_MOD delete semantics.
+  bool covers(const Match& other) const;
+
+  bool is_wildcard_all() const { return *this == Match{}; }
+
+  // Number of concrete (non-wildcard) fields; exact-match DFI rules set all
+  // fields available in the packet.
+  int specified_fields() const;
+
+  std::string to_string() const;
+
+  // Build the most specific match for `packet` on `port` — every available
+  // identifier concrete, as the DFI PCP installs (paper Section III-B).
+  static Match exact_from_packet(const Packet& packet, PortNo port);
+};
+
+}  // namespace dfi

@@ -1,0 +1,223 @@
+// OpenFlow 1.3 message model (subset).
+//
+// Each struct mirrors the corresponding ofp_* wire structure closely enough
+// that the codec in wire.h can round-trip them byte-exactly. The DFI Proxy
+// operates on these decoded forms: it rewrites table_id fields in both
+// directions to reserve Table 0 (paper Section IV-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+#include "openflow/flow_rule.h"
+#include "openflow/match.h"
+
+namespace dfi {
+
+inline constexpr std::uint8_t kOfVersion13 = 0x04;
+inline constexpr std::uint32_t kNoBuffer = 0xffffffff;
+
+enum class OfType : std::uint8_t {
+  kHello = 0,
+  kError = 1,
+  kEchoRequest = 2,
+  kEchoReply = 3,
+  kFeaturesRequest = 5,
+  kFeaturesReply = 6,
+  kPacketIn = 10,
+  kFlowRemoved = 11,
+  kPortStatus = 12,
+  kPacketOut = 13,
+  kFlowMod = 14,
+  kMultipartRequest = 18,
+  kMultipartReply = 19,
+  kBarrierRequest = 20,
+  kBarrierReply = 21,
+};
+
+std::string to_string(OfType type);
+
+struct HelloMsg {};
+struct EchoRequestMsg {
+  std::vector<std::uint8_t> data;
+};
+struct EchoReplyMsg {
+  std::vector<std::uint8_t> data;
+};
+struct FeaturesRequestMsg {};
+
+struct FeaturesReplyMsg {
+  Dpid datapath_id;
+  std::uint32_t n_buffers = 0;
+  std::uint8_t n_tables = 0;
+  std::uint32_t capabilities = 0;
+};
+
+struct ErrorMsg {
+  std::uint16_t type = 0;
+  std::uint16_t code = 0;
+  std::vector<std::uint8_t> data;  // first bytes of the offending message
+};
+
+enum class PacketInReason : std::uint8_t {
+  kNoMatch = 0,   // OFPR_NO_MATCH — table miss
+  kAction = 1,    // OFPR_ACTION — explicit output:CONTROLLER
+};
+
+struct PacketInMsg {
+  std::uint32_t buffer_id = kNoBuffer;
+  std::uint16_t total_len = 0;
+  PacketInReason reason = PacketInReason::kNoMatch;
+  std::uint8_t table_id = 0;
+  Cookie cookie{};
+  PortNo in_port{};  // carried as OXM IN_PORT in the ofp_match
+  std::vector<std::uint8_t> data;  // raw packet bytes
+};
+
+struct PacketOutMsg {
+  std::uint32_t buffer_id = kNoBuffer;
+  PortNo in_port{};
+  std::vector<Action> actions;
+  std::vector<std::uint8_t> data;
+};
+
+enum class FlowModCommand : std::uint8_t {
+  kAdd = 0,
+  kModify = 1,
+  kModifyStrict = 2,
+  kDelete = 3,
+  kDeleteStrict = 4,
+};
+
+struct FlowModMsg {
+  Cookie cookie{};
+  Cookie cookie_mask{};
+  std::uint8_t table_id = 0;
+  FlowModCommand command = FlowModCommand::kAdd;
+  std::uint16_t idle_timeout = 0;
+  std::uint16_t hard_timeout = 0;
+  std::uint16_t priority = 0;
+  std::uint32_t buffer_id = kNoBuffer;
+  PortNo out_port = kPortAny;
+  std::uint16_t flags = 0;
+  Match match;
+  Instructions instructions;
+};
+
+enum class FlowRemovedReason : std::uint8_t {
+  kIdleTimeout = 0,
+  kHardTimeout = 1,
+  kDelete = 2,
+};
+
+struct FlowRemovedMsg {
+  Cookie cookie{};
+  std::uint16_t priority = 0;
+  FlowRemovedReason reason = FlowRemovedReason::kDelete;
+  std::uint8_t table_id = 0;
+  std::uint32_t duration_sec = 0;
+  std::uint16_t idle_timeout = 0;
+  std::uint16_t hard_timeout = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  Match match;
+};
+
+// Port description and status (ofp_port / OFPT_PORT_STATUS). Links going
+// down are security-relevant events: the controller must unlearn locations
+// and DFI's MAC<->port bindings go stale.
+enum class PortStatusReason : std::uint8_t {
+  kAdd = 0,
+  kDelete = 1,
+  kModify = 2,
+};
+
+// OFPPS_LINK_DOWN bit in ofp_port.state.
+inline constexpr std::uint32_t kPortStateLinkDown = 0x1;
+
+struct PortDesc {
+  PortNo port_no{};
+  MacAddress hw_addr;
+  std::string name;  // up to 15 chars on the wire
+  std::uint32_t config = 0;
+  std::uint32_t state = 0;
+
+  bool link_down() const { return (state & kPortStateLinkDown) != 0; }
+};
+
+struct PortStatusMsg {
+  PortStatusReason reason = PortStatusReason::kModify;
+  PortDesc desc;
+};
+
+// Per-port counters (subset of ofp_port_stats).
+struct PortStatsEntry {
+  PortNo port_no{};
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_dropped = 0;
+  std::uint64_t tx_dropped = 0;
+  std::uint32_t duration_sec = 0;
+};
+
+// Multipart (statistics) — flow-stats subset, which is what controllers
+// poll and what the proxy must rewrite/filter.
+struct FlowStatsRequest {
+  std::uint8_t table_id = 0xff;  // OFPTT_ALL
+  Cookie cookie{};
+  Cookie cookie_mask{};
+  Match match;
+};
+
+struct FlowStatsEntry {
+  std::uint8_t table_id = 0;
+  std::uint32_t duration_sec = 0;
+  std::uint16_t priority = 0;
+  std::uint16_t idle_timeout = 0;
+  std::uint16_t hard_timeout = 0;
+  Cookie cookie{};
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  Match match;
+  Instructions instructions;
+};
+
+inline constexpr std::uint16_t kStatsTypeFlow = 1;  // OFPMP_FLOW
+inline constexpr std::uint16_t kStatsTypePort = 4;  // OFPMP_PORT_STATS
+
+struct MultipartRequestMsg {
+  std::uint16_t stats_type = kStatsTypeFlow;
+  FlowStatsRequest flow_request;      // meaningful for OFPMP_FLOW
+  PortNo port_no = kPortAny;          // meaningful for OFPMP_PORT_STATS
+};
+
+struct MultipartReplyMsg {
+  std::uint16_t stats_type = kStatsTypeFlow;
+  std::vector<FlowStatsEntry> flow_stats;   // OFPMP_FLOW
+  std::vector<PortStatsEntry> port_stats;   // OFPMP_PORT_STATS
+};
+
+struct BarrierRequestMsg {};
+struct BarrierReplyMsg {};
+
+using OfPayload =
+    std::variant<HelloMsg, ErrorMsg, EchoRequestMsg, EchoReplyMsg,
+                 FeaturesRequestMsg, FeaturesReplyMsg, PacketInMsg, PacketOutMsg,
+                 FlowModMsg, FlowRemovedMsg, PortStatusMsg, MultipartRequestMsg,
+                 MultipartReplyMsg, BarrierRequestMsg, BarrierReplyMsg>;
+
+struct OfMessage {
+  std::uint32_t xid = 0;
+  OfPayload payload;
+
+  OfType type() const;
+  std::string summary() const;
+};
+
+}  // namespace dfi

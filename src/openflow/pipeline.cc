@@ -1,0 +1,63 @@
+#include "openflow/pipeline.h"
+
+#include <cassert>
+
+namespace dfi {
+
+Pipeline::Pipeline(std::uint8_t num_tables, std::size_t table_capacity) {
+  assert(num_tables > 0);
+  tables_.reserve(num_tables);
+  for (std::uint8_t id = 0; id < num_tables; ++id) {
+    tables_.emplace_back(id, table_capacity);
+  }
+}
+
+FlowTable& Pipeline::table(std::uint8_t id) {
+  assert(id < tables_.size());
+  return tables_[id];
+}
+
+const FlowTable& Pipeline::table(std::uint8_t id) const {
+  assert(id < tables_.size());
+  return tables_[id];
+}
+
+PipelineResult Pipeline::process(const Packet& packet, PortNo in_port,
+                                 std::size_t packet_bytes, SimTime now) {
+  PipelineResult result;
+  std::uint8_t current = 0;
+  while (true) {
+    FlowRule* rule = tables_[current].lookup(packet, in_port, packet_bytes, now);
+    if (rule == nullptr) {
+      result.table_miss = true;
+      result.miss_table = current;
+      return result;
+    }
+    result.last_cookie = rule->cookie;
+    for (const auto& action : rule->instructions.apply_actions) {
+      result.output_ports.push_back(std::get<OutputAction>(action).port);
+    }
+    if (rule->instructions.goto_table.has_value()) {
+      const std::uint8_t next = *rule->instructions.goto_table;
+      // The OF spec requires goto targets to be strictly increasing and in
+      // range; a rule violating that would have been rejected at insert.
+      if (next <= current || next >= tables_.size()) {
+        result.dropped = result.output_ports.empty();
+        return result;
+      }
+      current = next;
+      continue;
+    }
+    // No goto: processing ends. Empty action set means drop.
+    result.dropped = result.output_ports.empty();
+    return result;
+  }
+}
+
+std::size_t Pipeline::total_rules() const {
+  std::size_t total = 0;
+  for (const auto& flow_table : tables_) total += flow_table.size();
+  return total;
+}
+
+}  // namespace dfi

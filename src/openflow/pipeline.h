@@ -1,0 +1,51 @@
+// Multi-table OpenFlow 1.3 pipeline.
+//
+// Packets enter at Table 0 and walk goto-table instructions forward. The
+// DFI Proxy reserves Table 0 for access-control rules and shifts the
+// controller's tables up by one (paper Section IV-B), so the pipeline is
+// where DFI's precedence over the controller is physically realized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "openflow/flow_table.h"
+
+namespace dfi {
+
+struct PipelineResult {
+  // Egress ports accumulated from apply-actions across tables.
+  std::vector<PortNo> output_ports;
+  // True if no rule matched in the table where processing ended — the
+  // switch raises a Packet-in (table-miss handling; we model the
+  // send-to-controller miss behaviour OVS is configured with).
+  bool table_miss = false;
+  std::uint8_t miss_table = 0;
+  // True if a matching rule had empty instructions (explicit drop).
+  bool dropped = false;
+  // Cookie of the last matching rule (diagnostics).
+  Cookie last_cookie{};
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(std::uint8_t num_tables = 4, std::size_t table_capacity = 8192);
+
+  std::uint8_t num_tables() const { return static_cast<std::uint8_t>(tables_.size()); }
+
+  FlowTable& table(std::uint8_t id);
+  const FlowTable& table(std::uint8_t id) const;
+
+  // Process a packet: walk tables from table 0 following goto instructions.
+  PipelineResult process(const Packet& packet, PortNo in_port,
+                         std::size_t packet_bytes, SimTime now);
+
+  std::size_t total_rules() const;
+
+ private:
+  std::vector<FlowTable> tables_;
+};
+
+}  // namespace dfi

@@ -1,0 +1,98 @@
+#include "openflow/secure_channel.h"
+
+namespace dfi {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void keystream_xor(std::uint64_t key, std::uint64_t record, std::vector<std::uint8_t>& data) {
+  std::uint64_t block = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 8 == 0) block = mix(key ^ mix(record ^ (i / 8)));
+    data[i] ^= static_cast<std::uint8_t>(block >> ((i % 8) * 8));
+  }
+}
+
+// Keyed 128-bit tag over (record number, ciphertext).
+void compute_tag(std::uint64_t key, std::uint64_t record,
+                 const std::vector<std::uint8_t>& ciphertext, std::uint8_t out[16]) {
+  std::uint64_t a = mix(key ^ 0x7461675f61ull) ^ record;  // "tag_a"
+  std::uint64_t b = mix(key ^ 0x7461675f62ull) ^ (record << 1);
+  for (const std::uint8_t byte : ciphertext) {
+    a = mix(a ^ byte);
+    b = mix(b + byte + 1);
+  }
+  a = mix(a ^ ciphertext.size());
+  b = mix(b ^ (ciphertext.size() << 8));
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(a >> (i * 8));
+    out[8 + i] = static_cast<std::uint8_t>(b >> (i * 8));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* data) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value = (value << 8) | data[i];
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SecureChannel::seal(const std::vector<std::uint8_t>& plaintext) {
+  const std::uint64_t record = ++send_counter_;
+  std::vector<std::uint8_t> out;
+  out.reserve(plaintext.size() + 24);
+  put_u64(out, record);
+  std::vector<std::uint8_t> ciphertext = plaintext;
+  keystream_xor(key_, record, ciphertext);
+  out.insert(out.end(), ciphertext.begin(), ciphertext.end());
+  std::uint8_t tag[16];
+  compute_tag(key_, record, ciphertext, tag);
+  out.insert(out.end(), tag, tag + 16);
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> SecureChannel::open(
+    const std::vector<std::uint8_t>& record) {
+  if (record.size() < 24) {
+    ++rejected_;
+    return Result<std::vector<std::uint8_t>>::Fail(ErrorCode::kMalformed,
+                                                   "truncated secure record");
+  }
+  const std::uint64_t number = get_u64(record.data());
+  std::vector<std::uint8_t> ciphertext(record.begin() + 8, record.end() - 16);
+  std::uint8_t expected[16];
+  compute_tag(key_, number, ciphertext, expected);
+  // Constant-time-style comparison (the spirit, if not the timing model).
+  std::uint8_t diff = 0;
+  for (int i = 0; i < 16; ++i) {
+    diff |= static_cast<std::uint8_t>(expected[i] ^ record[record.size() - 16 +
+                                                           static_cast<std::size_t>(i)]);
+  }
+  if (diff != 0) {
+    ++rejected_;
+    return Result<std::vector<std::uint8_t>>::Fail(
+        ErrorCode::kPermissionDenied, "authentication tag mismatch (tamper or wrong key)");
+  }
+  if (number <= highest_received_) {
+    ++rejected_;
+    return Result<std::vector<std::uint8_t>>::Fail(ErrorCode::kPermissionDenied,
+                                                   "replayed or reordered record");
+  }
+  highest_received_ = number;
+  keystream_xor(key_, number, ciphertext);
+  return ciphertext;
+}
+
+}  // namespace dfi

@@ -1,0 +1,354 @@
+#include "openflow/switch_device.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace dfi {
+
+SwitchDevice::SwitchDevice(SwitchConfig config, ClockFn clock)
+    : config_(config),
+      clock_(std::move(clock)),
+      pipeline_(config.num_tables, config.table_capacity) {
+  assert(clock_);
+}
+
+void SwitchDevice::add_port(PortNo port, PortOutputFn output, const std::string& name) {
+  assert(port.value > 0 && port < kPortFlood);
+  Port state;
+  state.output = std::move(output);
+  state.name = name.empty() ? "port" + std::to_string(port.value) : name;
+  state.since = clock_();
+  ports_[port] = std::move(state);
+}
+
+std::vector<PortNo> SwitchDevice::ports() const {
+  std::vector<PortNo> out;
+  out.reserve(ports_.size());
+  for (const auto& [port, state] : ports_) out.push_back(port);
+  return out;
+}
+
+PortDesc SwitchDevice::describe(PortNo port, const Port& state) const {
+  PortDesc desc;
+  desc.port_no = port;
+  desc.hw_addr = MacAddress::from_u64((config_.dpid.value << 8) | port.value);
+  desc.name = state.name;
+  desc.state = state.down ? kPortStateLinkDown : 0;
+  return desc;
+}
+
+void SwitchDevice::set_port_down(PortNo port, bool down) {
+  const auto it = ports_.find(port);
+  if (it == ports_.end() || it->second.down == down) return;
+  it->second.down = down;
+  PortStatusMsg status;
+  status.reason = PortStatusReason::kModify;
+  status.desc = describe(port, it->second);
+  send_to_control(OfMessage{next_xid_++, std::move(status)});
+}
+
+bool SwitchDevice::port_down(PortNo port) const {
+  const auto it = ports_.find(port);
+  return it != ports_.end() && it->second.down;
+}
+
+PortStatsEntry SwitchDevice::port_stats(PortNo port) const {
+  PortStatsEntry entry;
+  entry.port_no = port;
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) return entry;
+  const Port& state = it->second;
+  entry.rx_packets = state.rx_packets;
+  entry.tx_packets = state.tx_packets;
+  entry.rx_bytes = state.rx_bytes;
+  entry.tx_bytes = state.tx_bytes;
+  entry.rx_dropped = state.rx_dropped;
+  entry.tx_dropped = state.tx_dropped;
+  entry.duration_sec = static_cast<std::uint32_t>((clock_() - state.since).to_seconds());
+  return entry;
+}
+
+void SwitchDevice::transmit(PortNo port, Port& state,
+                            const std::vector<std::uint8_t>& bytes) {
+  (void)port;
+  if (state.down) {
+    ++state.tx_dropped;
+    ++counters_.packets_dropped;
+    return;
+  }
+  ++state.tx_packets;
+  state.tx_bytes += bytes.size();
+  ++counters_.packets_forwarded;
+  state.output(port, bytes);
+}
+
+void SwitchDevice::connect_control(ControlOutputFn output) {
+  control_output_ = std::move(output);
+  send_to_control(OfMessage{next_xid_++, HelloMsg{}});
+}
+
+void SwitchDevice::receive_packet(PortNo in_port, const std::vector<std::uint8_t>& bytes) {
+  if (const auto it = ports_.find(in_port); it != ports_.end()) {
+    if (it->second.down) {
+      ++it->second.rx_dropped;
+      return;  // a down link delivers nothing
+    }
+    ++it->second.rx_packets;
+    it->second.rx_bytes += bytes.size();
+  }
+  ++counters_.packets_in;
+  const auto parsed = Packet::parse(bytes);
+  if (!parsed.ok()) {
+    ++counters_.packets_dropped;
+    DFI_DEBUG << to_string(config_.dpid) << " dropped unparsable packet: "
+              << parsed.error().message;
+    return;
+  }
+  const PipelineResult result =
+      pipeline_.process(parsed.value(), in_port, bytes.size(), clock_());
+  if (result.table_miss) {
+    send_packet_in(in_port, result.miss_table, bytes);
+    return;
+  }
+  if (result.output_ports.empty()) {
+    ++counters_.packets_dropped;
+    return;
+  }
+  for (PortNo port : result.output_ports) {
+    if (port == kPortController) {
+      send_packet_in(in_port, 0, bytes);
+    } else if (port == kPortFlood) {
+      flood(in_port, bytes);
+    } else if (auto it = ports_.find(port); it != ports_.end()) {
+      transmit(port, it->second, bytes);
+    }
+  }
+}
+
+void SwitchDevice::flood(PortNo in_port, const std::vector<std::uint8_t>& bytes) {
+  for (auto& [port, state] : ports_) {
+    if (port == in_port) continue;
+    transmit(port, state, bytes);
+  }
+}
+
+void SwitchDevice::receive_control(const std::vector<std::uint8_t>& chunk) {
+  control_decoder_.feed(chunk);
+  for (auto& result : control_decoder_.drain()) {
+    if (!result.ok()) {
+      DFI_WARN << to_string(config_.dpid)
+               << " bad control frame: " << result.error().message;
+      send_to_control(OfMessage{next_xid_++, ErrorMsg{/*type=*/1, /*code=*/0, {}}});
+      continue;
+    }
+    handle_message(result.value());
+  }
+}
+
+void SwitchDevice::handle_message(const OfMessage& message) {
+  struct Visitor {
+    SwitchDevice& sw;
+    std::uint32_t xid;
+
+    void operator()(const HelloMsg&) {}
+    void operator()(const ErrorMsg&) {}
+    void operator()(const EchoRequestMsg& m) {
+      sw.send_to_control(OfMessage{xid, EchoReplyMsg{m.data}});
+    }
+    void operator()(const EchoReplyMsg&) {}
+    void operator()(const FeaturesRequestMsg&) {
+      FeaturesReplyMsg reply;
+      reply.datapath_id = sw.config_.dpid;
+      reply.n_buffers = 0;  // no buffering: packet-ins carry full packets
+      reply.n_tables = sw.config_.num_tables;
+      reply.capabilities = 0x1 | 0x4;  // FLOW_STATS | PORT_STATS
+      sw.send_to_control(OfMessage{xid, reply});
+    }
+    void operator()(const FeaturesReplyMsg&) {}
+    void operator()(const PacketInMsg&) {}
+    void operator()(const PacketOutMsg& m) {
+      ++sw.counters_.packet_outs;
+      sw.execute_actions(m.actions, m.in_port, m.data);
+    }
+    void operator()(const FlowModMsg& m) {
+      ++sw.counters_.flow_mods;
+      sw.apply_flow_mod(m);
+    }
+    void operator()(const FlowRemovedMsg&) {}
+    void operator()(const PortStatusMsg&) {}
+    void operator()(const MultipartRequestMsg& m) {
+      MultipartReplyMsg reply;
+      reply.stats_type = m.stats_type;
+      if (m.stats_type == kStatsTypePort) {
+        for (const auto& [port, state] : sw.ports_) {
+          if (m.port_no != kPortAny && m.port_no != port) continue;
+          reply.port_stats.push_back(sw.port_stats(port));
+        }
+      }
+      if (m.stats_type == kStatsTypeFlow) {
+        const SimTime now = sw.clock_();
+        const auto collect = [&](const FlowTable& table) {
+          table.for_each([&](const FlowRule& rule) {
+            if (!m.flow_request.match.covers(rule.match)) return;
+            if ((rule.cookie.value & m.flow_request.cookie_mask.value) !=
+                (m.flow_request.cookie.value & m.flow_request.cookie_mask.value)) {
+              return;
+            }
+            FlowStatsEntry entry;
+            entry.table_id = rule.table_id;
+            entry.duration_sec =
+                static_cast<std::uint32_t>((now - rule.installed_at).to_seconds());
+            entry.priority = rule.priority;
+            entry.idle_timeout = rule.idle_timeout_sec;
+            entry.hard_timeout = rule.hard_timeout_sec;
+            entry.cookie = rule.cookie;
+            entry.packet_count = rule.counters.packets;
+            entry.byte_count = rule.counters.bytes;
+            entry.match = rule.match;
+            entry.instructions = rule.instructions;
+            reply.flow_stats.push_back(std::move(entry));
+          });
+        };
+        if (m.flow_request.table_id == 0xff) {
+          for (std::uint8_t t = 0; t < sw.pipeline_.num_tables(); ++t) {
+            collect(sw.pipeline_.table(t));
+          }
+        } else if (m.flow_request.table_id < sw.pipeline_.num_tables()) {
+          collect(sw.pipeline_.table(m.flow_request.table_id));
+        }
+      }
+      sw.send_to_control(OfMessage{xid, reply});
+    }
+    void operator()(const MultipartReplyMsg&) {}
+    void operator()(const BarrierRequestMsg&) {
+      sw.send_to_control(OfMessage{xid, BarrierReplyMsg{}});
+    }
+    void operator()(const BarrierReplyMsg&) {}
+  };
+  std::visit(Visitor{*this, message.xid}, message.payload);
+}
+
+void SwitchDevice::apply_flow_mod(const FlowModMsg& mod) {
+  if (mod.table_id != 0xff && mod.table_id >= pipeline_.num_tables()) {
+    send_to_control(OfMessage{next_xid_++, ErrorMsg{/*FLOW_MOD_FAILED*/ 5,
+                                                    /*BAD_TABLE_ID*/ 2, {}}});
+    return;
+  }
+  const SimTime now = clock_();
+  switch (mod.command) {
+    case FlowModCommand::kAdd: {
+      FlowRule rule;
+      rule.priority = mod.priority;
+      rule.cookie = mod.cookie;
+      rule.match = mod.match;
+      rule.instructions = mod.instructions;
+      rule.idle_timeout_sec = mod.idle_timeout;
+      rule.hard_timeout_sec = mod.hard_timeout;
+      rule.send_flow_removed = (mod.flags & 0x1) != 0;  // OFPFF_SEND_FLOW_REM
+      const std::uint8_t table = mod.table_id == 0xff ? 0 : mod.table_id;
+      const Status status = pipeline_.table(table).add(std::move(rule), now);
+      if (!status.ok()) {
+        send_to_control(OfMessage{next_xid_++, ErrorMsg{/*FLOW_MOD_FAILED*/ 5,
+                                                        /*TABLE_FULL*/ 1, {}}});
+      }
+      break;
+    }
+    case FlowModCommand::kModify:
+    case FlowModCommand::kModifyStrict: {
+      const std::uint8_t table = mod.table_id == 0xff ? 0 : mod.table_id;
+      pipeline_.table(table).modify(mod.match, mod.cookie, mod.cookie_mask,
+                                    mod.instructions);
+      break;
+    }
+    case FlowModCommand::kDelete:
+    case FlowModCommand::kDeleteStrict: {
+      const auto delete_from = [&](FlowTable& table) {
+        std::vector<FlowRule> removed =
+            mod.command == FlowModCommand::kDelete
+                ? table.remove(mod.match, mod.cookie, mod.cookie_mask)
+                : table.remove_strict(mod.match, mod.priority, mod.cookie,
+                                      mod.cookie_mask);
+        for (const auto& rule : removed) {
+          if (rule.send_flow_removed) {
+            send_flow_removed(rule, FlowRemovedReason::kDelete);
+          }
+        }
+      };
+      if (mod.table_id == 0xff) {  // OFPTT_ALL
+        for (std::uint8_t t = 0; t < pipeline_.num_tables(); ++t) {
+          delete_from(pipeline_.table(t));
+        }
+      } else {
+        delete_from(pipeline_.table(mod.table_id));
+      }
+      break;
+    }
+  }
+}
+
+void SwitchDevice::execute_actions(const std::vector<Action>& actions, PortNo in_port,
+                                   const std::vector<std::uint8_t>& bytes) {
+  for (const auto& action : actions) {
+    const PortNo port = std::get<OutputAction>(action).port;
+    if (port == kPortFlood) {
+      flood(in_port, bytes);
+    } else if (port == kPortController) {
+      send_packet_in(in_port, 0, bytes);
+    } else if (auto it = ports_.find(port); it != ports_.end()) {
+      transmit(port, it->second, bytes);
+    }
+  }
+}
+
+void SwitchDevice::send_to_control(const OfMessage& message) {
+  if (control_output_) control_output_(encode(message));
+}
+
+void SwitchDevice::send_packet_in(PortNo in_port, std::uint8_t table_id,
+                                  const std::vector<std::uint8_t>& bytes) {
+  if (!control_output_) {
+    ++counters_.packets_dropped;
+    return;
+  }
+  ++counters_.packet_in_events;
+  PacketInMsg packet_in;
+  packet_in.buffer_id = kNoBuffer;  // full packet inline
+  packet_in.total_len = static_cast<std::uint16_t>(bytes.size());
+  packet_in.reason = PacketInReason::kNoMatch;
+  packet_in.table_id = table_id;
+  packet_in.in_port = in_port;
+  packet_in.data = bytes;
+  send_to_control(OfMessage{next_xid_++, std::move(packet_in)});
+}
+
+void SwitchDevice::send_flow_removed(const FlowRule& rule, FlowRemovedReason reason) {
+  FlowRemovedMsg removed;
+  removed.cookie = rule.cookie;
+  removed.priority = rule.priority;
+  removed.reason = reason;
+  removed.table_id = rule.table_id;
+  removed.duration_sec =
+      static_cast<std::uint32_t>((clock_() - rule.installed_at).to_seconds());
+  removed.idle_timeout = rule.idle_timeout_sec;
+  removed.hard_timeout = rule.hard_timeout_sec;
+  removed.packet_count = rule.counters.packets;
+  removed.byte_count = rule.counters.bytes;
+  removed.match = rule.match;
+  send_to_control(OfMessage{next_xid_++, std::move(removed)});
+}
+
+void SwitchDevice::expire_flows() {
+  for (std::uint8_t t = 0; t < pipeline_.num_tables(); ++t) {
+    for (const auto& rule : pipeline_.table(t).expire(clock_())) {
+      if (rule.send_flow_removed) {
+        const bool hard = rule.hard_timeout_sec > 0 &&
+                          clock_() - rule.installed_at >= seconds(rule.hard_timeout_sec);
+        send_flow_removed(rule, hard ? FlowRemovedReason::kHardTimeout
+                                     : FlowRemovedReason::kIdleTimeout);
+      }
+    }
+  }
+}
+
+}  // namespace dfi

@@ -1,0 +1,819 @@
+#include "openflow/wire.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dfi {
+namespace {
+
+// ---------------------------------------------------------------- writing
+
+class Writer {
+ public:
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      out_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      out_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+  void mac(const MacAddress& m) {
+    for (auto octet : m.octets()) out_.push_back(octet);
+  }
+  void pad(std::size_t n) { out_.insert(out_.end(), n, 0); }
+  void bytes(const std::vector<std::uint8_t>& data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  // Overwrite a previously written big-endian u16 at `offset`.
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// OXM field codes (OFPXMC_OPENFLOW_BASIC class 0x8000).
+enum : std::uint8_t {
+  kOxmInPort = 0,
+  kOxmEthDst = 3,
+  kOxmEthSrc = 4,
+  kOxmEthType = 5,
+  kOxmIpProto = 10,
+  kOxmIpv4Src = 11,
+  kOxmIpv4Dst = 12,
+  kOxmTcpSrc = 13,
+  kOxmTcpDst = 14,
+  kOxmUdpSrc = 15,
+  kOxmUdpDst = 16,
+};
+
+void write_oxm_header(Writer& w, std::uint8_t field, std::uint8_t len) {
+  w.u16(0x8000);                                   // OFPXMC_OPENFLOW_BASIC
+  w.u8(static_cast<std::uint8_t>(field << 1));     // no mask
+  w.u8(len);
+}
+
+void write_match(Writer& w, const Match& match) {
+  const std::size_t start = w.size();
+  w.u16(1);  // OFPMT_OXM
+  const std::size_t len_offset = w.size();
+  w.u16(0);  // patched below
+
+  if (match.in_port) {
+    write_oxm_header(w, kOxmInPort, 4);
+    w.u32(match.in_port->value);
+  }
+  if (match.eth_dst) {
+    write_oxm_header(w, kOxmEthDst, 6);
+    w.mac(*match.eth_dst);
+  }
+  if (match.eth_src) {
+    write_oxm_header(w, kOxmEthSrc, 6);
+    w.mac(*match.eth_src);
+  }
+  if (match.eth_type) {
+    write_oxm_header(w, kOxmEthType, 2);
+    w.u16(*match.eth_type);
+  }
+  if (match.ip_proto) {
+    write_oxm_header(w, kOxmIpProto, 1);
+    w.u8(*match.ip_proto);
+  }
+  if (match.ipv4_src) {
+    write_oxm_header(w, kOxmIpv4Src, 4);
+    w.u32(match.ipv4_src->value());
+  }
+  if (match.ipv4_dst) {
+    write_oxm_header(w, kOxmIpv4Dst, 4);
+    w.u32(match.ipv4_dst->value());
+  }
+  if (match.tcp_src) {
+    write_oxm_header(w, kOxmTcpSrc, 2);
+    w.u16(*match.tcp_src);
+  }
+  if (match.tcp_dst) {
+    write_oxm_header(w, kOxmTcpDst, 2);
+    w.u16(*match.tcp_dst);
+  }
+  if (match.udp_src) {
+    write_oxm_header(w, kOxmUdpSrc, 2);
+    w.u16(*match.udp_src);
+  }
+  if (match.udp_dst) {
+    write_oxm_header(w, kOxmUdpDst, 2);
+    w.u16(*match.udp_dst);
+  }
+
+  const std::size_t match_len = w.size() - start;  // excludes trailing pad
+  w.patch_u16(len_offset, static_cast<std::uint16_t>(match_len));
+  const std::size_t padded = (match_len + 7) / 8 * 8;
+  w.pad(padded - match_len);
+}
+
+void write_actions(Writer& w, const std::vector<Action>& actions) {
+  for (const auto& action : actions) {
+    const auto& output = std::get<OutputAction>(action);
+    w.u16(0);   // OFPAT_OUTPUT
+    w.u16(16);  // length
+    w.u32(output.port.value);
+    w.u16(0xffff);  // max_len = OFPCML_MAX (send full packet)
+    w.pad(6);
+  }
+}
+
+void write_port_desc(Writer& w, const PortDesc& desc) {
+  w.u32(desc.port_no.value);
+  w.pad(4);
+  w.mac(desc.hw_addr);
+  w.pad(2);
+  // name: 16 bytes, NUL-padded.
+  for (std::size_t i = 0; i < 16; ++i) {
+    w.u8(i < desc.name.size() && i < 15 ? static_cast<std::uint8_t>(desc.name[i]) : 0);
+  }
+  w.u32(desc.config);
+  w.u32(desc.state);
+  w.pad(24);  // curr/advertised/supported/peer/curr_speed/max_speed
+}
+
+void write_instructions(Writer& w, const Instructions& instructions) {
+  if (instructions.goto_table.has_value()) {
+    w.u16(1);  // OFPIT_GOTO_TABLE
+    w.u16(8);
+    w.u8(*instructions.goto_table);
+    w.pad(3);
+  }
+  if (!instructions.apply_actions.empty()) {
+    w.u16(4);  // OFPIT_APPLY_ACTIONS
+    const std::uint16_t len =
+        static_cast<std::uint16_t>(8 + 16 * instructions.apply_actions.size());
+    w.u16(len);
+    w.pad(4);
+    write_actions(w, instructions.apply_actions);
+  }
+}
+
+// ---------------------------------------------------------------- reading
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool has(std::size_t n) const { return pos_ + n <= size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t pos() const { return pos_; }
+
+  std::uint8_t u8() { return data_[pos_++]; }
+  std::uint16_t u16() {
+    const auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+  MacAddress mac() {
+    std::array<std::uint8_t, 6> octets{};
+    for (auto& octet : octets) octet = data_[pos_++];
+    return MacAddress(octets);
+  }
+  void skip(std::size_t n) { pos_ += n; }
+  std::vector<std::uint8_t> take(std::size_t n) {
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  std::vector<std::uint8_t> rest() { return take(remaining()); }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+#define DFI_REQUIRE(reader, n, what)                                   \
+  do {                                                                 \
+    if (!(reader).has(n)) {                                            \
+      return Result<OfMessage>::Fail(ErrorCode::kMalformed,            \
+                                     std::string("truncated ") + what); \
+    }                                                                  \
+  } while (0)
+
+Status read_match(Reader& r, Match& match) {
+  if (!r.has(4)) return Status::Fail(ErrorCode::kMalformed, "truncated match");
+  const std::uint16_t type = r.u16();
+  const std::uint16_t length = r.u16();
+  if (type != 1) return Status::Fail(ErrorCode::kUnsupported, "non-OXM match");
+  if (length < 4) return Status::Fail(ErrorCode::kMalformed, "bad match length");
+  std::size_t oxm_remaining = length - 4;
+  if (!r.has(oxm_remaining)) {
+    return Status::Fail(ErrorCode::kMalformed, "truncated OXM fields");
+  }
+  while (oxm_remaining > 0) {
+    if (oxm_remaining < 4) {
+      return Status::Fail(ErrorCode::kMalformed, "truncated OXM header");
+    }
+    const std::uint16_t oxm_class = r.u16();
+    const std::uint8_t field_hm = r.u8();
+    const std::uint8_t len = r.u8();
+    oxm_remaining -= 4;
+    if (oxm_remaining < len) {
+      return Status::Fail(ErrorCode::kMalformed, "truncated OXM value");
+    }
+    const std::uint8_t field = field_hm >> 1;
+    const bool has_mask = (field_hm & 1) != 0;
+    if (oxm_class != 0x8000 || has_mask) {
+      // Skip unknown classes and masked fields (treated as unsupported but
+      // non-fatal: the proxy must pass through what it does not understand).
+      r.skip(len);
+      oxm_remaining -= len;
+      continue;
+    }
+    switch (field) {
+      case kOxmInPort: match.in_port = PortNo{r.u32()}; break;
+      case kOxmEthDst: match.eth_dst = r.mac(); break;
+      case kOxmEthSrc: match.eth_src = r.mac(); break;
+      case kOxmEthType: match.eth_type = r.u16(); break;
+      case kOxmIpProto: match.ip_proto = r.u8(); break;
+      case kOxmIpv4Src: match.ipv4_src = Ipv4Address(r.u32()); break;
+      case kOxmIpv4Dst: match.ipv4_dst = Ipv4Address(r.u32()); break;
+      case kOxmTcpSrc: match.tcp_src = r.u16(); break;
+      case kOxmTcpDst: match.tcp_dst = r.u16(); break;
+      case kOxmUdpSrc: match.udp_src = r.u16(); break;
+      case kOxmUdpDst: match.udp_dst = r.u16(); break;
+      default: r.skip(len); break;
+    }
+    oxm_remaining -= len;
+  }
+  // Trailing pad to 8-byte boundary.
+  const std::size_t padded = (length + 7) / 8 * 8;
+  const std::size_t pad_len = padded - length;
+  if (!r.has(pad_len)) return Status::Fail(ErrorCode::kMalformed, "truncated match pad");
+  r.skip(pad_len);
+  return Status::Ok();
+}
+
+Status read_actions(Reader& r, std::size_t total_len, std::vector<Action>& actions) {
+  std::size_t remaining = total_len;
+  while (remaining > 0) {
+    if (remaining < 4 || !r.has(4)) {
+      return Status::Fail(ErrorCode::kMalformed, "truncated action header");
+    }
+    const std::uint16_t type = r.u16();
+    const std::uint16_t len = r.u16();
+    if (len < 8 || len > remaining || !r.has(len - 4)) {
+      return Status::Fail(ErrorCode::kMalformed, "bad action length");
+    }
+    if (type == 0) {  // OFPAT_OUTPUT
+      if (len != 16) return Status::Fail(ErrorCode::kMalformed, "bad output action");
+      const std::uint32_t port = r.u32();
+      r.skip(2);  // max_len
+      r.skip(6);  // pad
+      actions.push_back(OutputAction{PortNo{port}});
+    } else {
+      r.skip(len - 4);  // unsupported action: pass over
+    }
+    remaining -= len;
+  }
+  return Status::Ok();
+}
+
+Status read_instructions(Reader& r, std::size_t total_len, Instructions& instructions) {
+  std::size_t remaining = total_len;
+  while (remaining > 0) {
+    if (remaining < 4 || !r.has(4)) {
+      return Status::Fail(ErrorCode::kMalformed, "truncated instruction header");
+    }
+    const std::uint16_t type = r.u16();
+    const std::uint16_t len = r.u16();
+    if (len < 8 || len > remaining || !r.has(len - 4)) {
+      return Status::Fail(ErrorCode::kMalformed, "bad instruction length");
+    }
+    if (type == 1) {  // OFPIT_GOTO_TABLE
+      instructions.goto_table = r.u8();
+      r.skip(3);
+    } else if (type == 4) {  // OFPIT_APPLY_ACTIONS
+      r.skip(4);  // pad
+      const Status status = read_actions(r, len - 8, instructions.apply_actions);
+      if (!status.ok()) return status;
+    } else {
+      r.skip(len - 4);
+    }
+    remaining -= len;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+OfType OfMessage::type() const {
+  struct Visitor {
+    OfType operator()(const HelloMsg&) const { return OfType::kHello; }
+    OfType operator()(const ErrorMsg&) const { return OfType::kError; }
+    OfType operator()(const EchoRequestMsg&) const { return OfType::kEchoRequest; }
+    OfType operator()(const EchoReplyMsg&) const { return OfType::kEchoReply; }
+    OfType operator()(const FeaturesRequestMsg&) const { return OfType::kFeaturesRequest; }
+    OfType operator()(const FeaturesReplyMsg&) const { return OfType::kFeaturesReply; }
+    OfType operator()(const PacketInMsg&) const { return OfType::kPacketIn; }
+    OfType operator()(const PacketOutMsg&) const { return OfType::kPacketOut; }
+    OfType operator()(const FlowModMsg&) const { return OfType::kFlowMod; }
+    OfType operator()(const FlowRemovedMsg&) const { return OfType::kFlowRemoved; }
+    OfType operator()(const PortStatusMsg&) const { return OfType::kPortStatus; }
+    OfType operator()(const MultipartRequestMsg&) const { return OfType::kMultipartRequest; }
+    OfType operator()(const MultipartReplyMsg&) const { return OfType::kMultipartReply; }
+    OfType operator()(const BarrierRequestMsg&) const { return OfType::kBarrierRequest; }
+    OfType operator()(const BarrierReplyMsg&) const { return OfType::kBarrierReply; }
+  };
+  return std::visit(Visitor{}, payload);
+}
+
+std::string to_string(OfType type) {
+  switch (type) {
+    case OfType::kHello: return "HELLO";
+    case OfType::kError: return "ERROR";
+    case OfType::kEchoRequest: return "ECHO_REQUEST";
+    case OfType::kEchoReply: return "ECHO_REPLY";
+    case OfType::kFeaturesRequest: return "FEATURES_REQUEST";
+    case OfType::kFeaturesReply: return "FEATURES_REPLY";
+    case OfType::kPacketIn: return "PACKET_IN";
+    case OfType::kFlowRemoved: return "FLOW_REMOVED";
+    case OfType::kPortStatus: return "PORT_STATUS";
+    case OfType::kPacketOut: return "PACKET_OUT";
+    case OfType::kFlowMod: return "FLOW_MOD";
+    case OfType::kMultipartRequest: return "MULTIPART_REQUEST";
+    case OfType::kMultipartReply: return "MULTIPART_REPLY";
+    case OfType::kBarrierRequest: return "BARRIER_REQUEST";
+    case OfType::kBarrierReply: return "BARRIER_REPLY";
+  }
+  return "UNKNOWN";
+}
+
+std::string OfMessage::summary() const {
+  std::string text = to_string(type()) + " xid=" + std::to_string(xid);
+  if (const auto* flow_mod = std::get_if<FlowModMsg>(&payload)) {
+    text += " table=" + std::to_string(flow_mod->table_id) + " [" +
+            flow_mod->match.to_string() + "]";
+  } else if (const auto* packet_in = std::get_if<PacketInMsg>(&payload)) {
+    text += " in_port=" + std::to_string(packet_in->in_port.value) + " " +
+            std::to_string(packet_in->data.size()) + "B";
+  }
+  return text;
+}
+
+std::vector<std::uint8_t> encode(const OfMessage& message) {
+  Writer w;
+  w.u8(kOfVersion13);
+  w.u8(static_cast<std::uint8_t>(message.type()));
+  const std::size_t len_offset = w.size();
+  w.u16(0);  // patched at the end
+  w.u32(message.xid);
+
+  struct Visitor {
+    Writer& w;
+
+    void operator()(const HelloMsg&) {}
+    void operator()(const ErrorMsg& m) {
+      w.u16(m.type);
+      w.u16(m.code);
+      w.bytes(m.data);
+    }
+    void operator()(const EchoRequestMsg& m) { w.bytes(m.data); }
+    void operator()(const EchoReplyMsg& m) { w.bytes(m.data); }
+    void operator()(const FeaturesRequestMsg&) {}
+    void operator()(const FeaturesReplyMsg& m) {
+      w.u64(m.datapath_id.value);
+      w.u32(m.n_buffers);
+      w.u8(m.n_tables);
+      w.u8(0);  // auxiliary_id
+      w.pad(2);
+      w.u32(m.capabilities);
+      w.u32(0);  // reserved
+    }
+    void operator()(const PacketInMsg& m) {
+      w.u32(m.buffer_id);
+      w.u16(m.total_len);
+      w.u8(static_cast<std::uint8_t>(m.reason));
+      w.u8(m.table_id);
+      w.u64(m.cookie.value);
+      Match match;
+      match.in_port = m.in_port;
+      write_match(w, match);
+      w.pad(2);
+      w.bytes(m.data);
+    }
+    void operator()(const PacketOutMsg& m) {
+      w.u32(m.buffer_id);
+      w.u32(m.in_port.value);
+      w.u16(static_cast<std::uint16_t>(16 * m.actions.size()));
+      w.pad(6);
+      write_actions(w, m.actions);
+      w.bytes(m.data);
+    }
+    void operator()(const FlowModMsg& m) {
+      w.u64(m.cookie.value);
+      w.u64(m.cookie_mask.value);
+      w.u8(m.table_id);
+      w.u8(static_cast<std::uint8_t>(m.command));
+      w.u16(m.idle_timeout);
+      w.u16(m.hard_timeout);
+      w.u16(m.priority);
+      w.u32(m.buffer_id);
+      w.u32(m.out_port.value);
+      w.u32(0xffffffff);  // out_group = OFPG_ANY
+      w.u16(m.flags);
+      w.pad(2);
+      write_match(w, m.match);
+      write_instructions(w, m.instructions);
+    }
+    void operator()(const FlowRemovedMsg& m) {
+      w.u64(m.cookie.value);
+      w.u16(m.priority);
+      w.u8(static_cast<std::uint8_t>(m.reason));
+      w.u8(m.table_id);
+      w.u32(m.duration_sec);
+      w.u32(0);  // duration_nsec
+      w.u16(m.idle_timeout);
+      w.u16(m.hard_timeout);
+      w.u64(m.packet_count);
+      w.u64(m.byte_count);
+      write_match(w, m.match);
+    }
+    void operator()(const PortStatusMsg& m) {
+      w.u8(static_cast<std::uint8_t>(m.reason));
+      w.pad(7);
+      write_port_desc(w, m.desc);
+    }
+    void operator()(const MultipartRequestMsg& m) {
+      w.u16(m.stats_type);
+      w.u16(0);  // flags
+      w.pad(4);
+      if (m.stats_type == kStatsTypeFlow) {
+        w.u8(m.flow_request.table_id);
+        w.pad(3);
+        w.u32(kPortAny.value);    // out_port
+        w.u32(0xffffffff);        // out_group
+        w.pad(4);
+        w.u64(m.flow_request.cookie.value);
+        w.u64(m.flow_request.cookie_mask.value);
+        write_match(w, m.flow_request.match);
+      } else if (m.stats_type == kStatsTypePort) {
+        w.u32(m.port_no.value);
+        w.pad(4);
+      }
+    }
+    void operator()(const MultipartReplyMsg& m) {
+      w.u16(m.stats_type);
+      w.u16(0);  // flags
+      w.pad(4);
+      for (const auto& entry : m.flow_stats) {
+        const std::size_t entry_start = w.size();
+        const std::size_t entry_len_offset = w.size();
+        w.u16(0);  // length, patched
+        w.u8(entry.table_id);
+        w.pad(1);
+        w.u32(entry.duration_sec);
+        w.u32(0);  // duration_nsec
+        w.u16(entry.priority);
+        w.u16(entry.idle_timeout);
+        w.u16(entry.hard_timeout);
+        w.u16(0);  // flags
+        w.pad(4);
+        w.u64(entry.cookie.value);
+        w.u64(entry.packet_count);
+        w.u64(entry.byte_count);
+        write_match(w, entry.match);
+        write_instructions(w, entry.instructions);
+        w.patch_u16(entry_len_offset,
+                    static_cast<std::uint16_t>(w.size() - entry_start));
+      }
+      for (const auto& entry : m.port_stats) {
+        w.u32(entry.port_no.value);
+        w.pad(4);
+        w.u64(entry.rx_packets);
+        w.u64(entry.tx_packets);
+        w.u64(entry.rx_bytes);
+        w.u64(entry.tx_bytes);
+        w.u64(entry.rx_dropped);
+        w.u64(entry.tx_dropped);
+        w.pad(48);  // rx/tx errors, frame/over/crc errors, collisions
+        w.u32(entry.duration_sec);
+        w.u32(0);  // duration_nsec
+      }
+    }
+    void operator()(const BarrierRequestMsg&) {}
+    void operator()(const BarrierReplyMsg&) {}
+  };
+  std::visit(Visitor{w}, message.payload);
+
+  auto bytes = w.take();
+  bytes[len_offset] = static_cast<std::uint8_t>(bytes.size() >> 8);
+  bytes[len_offset + 1] = static_cast<std::uint8_t>(bytes.size());
+  return bytes;
+}
+
+namespace {
+
+Result<OfMessage> decode_frame(const std::uint8_t* data, std::size_t size) {
+  Reader r(data, size);
+  DFI_REQUIRE(r, 8, "ofp_header");
+  const std::uint8_t version = r.u8();
+  const std::uint8_t type = r.u8();
+  const std::uint16_t length = r.u16();
+  const std::uint32_t xid = r.u32();
+  if (version != kOfVersion13) {
+    return Result<OfMessage>::Fail(ErrorCode::kUnsupported,
+                                   "OpenFlow version " + std::to_string(version));
+  }
+  if (length != size) {
+    return Result<OfMessage>::Fail(ErrorCode::kMalformed, "frame length mismatch");
+  }
+
+  OfMessage message;
+  message.xid = xid;
+
+  switch (static_cast<OfType>(type)) {
+    case OfType::kHello:
+      message.payload = HelloMsg{};
+      return message;
+    case OfType::kError: {
+      DFI_REQUIRE(r, 4, "ERROR body");
+      ErrorMsg m;
+      m.type = r.u16();
+      m.code = r.u16();
+      m.data = r.rest();
+      message.payload = m;
+      return message;
+    }
+    case OfType::kEchoRequest:
+      message.payload = EchoRequestMsg{r.rest()};
+      return message;
+    case OfType::kEchoReply:
+      message.payload = EchoReplyMsg{r.rest()};
+      return message;
+    case OfType::kFeaturesRequest:
+      message.payload = FeaturesRequestMsg{};
+      return message;
+    case OfType::kFeaturesReply: {
+      DFI_REQUIRE(r, 24, "FEATURES_REPLY body");
+      FeaturesReplyMsg m;
+      m.datapath_id = Dpid{r.u64()};
+      m.n_buffers = r.u32();
+      m.n_tables = r.u8();
+      r.skip(3);  // auxiliary_id + pad
+      m.capabilities = r.u32();
+      r.skip(4);  // reserved
+      message.payload = m;
+      return message;
+    }
+    case OfType::kPacketIn: {
+      DFI_REQUIRE(r, 16, "PACKET_IN body");
+      PacketInMsg m;
+      m.buffer_id = r.u32();
+      m.total_len = r.u16();
+      m.reason = static_cast<PacketInReason>(r.u8());
+      m.table_id = r.u8();
+      m.cookie = Cookie{r.u64()};
+      Match match;
+      if (Status status = read_match(r, match); !status.ok()) {
+        return Result<OfMessage>::Fail(status.error().code, status.error().message);
+      }
+      m.in_port = match.in_port.value_or(PortNo{0});
+      DFI_REQUIRE(r, 2, "PACKET_IN pad");
+      r.skip(2);
+      m.data = r.rest();
+      message.payload = m;
+      return message;
+    }
+    case OfType::kPortStatus: {
+      DFI_REQUIRE(r, 8 + 64, "PORT_STATUS body");
+      PortStatusMsg m;
+      m.reason = static_cast<PortStatusReason>(r.u8());
+      r.skip(7);
+      m.desc.port_no = PortNo{r.u32()};
+      r.skip(4);
+      m.desc.hw_addr = r.mac();
+      r.skip(2);
+      std::string name;
+      for (int i = 0; i < 16; ++i) {
+        const char c = static_cast<char>(r.u8());
+        if (c != '\0') name += c;
+      }
+      m.desc.name = std::move(name);
+      m.desc.config = r.u32();
+      m.desc.state = r.u32();
+      r.skip(24);
+      message.payload = m;
+      return message;
+    }
+    case OfType::kPacketOut: {
+      DFI_REQUIRE(r, 16, "PACKET_OUT body");
+      PacketOutMsg m;
+      m.buffer_id = r.u32();
+      m.in_port = PortNo{r.u32()};
+      const std::uint16_t actions_len = r.u16();
+      r.skip(6);
+      if (!r.has(actions_len)) {
+        return Result<OfMessage>::Fail(ErrorCode::kMalformed, "truncated PACKET_OUT actions");
+      }
+      if (Status status = read_actions(r, actions_len, m.actions); !status.ok()) {
+        return Result<OfMessage>::Fail(status.error().code, status.error().message);
+      }
+      m.data = r.rest();
+      message.payload = m;
+      return message;
+    }
+    case OfType::kFlowMod: {
+      DFI_REQUIRE(r, 40, "FLOW_MOD body");
+      FlowModMsg m;
+      m.cookie = Cookie{r.u64()};
+      m.cookie_mask = Cookie{r.u64()};
+      m.table_id = r.u8();
+      m.command = static_cast<FlowModCommand>(r.u8());
+      m.idle_timeout = r.u16();
+      m.hard_timeout = r.u16();
+      m.priority = r.u16();
+      m.buffer_id = r.u32();
+      m.out_port = PortNo{r.u32()};
+      r.skip(4);  // out_group
+      m.flags = r.u16();
+      r.skip(2);  // pad
+      if (Status status = read_match(r, m.match); !status.ok()) {
+        return Result<OfMessage>::Fail(status.error().code, status.error().message);
+      }
+      if (Status status = read_instructions(r, r.remaining(), m.instructions);
+          !status.ok()) {
+        return Result<OfMessage>::Fail(status.error().code, status.error().message);
+      }
+      message.payload = m;
+      return message;
+    }
+    case OfType::kFlowRemoved: {
+      DFI_REQUIRE(r, 40, "FLOW_REMOVED body");
+      FlowRemovedMsg m;
+      m.cookie = Cookie{r.u64()};
+      m.priority = r.u16();
+      m.reason = static_cast<FlowRemovedReason>(r.u8());
+      m.table_id = r.u8();
+      m.duration_sec = r.u32();
+      r.skip(4);  // duration_nsec
+      m.idle_timeout = r.u16();
+      m.hard_timeout = r.u16();
+      m.packet_count = r.u64();
+      m.byte_count = r.u64();
+      if (Status status = read_match(r, m.match); !status.ok()) {
+        return Result<OfMessage>::Fail(status.error().code, status.error().message);
+      }
+      message.payload = m;
+      return message;
+    }
+    case OfType::kMultipartRequest: {
+      DFI_REQUIRE(r, 8, "MULTIPART_REQUEST header");
+      MultipartRequestMsg m;
+      m.stats_type = r.u16();
+      r.skip(2);  // flags
+      r.skip(4);  // pad
+      if (m.stats_type == kStatsTypeFlow) {
+        DFI_REQUIRE(r, 32, "flow stats request");
+        m.flow_request.table_id = r.u8();
+        r.skip(3);
+        r.skip(8);  // out_port, out_group
+        r.skip(4);  // pad
+        m.flow_request.cookie = Cookie{r.u64()};
+        m.flow_request.cookie_mask = Cookie{r.u64()};
+        if (Status status = read_match(r, m.flow_request.match); !status.ok()) {
+          return Result<OfMessage>::Fail(status.error().code, status.error().message);
+        }
+      } else if (m.stats_type == kStatsTypePort) {
+        DFI_REQUIRE(r, 8, "port stats request");
+        m.port_no = PortNo{r.u32()};
+        r.skip(4);
+      }
+      message.payload = m;
+      return message;
+    }
+    case OfType::kMultipartReply: {
+      DFI_REQUIRE(r, 8, "MULTIPART_REPLY header");
+      MultipartReplyMsg m;
+      m.stats_type = r.u16();
+      r.skip(2);
+      r.skip(4);
+      if (m.stats_type == kStatsTypePort) {
+        while (r.remaining() > 0) {
+          DFI_REQUIRE(r, 112, "port stats entry");
+          PortStatsEntry entry;
+          entry.port_no = PortNo{r.u32()};
+          r.skip(4);
+          entry.rx_packets = r.u64();
+          entry.tx_packets = r.u64();
+          entry.rx_bytes = r.u64();
+          entry.tx_bytes = r.u64();
+          entry.rx_dropped = r.u64();
+          entry.tx_dropped = r.u64();
+          r.skip(48);
+          entry.duration_sec = r.u32();
+          r.skip(4);
+          m.port_stats.push_back(entry);
+        }
+      }
+      if (m.stats_type == kStatsTypeFlow) {
+        while (r.remaining() > 0) {
+          DFI_REQUIRE(r, 48, "flow stats entry");
+          const std::size_t entry_start = r.pos();
+          FlowStatsEntry entry;
+          const std::uint16_t entry_len = r.u16();
+          if (entry_len < 48) {
+            return Result<OfMessage>::Fail(ErrorCode::kMalformed, "bad stats entry length");
+          }
+          entry.table_id = r.u8();
+          r.skip(1);
+          entry.duration_sec = r.u32();
+          r.skip(4);  // duration_nsec
+          entry.priority = r.u16();
+          entry.idle_timeout = r.u16();
+          entry.hard_timeout = r.u16();
+          r.skip(2);  // flags
+          r.skip(4);  // pad
+          entry.cookie = Cookie{r.u64()};
+          entry.packet_count = r.u64();
+          entry.byte_count = r.u64();
+          if (Status status = read_match(r, entry.match); !status.ok()) {
+            return Result<OfMessage>::Fail(status.error().code, status.error().message);
+          }
+          const std::size_t consumed = r.pos() - entry_start;
+          if (consumed > entry_len || !r.has(entry_len - consumed)) {
+            return Result<OfMessage>::Fail(ErrorCode::kMalformed, "stats entry overrun");
+          }
+          if (Status status = read_instructions(r, entry_len - consumed, entry.instructions);
+              !status.ok()) {
+            return Result<OfMessage>::Fail(status.error().code, status.error().message);
+          }
+          m.flow_stats.push_back(std::move(entry));
+        }
+      }
+      message.payload = m;
+      return message;
+    }
+    case OfType::kBarrierRequest:
+      message.payload = BarrierRequestMsg{};
+      return message;
+    case OfType::kBarrierReply:
+      message.payload = BarrierReplyMsg{};
+      return message;
+  }
+  return Result<OfMessage>::Fail(ErrorCode::kUnsupported,
+                                 "message type " + std::to_string(type));
+}
+
+}  // namespace
+
+Result<OfMessage> decode(const std::vector<std::uint8_t>& bytes) {
+  return decode_frame(bytes.data(), bytes.size());
+}
+
+void FrameDecoder::feed(const std::vector<std::uint8_t>& chunk) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+}
+
+std::vector<Result<OfMessage>> FrameDecoder::drain() {
+  std::vector<Result<OfMessage>> messages;
+  std::size_t offset = 0;
+  while (buffer_.size() - offset >= 8) {
+    const std::size_t frame_len =
+        (static_cast<std::size_t>(buffer_[offset + 2]) << 8) | buffer_[offset + 3];
+    if (frame_len < 8) {
+      // Unrecoverable framing corruption: report and reset the stream.
+      messages.push_back(
+          Result<OfMessage>::Fail(ErrorCode::kMalformed, "frame length < 8"));
+      buffer_.clear();
+      return messages;
+    }
+    if (buffer_.size() - offset < frame_len) break;  // incomplete frame
+    messages.push_back(decode_frame(buffer_.data() + offset, frame_len));
+    offset += frame_len;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+  return messages;
+}
+
+}  // namespace dfi

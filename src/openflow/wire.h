@@ -1,0 +1,41 @@
+// OpenFlow 1.3 binary wire codec (subset).
+//
+// The proxy in the paper interposes on the actual OpenFlow TCP connections
+// between switches and the controller, parsing messages with OpenFlowJ and
+// rewriting table references. To exercise the same mechanism, switches,
+// controller and proxy here exchange real OF 1.3 byte streams: 8-byte
+// ofp_header framing, OXM TLV matches, instruction/action TLVs. The codec
+// covers the message subset in messages.h and rejects the rest cleanly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "openflow/messages.h"
+
+namespace dfi {
+
+// Encode one message to wire bytes (ofp_header + body).
+std::vector<std::uint8_t> encode(const OfMessage& message);
+
+// Decode exactly one message from `bytes` (must contain exactly one frame).
+Result<OfMessage> decode(const std::vector<std::uint8_t>& bytes);
+
+// Stream decoder: feed arbitrary byte chunks, pop complete messages. Models
+// the TCP byte-stream the proxy actually reads.
+class FrameDecoder {
+ public:
+  void feed(const std::vector<std::uint8_t>& chunk);
+
+  // Returns decoded messages in arrival order; malformed frames produce an
+  // Error result but do not desynchronize the stream (length-prefixed).
+  std::vector<Result<OfMessage>> drain();
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace dfi

@@ -1,0 +1,83 @@
+#include "services/dhcp.h"
+
+#include <cassert>
+
+namespace dfi {
+
+DhcpServer::DhcpServer(MessageBus& bus, ClockFn clock, Ipv4Address pool_base,
+                       std::uint32_t pool_size)
+    : bus_(bus), clock_(std::move(clock)), pool_base_(pool_base), pool_size_(pool_size) {
+  assert(clock_);
+  assert(pool_size_ > 0);
+}
+
+Result<Ipv4Address> DhcpServer::lease(MacAddress mac,
+                                      std::optional<Ipv4Address> requested) {
+  if (const auto existing = by_mac_.find(mac); existing != by_mac_.end()) {
+    if (!requested.has_value() || *requested == existing->second) {
+      publish(mac, existing->second, /*released=*/false);  // renewal
+      return existing->second;
+    }
+    // Client requests a different address: release the old lease first.
+    release(mac);
+  }
+
+  Ipv4Address chosen;
+  if (requested.has_value()) {
+    const std::uint32_t offset = requested->value() - pool_base_.value();
+    if (offset >= pool_size_) {
+      return Result<Ipv4Address>::Fail(ErrorCode::kOutOfRange,
+                                       "requested address outside pool");
+    }
+    if (by_ip_.count(*requested) != 0) {
+      return Result<Ipv4Address>::Fail(ErrorCode::kAlreadyExists,
+                                       "requested address already leased");
+    }
+    chosen = *requested;
+  } else {
+    bool found = false;
+    for (std::uint32_t i = 0; i < pool_size_; ++i) {
+      const Ipv4Address candidate(pool_base_.value() + i);
+      if (by_ip_.count(candidate) == 0) {
+        chosen = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Result<Ipv4Address>::Fail(ErrorCode::kOutOfRange, "DHCP pool exhausted");
+    }
+  }
+
+  by_mac_[mac] = chosen;
+  by_ip_[chosen] = mac;
+  publish(mac, chosen, /*released=*/false);
+  return chosen;
+}
+
+void DhcpServer::release(MacAddress mac) {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return;
+  const Ipv4Address ip = it->second;
+  by_ip_.erase(ip);
+  by_mac_.erase(it);
+  publish(mac, ip, /*released=*/true);
+}
+
+std::optional<Ipv4Address> DhcpServer::lookup(MacAddress mac) const {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<MacAddress> DhcpServer::reverse_lookup(Ipv4Address ip) const {
+  const auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DhcpServer::publish(MacAddress mac, Ipv4Address ip, bool released) {
+  bus_.publish(topics::kDhcpEvents, DhcpLeaseEvent{mac, ip, released, clock_()});
+}
+
+}  // namespace dfi

@@ -1,0 +1,93 @@
+#include "services/directory.h"
+
+namespace dfi {
+
+Status DirectoryService::add_user(UserRecord user) {
+  const auto [it, inserted] = users_.emplace(user.name, user);
+  (void)it;
+  if (!inserted) {
+    return Status::Fail(ErrorCode::kAlreadyExists, "user exists: " + user.name.value);
+  }
+  return Status::Ok();
+}
+
+Status DirectoryService::add_host(HostRecord host) {
+  const auto [it, inserted] = hosts_.emplace(host.name, host);
+  (void)it;
+  if (!inserted) {
+    return Status::Fail(ErrorCode::kAlreadyExists, "host exists: " + host.name.value);
+  }
+  return Status::Ok();
+}
+
+const UserRecord* DirectoryService::find_user(const Username& user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+const HostRecord* DirectoryService::find_host(const Hostname& host) const {
+  const auto it = hosts_.find(host);
+  return it == hosts_.end() ? nullptr : &it->second;
+}
+
+std::vector<Username> DirectoryService::users_in_enclave(const std::string& enclave) const {
+  std::vector<Username> out;
+  for (const auto& [name, record] : users_) {
+    if (record.enclave == enclave) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<Hostname> DirectoryService::hosts_in_enclave(const std::string& enclave) const {
+  std::vector<Hostname> out;
+  for (const auto& [name, record] : hosts_) {
+    if (record.enclave == enclave) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> DirectoryService::enclaves() const {
+  std::set<std::string> seen;
+  for (const auto& [name, record] : hosts_) seen.insert(record.enclave);
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<Hostname> DirectoryService::all_hosts() const {
+  std::vector<Hostname> out;
+  out.reserve(hosts_.size());
+  for (const auto& [name, record] : hosts_) out.push_back(name);
+  return out;
+}
+
+std::vector<Username> DirectoryService::all_users() const {
+  std::vector<Username> out;
+  out.reserve(users_.size());
+  for (const auto& [name, record] : users_) out.push_back(name);
+  return out;
+}
+
+bool DirectoryService::is_local_admin(const Username& user, const Hostname& host) const {
+  const UserRecord* user_record = find_user(user);
+  const HostRecord* host_record = find_host(host);
+  if (user_record == nullptr || host_record == nullptr) return false;
+  if (host_record->is_server) return false;
+  return user_record->enclave == host_record->enclave;
+}
+
+void DirectoryService::record_logon(const Username& user, const Hostname& host) {
+  const HostRecord* host_record = find_host(host);
+  if (host_record == nullptr || host_record->is_server) return;
+  credential_cache_[host].insert(user);
+}
+
+std::vector<Username> DirectoryService::cached_credentials(const Hostname& host) const {
+  const auto it = credential_cache_.find(host);
+  if (it == credential_cache_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void DirectoryService::clear_credentials(const Hostname& host) {
+  credential_cache_.erase(host);
+}
+
+}  // namespace dfi

@@ -1,0 +1,72 @@
+// Directory service surrogate (Active Directory).
+//
+// Holds the organizational model the worm experiment needs (paper Section
+// V-B): users with a primary host, enclave (department) groups whose members
+// hold Local Administrator on each other's hosts, and the credential-cache
+// behaviour NotPetya exploits — a user's credential is cached on every host
+// they have logged onto and stays there until explicitly cleared, so an
+// attacker with system privileges can replay it even after log-off.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace dfi {
+
+struct UserRecord {
+  Username name;
+  std::string enclave;               // department / group
+  std::optional<Hostname> primary_host;
+};
+
+struct HostRecord {
+  Hostname name;
+  std::string enclave;
+  bool is_server = false;
+};
+
+class DirectoryService {
+ public:
+  Status add_user(UserRecord user);
+  Status add_host(HostRecord host);
+
+  const UserRecord* find_user(const Username& user) const;
+  const HostRecord* find_host(const Hostname& host) const;
+
+  std::vector<Username> users_in_enclave(const std::string& enclave) const;
+  std::vector<Hostname> hosts_in_enclave(const std::string& enclave) const;
+  std::vector<std::string> enclaves() const;
+  std::vector<Hostname> all_hosts() const;
+  std::vector<Username> all_users() const;
+
+  // Local Administrator check: a user is local admin on a host iff the host
+  // is an end host in the user's enclave (paper: "other users in the same
+  // enclave group have Local Administrator privileges on the host").
+  // Servers grant no one local admin.
+  bool is_local_admin(const Username& user, const Hostname& host) const;
+
+  // ------------------------------------------------------ credential cache
+  // Record that `user` authenticated on `host`: their credential is now
+  // cached there. Servers are configured not to cache (paper: "servers ...
+  // are otherwise defended against credential theft by configuration").
+  void record_logon(const Username& user, const Hostname& host);
+
+  // Credentials an attacker with system privileges can dump from `host`.
+  std::vector<Username> cached_credentials(const Hostname& host) const;
+
+  // Clear the cache (not used by the scenario; for completeness/tests).
+  void clear_credentials(const Hostname& host);
+
+ private:
+  std::map<Username, UserRecord> users_;
+  std::map<Hostname, HostRecord> hosts_;
+  std::map<Hostname, std::set<Username>> credential_cache_;
+};
+
+}  // namespace dfi

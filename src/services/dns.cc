@@ -1,0 +1,57 @@
+#include "services/dns.h"
+
+#include <cassert>
+
+namespace dfi {
+
+DnsServer::DnsServer(MessageBus& bus, ClockFn clock)
+    : bus_(bus), clock_(std::move(clock)) {
+  assert(clock_);
+}
+
+void DnsServer::register_record(const Hostname& host, Ipv4Address ip) {
+  // An address maps to one hostname; steal it if re-registered (DHCP churn).
+  if (const auto prev = reverse_.find(ip); prev != reverse_.end() && prev->second != host) {
+    remove_record(prev->second, ip);
+  }
+  const bool inserted = forward_[host].insert(ip).second;
+  reverse_[ip] = host;
+  if (inserted) {
+    bus_.publish(topics::kDnsEvents, DnsRecordEvent{host, ip, false, clock_()});
+  }
+}
+
+void DnsServer::remove_record(const Hostname& host, Ipv4Address ip) {
+  const auto it = forward_.find(host);
+  if (it == forward_.end() || it->second.erase(ip) == 0) return;
+  if (it->second.empty()) forward_.erase(it);
+  reverse_.erase(ip);
+  bus_.publish(topics::kDnsEvents, DnsRecordEvent{host, ip, true, clock_()});
+}
+
+void DnsServer::remove_host(const Hostname& host) {
+  const auto it = forward_.find(host);
+  if (it == forward_.end()) return;
+  const std::set<Ipv4Address> ips = it->second;
+  for (Ipv4Address ip : ips) remove_record(host, ip);
+}
+
+std::vector<Ipv4Address> DnsServer::resolve(const Hostname& host) const {
+  const auto it = forward_.find(host);
+  if (it == forward_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::optional<Hostname> DnsServer::reverse(Ipv4Address ip) const {
+  const auto it = reverse_.find(ip);
+  if (it == reverse_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t DnsServer::record_count() const {
+  std::size_t count = 0;
+  for (const auto& [host, ips] : forward_) count += ips.size();
+  return count;
+}
+
+}  // namespace dfi

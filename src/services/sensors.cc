@@ -1,0 +1,54 @@
+#include "services/sensors.h"
+
+namespace dfi {
+
+std::string to_string(BindingKind kind) {
+  switch (kind) {
+    case BindingKind::kUserHost: return "user-host";
+    case BindingKind::kHostIp: return "host-ip";
+    case BindingKind::kIpMac: return "ip-mac";
+    case BindingKind::kMacLocation: return "mac-location";
+  }
+  return "?";
+}
+
+IpMacSensor::IpMacSensor(MessageBus& bus)
+    : bus_(bus),
+      subscription_(bus.subscribe<DhcpLeaseEvent>(
+          topics::kDhcpEvents, [this](const DhcpLeaseEvent& event) {
+            BindingEvent binding;
+            binding.kind = BindingKind::kIpMac;
+            binding.retracted = event.released;
+            binding.ip = event.ip;
+            binding.mac = event.mac;
+            binding.at = event.at;
+            bus_.publish(topics::kErmBindings, binding);
+          })) {}
+
+HostIpSensor::HostIpSensor(MessageBus& bus)
+    : bus_(bus),
+      subscription_(bus.subscribe<DnsRecordEvent>(
+          topics::kDnsEvents, [this](const DnsRecordEvent& event) {
+            BindingEvent binding;
+            binding.kind = BindingKind::kHostIp;
+            binding.retracted = event.removed;
+            binding.host = event.host;
+            binding.ip = event.ip;
+            binding.at = event.at;
+            bus_.publish(topics::kErmBindings, binding);
+          })) {}
+
+UserHostSensor::UserHostSensor(MessageBus& bus)
+    : bus_(bus),
+      subscription_(bus.subscribe<SessionEvent>(
+          topics::kSiemSessions, [this](const SessionEvent& event) {
+            BindingEvent binding;
+            binding.kind = BindingKind::kUserHost;
+            binding.retracted = !event.logged_on;
+            binding.user = event.user;
+            binding.host = event.host;
+            binding.at = event.at;
+            bus_.publish(topics::kErmBindings, binding);
+          })) {}
+
+}  // namespace dfi

@@ -1,0 +1,59 @@
+// Identifier-binding sensors (paper Figure 3 and Section IV-A).
+//
+// Each sensor subscribes to its authoritative source's event topic and
+// republishes normalized BindingEvents on `erm.bindings` for the Entity
+// Resolution Manager. Collecting bindings only from authoritative sources
+// is what prevents endpoint attackers from poisoning DFI's view: a host
+// cannot claim an IP the DHCP server never leased to it.
+//
+// The fourth binding (MAC <-> switch port) has no data-plane authoritative
+// service; it is observed from Packet-in events inside the PCP, which
+// publishes the same BindingEvent type (see core/pcp.h).
+#pragma once
+
+#include "bus/message_bus.h"
+#include "services/events.h"
+
+namespace dfi {
+
+// DHCP -> IP<->MAC bindings.
+class IpMacSensor {
+ public:
+  explicit IpMacSensor(MessageBus& bus);
+
+ private:
+  MessageBus& bus_;
+  Subscription subscription_;
+};
+
+// DNS -> hostname<->IP bindings.
+class HostIpSensor {
+ public:
+  explicit HostIpSensor(MessageBus& bus);
+
+ private:
+  MessageBus& bus_;
+  Subscription subscription_;
+};
+
+// SIEM sessions -> username<->hostname bindings.
+class UserHostSensor {
+ public:
+  explicit UserHostSensor(MessageBus& bus);
+
+ private:
+  MessageBus& bus_;
+  Subscription subscription_;
+};
+
+// Convenience bundle: all three data-plane sensors.
+struct SensorSuite {
+  explicit SensorSuite(MessageBus& bus)
+      : ip_mac(bus), host_ip(bus), user_host(bus) {}
+
+  IpMacSensor ip_mac;
+  HostIpSensor host_ip;
+  UserHostSensor user_host;
+};
+
+}  // namespace dfi

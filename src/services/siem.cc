@@ -1,0 +1,61 @@
+#include "services/siem.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace dfi {
+
+SiemService::SiemService(MessageBus& bus, ClockFn clock)
+    : bus_(bus), clock_(std::move(clock)) {
+  assert(clock_);
+}
+
+void SiemService::process_created(const Username& user, const Hostname& host) {
+  int& count = process_counts_[{user, host}];
+  ++count;
+  if (count == 1) {
+    bus_.publish(topics::kSiemSessions, SessionEvent{user, host, true, clock_()});
+  }
+}
+
+void SiemService::process_terminated(const Username& user, const Hostname& host) {
+  const auto it = process_counts_.find({user, host});
+  if (it == process_counts_.end() || it->second == 0) {
+    DFI_WARN << "SIEM: termination without matching creation for " << user.value
+             << "@" << host.value;
+    return;
+  }
+  --it->second;
+  if (it->second == 0) {
+    process_counts_.erase(it);
+    bus_.publish(topics::kSiemSessions, SessionEvent{user, host, false, clock_()});
+  }
+}
+
+bool SiemService::is_logged_on(const Username& user, const Hostname& host) const {
+  return process_count(user, host) > 0;
+}
+
+int SiemService::process_count(const Username& user, const Hostname& host) const {
+  const auto it = process_counts_.find({user, host});
+  return it == process_counts_.end() ? 0 : it->second;
+}
+
+std::vector<Hostname> SiemService::sessions_of(const Username& user) const {
+  std::vector<Hostname> out;
+  for (const auto& [key, count] : process_counts_) {
+    if (key.first == user && count > 0) out.push_back(key.second);
+  }
+  return out;
+}
+
+std::vector<Username> SiemService::users_on(const Hostname& host) const {
+  std::vector<Username> out;
+  for (const auto& [key, count] : process_counts_) {
+    if (key.second == host && count > 0) out.push_back(key.first);
+  }
+  return out;
+}
+
+}  // namespace dfi

@@ -1,0 +1,47 @@
+#include "sim/service_station.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dfi {
+
+ServiceStation::ServiceStation(Simulator& sim, std::size_t workers,
+                               std::size_t queue_capacity)
+    : sim_(sim), workers_(workers), queue_capacity_(queue_capacity) {
+  assert(workers_ > 0);
+}
+
+bool ServiceStation::submit(ServiceTimeFn service_time, DoneFn on_done, DropFn on_drop) {
+  if (busy_workers_ >= workers_ && queue_.size() >= queue_capacity_) {
+    ++stats_.dropped;
+    if (on_drop) on_drop(sim_.now());
+    return false;
+  }
+  ++stats_.accepted;
+  queue_.push_back(Job{sim_.now(), std::move(service_time), std::move(on_done)});
+  stats_.max_queue_depth = std::max<std::uint64_t>(stats_.max_queue_depth, queue_.size());
+  try_dispatch();
+  return true;
+}
+
+void ServiceStation::try_dispatch() {
+  while (busy_workers_ < workers_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_workers_;
+    const SimDuration duration = job.service_time ? job.service_time() : SimDuration{};
+    sim_.schedule_after(duration, [this, job = std::move(job)]() mutable {
+      finish(std::move(job));
+    });
+  }
+}
+
+void ServiceStation::finish(Job job) {
+  assert(busy_workers_ > 0);
+  --busy_workers_;
+  ++stats_.completed;
+  if (job.on_done) job.on_done(job.enqueued, sim_.now());
+  try_dispatch();
+}
+
+}  // namespace dfi

@@ -1,0 +1,62 @@
+// Bounded-queue, multi-worker service station.
+//
+// Models the capacity of the DFI control plane (paper Section V-A): flow
+// requests are served by a pool of workers (concurrent query pipelines in
+// the Java implementation); when all workers are busy, requests wait in a
+// bounded FIFO queue; arrivals that find the queue full are *dropped* — the
+// paper observes that dropped flows re-enter on TCP retransmission, which
+// produces the ~200 ms TTFB plateau past saturation in Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+
+struct ServiceStationStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t max_queue_depth = 0;
+};
+
+class ServiceStation {
+ public:
+  // `service_time` is sampled per job; `on_done(start, end)` runs at
+  // completion; `on_drop` runs immediately when the queue rejects a job.
+  using ServiceTimeFn = std::function<SimDuration()>;
+  using DoneFn = std::function<void(SimTime enqueued, SimTime completed)>;
+  using DropFn = std::function<void(SimTime at)>;
+
+  ServiceStation(Simulator& sim, std::size_t workers, std::size_t queue_capacity);
+
+  // Submit a job. Returns false (and calls on_drop) if the queue is full.
+  bool submit(ServiceTimeFn service_time, DoneFn on_done, DropFn on_drop = nullptr);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t busy_workers() const { return busy_workers_; }
+  const ServiceStationStats& stats() const { return stats_; }
+
+ private:
+  struct Job {
+    SimTime enqueued;
+    ServiceTimeFn service_time;
+    DoneFn on_done;
+  };
+
+  void try_dispatch();
+  void finish(Job job);
+
+  Simulator& sim_;
+  std::size_t workers_;
+  std::size_t queue_capacity_;
+  std::size_t busy_workers_ = 0;
+  std::deque<Job> queue_;
+  ServiceStationStats stats_;
+};
+
+}  // namespace dfi

@@ -1,0 +1,44 @@
+#include "sim/simulator.h"
+
+#include <limits>
+#include <utility>
+
+namespace dfi {
+
+void Simulator::schedule_at(SimTime at, Handler handler) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(handler)});
+}
+
+void Simulator::schedule_after(SimDuration delay, Handler handler) {
+  if (delay.us < 0) delay.us = 0;
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+std::uint64_t Simulator::run() {
+  return run_until(SimTime{std::numeric_limits<std::int64_t>::max()});
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the handler must be moved out, so
+    // copy the event envelope and pop before running (handlers may schedule).
+    const Event& top = queue_.top();
+    if (top.at > horizon) break;
+    Event event{top.at, top.seq, std::move(const_cast<Event&>(top).handler)};
+    queue_.pop();
+    now_ = event.at;
+    event.handler();
+    ++executed_;
+    ++count;
+  }
+  if (queue_.empty() || queue_.top().at > horizon) {
+    if (horizon.us != std::numeric_limits<std::int64_t>::max() && now_ < horizon) {
+      now_ = horizon;
+    }
+  }
+  return count;
+}
+
+}  // namespace dfi

@@ -1,0 +1,51 @@
+// Streaming statistics helpers for experiment harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfi {
+
+// Welford's online mean/variance plus retained samples for percentiles.
+class SampleStats {
+ public:
+  void add(double value);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Percentile in [0, 100]; sorts lazily.
+  double percentile(double pct) const;
+
+  std::string summary() const;  // "mean=... sd=... n=..."
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// (time, value) series for figure reproduction (infection curves, TTFB).
+struct TimeSeries {
+  struct Point {
+    double t;
+    double value;
+  };
+  std::vector<Point> points;
+
+  void add(double t, double value) { points.push_back({t, value}); }
+  // Value of the step function at time t (last point with point.t <= t).
+  double value_at(double t) const;
+};
+
+}  // namespace dfi

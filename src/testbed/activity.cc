@@ -1,0 +1,103 @@
+#include "testbed/activity.h"
+
+#include <algorithm>
+
+namespace dfi {
+namespace {
+
+SimTime at_hours(double h) { return SimTime{} + hours(h); }
+
+}  // namespace
+
+ActivityScript generate_activity_script(Rng& rng) {
+  ActivityScript script;
+
+  // Early-morning stint (rare).
+  if (rng.chance(0.08)) {
+    const double start = rng.uniform_real(5.0, 7.5);
+    const double duration = rng.uniform_real(0.25, 1.0);
+    script.push_back({at_hours(start), at_hours(start + duration)});
+  }
+
+  // Guaranteed morning block, always yielding >= 2 h inside 09:00-13:00.
+  // Starts are bimodal: most users are at their desks by 09:00, a minority
+  // trickles in later (the paper's AT-RBAC run hinges on both populations:
+  // early users make the 09:00 foothold spread; one enclave survived
+  // because its vulnerable host was not logged into until 10:46).
+  {
+    double start, duration;
+    if (rng.chance(0.6)) {
+      // Early bird: at the desk before 09:00; must stay until >= 11:00 to
+      // bank two hours inside the window.
+      start = rng.uniform_real(7.5, 9.0);
+      duration = rng.uniform_real(3.5, 5.5);
+    } else {
+      // Late starter: beginning at 09:00-10:45 (start + 3 h <= 13:45 keeps
+      // at least 2.25 h inside the window).
+      start = rng.uniform_real(9.0, 10.75);
+      duration = rng.uniform_real(3.0, 4.5);
+    }
+    script.push_back({at_hours(start), at_hours(start + duration)});
+  }
+
+  // Afternoon block (common).
+  if (rng.chance(0.75)) {
+    const double start = rng.uniform_real(13.5, 15.5);
+    const double duration = rng.uniform_real(1.0, 3.0);
+    script.push_back({at_hours(start), at_hours(start + duration)});
+  }
+
+  // Evening stint (uncommon).
+  if (rng.chance(0.15)) {
+    const double start = rng.uniform_real(18.0, 21.0);
+    const double duration = rng.uniform_real(0.5, 1.5);
+    script.push_back({at_hours(start), at_hours(start + duration)});
+  }
+
+  std::sort(script.begin(), script.end(),
+            [](const LogonInterval& a, const LogonInterval& b) { return a.on < b.on; });
+
+  // Merge any overlaps so SIEM events nest cleanly.
+  ActivityScript merged;
+  for (const auto& interval : script) {
+    if (!merged.empty() && interval.on <= merged.back().off) {
+      merged.back().off = std::max(merged.back().off, interval.off);
+    } else {
+      merged.push_back(interval);
+    }
+  }
+  return merged;
+}
+
+SimDuration logged_on_within(const ActivityScript& script, SimTime from, SimTime to) {
+  SimDuration total{};
+  for (const auto& interval : script) {
+    const SimTime lo = std::max(interval.on, from);
+    const SimTime hi = std::min(interval.off, to);
+    if (lo < hi) total = total + (hi - lo);
+  }
+  return total;
+}
+
+bool logged_on_at(const ActivityScript& script, SimTime t) {
+  for (const auto& interval : script) {
+    if (interval.on <= t && t < interval.off) return true;
+  }
+  return false;
+}
+
+void schedule_script(Simulator& sim, SiemService& siem, DirectoryService& directory,
+                     const Username& user, const Hostname& host,
+                     const ActivityScript& script) {
+  for (const auto& interval : script) {
+    sim.schedule_at(interval.on, [&siem, &directory, user, host]() {
+      directory.record_logon(user, host);
+      siem.process_created(user, host);
+    });
+    sim.schedule_at(interval.off, [&siem, user, host]() {
+      siem.process_terminated(user, host);
+    });
+  }
+}
+
+}  // namespace dfi

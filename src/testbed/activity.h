@@ -1,0 +1,48 @@
+// User log-on/log-off activity scripts (paper Section V-B).
+//
+// Each testbed user is assigned a random time-series "script" establishing
+// when they are logged onto their primary host over the simulated business
+// day. Per the paper: every script has at least two hours logged on during
+// the first half of the work day (09:00-13:00), and activity dwindles
+// outside business hours (which is what makes off-hours footholds
+// ineffective under AT-RBAC — Fig. 5b).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "services/directory.h"
+#include "services/siem.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+
+struct LogonInterval {
+  SimTime on;
+  SimTime off;
+};
+
+using ActivityScript = std::vector<LogonInterval>;
+
+// Generate one day's script: a guaranteed morning block plus probabilistic
+// afternoon/evening/early-morning blocks. Intervals are sorted and disjoint.
+ActivityScript generate_activity_script(Rng& rng);
+
+// Total logged-on time within [from, to].
+SimDuration logged_on_within(const ActivityScript& script, SimTime from, SimTime to);
+
+// True if the script has the user logged on at time `t`.
+bool logged_on_at(const ActivityScript& script, SimTime t);
+
+// Schedule the script's sessions: at each log-on the endpoint's SIEM
+// collector reports a process creation (which flips the SIEM's count to >0)
+// and the credential is cached in the directory; at each log-off the
+// process terminates.
+void schedule_script(Simulator& sim, SiemService& siem, DirectoryService& directory,
+                     const Username& user, const Hostname& host,
+                     const ActivityScript& script);
+
+}  // namespace dfi

@@ -1,0 +1,117 @@
+// Enterprise testbed builder (paper Section V-B).
+//
+// Reproduces the paper's testbed shape: 86 end hosts and 6 servers across a
+// star of 14 OpenFlow switches (one core, 13 enclave switches). Nine
+// department enclaves hold 9 hosts each, a tenth smaller department holds
+// 5, and the remaining three enclaves hold the 6 servers. One end host per
+// department enclave (10 total) is vulnerable to the worm's exploit, as are
+// all servers. Every host has a unique primary user; users of the same
+// department are Local Administrators on each other's machines. An AD
+// server (srv-ad) provides DHCP/DNS/directory services.
+//
+// The builder wires the chosen control-plane condition (paper Fig. 5):
+//   kBaseline  - controller only, no access control beyond forwarding;
+//   kSRbac     - DFI enforcing the static role-based policy;
+//   kAtRbac    - DFI enforcing the authentication-triggered policy.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.h"
+#include "controller/learning_controller.h"
+#include "core/dfi_system.h"
+#include "core/pdps/atrbac.h"
+#include "core/pdps/srbac.h"
+#include "services/dhcp.h"
+#include "services/directory.h"
+#include "services/dns.h"
+#include "services/siem.h"
+#include "sim/simulator.h"
+#include "testbed/activity.h"
+#include "testbed/network.h"
+
+namespace dfi {
+
+enum class PolicyCondition { kBaseline, kSRbac, kAtRbac };
+
+inline const char* to_string(PolicyCondition condition) {
+  switch (condition) {
+    case PolicyCondition::kBaseline: return "baseline";
+    case PolicyCondition::kSRbac: return "S-RBAC";
+    case PolicyCondition::kAtRbac: return "AT-RBAC";
+  }
+  return "?";
+}
+
+struct EnterpriseConfig {
+  PolicyCondition condition = PolicyCondition::kBaseline;
+  std::uint64_t seed = 42;  // drives activity scripts & DFI latency sampling
+  NetworkConfig network;
+  DfiConfig dfi;
+  ControllerConfig controller;
+  std::uint16_t service_port = 445;  // the worm's target service (SMB)
+};
+
+class EnterpriseTestbed {
+ public:
+  explicit EnterpriseTestbed(EnterpriseConfig config);
+
+  Simulator& sim() { return sim_; }
+  MessageBus& bus() { return bus_; }
+  Network& network() { return *network_; }
+  DirectoryService& directory() { return directory_; }
+  SiemService& siem() { return *siem_; }
+  DhcpServer& dhcp() { return *dhcp_; }
+  DnsServer& dns() { return *dns_; }
+  LearningController& controller() { return *controller_; }
+  // Null in the baseline condition.
+  DfiSystem* dfi() { return dfi_.get(); }
+  AtRbacPdp* atrbac() { return atrbac_.get(); }
+  const EnterpriseConfig& config() const { return config_; }
+
+  // All endpoints (hosts + servers), their metadata and lookup helpers.
+  const std::vector<Hostname>& endpoints() const { return endpoints_; }
+  const std::vector<Hostname>& servers() const { return servers_; }
+  bool is_vulnerable(const Hostname& host) const {
+    return vulnerable_.count(host) != 0;
+  }
+  Host* host(const Hostname& name) { return network_->find_host(name); }
+  std::optional<Username> primary_user(const Hostname& host) const;
+
+  // Generate (seeded) scripts for all users and schedule their SIEM events.
+  void schedule_all_activity();
+  const std::map<Username, ActivityScript>& scripts() const { return scripts_; }
+
+ private:
+  void build_topology();
+  void provision_endpoints();
+  void attach_control_plane();
+
+  EnterpriseConfig config_;
+  Simulator sim_;
+  MessageBus bus_;
+  Rng rng_;
+
+  DirectoryService directory_;
+  std::unique_ptr<SiemService> siem_;
+  std::unique_ptr<DhcpServer> dhcp_;
+  std::unique_ptr<DnsServer> dns_;
+  std::unique_ptr<DfiSystem> dfi_;
+  std::unique_ptr<LearningController> controller_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<SRbacPdp> srbac_;
+  std::unique_ptr<AtRbacPdp> atrbac_;
+
+  std::vector<Hostname> endpoints_;
+  std::vector<Hostname> servers_;
+  std::set<Hostname> vulnerable_;
+  std::map<Hostname, Username> primary_users_;
+  std::map<Username, ActivityScript> scripts_;
+};
+
+}  // namespace dfi

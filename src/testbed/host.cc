@@ -1,0 +1,208 @@
+#include "testbed/host.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace dfi {
+
+Host::Host(Simulator& sim, Hostname name, MacAddress mac, std::shared_ptr<ArpTable> arp)
+    : sim_(sim), name_(std::move(name)), mac_(mac), arp_(std::move(arp)) {}
+
+std::optional<MacAddress> Host::resolve(Ipv4Address ip) const {
+  if (const auto cached = arp_cache_.find(ip); cached != arp_cache_.end()) {
+    return cached->second;
+  }
+  if (!arp_) return std::nullopt;
+  const auto it = arp_->find(ip);
+  if (it == arp_->end()) return std::nullopt;
+  return it->second;
+}
+
+void Host::resolve_async(Ipv4Address ip,
+                         std::function<void(std::optional<MacAddress>)> done) {
+  if (const auto known = resolve(ip); known.has_value()) {
+    done(known);
+    return;
+  }
+  if (!arp_enabled_) {
+    done(std::nullopt);
+    return;
+  }
+  PendingArp& pending = arp_pending_[ip];
+  pending.waiters.push_back(std::move(done));
+  if (pending.waiters.size() == 1) {
+    pending.requests_sent = 1;
+    send_packet(make_arp_request(mac_, ip_, ip));
+    sim_.schedule_after(milliseconds(500), [this, ip]() { arp_retry(ip); });
+  }
+}
+
+void Host::arp_retry(Ipv4Address ip) {
+  const auto it = arp_pending_.find(ip);
+  if (it == arp_pending_.end()) return;  // already resolved
+  PendingArp& pending = it->second;
+  if (pending.requests_sent >= 3) {
+    const auto waiters = std::move(pending.waiters);
+    arp_pending_.erase(it);
+    for (const auto& waiter : waiters) waiter(std::nullopt);
+    return;
+  }
+  ++pending.requests_sent;
+  send_packet(make_arp_request(mac_, ip_, ip));
+  sim_.schedule_after(milliseconds(500), [this, ip]() { arp_retry(ip); });
+}
+
+void Host::handle_arp(const ArpHeader& arp) {
+  // Glean the sender's binding either way (standard ARP behaviour).
+  if (arp.sender_ip != Ipv4Address{}) {
+    arp_cache_[arp.sender_ip] = arp.sender_mac;
+  }
+  if (arp.op == ArpOp::kRequest && arp.target_ip == ip_) {
+    send_packet(make_arp_reply(mac_, ip_, arp.sender_mac, arp.sender_ip));
+    return;
+  }
+  // Release any waiters for the sender's address.
+  const auto it = arp_pending_.find(arp.sender_ip);
+  if (it != arp_pending_.end()) {
+    const auto waiters = std::move(it->second.waiters);
+    arp_pending_.erase(it);
+    for (const auto& waiter : waiters) waiter(arp.sender_mac);
+  }
+}
+
+void Host::connect(Ipv4Address dst_ip, std::uint16_t dst_port, ConnectCallback done,
+                   ConnectOptions options) {
+  resolve_async(dst_ip, [this, dst_ip, dst_port, done = std::move(done),
+                         options](std::optional<MacAddress> dst_mac) mutable {
+    if (!dst_mac.has_value()) {
+      ConnectResult result;
+      result.connected = false;
+      done(result);
+      return;
+    }
+    start_handshake(dst_ip, *dst_mac, dst_port, std::move(done), options);
+  });
+}
+
+void Host::start_handshake(Ipv4Address dst_ip, MacAddress dst_mac,
+                           std::uint16_t dst_port, ConnectCallback done,
+                           ConnectOptions options) {
+  auto pending = std::make_shared<PendingConnect>();
+  pending->dst_ip = dst_ip;
+  pending->dst_mac = dst_mac;
+  pending->dst_port = dst_port;
+  pending->src_port = next_src_port_++;
+  if (next_src_port_ == 0) next_src_port_ = 49152;  // wrap inside ephemeral range
+  pending->started = sim_.now();
+  pending->options = options;
+  pending->done = std::move(done);
+  pending_[pending->src_port] = pending;
+
+  send_syn(*pending);
+  schedule_retransmit(pending->src_port);
+
+  // Overall deadline.
+  const std::uint16_t src_port = pending->src_port;
+  sim_.schedule_after(options.timeout, [this, src_port]() {
+    const auto it = pending_.find(src_port);
+    if (it == pending_.end()) return;
+    ConnectResult result;
+    result.connected = false;
+    result.syn_transmissions = it->second->syn_sent;
+    finish(*it->second, result);
+  });
+}
+
+void Host::send_syn(const PendingConnect& pending) {
+  send_packet(make_tcp_packet(mac_, pending.dst_mac, ip_, pending.dst_ip,
+                              pending.src_port, pending.dst_port, kTcpSyn));
+}
+
+void Host::schedule_retransmit(std::uint16_t src_port) {
+  const auto it = pending_.find(src_port);
+  if (it == pending_.end()) return;
+  const SimDuration rto = it->second->options.rto;
+  sim_.schedule_after(rto, [this, src_port]() {
+    const auto entry = pending_.find(src_port);
+    if (entry == pending_.end()) return;
+    PendingConnect& pending = *entry->second;
+    if (pending.syn_sent > pending.options.max_syn_retries) return;
+    ++pending.syn_sent;
+    send_syn(pending);
+    schedule_retransmit(src_port);
+  });
+}
+
+void Host::finish(PendingConnect& pending, const ConnectResult& result) {
+  if (pending.finished) return;
+  pending.finished = true;
+  const ConnectCallback done = std::move(pending.done);
+  pending_.erase(pending.src_port);
+  if (done) done(result);
+}
+
+void Host::send_packet(const Packet& packet) {
+  ++packets_sent_;
+  if (transmit_) transmit_(packet.serialize());
+}
+
+void Host::receive(const std::vector<std::uint8_t>& bytes) {
+  // Flooded frames for other hosts reach us; a real NIC filters them by
+  // destination MAC before the stack ever parses the frame.
+  if (bytes.size() < 14) return;
+  bool for_us = true, broadcast = true;
+  const auto& mac_octets = mac_.octets();
+  for (int i = 0; i < 6; ++i) {
+    if (bytes[static_cast<std::size_t>(i)] != mac_octets[static_cast<std::size_t>(i)]) {
+      for_us = false;
+    }
+    if (bytes[static_cast<std::size_t>(i)] != 0xff) broadcast = false;
+  }
+  if (!for_us && !broadcast) return;
+
+  const auto parsed = Packet::parse(bytes);
+  if (!parsed.ok()) return;
+  const Packet& packet = parsed.value();
+  ++packets_received_;
+  if (packet_hook_) packet_hook_(packet);
+
+  if (packet.arp.has_value()) {
+    handle_arp(*packet.arp);
+    return;
+  }
+  if (!packet.ipv4.has_value() || !packet.tcp.has_value()) return;
+  if (packet.ipv4->dst != ip_) return;
+  const TcpHeader& tcp = *packet.tcp;
+
+  const bool is_syn = (tcp.flags & kTcpSyn) != 0 && (tcp.flags & kTcpAck) == 0;
+  const bool is_syn_ack = (tcp.flags & kTcpSyn) != 0 && (tcp.flags & kTcpAck) != 0;
+  const bool is_rst = (tcp.flags & kTcpRst) != 0;
+
+  if (is_syn) {
+    // Server side: answer SYN on an open port, RST otherwise.
+    const auto src_mac = resolve(packet.ipv4->src);
+    const MacAddress reply_mac = src_mac.value_or(packet.eth.src);
+    const std::uint8_t flags =
+        port_open(tcp.dst_port) ? (kTcpSyn | kTcpAck) : (kTcpRst | kTcpAck);
+    send_packet(make_tcp_packet(mac_, reply_mac, ip_, packet.ipv4->src, tcp.dst_port,
+                                tcp.src_port, flags));
+    return;
+  }
+
+  if (is_syn_ack || is_rst) {
+    // Client side: match a pending handshake by our ephemeral port.
+    const auto it = pending_.find(tcp.dst_port);
+    if (it == pending_.end()) return;
+    PendingConnect& pending = *it->second;
+    if (pending.dst_ip != packet.ipv4->src || pending.dst_port != tcp.src_port) return;
+    ConnectResult result;
+    result.connected = is_syn_ack;
+    result.refused = is_rst;
+    result.time_to_first_byte = sim_.now() - pending.started;
+    result.syn_transmissions = pending.syn_sent;
+    finish(pending, result);
+  }
+}
+
+}  // namespace dfi

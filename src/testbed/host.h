@@ -1,0 +1,144 @@
+// End-host model.
+//
+// Hosts are the testbed's traffic endpoints: they run a minimal TCP
+// handshake (SYN / SYN-ACK / RST with retransmission), which is exactly the
+// surface the paper's experiments need — TTFB measurement (Fig. 4) is
+// SYN->SYN-ACK time, and the worm's reachability test is whether a TCP
+// connection to the target completes.
+//
+// ARP is substituted by a shared resolver table populated by the testbed
+// builder (real deployments resolve via ARP broadcast; identifier *policy*
+// in DFI never depends on ARP, so the substitution preserves behaviour —
+// see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+
+// Shared IP -> MAC resolver (ARP surrogate).
+using ArpTable = std::map<Ipv4Address, MacAddress>;
+
+struct ConnectOptions {
+  SimDuration timeout = seconds(3.0);    // overall give-up deadline
+  SimDuration rto = milliseconds(200);   // SYN retransmission interval
+  int max_syn_retries = 3;
+};
+
+// Outcome of a connection attempt.
+struct ConnectResult {
+  bool connected = false;
+  bool refused = false;      // RST received (port closed)
+  SimDuration time_to_first_byte{};
+  int syn_transmissions = 1;
+};
+
+class Host {
+ public:
+  using TransmitFn = std::function<void(const std::vector<std::uint8_t>&)>;
+  using ConnectCallback = std::function<void(const ConnectResult&)>;
+  using PacketHook = std::function<void(const Packet&)>;
+
+  Host(Simulator& sim, Hostname name, MacAddress mac,
+       std::shared_ptr<ArpTable> arp);
+
+  const Hostname& name() const { return name_; }
+  MacAddress mac() const { return mac_; }
+  Ipv4Address ip() const { return ip_; }
+  void set_ip(Ipv4Address ip) { ip_ = ip; }
+
+  // Wired by the Network: bytes leave this host's NIC toward its switch.
+  void set_transmit(TransmitFn transmit) { transmit_ = std::move(transmit); }
+
+  // A TCP port that answers SYNs with SYN-ACK.
+  void open_port(std::uint16_t port) { open_ports_.insert(port); }
+  void close_port(std::uint16_t port) { open_ports_.erase(port); }
+  bool port_open(std::uint16_t port) const { return open_ports_.count(port) != 0; }
+
+  // Enable dynamic ARP: addresses not in the shared resolver table are
+  // resolved by broadcasting real ARP requests through the data plane
+  // (which DFI subjects to policy like any other traffic). Replies are
+  // learned into a per-host cache.
+  void enable_arp() { arp_enabled_ = true; }
+  bool arp_enabled() const { return arp_enabled_; }
+  std::size_t arp_cache_size() const { return arp_cache_.size(); }
+
+  // Start a TCP handshake to dst_ip:dst_port. The callback fires exactly
+  // once: on SYN-ACK (connected), RST (refused) or deadline (timeout).
+  void connect(Ipv4Address dst_ip, std::uint16_t dst_port, ConnectCallback done,
+               ConnectOptions options = {});
+
+  // Inject an arbitrary packet from this host.
+  void send_packet(const Packet& packet);
+
+  // Bytes arriving from the switch port.
+  void receive(const std::vector<std::uint8_t>& bytes);
+
+  // Observation hook for tests/scenarios (invoked for every delivered
+  // packet addressed to this host).
+  void set_packet_hook(PacketHook hook) { packet_hook_ = std::move(hook); }
+
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  struct PendingConnect {
+    Ipv4Address dst_ip;
+    MacAddress dst_mac;
+    std::uint16_t dst_port;
+    std::uint16_t src_port;
+    SimTime started;
+    ConnectOptions options;
+    ConnectCallback done;
+    int syn_sent = 1;
+    bool finished = false;
+  };
+
+  struct PendingArp {
+    std::vector<std::function<void(std::optional<MacAddress>)>> waiters;
+    int requests_sent = 0;
+  };
+
+  void send_syn(const PendingConnect& pending);
+  void start_handshake(Ipv4Address dst_ip, MacAddress dst_mac, std::uint16_t dst_port,
+                       ConnectCallback done, ConnectOptions options);
+  void schedule_retransmit(std::uint16_t src_port);
+  void finish(PendingConnect& pending, const ConnectResult& result);
+  std::optional<MacAddress> resolve(Ipv4Address ip) const;
+  // Resolve via the static table / local cache, falling back to an ARP
+  // exchange when enabled. The callback may fire synchronously.
+  void resolve_async(Ipv4Address ip,
+                     std::function<void(std::optional<MacAddress>)> done);
+  void arp_retry(Ipv4Address ip);
+  void handle_arp(const ArpHeader& arp);
+
+  Simulator& sim_;
+  Hostname name_;
+  MacAddress mac_;
+  Ipv4Address ip_;
+  std::shared_ptr<ArpTable> arp_;
+  TransmitFn transmit_;
+  PacketHook packet_hook_;
+  std::set<std::uint16_t> open_ports_;
+  std::map<std::uint16_t, std::shared_ptr<PendingConnect>> pending_;  // by src port
+  bool arp_enabled_ = false;
+  ArpTable arp_cache_;  // learned dynamically, consulted before arp_
+  std::map<Ipv4Address, PendingArp> arp_pending_;
+  std::uint16_t next_src_port_ = 49152;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace dfi

@@ -1,0 +1,71 @@
+// Network: wires switches, hosts, links and the control plane together on
+// the discrete-event simulator.
+//
+// Data-plane links and control-plane connections are modeled as byte
+// channels with fixed one-way latency. The control plane can be attached in
+// two configurations matching the paper's Fig. 4 conditions:
+//   * direct: switches talk straight to the SDN controller (no DFI);
+//   * DFI: every switch connection passes through a DfiProxy session, with
+//     Packet-ins visiting the PCP first (paper Figure 1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "controller/learning_controller.h"
+#include "core/dfi_system.h"
+#include "openflow/switch_device.h"
+#include "sim/simulator.h"
+#include "testbed/host.h"
+
+namespace dfi {
+
+struct NetworkConfig {
+  SimDuration link_latency = microseconds(100);     // data-plane, one-way
+  SimDuration control_latency = microseconds(200);  // per control-plane leg
+  std::uint8_t switch_tables = 4;
+  std::size_t switch_table_capacity = 1 << 17;  // OVS-scale software tables
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, NetworkConfig config = {});
+
+  Simulator& sim() { return sim_; }
+  const NetworkConfig& config() const { return config_; }
+  std::shared_ptr<ArpTable> arp() { return arp_; }
+
+  SwitchDevice& add_switch(Dpid dpid);
+  // Bidirectional inter-switch link.
+  void link_switches(Dpid a, PortNo port_a, Dpid b, PortNo port_b);
+  // Create a host and cable it to a switch port.
+  Host& add_host(const Hostname& name, MacAddress mac, Dpid dpid, PortNo port);
+
+  SwitchDevice* find_switch(Dpid dpid);
+  Host* find_host(const Hostname& name);
+  Host* find_host_by_ip(Ipv4Address ip);
+  std::vector<Host*> hosts();
+  std::vector<SwitchDevice*> switches();
+
+  // Attach every switch to the controller through the DFI proxy.
+  void attach_dfi_control(DfiSystem& dfi, LearningController& controller);
+  // Attach every switch directly to the controller (baseline, no DFI).
+  void attach_direct_control(LearningController& controller);
+
+  // Run the simulator until the control-plane handshake settles.
+  void settle();
+
+  // Inject raw bytes into a switch port (background-traffic generators).
+  void inject(Dpid dpid, PortNo port, const std::vector<std::uint8_t>& bytes);
+
+ private:
+  Simulator& sim_;
+  NetworkConfig config_;
+  std::shared_ptr<ArpTable> arp_;
+  std::map<Dpid, std::unique_ptr<SwitchDevice>> switches_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::map<Hostname, Host*> hosts_by_name_;
+};
+
+}  // namespace dfi

@@ -1,0 +1,108 @@
+// NotPetya surrogate (paper Section V-B).
+//
+// Propagation logic reproduced from the paper's description of its
+// surrogate:
+//  * on infection, the worm gathers a target list of all end hosts and
+//    servers via reconnaissance (instant — AD enumeration), shuffles it,
+//    and attacks targets serially in a loop;
+//  * per target, it first opens a connection to the victim service (the
+//    network-reachability test that DFI's policies gate); on success the
+//    exploit payload is sent first — it succeeds only on vulnerable
+//    (unpatched) machines; if the exploit fails, the worm tries every
+//    credential cached on the local host and succeeds if one grants Local
+//    Administrator on the target;
+//  * after looping through all targets the worm waits three minutes and
+//    restarts (reshuffled);
+//  * each instance propagates for a randomly chosen 10-60 minutes, then
+//    times out ("ransomware lock-down") and stops spreading.
+//
+// Every connection attempt is a real simulated TCP handshake through the
+// OpenFlow data plane, so DFI's Table-0 rules (and their event-driven
+// churn under AT-RBAC) are what the worm actually runs into.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/stats.h"
+#include "testbed/enterprise.h"
+
+namespace dfi {
+
+struct WormConfig {
+  std::uint16_t target_port = 445;
+  SimDuration sweep_pause = minutes(3);
+  double min_active_minutes = 10.0;   // propagation window, uniform
+  double max_active_minutes = 60.0;
+  SimDuration exploit_time = seconds(1.0);        // payload send + attempt
+  SimDuration credential_time = milliseconds(500);  // dump + remote logon
+  ConnectOptions connect{seconds(20.0), seconds(3.0), 6};  // Windows-like SYN behaviour
+  std::uint64_t seed = 7;
+
+  // Propagation-vector toggles. NotPetya used both (the paper's surrogate);
+  // a WannaCry-style strain is exploit-only; credential-only models a pure
+  // lateral-movement tool (e.g. mimikatz + psexec).
+  bool exploit_vector = true;
+  bool credential_vector = true;
+};
+
+struct InfectionRecord {
+  Hostname host;
+  Hostname infected_from;  // empty for the foothold
+  SimTime at{};
+  bool via_exploit = false;  // false = credential theft (or foothold)
+};
+
+struct WormStats {
+  std::uint64_t connection_attempts = 0;
+  std::uint64_t connections_succeeded = 0;
+  std::uint64_t exploit_successes = 0;     // fresh infections via exploit
+  std::uint64_t credential_successes = 0;  // fresh infections via credentials
+  std::uint64_t timed_out_instances = 0;
+};
+
+class WormScenario {
+ public:
+  WormScenario(EnterpriseTestbed& testbed, WormConfig config);
+
+  // Plant the initial foothold at the given simulated time.
+  void infect_foothold(const Hostname& host, SimTime at);
+
+  // Advance the simulation (worm + user activity + network all progress).
+  void run_until(SimTime t) { testbed_.sim().run_until(t); }
+
+  bool is_infected(const Hostname& host) const { return infected_.count(host) != 0; }
+  std::size_t infected_count() const { return infected_.size(); }
+  const std::vector<InfectionRecord>& infections() const { return records_; }
+  const WormStats& stats() const { return stats_; }
+
+  // Step function: seconds since scenario start -> number infected.
+  TimeSeries infection_curve() const;
+
+ private:
+  struct Instance {
+    Hostname host;
+    SimTime active_until{};
+    std::vector<Hostname> targets;
+    std::size_t next_target = 0;
+    Rng rng{0};
+  };
+
+  // Returns true if `host` was newly infected.
+  bool infect(const Hostname& host, const Hostname& from, bool via_exploit);
+  void start_instance(const Hostname& host);
+  void attempt_next(std::shared_ptr<Instance> instance);
+  void attack_target(std::shared_ptr<Instance> instance, const Hostname& target);
+
+  EnterpriseTestbed& testbed_;
+  WormConfig config_;
+  Rng rng_;
+  std::set<Hostname> infected_;
+  std::vector<InfectionRecord> records_;
+  WormStats stats_;
+};
+
+}  // namespace dfi

@@ -1,0 +1,123 @@
+// Unit tests for the in-process message bus (RabbitMQ surrogate).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.h"
+
+namespace dfi {
+namespace {
+
+struct EventA {
+  int value = 0;
+};
+struct EventB {
+  std::string text;
+};
+
+TEST(MessageBus, DeliversToSubscriber) {
+  MessageBus bus;
+  std::vector<int> got;
+  auto sub = bus.subscribe<EventA>("topic", [&](const EventA& e) { got.push_back(e.value); });
+  bus.publish("topic", EventA{1});
+  bus.publish("topic", EventA{2});
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(MessageBus, TopicIsolation) {
+  MessageBus bus;
+  int count = 0;
+  auto sub = bus.subscribe<EventA>("a", [&](const EventA&) { ++count; });
+  bus.publish("b", EventA{1});
+  EXPECT_EQ(count, 0);
+  bus.publish("a", EventA{1});
+  EXPECT_EQ(count, 1);
+}
+
+TEST(MessageBus, TypeFilteringOnSameTopic) {
+  MessageBus bus;
+  int a_count = 0, b_count = 0;
+  auto sub_a = bus.subscribe<EventA>("t", [&](const EventA&) { ++a_count; });
+  auto sub_b = bus.subscribe<EventB>("t", [&](const EventB&) { ++b_count; });
+  bus.publish("t", EventA{});
+  bus.publish("t", EventB{});
+  bus.publish("t", EventB{});
+  EXPECT_EQ(a_count, 1);
+  EXPECT_EQ(b_count, 2);
+}
+
+TEST(MessageBus, MultipleSubscribersInOrder) {
+  MessageBus bus;
+  std::vector<int> order;
+  auto s1 = bus.subscribe<EventA>("t", [&](const EventA&) { order.push_back(1); });
+  auto s2 = bus.subscribe<EventA>("t", [&](const EventA&) { order.push_back(2); });
+  bus.publish("t", EventA{});
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(MessageBus, SubscriptionRaiiUnsubscribes) {
+  MessageBus bus;
+  int count = 0;
+  {
+    auto sub = bus.subscribe<EventA>("t", [&](const EventA&) { ++count; });
+    bus.publish("t", EventA{});
+    EXPECT_EQ(bus.subscriber_count("t"), 1u);
+  }
+  EXPECT_EQ(bus.subscriber_count("t"), 0u);
+  bus.publish("t", EventA{});
+  EXPECT_EQ(count, 1);
+}
+
+TEST(MessageBus, SubscriptionMoveTransfersOwnership) {
+  MessageBus bus;
+  int count = 0;
+  Subscription outer;
+  {
+    auto inner = bus.subscribe<EventA>("t", [&](const EventA&) { ++count; });
+    outer = std::move(inner);
+  }
+  bus.publish("t", EventA{});
+  EXPECT_EQ(count, 1);
+  outer.reset();
+  bus.publish("t", EventA{});
+  EXPECT_EQ(count, 1);
+}
+
+TEST(MessageBus, ReentrantSubscribeDuringDispatch) {
+  MessageBus bus;
+  int late_count = 0;
+  Subscription late;
+  auto sub = bus.subscribe<EventA>("t", [&](const EventA&) {
+    if (!late.active()) {
+      late = bus.subscribe<EventA>("t", [&](const EventA&) { ++late_count; });
+    }
+  });
+  bus.publish("t", EventA{});  // late subscriber added mid-dispatch: not called
+  EXPECT_EQ(late_count, 0);
+  bus.publish("t", EventA{});
+  EXPECT_EQ(late_count, 1);
+}
+
+TEST(MessageBus, ReentrantUnsubscribeDuringDispatch) {
+  MessageBus bus;
+  int count = 0;
+  Subscription self;
+  self = bus.subscribe<EventA>("t", [&](const EventA&) {
+    ++count;
+    self.reset();  // unsubscribe from inside the handler
+  });
+  bus.publish("t", EventA{});
+  bus.publish("t", EventA{});
+  EXPECT_EQ(count, 1);
+}
+
+TEST(MessageBus, PublishedCountTracksAllPublishes) {
+  MessageBus bus;
+  bus.publish("nobody-listens", EventA{});
+  bus.publish("nobody-listens", EventB{});
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,195 @@
+// Unit tests for src/common: RNG, time, Result/Status, logging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace dfi {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMatchesTargetMoments) {
+  Rng rng(12);
+  // Paper Table II binding-query parameters.
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.lognormal_from_moments(2.41, 0.97);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 2.41, 0.05);
+  EXPECT_NEAR(sd, 0.97, 0.05);
+}
+
+TEST(Rng, ExponentialMeanApproximate) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(items.begin(), items.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(items, shuffled);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(15);
+  Rng forked = a.fork();
+  EXPECT_NE(a.next_u64(), forked.next_u64());
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const SimTime t0{};
+  const SimTime t1 = t0 + seconds(1.5);
+  EXPECT_EQ(t1.us, 1500000);
+  EXPECT_EQ((t1 - t0).to_ms(), 1500.0);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t1 - seconds(1.5), t0);
+}
+
+TEST(SimTime, ClockTimeAndFormat) {
+  EXPECT_EQ(format_clock(clock_time(9, 30)), "09:30:00");
+  EXPECT_EQ(format_clock(clock_time(0, 0)), "00:00:00");
+  EXPECT_EQ(format_clock(clock_time(23, 59) + seconds(59)), "23:59:59");
+}
+
+TEST(SimTime, FormatDurationPicksUnits) {
+  EXPECT_EQ(format_duration(microseconds(500)), "500us");
+  EXPECT_EQ(format_duration(milliseconds(12.34)), "12.34ms");
+  EXPECT_EQ(format_duration(seconds(2.5)), "2.50s");
+}
+
+TEST(SimTime, HoursMinutesComposition) {
+  EXPECT_EQ((hours(1)).us, 3600000000LL);
+  EXPECT_EQ((minutes(3)).us, 180000000LL);
+  EXPECT_EQ(clock_time(10).us, (hours(10)).us);
+}
+
+TEST(Result, OkAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  auto fail = Result<int>::Fail(ErrorCode::kNotFound, "missing");
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(fail.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(fail.value_or(7), 7);
+  EXPECT_FALSE(fail.status().ok());
+}
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.to_string(), "OK");
+
+  const Status failed = Status::Fail(ErrorCode::kOverloaded, "queue full");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_NE(failed.to_string().find("overloaded"), std::string::npos);
+}
+
+TEST(Logging, RespectsLevelAndSink) {
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&lines](LogLevel, const std::string& message) { lines.push_back(message); });
+  Logger::instance().set_level(LogLevel::kWarn);
+  DFI_INFO << "hidden";
+  DFI_WARN << "visible " << 42;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "visible 42");
+  Logger::instance().set_level(LogLevel::kOff);
+  DFI_ERROR << "also hidden";
+  EXPECT_EQ(lines.size(), 1u);
+  Logger::instance().set_level(LogLevel::kWarn);
+}
+
+TEST(Types, StrongTypeComparisons) {
+  EXPECT_EQ(Dpid{1}, Dpid{1});
+  EXPECT_LT(Dpid{1}, Dpid{2});
+  EXPECT_NE(PortNo{1}, PortNo{2});
+  EXPECT_EQ(to_string(kPortFlood), "port:FLOOD");
+  EXPECT_EQ(to_string(Cookie{9}), "cookie:9");
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,195 @@
+// Unit tests for the learning controller (ONOS reactive-forwarding surrogate).
+#include <gtest/gtest.h>
+
+#include "controller/learning_controller.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : controller_(sim_, zero_latency_config(), Rng(3)),
+        session_(controller_.accept_connection([this](const std::vector<std::uint8_t>& bytes) {
+          FrameDecoder decoder;
+          decoder.feed(bytes);
+          for (auto& result : decoder.drain()) {
+            ASSERT_TRUE(result.ok());
+            sent_.push_back(std::move(result).value());
+          }
+        })) {}
+
+  static ControllerConfig zero_latency_config() {
+    ControllerConfig config;
+    config.zero_latency = true;
+    config.exact_match_rules = false;  // classic learning-switch rules
+    return config;
+  }
+
+  void handshake() {
+    session_.receive(encode(OfMessage{1, HelloMsg{}}));
+    FeaturesReplyMsg features;
+    features.datapath_id = Dpid{5};
+    features.n_tables = 3;  // as advertised through the proxy
+    session_.receive(encode(OfMessage{2, features}));
+    sim_.run();
+  }
+
+  PacketInMsg packet_in(MacAddress src, MacAddress dst, PortNo port) {
+    PacketInMsg msg;
+    msg.in_port = port;
+    msg.data = make_tcp_packet(src, dst, Ipv4Address(10, 0, 0, 1),
+                               Ipv4Address(10, 0, 0, 2), 1000, 80)
+                   .serialize();
+    return msg;
+  }
+
+  template <typename T>
+  std::vector<T> sent_of_type() const {
+    std::vector<T> out;
+    for (const auto& message : sent_) {
+      if (const T* typed = std::get_if<T>(&message.payload)) out.push_back(*typed);
+    }
+    return out;
+  }
+
+  Simulator sim_;
+  LearningController controller_;
+  LearningController::Session& session_;
+  std::vector<OfMessage> sent_;
+};
+
+TEST_F(ControllerTest, HandshakeHelloThenFeatures) {
+  session_.receive(encode(OfMessage{1, HelloMsg{}}));
+  ASSERT_GE(sent_.size(), 2u);
+  EXPECT_EQ(sent_[0].type(), OfType::kHello);
+  EXPECT_EQ(sent_[1].type(), OfType::kFeaturesRequest);
+
+  FeaturesReplyMsg features;
+  features.datapath_id = Dpid{5};
+  features.n_tables = 3;
+  session_.receive(encode(OfMessage{2, features}));
+  EXPECT_EQ(session_.dpid(), Dpid{5});
+  EXPECT_EQ(session_.advertised_tables(), 3);
+}
+
+TEST_F(ControllerTest, UnknownDestinationFloods) {
+  handshake();
+  session_.receive(encode(OfMessage{3, packet_in(MacAddress::from_u64(1),
+                                                 MacAddress::from_u64(2), PortNo{1})}));
+  sim_.run();
+  const auto outs = sent_of_type<PacketOutMsg>();
+  ASSERT_EQ(outs.size(), 1u);
+  ASSERT_EQ(outs[0].actions.size(), 1u);
+  EXPECT_EQ(std::get<OutputAction>(outs[0].actions[0]).port, kPortFlood);
+  EXPECT_TRUE(sent_of_type<FlowModMsg>().empty());
+  EXPECT_EQ(controller_.stats().floods, 1u);
+}
+
+TEST_F(ControllerTest, LearnsThenInstallsForwardingRule) {
+  handshake();
+  // MAC 1 at port 1 (learned from this packet-in).
+  session_.receive(encode(OfMessage{3, packet_in(MacAddress::from_u64(1),
+                                                 MacAddress::from_u64(2), PortNo{1})}));
+  sim_.run();
+  // Reply direction: dst MAC 1 is now known.
+  session_.receive(encode(OfMessage{4, packet_in(MacAddress::from_u64(2),
+                                                 MacAddress::from_u64(1), PortNo{2})}));
+  sim_.run();
+
+  const auto mods = sent_of_type<FlowModMsg>();
+  ASSERT_EQ(mods.size(), 1u);
+  EXPECT_EQ(mods[0].table_id, 0);  // controller-view table 0
+  EXPECT_EQ(mods[0].match.eth_dst, MacAddress::from_u64(1));
+  ASSERT_EQ(mods[0].instructions.apply_actions.size(), 1u);
+  EXPECT_EQ(std::get<OutputAction>(mods[0].instructions.apply_actions[0]).port, PortNo{1});
+
+  const auto outs = sent_of_type<PacketOutMsg>();
+  ASSERT_EQ(outs.size(), 2u);  // flood + direct
+  EXPECT_EQ(std::get<OutputAction>(outs[1].actions[0]).port, PortNo{1});
+}
+
+TEST_F(ControllerTest, ExactMatchModeInstallsPerFlowRules) {
+  ControllerConfig config;
+  config.zero_latency = true;
+  config.exact_match_rules = true;  // ONOS-reactive-forwarding style
+  LearningController controller(sim_, config, Rng(9));
+  std::vector<OfMessage> sent;
+  auto& session = controller.accept_connection([&](const std::vector<std::uint8_t>& bytes) {
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    for (auto& result : decoder.drain()) sent.push_back(std::move(result).value());
+  });
+  session.receive(encode(OfMessage{1, HelloMsg{}}));
+  FeaturesReplyMsg features;
+  features.datapath_id = Dpid{5};
+  session.receive(encode(OfMessage{2, features}));
+
+  session.receive(encode(OfMessage{3, packet_in(MacAddress::from_u64(1),
+                                                MacAddress::from_u64(2), PortNo{1})}));
+  session.receive(encode(OfMessage{4, packet_in(MacAddress::from_u64(2),
+                                                MacAddress::from_u64(1), PortNo{2})}));
+  sim_.run();
+  for (const auto& message : sent) {
+    if (const auto* mod = std::get_if<FlowModMsg>(&message.payload)) {
+      // Per-flow selector: all identifiers of the triggering packet.
+      EXPECT_GE(mod->match.specified_fields(), 9);
+    }
+  }
+}
+
+TEST_F(ControllerTest, BroadcastAlwaysFloods) {
+  handshake();
+  session_.receive(encode(OfMessage{3, packet_in(MacAddress::from_u64(1),
+                                                 MacAddress::broadcast(), PortNo{1})}));
+  sim_.run();
+  EXPECT_EQ(controller_.stats().floods, 1u);
+  EXPECT_TRUE(sent_of_type<FlowModMsg>().empty());
+}
+
+TEST_F(ControllerTest, EchoAnswered) {
+  handshake();
+  session_.receive(encode(OfMessage{9, EchoRequestMsg{{7}}}));
+  const auto replies = sent_of_type<EchoReplyMsg>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].data, (std::vector<std::uint8_t>{7}));
+}
+
+TEST_F(ControllerTest, ProcessingLatencyModeled) {
+  // With latency enabled the reaction is scheduled, not immediate.
+  ControllerConfig config;  // default ~2 ms processing
+  LearningController controller(sim_, config, Rng(4));
+  std::vector<OfMessage> sent;
+  auto& session = controller.accept_connection([&](const std::vector<std::uint8_t>& bytes) {
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    for (auto& result : decoder.drain()) sent.push_back(std::move(result).value());
+  });
+  session.receive(encode(OfMessage{1, HelloMsg{}}));
+  const std::size_t after_handshake = sent.size();
+
+  PacketInMsg msg;
+  msg.in_port = PortNo{1};
+  msg.data = make_tcp_packet(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                             Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2), 1, 2)
+                 .serialize();
+  session.receive(encode(OfMessage{2, msg}));
+  EXPECT_EQ(sent.size(), after_handshake);  // nothing yet
+  sim_.run();
+  EXPECT_GT(sent.size(), after_handshake);
+  EXPECT_GT(sim_.now().us, 500);  // at least some simulated processing time
+}
+
+TEST_F(ControllerTest, CountsErrorsAndFlowRemoved) {
+  handshake();
+  session_.receive(encode(OfMessage{5, ErrorMsg{5, 1, {}}}));
+  FlowRemovedMsg removed;
+  removed.table_id = 0;
+  session_.receive(encode(OfMessage{6, removed}));
+  EXPECT_EQ(controller_.stats().errors_received, 1u);
+  EXPECT_EQ(controller_.stats().flow_removed_received, 1u);
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,207 @@
+// Unit tests for the Entity Resolution Manager: binding maintenance,
+// enrichment (late binding), and spoof validation.
+#include <gtest/gtest.h>
+
+#include "bus/message_bus.h"
+#include "core/entity_resolution.h"
+#include "services/dhcp.h"
+#include "services/dns.h"
+#include "services/sensors.h"
+#include "services/siem.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+namespace {
+
+BindingEvent user_host(const char* user, const char* host, bool retract = false) {
+  BindingEvent event;
+  event.kind = BindingKind::kUserHost;
+  event.user = Username{user};
+  event.host = Hostname{host};
+  event.retracted = retract;
+  return event;
+}
+
+BindingEvent host_ip(const char* host, Ipv4Address ip, bool retract = false) {
+  BindingEvent event;
+  event.kind = BindingKind::kHostIp;
+  event.host = Hostname{host};
+  event.ip = ip;
+  event.retracted = retract;
+  return event;
+}
+
+BindingEvent ip_mac(Ipv4Address ip, MacAddress mac, bool retract = false) {
+  BindingEvent event;
+  event.kind = BindingKind::kIpMac;
+  event.ip = ip;
+  event.mac = mac;
+  event.retracted = retract;
+  return event;
+}
+
+BindingEvent mac_location(MacAddress mac, Dpid dpid, PortNo port, bool retract = false) {
+  BindingEvent event;
+  event.kind = BindingKind::kMacLocation;
+  event.mac = mac;
+  event.dpid = dpid;
+  event.port = port;
+  event.retracted = retract;
+  return event;
+}
+
+class ErmTest : public ::testing::Test {
+ protected:
+  ErmTest() : erm_(bus_) {}
+
+  MessageBus bus_;
+  EntityResolutionManager erm_;
+};
+
+TEST_F(ErmTest, EnrichFullChain) {
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 5), MacAddress::from_u64(5)));
+  erm_.apply(host_ip("alice-laptop", Ipv4Address(10, 0, 0, 5)));
+  erm_.apply(user_host("alice", "alice-laptop"));
+
+  EndpointView view;
+  view.ip = Ipv4Address(10, 0, 0, 5);
+  view.mac = MacAddress::from_u64(5);
+  const EndpointView enriched = erm_.enrich(view);
+  ASSERT_EQ(enriched.hostnames.size(), 1u);
+  EXPECT_EQ(enriched.hostnames[0], Hostname{"alice-laptop"});
+  ASSERT_EQ(enriched.usernames.size(), 1u);
+  EXPECT_EQ(enriched.usernames[0], Username{"alice"});
+}
+
+TEST_F(ErmTest, EnrichUnknownIpYieldsNoIdentity) {
+  EndpointView view;
+  view.ip = Ipv4Address(99, 9, 9, 9);
+  const EndpointView enriched = erm_.enrich(view);
+  EXPECT_TRUE(enriched.hostnames.empty());
+  EXPECT_TRUE(enriched.usernames.empty());
+}
+
+TEST_F(ErmTest, RetractionRemovesBinding) {
+  erm_.apply(user_host("alice", "h1"));
+  EXPECT_EQ(erm_.users_of_host(Hostname{"h1"}).size(), 1u);
+  erm_.apply(user_host("alice", "h1", /*retract=*/true));
+  EXPECT_TRUE(erm_.users_of_host(Hostname{"h1"}).empty());
+  EXPECT_TRUE(erm_.hosts_of_user(Username{"alice"}).empty());
+}
+
+TEST_F(ErmTest, ManyToManyBindings) {
+  // Alice logged onto two hosts; h1 also used by bob; h1 has two IPs.
+  erm_.apply(user_host("alice", "h1"));
+  erm_.apply(user_host("alice", "h2"));
+  erm_.apply(user_host("bob", "h1"));
+  erm_.apply(host_ip("h1", Ipv4Address(10, 0, 0, 1)));
+  erm_.apply(host_ip("h1", Ipv4Address(10, 0, 0, 2)));
+
+  EXPECT_EQ(erm_.hosts_of_user(Username{"alice"}).size(), 2u);
+  EXPECT_EQ(erm_.users_of_host(Hostname{"h1"}).size(), 2u);
+  EXPECT_EQ(erm_.ips_of_host(Hostname{"h1"}).size(), 2u);
+
+  EndpointView view;
+  view.ip = Ipv4Address(10, 0, 0, 2);
+  const EndpointView enriched = erm_.enrich(view);
+  EXPECT_EQ(enriched.usernames.size(), 2u);
+}
+
+TEST_F(ErmTest, DhcpReassignmentReplacesMacBinding) {
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 1), MacAddress::from_u64(1)));
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 1), MacAddress::from_u64(2)));
+  EXPECT_EQ(erm_.mac_of_ip(Ipv4Address(10, 0, 0, 1)), MacAddress::from_u64(2));
+  EXPECT_TRUE(erm_.ips_of_mac(MacAddress::from_u64(1)).empty());
+}
+
+TEST_F(ErmTest, ValidateDetectsIpSpoofing) {
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 1), MacAddress::from_u64(1)));
+  // Attacker at MAC 2 claims IP .1, which DHCP bound to MAC 1.
+  const SpoofCheck check = erm_.validate(MacAddress::from_u64(2),
+                                         Ipv4Address(10, 0, 0, 1), std::nullopt,
+                                         std::nullopt);
+  EXPECT_TRUE(check.spoofed);
+  EXPECT_EQ(erm_.stats().spoof_rejections, 1u);
+}
+
+TEST_F(ErmTest, ValidateAcceptsCorrectOrUnknownBindings) {
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 1), MacAddress::from_u64(1)));
+  EXPECT_FALSE(erm_.validate(MacAddress::from_u64(1), Ipv4Address(10, 0, 0, 1),
+                             std::nullopt, std::nullopt)
+                   .spoofed);
+  // Unknown IP: no binding to contradict — not spoofed, just unenriched.
+  EXPECT_FALSE(erm_.validate(MacAddress::from_u64(9), Ipv4Address(10, 9, 9, 9),
+                             std::nullopt, std::nullopt)
+                   .spoofed);
+}
+
+TEST_F(ErmTest, ValidateDetectsMacAtWrongPort) {
+  erm_.apply(mac_location(MacAddress::from_u64(1), Dpid{7}, PortNo{3}));
+  const SpoofCheck wrong = erm_.validate(MacAddress::from_u64(1), std::nullopt,
+                                         Dpid{7}, PortNo{4});
+  EXPECT_TRUE(wrong.spoofed);
+  const SpoofCheck right = erm_.validate(MacAddress::from_u64(1), std::nullopt,
+                                         Dpid{7}, PortNo{3});
+  EXPECT_FALSE(right.spoofed);
+  // A different switch has no binding for this MAC: fine.
+  EXPECT_FALSE(
+      erm_.validate(MacAddress::from_u64(1), std::nullopt, Dpid{8}, PortNo{9}).spoofed);
+}
+
+TEST_F(ErmTest, MacLocationReplacedOnMove) {
+  erm_.apply(mac_location(MacAddress::from_u64(1), Dpid{7}, PortNo{3}));
+  erm_.apply(mac_location(MacAddress::from_u64(1), Dpid{7}, PortNo{5}));
+  EXPECT_EQ(erm_.location_of_mac(Dpid{7}, MacAddress::from_u64(1)), PortNo{5});
+}
+
+TEST_F(ErmTest, ConsumesBusEvents) {
+  bus_.publish(topics::kErmBindings, user_host("alice", "h1"));
+  EXPECT_EQ(erm_.users_of_host(Hostname{"h1"}).size(), 1u);
+  EXPECT_EQ(erm_.stats().binding_updates, 1u);
+}
+
+TEST_F(ErmTest, BindingCountAggregates) {
+  erm_.apply(user_host("a", "h"));
+  erm_.apply(host_ip("h", Ipv4Address(1, 1, 1, 1)));
+  erm_.apply(ip_mac(Ipv4Address(1, 1, 1, 1), MacAddress::from_u64(1)));
+  erm_.apply(mac_location(MacAddress::from_u64(1), Dpid{1}, PortNo{1}));
+  EXPECT_EQ(erm_.binding_count(), 4u);
+}
+
+// End-to-end sensor chain: real services feed the ERM through the sensors,
+// exactly as Figure 3 prescribes.
+TEST(ErmSensorsTest, ServicesFeedErmThroughSensors) {
+  Simulator sim;
+  MessageBus bus;
+  EntityResolutionManager erm(bus);
+  SensorSuite sensors(bus);
+  const auto clock = [&sim]() { return sim.now(); };
+  DhcpServer dhcp(bus, clock, Ipv4Address(10, 0, 0, 10), 8);
+  DnsServer dns(bus, clock);
+  SiemService siem(bus, clock);
+
+  const MacAddress mac = MacAddress::from_u64(0xA11CE);
+  const auto leased = dhcp.lease(mac);
+  ASSERT_TRUE(leased.ok());
+  dns.register_record(Hostname{"alice-laptop"}, leased.value());
+  siem.process_created(Username{"alice"}, Hostname{"alice-laptop"});
+
+  EndpointView view;
+  view.ip = leased.value();
+  view.mac = mac;
+  const EndpointView enriched = erm.enrich(view);
+  ASSERT_EQ(enriched.usernames.size(), 1u);
+  EXPECT_EQ(enriched.usernames[0], Username{"alice"});
+  EXPECT_EQ(erm.mac_of_ip(leased.value()), mac);
+
+  // Log-off retracts the user binding.
+  siem.process_terminated(Username{"alice"}, Hostname{"alice-laptop"});
+  EXPECT_TRUE(erm.users_of_host(Hostname{"alice-laptop"}).empty());
+
+  // Release retracts the IP<->MAC binding.
+  dhcp.release(mac);
+  EXPECT_FALSE(erm.mac_of_ip(leased.value()).has_value());
+}
+
+}  // namespace
+}  // namespace dfi

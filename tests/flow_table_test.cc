@@ -1,0 +1,186 @@
+// Unit tests for FlowTable semantics (add/modify/delete/lookup/expiry).
+#include <gtest/gtest.h>
+
+#include "openflow/flow_table.h"
+
+namespace dfi {
+namespace {
+
+Packet flow_a() {
+  return make_tcp_packet(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                         Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 1000, 80);
+}
+
+FlowRule make_rule(std::uint16_t priority, Cookie cookie, Match match,
+                   Instructions instructions) {
+  FlowRule rule;
+  rule.priority = priority;
+  rule.cookie = cookie;
+  rule.match = std::move(match);
+  rule.instructions = std::move(instructions);
+  return rule;
+}
+
+TEST(FlowTable, LookupHitsHighestPriority) {
+  FlowTable table(0);
+  Match wide;  // matches all
+  ASSERT_TRUE(table.add(make_rule(10, Cookie{1}, wide, Instructions::output(PortNo{1})),
+                        SimTime{}));
+  Match exact = Match::exact_from_packet(flow_a(), PortNo{5});
+  ASSERT_TRUE(table.add(make_rule(20, Cookie{2}, exact, Instructions::drop()), SimTime{}));
+
+  FlowRule* hit = table.lookup(flow_a(), PortNo{5}, 64, SimTime{});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, Cookie{2});
+
+  // A different port misses the exact rule and falls to the wildcard.
+  hit = table.lookup(flow_a(), PortNo{6}, 64, SimTime{});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, Cookie{1});
+}
+
+TEST(FlowTable, SamePrioritySpecificityBreaksTie) {
+  FlowTable table(0);
+  Match wide;
+  Match narrower;
+  narrower.ipv4_dst = Ipv4Address(10, 0, 0, 2);
+  ASSERT_TRUE(table.add(make_rule(10, Cookie{1}, wide, Instructions::drop()), SimTime{}));
+  ASSERT_TRUE(table.add(make_rule(10, Cookie{2}, narrower, Instructions::drop()),
+                        SimTime{}));
+  FlowRule* hit = table.lookup(flow_a(), PortNo{1}, 64, SimTime{});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, Cookie{2});
+}
+
+TEST(FlowTable, IdenticalMatchPriorityReplaces) {
+  FlowTable table(0);
+  Match match;
+  match.tcp_dst = 80;
+  ASSERT_TRUE(table.add(make_rule(10, Cookie{1}, match, Instructions::output(PortNo{1})),
+                        SimTime{}));
+  ASSERT_TRUE(table.add(make_rule(10, Cookie{9}, match, Instructions::drop()), SimTime{}));
+  EXPECT_EQ(table.size(), 1u);
+  FlowRule* hit = table.lookup(flow_a(), PortNo{1}, 64, SimTime{});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, Cookie{9});
+  EXPECT_TRUE(hit->instructions.apply_actions.empty());
+}
+
+TEST(FlowTable, CapacityEnforced) {
+  FlowTable table(0, 2);
+  Match m1, m2, m3;
+  m1.tcp_dst = 1;
+  m2.tcp_dst = 2;
+  m3.tcp_dst = 3;
+  EXPECT_TRUE(table.add(make_rule(1, Cookie{1}, m1, Instructions::drop()), SimTime{}));
+  EXPECT_TRUE(table.add(make_rule(1, Cookie{2}, m2, Instructions::drop()), SimTime{}));
+  const Status full = table.add(make_rule(1, Cookie{3}, m3, Instructions::drop()), SimTime{});
+  EXPECT_FALSE(full.ok());
+  EXPECT_EQ(full.error().code, ErrorCode::kOutOfRange);
+  EXPECT_EQ(table.stats().rejected_full, 1u);
+  // Replacement of an existing rule still works at capacity.
+  EXPECT_TRUE(table.add(make_rule(1, Cookie{7}, m1, Instructions::drop()), SimTime{}));
+}
+
+TEST(FlowTable, NonStrictDeleteByCookie) {
+  FlowTable table(0);
+  Match m1, m2;
+  m1.tcp_dst = 1;
+  m2.tcp_dst = 2;
+  ASSERT_TRUE(table.add(make_rule(1, Cookie{0xaa}, m1, Instructions::drop()), SimTime{}));
+  ASSERT_TRUE(table.add(make_rule(1, Cookie{0xbb}, m2, Instructions::drop()), SimTime{}));
+
+  // Wildcard match + full cookie mask: only cookie 0xaa rules are removed.
+  const auto removed = table.remove(Match{}, Cookie{0xaa}, Cookie{~0ull});
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].cookie, Cookie{0xaa});
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, NonStrictDeleteByMatchCover) {
+  FlowTable table(0);
+  Match exact = Match::exact_from_packet(flow_a(), PortNo{1});
+  Match unrelated;
+  unrelated.ipv4_dst = Ipv4Address(99, 0, 0, 1);
+  ASSERT_TRUE(table.add(make_rule(1, Cookie{1}, exact, Instructions::drop()), SimTime{}));
+  ASSERT_TRUE(table.add(make_rule(1, Cookie{1}, unrelated, Instructions::drop()), SimTime{}));
+
+  Match selector;
+  selector.ipv4_dst = Ipv4Address(10, 0, 0, 2);
+  const auto removed = table.remove(selector, Cookie{}, Cookie{});  // mask 0: all cookies
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].match, exact);
+}
+
+TEST(FlowTable, StrictDeleteNeedsExactMatchAndPriority) {
+  FlowTable table(0);
+  Match match;
+  match.tcp_dst = 80;
+  ASSERT_TRUE(table.add(make_rule(10, Cookie{1}, match, Instructions::drop()), SimTime{}));
+
+  EXPECT_TRUE(table.remove_strict(match, 11, Cookie{}, Cookie{}).empty());
+  EXPECT_TRUE(table.remove_strict(Match{}, 10, Cookie{}, Cookie{}).empty());
+  EXPECT_EQ(table.remove_strict(match, 10, Cookie{}, Cookie{}).size(), 1u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, ModifyUpdatesInstructionsKeepsCounters) {
+  FlowTable table(0);
+  Match match;
+  ASSERT_TRUE(table.add(make_rule(1, Cookie{5}, match, Instructions::output(PortNo{1})),
+                        SimTime{}));
+  table.lookup(flow_a(), PortNo{1}, 100, SimTime{});
+  const std::size_t modified =
+      table.modify(Match{}, Cookie{5}, Cookie{~0ull}, Instructions::drop());
+  EXPECT_EQ(modified, 1u);
+  const FlowRule& rule = *table.rules()[0];
+  EXPECT_TRUE(rule.instructions.apply_actions.empty());
+  EXPECT_EQ(rule.counters.packets, 1u);
+  EXPECT_EQ(rule.counters.bytes, 100u);
+}
+
+TEST(FlowTable, CountersAccumulateOnLookup) {
+  FlowTable table(0);
+  ASSERT_TRUE(table.add(make_rule(1, Cookie{1}, Match{}, Instructions::drop()), SimTime{}));
+  table.lookup(flow_a(), PortNo{1}, 60, SimTime{});
+  table.lookup(flow_a(), PortNo{1}, 40, SimTime{});
+  EXPECT_EQ(table.rules()[0]->counters.packets, 2u);
+  EXPECT_EQ(table.rules()[0]->counters.bytes, 100u);
+  EXPECT_EQ(table.stats().lookups, 2u);
+  EXPECT_EQ(table.stats().hits, 2u);
+}
+
+TEST(FlowTable, IdleTimeoutExpiry) {
+  FlowTable table(0);
+  FlowRule rule = make_rule(1, Cookie{1}, Match{}, Instructions::drop());
+  rule.idle_timeout_sec = 10;
+  ASSERT_TRUE(table.add(std::move(rule), SimTime{}));
+
+  // Activity at t=5 refreshes the idle clock.
+  table.lookup(flow_a(), PortNo{1}, 64, SimTime{} + seconds(5));
+  EXPECT_TRUE(table.expire(SimTime{} + seconds(14)).empty());
+  const auto expired = table.expire(SimTime{} + seconds(15));
+  EXPECT_EQ(expired.size(), 1u);
+}
+
+TEST(FlowTable, HardTimeoutExpiryIgnoresActivity) {
+  FlowTable table(0);
+  FlowRule rule = make_rule(1, Cookie{1}, Match{}, Instructions::drop());
+  rule.hard_timeout_sec = 10;
+  ASSERT_TRUE(table.add(std::move(rule), SimTime{}));
+  table.lookup(flow_a(), PortNo{1}, 64, SimTime{} + seconds(9));
+  const auto expired = table.expire(SimTime{} + seconds(10));
+  EXPECT_EQ(expired.size(), 1u);
+}
+
+TEST(FlowTable, MissReturnsNull) {
+  FlowTable table(0);
+  Match match;
+  match.tcp_dst = 22;
+  ASSERT_TRUE(table.add(make_rule(1, Cookie{1}, match, Instructions::drop()), SimTime{}));
+  EXPECT_EQ(table.lookup(flow_a(), PortNo{1}, 64, SimTime{}), nullptr);
+  EXPECT_EQ(table.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,151 @@
+// Unit and property tests for the OpenFlow match subset.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "openflow/match.h"
+
+namespace dfi {
+namespace {
+
+Packet sample_tcp() {
+  return make_tcp_packet(MacAddress::from_u64(0xa1), MacAddress::from_u64(0xb2),
+                         Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 49152, 445);
+}
+
+TEST(Match, WildcardMatchesEverything) {
+  const Match match;
+  EXPECT_TRUE(match.matches(sample_tcp(), PortNo{1}));
+  Packet arp = make_arp_request(MacAddress::from_u64(1), Ipv4Address(1, 1, 1, 1),
+                                Ipv4Address(2, 2, 2, 2));
+  EXPECT_TRUE(match.matches(arp, PortNo{9}));
+  EXPECT_TRUE(match.is_wildcard_all());
+  EXPECT_EQ(match.specified_fields(), 0);
+}
+
+TEST(Match, InPortFiltering) {
+  Match match;
+  match.in_port = PortNo{3};
+  EXPECT_TRUE(match.matches(sample_tcp(), PortNo{3}));
+  EXPECT_FALSE(match.matches(sample_tcp(), PortNo{4}));
+}
+
+TEST(Match, EthernetFields) {
+  Match match;
+  match.eth_src = MacAddress::from_u64(0xa1);
+  match.eth_dst = MacAddress::from_u64(0xb2);
+  match.eth_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  EXPECT_TRUE(match.matches(sample_tcp(), PortNo{1}));
+  match.eth_src = MacAddress::from_u64(0xff);
+  EXPECT_FALSE(match.matches(sample_tcp(), PortNo{1}));
+}
+
+TEST(Match, IpPrerequisite) {
+  // An IP-field match must not match non-IP packets (OpenFlow prereqs).
+  Match match;
+  match.ipv4_src = Ipv4Address(1, 1, 1, 1);
+  const Packet arp = make_arp_request(MacAddress::from_u64(1), Ipv4Address(1, 1, 1, 1),
+                                      Ipv4Address(2, 2, 2, 2));
+  EXPECT_FALSE(match.matches(arp, PortNo{1}));
+}
+
+TEST(Match, TcpPortPrerequisite) {
+  Match match;
+  match.tcp_dst = 53;
+  const Packet udp = make_udp_packet(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                                     Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2),
+                                     1000, 53);
+  EXPECT_FALSE(match.matches(udp, PortNo{1}));  // TCP match vs UDP packet
+  Match udp_match;
+  udp_match.udp_dst = 53;
+  EXPECT_TRUE(udp_match.matches(udp, PortNo{1}));
+}
+
+TEST(Match, ExactFromPacketMatchesOnlyThatFlow) {
+  const Packet packet = sample_tcp();
+  const Match exact = Match::exact_from_packet(packet, PortNo{7});
+  EXPECT_TRUE(exact.matches(packet, PortNo{7}));
+  EXPECT_FALSE(exact.matches(packet, PortNo{8}));
+
+  Packet other = sample_tcp();
+  other.tcp->src_port = 49153;
+  EXPECT_FALSE(exact.matches(other, PortNo{7}));
+  EXPECT_EQ(exact.specified_fields(), 9);  // all TCP-flow identifiers
+}
+
+TEST(Match, ExactFromArpPacket) {
+  const Packet arp = make_arp_request(MacAddress::from_u64(1), Ipv4Address(1, 1, 1, 1),
+                                      Ipv4Address(2, 2, 2, 2));
+  const Match exact = Match::exact_from_packet(arp, PortNo{2});
+  EXPECT_TRUE(exact.matches(arp, PortNo{2}));
+  EXPECT_FALSE(exact.ip_proto.has_value());
+  EXPECT_EQ(exact.specified_fields(), 4);  // in_port + macs + ethertype
+}
+
+TEST(Match, CoversReflexiveAndWildcard) {
+  const Packet packet = sample_tcp();
+  const Match exact = Match::exact_from_packet(packet, PortNo{1});
+  const Match wildcard;
+  EXPECT_TRUE(wildcard.covers(exact));
+  EXPECT_TRUE(wildcard.covers(wildcard));
+  EXPECT_TRUE(exact.covers(exact));
+  EXPECT_FALSE(exact.covers(wildcard));
+}
+
+TEST(Match, CoversPartialHierarchy) {
+  Match ip_only;
+  ip_only.ipv4_src = Ipv4Address(10, 0, 0, 1);
+  Match ip_and_port = ip_only;
+  ip_and_port.tcp_dst = 445;
+  EXPECT_TRUE(ip_only.covers(ip_and_port));
+  EXPECT_FALSE(ip_and_port.covers(ip_only));
+  Match other_ip;
+  other_ip.ipv4_src = Ipv4Address(10, 0, 0, 2);
+  EXPECT_FALSE(ip_only.covers(other_ip));
+}
+
+TEST(Match, ToStringListsFields) {
+  Match match;
+  match.ipv4_dst = Ipv4Address(10, 0, 0, 2);
+  match.tcp_dst = 445;
+  const std::string text = match.to_string();
+  EXPECT_NE(text.find("ipv4_dst=10.0.0.2"), std::string::npos);
+  EXPECT_NE(text.find("tcp_dst=445"), std::string::npos);
+  EXPECT_EQ(Match{}.to_string(), "*");
+}
+
+// Property: covers() is consistent with matches() — if A covers B, then any
+// packet matching B's exact pattern also matches A.
+class MatchCoverProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchCoverProperty, CoverImpliesMatchSubsumption) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const Packet packet = make_tcp_packet(
+        MacAddress::from_u64(rng.uniform_int(1, 4)),
+        MacAddress::from_u64(rng.uniform_int(1, 4)),
+        Ipv4Address(static_cast<std::uint32_t>(rng.uniform_int(1, 4))),
+        Ipv4Address(static_cast<std::uint32_t>(rng.uniform_int(1, 4))),
+        static_cast<std::uint16_t>(rng.uniform_int(1, 3)),
+        static_cast<std::uint16_t>(rng.uniform_int(1, 3)));
+    const PortNo port{static_cast<std::uint32_t>(rng.uniform_int(1, 3))};
+    Match narrow = Match::exact_from_packet(packet, port);
+    // Widen a random subset of fields.
+    Match wide = narrow;
+    if (rng.chance(0.5)) wide.in_port.reset();
+    if (rng.chance(0.5)) wide.eth_src.reset();
+    if (rng.chance(0.5)) wide.eth_dst.reset();
+    if (rng.chance(0.5)) wide.ipv4_src.reset();
+    if (rng.chance(0.5)) wide.ipv4_dst.reset();
+    if (rng.chance(0.5)) wide.tcp_src.reset();
+    if (rng.chance(0.5)) wide.tcp_dst.reset();
+    ASSERT_TRUE(wide.covers(narrow));
+    ASSERT_TRUE(narrow.matches(packet, port));
+    ASSERT_TRUE(wide.matches(packet, port));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchCoverProperty,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,300 @@
+// Unit tests for the PDP framework and the three concrete PDPs:
+// S-RBAC, AT-RBAC and Quarantine (paper Sections III-B and V-B).
+#include <gtest/gtest.h>
+
+#include "bus/message_bus.h"
+#include "core/pdps/alarm.h"
+#include "core/pdps/atrbac.h"
+#include "core/pdps/quarantine.h"
+#include "core/pdps/srbac.h"
+#include "core/pdps/time_of_day.h"
+#include "core/policy_manager.h"
+#include "services/siem.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+namespace {
+
+FlowView host_flow(const char* src, const char* dst) {
+  FlowView flow;
+  flow.ether_type = 0x0800;
+  flow.src.hostnames = {Hostname{src}};
+  flow.dst.hostnames = {Hostname{dst}};
+  return flow;
+}
+
+class PdpTest : public ::testing::Test {
+ protected:
+  PdpTest() : manager_(bus_), siem_(bus_, [this]() { return sim_.now(); }) {
+    // Two department enclaves plus one server enclave.
+    for (const char* host : {"h1", "h2"}) {
+      EXPECT_TRUE(directory_.add_host(HostRecord{Hostname{host}, "dept-1", false}).ok());
+    }
+    EXPECT_TRUE(directory_.add_host(HostRecord{Hostname{"h3"}, "dept-2", false}).ok());
+    EXPECT_TRUE(directory_.add_host(HostRecord{Hostname{"srv-ad"}, "servers", true}).ok());
+    EXPECT_TRUE(directory_.add_host(HostRecord{Hostname{"srv-mail"}, "servers", true}).ok());
+    EXPECT_TRUE(
+        directory_.add_user(UserRecord{Username{"u1"}, "dept-1", Hostname{"h1"}}).ok());
+  }
+
+  bool allowed(const char* src, const char* dst) {
+    return manager_.query(host_flow(src, dst)).action == PolicyAction::kAllow;
+  }
+
+  // A flow to a specific destination service port (auth-set checks).
+  bool allowed_to_port(const char* src, const char* dst, std::uint16_t port) {
+    FlowView flow = host_flow(src, dst);
+    flow.src.l4_port = 50000;
+    flow.dst.l4_port = port;
+    return manager_.query(flow).action == PolicyAction::kAllow;
+  }
+
+  Simulator sim_;
+  MessageBus bus_;
+  PolicyManager manager_;
+  DirectoryService directory_;
+  SiemService siem_;
+};
+
+TEST_F(PdpTest, SRbacIntraEnclaveAndServers) {
+  SRbacPdp pdp(PdpPriority{100}, manager_, directory_);
+  pdp.activate();
+
+  EXPECT_TRUE(allowed("h1", "h2"));
+  EXPECT_TRUE(allowed("h2", "h1"));
+  EXPECT_FALSE(allowed("h1", "h3"));  // cross-enclave denied
+  EXPECT_FALSE(allowed("h3", "h2"));
+  EXPECT_TRUE(allowed("h1", "srv-ad"));
+  EXPECT_TRUE(allowed("srv-ad", "h3"));
+  EXPECT_TRUE(allowed("srv-ad", "srv-mail"));
+}
+
+TEST_F(PdpTest, SRbacIsStaticAcrossSessions) {
+  SRbacPdp pdp(PdpPriority{100}, manager_, directory_);
+  pdp.activate();
+  const std::size_t before = manager_.size();
+  // Log-on/log-off events do not change the static policy.
+  siem_.process_created(Username{"u1"}, Hostname{"h1"});
+  siem_.process_terminated(Username{"u1"}, Hostname{"h1"});
+  EXPECT_EQ(manager_.size(), before);
+  EXPECT_TRUE(allowed("h1", "h2"));
+}
+
+TEST_F(PdpTest, SRbacDeactivateRevokesAll) {
+  SRbacPdp pdp(PdpPriority{100}, manager_, directory_);
+  pdp.activate();
+  EXPECT_GT(manager_.size(), 0u);
+  pdp.deactivate();
+  EXPECT_EQ(manager_.size(), 0u);
+  EXPECT_FALSE(allowed("h1", "h2"));
+}
+
+TEST_F(PdpTest, SRbacReactivateIdempotent) {
+  SRbacPdp pdp(PdpPriority{100}, manager_, directory_);
+  pdp.activate();
+  const std::size_t once = manager_.size();
+  pdp.activate();
+  EXPECT_EQ(manager_.size(), once);
+}
+
+TEST_F(PdpTest, AtRbacGrantsOnLogonRevokesOnLogoff) {
+  AtRbacPdp pdp(PdpPriority{100}, manager_, directory_, bus_, {Hostname{"srv-ad"}});
+  pdp.activate();
+
+  // Logged off: only the authentication services are reachable.
+  EXPECT_FALSE(allowed("h1", "h2"));
+  EXPECT_TRUE(allowed_to_port("h1", "srv-ad", 88));    // Kerberos
+  EXPECT_TRUE(allowed_to_port("h1", "srv-ad", 53));    // DNS
+  EXPECT_FALSE(allowed_to_port("h1", "srv-ad", 445));  // not SMB
+  EXPECT_FALSE(allowed("h1", "srv-mail"));
+
+  siem_.process_created(Username{"u1"}, Hostname{"h1"});
+  EXPECT_TRUE(allowed("h1", "h2"));       // role set granted
+  EXPECT_TRUE(allowed("h2", "h1"));
+  EXPECT_TRUE(allowed("h1", "srv-mail"));
+  EXPECT_FALSE(allowed("h1", "h3"));      // still enclave-scoped
+  EXPECT_EQ(pdp.grants(), 1u);
+  EXPECT_EQ(pdp.active_hosts().size(), 1u);
+
+  siem_.process_terminated(Username{"u1"}, Hostname{"h1"});
+  EXPECT_FALSE(allowed("h1", "h2"));      // revoked
+  EXPECT_TRUE(allowed_to_port("h1", "srv-ad", 88));  // auth set persists
+  EXPECT_EQ(pdp.revocations(), 1u);
+  EXPECT_TRUE(pdp.active_hosts().empty());
+}
+
+TEST_F(PdpTest, AtRbacMultipleUsersOnHost) {
+  ASSERT_TRUE(
+      directory_.add_user(UserRecord{Username{"u2"}, "dept-1", Hostname{"h2"}}).ok());
+  AtRbacPdp pdp(PdpPriority{100}, manager_, directory_, bus_, {Hostname{"srv-ad"}});
+  pdp.activate();
+
+  siem_.process_created(Username{"u1"}, Hostname{"h1"});
+  siem_.process_created(Username{"u2"}, Hostname{"h1"});
+  EXPECT_EQ(pdp.grants(), 1u);  // one grant per host, not per user
+  siem_.process_terminated(Username{"u1"}, Hostname{"h1"});
+  EXPECT_TRUE(allowed("h1", "h2"));  // u2 still on
+  siem_.process_terminated(Username{"u2"}, Hostname{"h1"});
+  EXPECT_FALSE(allowed("h1", "h2"));
+}
+
+TEST_F(PdpTest, AtRbacAuthSetPortScoped) {
+  AtRbacPdp pdp(PdpPriority{100}, manager_, directory_, bus_, {Hostname{"srv-ad"}});
+  pdp.activate();
+  // The worm's SMB vector must not ride the standing auth rules.
+  EXPECT_FALSE(allowed_to_port("h1", "srv-ad", 445));
+  EXPECT_FALSE(allowed_to_port("srv-ad", "h1", 445));
+  // Reply direction from the auth service port is allowed.
+  FlowView reply = host_flow("srv-ad", "h1");
+  reply.src.l4_port = 88;
+  reply.dst.l4_port = 50000;
+  EXPECT_EQ(manager_.query(reply).action, PolicyAction::kAllow);
+}
+
+TEST_F(PdpTest, AtRbacPeerGrantOpensBothDirections) {
+  // Per the paper's role set, a granted host's rules cover flows to and
+  // from its enclave peers — reaching a logged-off peer is possible while
+  // the granted host's own rules are live.
+  AtRbacPdp pdp(PdpPriority{100}, manager_, directory_, bus_, {Hostname{"srv-ad"}});
+  pdp.activate();
+  siem_.process_created(Username{"u1"}, Hostname{"h1"});
+  EXPECT_TRUE(allowed("h2", "h1"));  // inbound from logged-off peer allowed
+  EXPECT_TRUE(allowed("h1", "h2"));
+}
+
+TEST_F(PdpTest, AtRbacServersAreNotSessionConditioned) {
+  AtRbacPdp pdp(PdpPriority{100}, manager_, directory_, bus_, {Hostname{"srv-ad"}});
+  pdp.activate();
+  // A (spurious) server session event must not grant a server role set.
+  siem_.process_created(Username{"u1"}, Hostname{"srv-mail"});
+  EXPECT_EQ(pdp.grants(), 0u);
+}
+
+TEST_F(PdpTest, QuarantineOverridesRbacAndReleases) {
+  SRbacPdp rbac(PdpPriority{100}, manager_, directory_);
+  rbac.activate();
+  QuarantinePdp quarantine(PdpPriority{200}, manager_, bus_);
+
+  EXPECT_TRUE(allowed("h1", "h2"));
+  quarantine.quarantine(Hostname{"h1"});
+  EXPECT_TRUE(quarantine.is_quarantined(Hostname{"h1"}));
+  EXPECT_FALSE(allowed("h1", "h2"));  // outbound cut
+  EXPECT_FALSE(allowed("h2", "h1"));  // inbound cut
+  EXPECT_TRUE(allowed("h2", "srv-ad"));  // others unaffected
+
+  quarantine.release(Hostname{"h1"});
+  EXPECT_FALSE(quarantine.is_quarantined(Hostname{"h1"}));
+  EXPECT_TRUE(allowed("h1", "h2"));
+}
+
+TEST_F(PdpTest, QuarantineDrivenByAlertTopic) {
+  QuarantinePdp quarantine(PdpPriority{200}, manager_, bus_);
+  bus_.publish(topics::kQuarantineAlerts, QuarantineAlert{Hostname{"h3"}, false});
+  EXPECT_TRUE(quarantine.is_quarantined(Hostname{"h3"}));
+  bus_.publish(topics::kQuarantineAlerts, QuarantineAlert{Hostname{"h3"}, true});
+  EXPECT_FALSE(quarantine.is_quarantined(Hostname{"h3"}));
+  EXPECT_EQ(quarantine.quarantined_count(), 0u);
+}
+
+TEST_F(PdpTest, QuarantineIdempotent) {
+  QuarantinePdp quarantine(PdpPriority{200}, manager_, bus_);
+  quarantine.quarantine(Hostname{"h1"});
+  const std::size_t rules = manager_.size();
+  quarantine.quarantine(Hostname{"h1"});
+  EXPECT_EQ(manager_.size(), rules);
+  quarantine.release(Hostname{"h1"});
+  quarantine.release(Hostname{"h1"});
+  EXPECT_EQ(manager_.size(), 0u);
+}
+
+TEST_F(PdpTest, QuarantineInsertFlushesCachedAllowRules) {
+  SRbacPdp rbac(PdpPriority{100}, manager_, directory_);
+  rbac.activate();
+
+  std::vector<PolicyRuleId> flushes;
+  auto sub = bus_.subscribe<FlushDirective>(
+      topics::kRuleFlush, [&](const FlushDirective& d) { flushes.push_back(d.policy); });
+
+  QuarantinePdp quarantine(PdpPriority{200}, manager_, bus_);
+  quarantine.quarantine(Hostname{"h1"});
+  // The higher-priority Deny rules overlap h1's cached Allow rules, whose
+  // switch derivations must be flushed so ongoing flows are cut.
+  EXPECT_FALSE(flushes.empty());
+}
+
+TEST_F(PdpTest, TimeOfDayOpensAndClosesWithTheClock) {
+  TimeOfDayPdp pdp(PdpPriority{100}, manager_, directory_, sim_, 7, 19);
+  pdp.activate();
+
+  // Midnight: closed.
+  EXPECT_FALSE(pdp.is_open());
+  EXPECT_FALSE(allowed("h1", "h2"));
+
+  sim_.run_until(clock_time(8));
+  EXPECT_TRUE(pdp.is_open());
+  EXPECT_TRUE(allowed("h1", "h2"));
+  EXPECT_TRUE(allowed("h1", "srv-mail"));
+  EXPECT_FALSE(allowed("h1", "h3"));  // still enclave-scoped
+
+  sim_.run_until(clock_time(19, 30));
+  EXPECT_FALSE(pdp.is_open());
+  EXPECT_FALSE(allowed("h1", "h2"));
+  EXPECT_EQ(manager_.size(), 0u);
+}
+
+TEST_F(PdpTest, TimeOfDayActivatedMidDayOpensImmediately) {
+  sim_.run_until(clock_time(10));
+  TimeOfDayPdp pdp(PdpPriority{100}, manager_, directory_, sim_, 7, 19);
+  pdp.activate();
+  EXPECT_TRUE(pdp.is_open());
+  EXPECT_TRUE(allowed("h1", "h2"));
+  pdp.deactivate();
+  EXPECT_FALSE(allowed("h1", "h2"));
+  // A later scheduled close must not re-fire after deactivation.
+  sim_.run_until(clock_time(20));
+  EXPECT_FALSE(pdp.is_open());
+}
+
+TEST_F(PdpTest, AlarmLockdownCutsEndHostsKeepsServers) {
+  SRbacPdp rbac(PdpPriority{100}, manager_, directory_);
+  rbac.activate();
+  AlarmPdp alarm(PdpPriority{300}, manager_, directory_, bus_);
+
+  EXPECT_TRUE(allowed("h1", "h2"));
+  bus_.publish(topics::kFacilityAlarms, BuildingAlarmEvent{"east-wing", true});
+  EXPECT_TRUE(alarm.lockdown_active());
+  EXPECT_FALSE(allowed("h1", "h2"));       // workstation outbound cut
+  EXPECT_FALSE(allowed("h1", "srv-ad"));
+  EXPECT_TRUE(allowed("srv-ad", "srv-mail"));  // servers keep talking
+  EXPECT_TRUE(allowed("srv-ad", "h1"));        // inbound paging still works
+
+  bus_.publish(topics::kFacilityAlarms, BuildingAlarmEvent{"east-wing", false});
+  EXPECT_FALSE(alarm.lockdown_active());
+  EXPECT_TRUE(allowed("h1", "h2"));
+}
+
+TEST_F(PdpTest, AlarmIdempotentAndDirectControl) {
+  AlarmPdp alarm(PdpPriority{300}, manager_, directory_, bus_);
+  alarm.engage_lockdown();
+  const std::size_t rules = manager_.size();
+  alarm.engage_lockdown();
+  EXPECT_EQ(manager_.size(), rules);
+  alarm.clear_lockdown();
+  alarm.clear_lockdown();
+  EXPECT_EQ(manager_.size(), 0u);
+}
+
+TEST_F(PdpTest, MakeRbacRulesetCoversExpectedPairs) {
+  const auto rules = make_rbac_ruleset(directory_);
+  // dept-1: h1<->h2 (2) ; dept-1/dept-2 hosts <-> 2 servers (3*2*2=12);
+  // servers intra-enclave pair (2): total 16.
+  EXPECT_EQ(rules.size(), 16u);
+  for (const auto& rule : rules) {
+    EXPECT_EQ(rule.action, PolicyAction::kAllow);
+    EXPECT_TRUE(rule.source.host.has_value());
+    EXPECT_TRUE(rule.destination.host.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,225 @@
+// Tests for the policy/binding persistence layer (MySQL surrogate).
+#include <gtest/gtest.h>
+
+#include "bus/message_bus.h"
+#include "core/persistence.h"
+
+namespace dfi {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  PersistenceTest() : manager_(bus_), erm_(bus_) {}
+
+  MessageBus bus_;
+  PolicyManager manager_;
+  EntityResolutionManager erm_;
+};
+
+PolicyRule rich_rule() {
+  PolicyRule rule;
+  rule.action = PolicyAction::kDeny;
+  rule.properties.ether_type = 0x0800;
+  rule.properties.ip_proto = 6;
+  rule.source.user = Username{"alice"};
+  rule.source.host = Hostname{"alice-laptop"};
+  rule.source.ip = Ipv4Address(10, 0, 0, 1);
+  rule.source.mac = MacAddress::from_u64(0xa1);
+  rule.destination.host = Hostname{"srv-email"};
+  rule.destination.l4_port = 143;
+  rule.destination.switch_port = PortNo{3};
+  rule.destination.dpid = Dpid{12};
+  return rule;
+}
+
+TEST_F(PersistenceTest, PolicyRoundTripPreservesEverything) {
+  manager_.insert(rich_rule(), PdpPriority{42}, "pdp-x");
+  PolicyRule wildcard;
+  wildcard.action = PolicyAction::kAllow;
+  manager_.insert(wildcard, PdpPriority{7}, "pdp-y");
+
+  const std::string snapshot = save_policies(manager_);
+
+  MessageBus bus2;
+  PolicyManager restored(bus2);
+  const auto loaded = load_policies(restored, snapshot);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value(), 2u);
+  ASSERT_EQ(restored.size(), 2u);
+
+  // Field-exact round trip (ids differ; rules, priorities and owners match).
+  bool found_rich = false, found_wildcard = false;
+  for (const auto& stored : restored.rules()) {
+    if (stored.pdp_name == "pdp-x") {
+      found_rich = true;
+      EXPECT_EQ(stored.priority, PdpPriority{42});
+      EXPECT_EQ(stored.rule, rich_rule());
+    }
+    if (stored.pdp_name == "pdp-y") {
+      found_wildcard = true;
+      EXPECT_EQ(stored.priority, PdpPriority{7});
+      EXPECT_EQ(stored.rule, wildcard);
+    }
+  }
+  EXPECT_TRUE(found_rich);
+  EXPECT_TRUE(found_wildcard);
+
+  // And the reloaded database serializes identically.
+  EXPECT_EQ(save_policies(restored), snapshot);
+}
+
+TEST_F(PersistenceTest, PolicyLoadSkipsCommentsAndBlankLines) {
+  const std::string snapshot =
+      "# a comment\n"
+      "\n"
+      "policy|p|10|allow|ether=*|proto=*|*|*\n";
+  const auto loaded = load_policies(manager_, snapshot);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), 1u);
+}
+
+TEST_F(PersistenceTest, PolicyLoadReportsLineNumbers) {
+  const std::string snapshot =
+      "policy|p|10|allow|ether=*|proto=*|*|*\n"
+      "policy|p|10|frobnicate|ether=*|proto=*|*|*\n";
+  const auto loaded = load_policies(manager_, snapshot);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("line 2"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, PolicyLoadRejectsMalformedSpecsAndNumbers) {
+  EXPECT_FALSE(load_policies(manager_, "policy|p|10|allow|ether=*|proto=*\n").ok());
+  EXPECT_FALSE(
+      load_policies(manager_, "policy|p|x|allow|ether=*|proto=*|*|*\n").ok());
+  EXPECT_FALSE(
+      load_policies(manager_, "policy|p|10|allow|ether=*|proto=*|ip=999.1.1.1|*\n").ok());
+  EXPECT_FALSE(
+      load_policies(manager_, "policy|p|10|allow|ether=*|proto=*|nonsense|*\n").ok());
+  EXPECT_FALSE(
+      load_policies(manager_, "policy|p|10|allow|ether=*|proto=*|wat=1|*\n").ok());
+}
+
+TEST_F(PersistenceTest, BindingRoundTrip) {
+  BindingEvent user_host;
+  user_host.kind = BindingKind::kUserHost;
+  user_host.user = Username{"alice"};
+  user_host.host = Hostname{"h1"};
+  erm_.apply(user_host);
+  BindingEvent host_ip;
+  host_ip.kind = BindingKind::kHostIp;
+  host_ip.host = Hostname{"h1"};
+  host_ip.ip = Ipv4Address(10, 0, 0, 1);
+  erm_.apply(host_ip);
+  BindingEvent ip_mac;
+  ip_mac.kind = BindingKind::kIpMac;
+  ip_mac.ip = Ipv4Address(10, 0, 0, 1);
+  ip_mac.mac = MacAddress::from_u64(0xbeef);
+  erm_.apply(ip_mac);
+  BindingEvent location;
+  location.kind = BindingKind::kMacLocation;
+  location.mac = MacAddress::from_u64(0xbeef);
+  location.dpid = Dpid{3};
+  location.port = PortNo{7};
+  erm_.apply(location);
+
+  const std::string snapshot = save_bindings(erm_);
+
+  MessageBus bus2;
+  EntityResolutionManager restored(bus2);
+  const auto loaded = load_bindings(restored, snapshot);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value(), 4u);
+  EXPECT_EQ(restored.binding_count(), erm_.binding_count());
+
+  // Restored state answers enrichment queries identically.
+  EndpointView view;
+  view.ip = Ipv4Address(10, 0, 0, 1);
+  const EndpointView enriched = restored.enrich(view);
+  ASSERT_EQ(enriched.usernames.size(), 1u);
+  EXPECT_EQ(enriched.usernames[0], Username{"alice"});
+  EXPECT_EQ(restored.location_of_mac(Dpid{3}, MacAddress::from_u64(0xbeef)), PortNo{7});
+  EXPECT_EQ(save_bindings(restored), snapshot);
+}
+
+TEST_F(PersistenceTest, BindingLoadRejectsGarbage) {
+  EXPECT_FALSE(load_bindings(erm_, "binding|teleport|a|b\n").ok());
+  EXPECT_FALSE(load_bindings(erm_, "binding|ip-mac|not-an-ip|02:00:00:00:00:01\n").ok());
+  EXPECT_FALSE(load_bindings(erm_, "binding|mac-location|02:00:00:00:00:01|3\n").ok());
+  EXPECT_FALSE(load_bindings(erm_, "nonsense\n").ok());
+  const auto with_line = load_bindings(erm_, "binding|user-host|a|h\nbroken\n");
+  ASSERT_FALSE(with_line.ok());
+  EXPECT_NE(with_line.error().message.find("line 2"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, ControlPlaneRestartPreservesDecisions) {
+  // "Restart" scenario: a running deployment's policy database and binding
+  // state are snapshotted, a fresh control plane loads them, and every
+  // decision comes out the same.
+  PolicyRule allow;
+  allow.action = PolicyAction::kAllow;
+  allow.source.user = Username{"alice"};
+  allow.destination.host = Hostname{"srv-email"};
+  manager_.insert(allow, PdpPriority{50}, "mail-pdp");
+  PolicyRule deny;
+  deny.action = PolicyAction::kDeny;
+  deny.destination.l4_port = 22;
+  manager_.insert(deny, PdpPriority{90}, "hardening");
+
+  BindingEvent host_ip;
+  host_ip.kind = BindingKind::kHostIp;
+  host_ip.host = Hostname{"alice-laptop"};
+  host_ip.ip = Ipv4Address(10, 0, 0, 5);
+  erm_.apply(host_ip);
+  BindingEvent user_host;
+  user_host.kind = BindingKind::kUserHost;
+  user_host.user = Username{"alice"};
+  user_host.host = Hostname{"alice-laptop"};
+  erm_.apply(user_host);
+  BindingEvent mail_ip;
+  mail_ip.kind = BindingKind::kHostIp;
+  mail_ip.host = Hostname{"srv-email"};
+  mail_ip.ip = Ipv4Address(10, 0, 0, 9);
+  erm_.apply(mail_ip);
+
+  MessageBus bus2;
+  PolicyManager manager2(bus2);
+  EntityResolutionManager erm2(bus2);
+  ASSERT_TRUE(load_policies(manager2, save_policies(manager_)).ok());
+  ASSERT_TRUE(load_bindings(erm2, save_bindings(erm_)).ok());
+
+  const auto decide = [](PolicyManager& pm, EntityResolutionManager& erm,
+                         std::uint16_t dst_port) {
+    FlowView flow;
+    flow.ether_type = 0x0800;
+    flow.ip_proto = 6;
+    flow.src.ip = Ipv4Address(10, 0, 0, 5);
+    flow.dst.ip = Ipv4Address(10, 0, 0, 9);
+    flow.src.l4_port = 50000;
+    flow.dst.l4_port = dst_port;
+    flow.src = erm.enrich(flow.src);
+    flow.dst = erm.enrich(flow.dst);
+    return pm.query(flow);
+  };
+  for (const std::uint16_t port : {22, 143, 445}) {
+    const PolicyDecision before = decide(manager_, erm_, port);
+    const PolicyDecision after = decide(manager2, erm2, port);
+    EXPECT_EQ(before.action, after.action) << "port " << port;
+    EXPECT_EQ(before.default_deny, after.default_deny) << "port " << port;
+  }
+}
+
+TEST_F(PersistenceTest, ErmSnapshotCoversAllKinds) {
+  BindingEvent user_host;
+  user_host.kind = BindingKind::kUserHost;
+  user_host.user = Username{"u"};
+  user_host.host = Hostname{"h"};
+  erm_.apply(user_host);
+  EXPECT_EQ(erm_.snapshot().size(), 1u);
+  BindingEvent retraction = user_host;
+  retraction.retracted = true;
+  erm_.apply(retraction);
+  EXPECT_TRUE(erm_.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,118 @@
+// Unit tests for the multi-table pipeline — DFI's Table-0 precedence lives here.
+#include <gtest/gtest.h>
+
+#include "openflow/pipeline.h"
+
+namespace dfi {
+namespace {
+
+Packet flow() {
+  return make_tcp_packet(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                         Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 1000, 80);
+}
+
+FlowRule rule(std::uint16_t priority, Match match, Instructions instructions,
+              Cookie cookie = {}) {
+  FlowRule r;
+  r.priority = priority;
+  r.match = std::move(match);
+  r.instructions = std::move(instructions);
+  r.cookie = cookie;
+  return r;
+}
+
+TEST(Pipeline, MissInTableZeroReportsPacketIn) {
+  Pipeline pipeline(4);
+  const PipelineResult result = pipeline.process(flow(), PortNo{1}, 64, SimTime{});
+  EXPECT_TRUE(result.table_miss);
+  EXPECT_EQ(result.miss_table, 0);
+  EXPECT_FALSE(result.dropped);
+}
+
+TEST(Pipeline, DropRuleInTableZeroStopsPacket) {
+  Pipeline pipeline(4);
+  ASSERT_TRUE(pipeline.table(0).add(rule(100, Match{}, Instructions::drop(), Cookie{7}),
+                                    SimTime{}));
+  const PipelineResult result = pipeline.process(flow(), PortNo{1}, 64, SimTime{});
+  EXPECT_FALSE(result.table_miss);
+  EXPECT_TRUE(result.dropped);
+  EXPECT_TRUE(result.output_ports.empty());
+  EXPECT_EQ(result.last_cookie, Cookie{7});
+}
+
+TEST(Pipeline, GotoChainsThroughTables) {
+  Pipeline pipeline(4);
+  ASSERT_TRUE(pipeline.table(0).add(rule(100, Match{}, Instructions::to_table(1)),
+                                    SimTime{}));
+  ASSERT_TRUE(pipeline.table(1).add(rule(10, Match{}, Instructions::output(PortNo{3})),
+                                    SimTime{}));
+  const PipelineResult result = pipeline.process(flow(), PortNo{1}, 64, SimTime{});
+  EXPECT_FALSE(result.table_miss);
+  ASSERT_EQ(result.output_ports.size(), 1u);
+  EXPECT_EQ(result.output_ports[0], PortNo{3});
+}
+
+TEST(Pipeline, MissAfterGotoReportsLaterTable) {
+  Pipeline pipeline(4);
+  ASSERT_TRUE(pipeline.table(0).add(rule(100, Match{}, Instructions::to_table(1)),
+                                    SimTime{}));
+  const PipelineResult result = pipeline.process(flow(), PortNo{1}, 64, SimTime{});
+  EXPECT_TRUE(result.table_miss);
+  EXPECT_EQ(result.miss_table, 1);
+}
+
+TEST(Pipeline, ActionsAccumulateAcrossTables) {
+  Pipeline pipeline(4);
+  Instructions tee;
+  tee.apply_actions = {OutputAction{PortNo{9}}};
+  tee.goto_table = 1;
+  ASSERT_TRUE(pipeline.table(0).add(rule(100, Match{}, tee), SimTime{}));
+  ASSERT_TRUE(pipeline.table(1).add(rule(10, Match{}, Instructions::output(PortNo{3})),
+                                    SimTime{}));
+  const PipelineResult result = pipeline.process(flow(), PortNo{1}, 64, SimTime{});
+  ASSERT_EQ(result.output_ports.size(), 2u);
+  EXPECT_EQ(result.output_ports[0], PortNo{9});
+  EXPECT_EQ(result.output_ports[1], PortNo{3});
+}
+
+TEST(Pipeline, InvalidGotoEndsProcessing) {
+  Pipeline pipeline(2);
+  // goto beyond the last table: processing must end, not crash.
+  ASSERT_TRUE(pipeline.table(0).add(rule(100, Match{}, Instructions::to_table(7)),
+                                    SimTime{}));
+  const PipelineResult result = pipeline.process(flow(), PortNo{1}, 64, SimTime{});
+  EXPECT_FALSE(result.table_miss);
+  EXPECT_TRUE(result.dropped);
+}
+
+TEST(Pipeline, HigherPriorityTableZeroRuleWinsOverGoto) {
+  // DFI's Deny (drop, prio 100) must shadow a lower-priority allow.
+  Pipeline pipeline(4);
+  const Packet packet = flow();
+  Match exact = Match::exact_from_packet(packet, PortNo{1});
+  ASSERT_TRUE(pipeline.table(0).add(rule(100, exact, Instructions::drop()), SimTime{}));
+  ASSERT_TRUE(pipeline.table(0).add(rule(50, Match{}, Instructions::to_table(1)),
+                                    SimTime{}));
+  ASSERT_TRUE(pipeline.table(1).add(rule(10, Match{}, Instructions::output(PortNo{3})),
+                                    SimTime{}));
+  const PipelineResult result = pipeline.process(packet, PortNo{1}, 64, SimTime{});
+  EXPECT_TRUE(result.dropped);
+
+  // Another flow (different port) follows the wildcard goto instead.
+  const PipelineResult other = pipeline.process(packet, PortNo{2}, 64, SimTime{});
+  EXPECT_FALSE(other.dropped);
+  EXPECT_EQ(other.output_ports.size(), 1u);
+}
+
+TEST(Pipeline, TotalRulesAcrossTables) {
+  Pipeline pipeline(3);
+  ASSERT_TRUE(pipeline.table(0).add(rule(1, Match{}, Instructions::drop()), SimTime{}));
+  Match m;
+  m.tcp_dst = 1;
+  ASSERT_TRUE(pipeline.table(2).add(rule(1, m, Instructions::drop()), SimTime{}));
+  EXPECT_EQ(pipeline.total_rules(), 2u);
+  EXPECT_EQ(pipeline.num_tables(), 3);
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,171 @@
+// Unit tests for the Policy Manager: storage, priority resolution,
+// default deny, and the consistency-check flush behaviour (paper §III-B).
+#include <gtest/gtest.h>
+
+#include "bus/message_bus.h"
+#include "core/policy_manager.h"
+
+namespace dfi {
+namespace {
+
+FlowView flow_from_user(const char* user) {
+  FlowView flow;
+  flow.ether_type = 0x0800;
+  flow.src.usernames = {Username{user}};
+  flow.src.ip = Ipv4Address(10, 0, 0, 1);
+  flow.dst.ip = Ipv4Address(10, 0, 0, 2);
+  return flow;
+}
+
+PolicyRule allow_from(const char* user) {
+  PolicyRule rule;
+  rule.action = PolicyAction::kAllow;
+  rule.source.user = Username{user};
+  return rule;
+}
+
+PolicyRule deny_from(const char* user) {
+  PolicyRule rule = allow_from(user);
+  rule.action = PolicyAction::kDeny;
+  return rule;
+}
+
+class PolicyManagerTest : public ::testing::Test {
+ protected:
+  PolicyManagerTest()
+      : manager_(bus_),
+        flush_sub_(bus_.subscribe<FlushDirective>(
+            topics::kRuleFlush,
+            [this](const FlushDirective& d) { flushes_.push_back(d.policy); })) {}
+
+  MessageBus bus_;
+  PolicyManager manager_;
+  Subscription flush_sub_;
+  std::vector<PolicyRuleId> flushes_;
+};
+
+TEST_F(PolicyManagerTest, DefaultDenyWhenEmpty) {
+  const PolicyDecision decision = manager_.query(flow_from_user("alice"));
+  EXPECT_EQ(decision.action, PolicyAction::kDeny);
+  EXPECT_TRUE(decision.default_deny);
+  EXPECT_EQ(decision.rule_id.value, kDefaultDenyCookie.value);
+}
+
+TEST_F(PolicyManagerTest, InsertAndQuery) {
+  const PolicyRuleId id = manager_.insert(allow_from("alice"), PdpPriority{10}, "test");
+  const PolicyDecision decision = manager_.query(flow_from_user("alice"));
+  EXPECT_EQ(decision.action, PolicyAction::kAllow);
+  EXPECT_EQ(decision.rule_id, id);
+  EXPECT_FALSE(decision.default_deny);
+  // Unmatched user still default-denied.
+  EXPECT_TRUE(manager_.query(flow_from_user("bob")).default_deny);
+}
+
+TEST_F(PolicyManagerTest, IdsAreUniqueAndAboveReserved) {
+  const PolicyRuleId a = manager_.insert(allow_from("a"), PdpPriority{1}, "t");
+  const PolicyRuleId b = manager_.insert(allow_from("b"), PdpPriority{1}, "t");
+  EXPECT_NE(a, b);
+  EXPECT_GT(a.value, kDefaultDenyCookie.value);
+  EXPECT_GT(b.value, kDefaultDenyCookie.value);
+}
+
+TEST_F(PolicyManagerTest, HigherPriorityWins) {
+  manager_.insert(allow_from("alice"), PdpPriority{10}, "low");
+  const PolicyRuleId deny_id =
+      manager_.insert(deny_from("alice"), PdpPriority{20}, "high");
+  const PolicyDecision decision = manager_.query(flow_from_user("alice"));
+  EXPECT_EQ(decision.action, PolicyAction::kDeny);
+  EXPECT_EQ(decision.rule_id, deny_id);
+}
+
+TEST_F(PolicyManagerTest, EqualPriorityDenyWins) {
+  manager_.insert(allow_from("alice"), PdpPriority{10}, "a");
+  manager_.insert(deny_from("alice"), PdpPriority{10}, "b");
+  EXPECT_EQ(manager_.query(flow_from_user("alice")).action, PolicyAction::kDeny);
+}
+
+TEST_F(PolicyManagerTest, RevokeRemovesRuleAndFlushes) {
+  const PolicyRuleId id = manager_.insert(deny_from("alice"), PdpPriority{10}, "t");
+  flushes_.clear();
+  EXPECT_TRUE(manager_.revoke(id));
+  EXPECT_FALSE(manager_.revoke(id));  // double revoke is a no-op
+  EXPECT_TRUE(manager_.query(flow_from_user("alice")).default_deny);
+  ASSERT_EQ(flushes_.size(), 1u);
+  EXPECT_EQ(flushes_[0], id);
+}
+
+TEST_F(PolicyManagerTest, ConflictingInsertFlushesLowerPriorityOpposite) {
+  const PolicyRuleId allow_id =
+      manager_.insert(allow_from("alice"), PdpPriority{10}, "rbac");
+  flushes_.clear();
+
+  // Higher-priority Deny overlapping the allow: the allow's cached switch
+  // rules must be flushed so ongoing flows are re-evaluated.
+  manager_.insert(deny_from("alice"), PdpPriority{20}, "quarantine");
+  ASSERT_FALSE(flushes_.empty());
+  EXPECT_NE(std::find(flushes_.begin(), flushes_.end(), allow_id), flushes_.end());
+  // The conflicting rule itself stays in the database.
+  EXPECT_TRUE(manager_.find(allow_id).has_value());
+}
+
+TEST_F(PolicyManagerTest, NonOverlappingInsertDoesNotFlush) {
+  manager_.insert(allow_from("alice"), PdpPriority{10}, "t");
+  flushes_.clear();
+  manager_.insert(deny_from("bob"), PdpPriority{20}, "t");  // disjoint users
+  // Only the default-deny flush may appear for Allow inserts; a Deny insert
+  // of a non-overlapping rule publishes nothing.
+  EXPECT_TRUE(flushes_.empty());
+}
+
+TEST_F(PolicyManagerTest, LowerPriorityConflictingInsertDoesNotFlushExisting) {
+  manager_.insert(deny_from("alice"), PdpPriority{30}, "high");
+  flushes_.clear();
+  manager_.insert(allow_from("alice"), PdpPriority{10}, "low");
+  // The existing deny outranks the new allow; its switch rules stay. Only
+  // the default-deny flush (for the Allow insert) is expected.
+  for (const PolicyRuleId id : flushes_) {
+    EXPECT_EQ(id.value, kDefaultDenyCookie.value);
+  }
+}
+
+TEST_F(PolicyManagerTest, AllowInsertFlushesDefaultDenyRules) {
+  flushes_.clear();
+  manager_.insert(allow_from("alice"), PdpPriority{10}, "t");
+  ASSERT_EQ(flushes_.size(), 1u);
+  EXPECT_EQ(flushes_[0].value, kDefaultDenyCookie.value);
+
+  flushes_.clear();
+  manager_.insert(deny_from("carol"), PdpPriority{10}, "t");
+  EXPECT_TRUE(flushes_.empty());  // deny inserts don't free default-denied flows
+}
+
+TEST_F(PolicyManagerTest, SamePriorityConflictNotFlushed) {
+  // Flush requires strictly lower priority (paper III-B condition 3).
+  manager_.insert(allow_from("alice"), PdpPriority{10}, "a");
+  flushes_.clear();
+  manager_.insert(deny_from("alice"), PdpPriority{10}, "b");
+  EXPECT_TRUE(flushes_.empty());
+}
+
+TEST_F(PolicyManagerTest, FindAndListRules) {
+  const PolicyRuleId id = manager_.insert(allow_from("alice"), PdpPriority{10}, "pdp-x");
+  const auto stored = manager_.find(id);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stored->pdp_name, "pdp-x");
+  EXPECT_EQ(stored->priority, PdpPriority{10});
+  EXPECT_EQ(manager_.rules().size(), 1u);
+  EXPECT_EQ(manager_.size(), 1u);
+  EXPECT_FALSE(manager_.find(PolicyRuleId{9999}).has_value());
+}
+
+TEST_F(PolicyManagerTest, StatsTrackOperations) {
+  const PolicyRuleId id = manager_.insert(allow_from("a"), PdpPriority{1}, "t");
+  manager_.query(flow_from_user("a"));
+  manager_.revoke(id);
+  EXPECT_EQ(manager_.stats().inserts, 1u);
+  EXPECT_EQ(manager_.stats().queries, 1u);
+  EXPECT_EQ(manager_.stats().revocations, 1u);
+}
+
+}  // namespace
+}  // namespace dfi

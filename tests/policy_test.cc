@@ -1,0 +1,158 @@
+// Unit tests for the policy model: endpoint specs, rule matching, overlap.
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+#include "net/packet.h"
+
+namespace dfi {
+namespace {
+
+FlowView tcp_flow_between(const char* src_user, const char* dst_user) {
+  FlowView flow;
+  flow.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  flow.ip_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  flow.src.ip = Ipv4Address(10, 0, 0, 1);
+  flow.src.mac = MacAddress::from_u64(1);
+  flow.src.l4_port = 50000;
+  flow.src.hostnames = {Hostname{"src-host"}};
+  if (src_user != nullptr) flow.src.usernames = {Username{src_user}};
+  flow.dst.ip = Ipv4Address(10, 0, 0, 2);
+  flow.dst.mac = MacAddress::from_u64(2);
+  flow.dst.l4_port = 445;
+  flow.dst.hostnames = {Hostname{"dst-host"}};
+  if (dst_user != nullptr) flow.dst.usernames = {Username{dst_user}};
+  return flow;
+}
+
+TEST(PolicyRule, WildcardRuleMatchesAnything) {
+  PolicyRule rule;
+  rule.action = PolicyAction::kAllow;
+  EXPECT_TRUE(rule.matches(tcp_flow_between("alice", "bob")));
+  EXPECT_TRUE(rule.matches(tcp_flow_between(nullptr, nullptr)));
+}
+
+TEST(PolicyRule, AlicesMachinesToBobsMachines) {
+  // The paper's example: (Allow, (*, *), (Alice, *...), (Bob, *...)).
+  PolicyRule rule;
+  rule.action = PolicyAction::kAllow;
+  rule.source.user = Username{"alice"};
+  rule.destination.user = Username{"bob"};
+
+  EXPECT_TRUE(rule.matches(tcp_flow_between("alice", "bob")));
+  EXPECT_FALSE(rule.matches(tcp_flow_between("alice", "carol")));
+  EXPECT_FALSE(rule.matches(tcp_flow_between("carol", "bob")));
+  // Alice logged off: no username enrichment -> rule cannot match.
+  EXPECT_FALSE(rule.matches(tcp_flow_between(nullptr, "bob")));
+}
+
+TEST(PolicyRule, MatchesAnyOfMultipleBoundUsers) {
+  PolicyRule rule;
+  rule.source.user = Username{"alice"};
+  FlowView flow = tcp_flow_between("bob", nullptr);
+  flow.src.usernames.push_back(Username{"alice"});  // shared machine
+  EXPECT_TRUE(rule.matches(flow));
+}
+
+TEST(PolicyRule, HostnameMatching) {
+  PolicyRule rule;
+  rule.source.host = Hostname{"src-host"};
+  rule.destination.host = Hostname{"other"};
+  EXPECT_FALSE(rule.matches(tcp_flow_between("a", "b")));
+  rule.destination.host = Hostname{"dst-host"};
+  EXPECT_TRUE(rule.matches(tcp_flow_between("a", "b")));
+}
+
+TEST(PolicyRule, LowLevelFieldMatching) {
+  PolicyRule rule;
+  rule.source.ip = Ipv4Address(10, 0, 0, 1);
+  rule.destination.l4_port = 445;
+  rule.destination.mac = MacAddress::from_u64(2);
+  EXPECT_TRUE(rule.matches(tcp_flow_between("a", "b")));
+  rule.destination.l4_port = 22;
+  EXPECT_FALSE(rule.matches(tcp_flow_between("a", "b")));
+}
+
+TEST(PolicyRule, FlowPropertiesFilter) {
+  PolicyRule rule;
+  rule.properties.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  rule.properties.ip_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  EXPECT_TRUE(rule.matches(tcp_flow_between("a", "b")));
+
+  FlowView arp_flow;
+  arp_flow.ether_type = static_cast<std::uint16_t>(EtherType::kArp);
+  EXPECT_FALSE(rule.matches(arp_flow));
+
+  FlowView udp_flow = tcp_flow_between("a", "b");
+  udp_flow.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  EXPECT_FALSE(rule.matches(udp_flow));
+}
+
+TEST(PolicyRule, ConcretePortFieldCannotMatchPortlessFlow) {
+  PolicyRule rule;
+  rule.destination.l4_port = 445;
+  FlowView flow = tcp_flow_between("a", "b");
+  flow.dst.l4_port.reset();  // e.g. ICMP
+  EXPECT_FALSE(rule.matches(flow));
+}
+
+TEST(PolicyRule, SwitchLevelFields) {
+  PolicyRule rule;
+  rule.source.dpid = Dpid{3};
+  rule.source.switch_port = PortNo{9};
+  FlowView flow = tcp_flow_between("a", "b");
+  flow.src.dpid = Dpid{3};
+  flow.src.switch_port = PortNo{9};
+  EXPECT_TRUE(rule.matches(flow));
+  flow.src.switch_port = PortNo{2};
+  EXPECT_FALSE(rule.matches(flow));
+}
+
+TEST(PolicyRule, OverlapWildcardsAlwaysOverlap) {
+  PolicyRule a, b;
+  a.action = PolicyAction::kAllow;
+  b.action = PolicyAction::kDeny;
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+}
+
+TEST(PolicyRule, OverlapConcreteFields) {
+  PolicyRule alice_out, bob_out;
+  alice_out.source.user = Username{"alice"};
+  bob_out.source.user = Username{"bob"};
+  EXPECT_FALSE(alice_out.overlaps(bob_out));
+
+  PolicyRule anyone_to_445;
+  anyone_to_445.destination.l4_port = 445;
+  EXPECT_TRUE(alice_out.overlaps(anyone_to_445));  // alice to 445 fits both
+}
+
+TEST(PolicyRule, OverlapOnProperties) {
+  PolicyRule tcp_rule, udp_rule;
+  tcp_rule.properties.ip_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  udp_rule.properties.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  EXPECT_FALSE(tcp_rule.overlaps(udp_rule));
+  PolicyRule any;
+  EXPECT_TRUE(tcp_rule.overlaps(any));
+}
+
+TEST(PolicyRule, ToStringPaperTupleShape) {
+  PolicyRule rule;
+  rule.action = PolicyAction::kAllow;
+  rule.source.user = Username{"Alice"};
+  rule.destination.user = Username{"Bob"};
+  const std::string text = rule.to_string();
+  EXPECT_NE(text.find("Allow"), std::string::npos);
+  EXPECT_NE(text.find("Alice"), std::string::npos);
+  EXPECT_NE(text.find("Bob"), std::string::npos);
+  EXPECT_NE(text.find("*"), std::string::npos);
+}
+
+TEST(EndpointSpec, WildcardDetection) {
+  EndpointSpec spec;
+  EXPECT_TRUE(spec.is_wildcard());
+  spec.ip = Ipv4Address(1, 2, 3, 4);
+  EXPECT_FALSE(spec.is_wildcard());
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,338 @@
+// Unit tests for the DFI Proxy: table-id shifting in both directions,
+// Table-0 concealment, and packet-in interposition (paper Section IV-B).
+#include <gtest/gtest.h>
+
+#include "bus/message_bus.h"
+#include "core/proxy.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+namespace {
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  ProxyTest()
+      : erm_(bus_),
+        manager_(bus_),
+        pcp_(sim_, bus_, erm_, manager_, zero_latency_pcp(), Rng(1)),
+        proxy_(sim_, pcp_, ProxyConfig{0, 0, true}, Rng(2)),
+        session_(proxy_.create_session(
+            [this](const std::vector<std::uint8_t>& bytes) { collect(bytes, to_switch_); },
+            [this](const std::vector<std::uint8_t>& bytes) {
+              collect(bytes, to_controller_);
+            })) {}
+
+  static PcpConfig zero_latency_pcp() {
+    PcpConfig config;
+    config.zero_latency = true;
+    return config;
+  }
+
+  void collect(const std::vector<std::uint8_t>& bytes, std::vector<OfMessage>& sink) {
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    for (auto& result : decoder.drain()) {
+      ASSERT_TRUE(result.ok());
+      sink.push_back(std::move(result).value());
+    }
+  }
+
+  void complete_handshake(std::uint8_t n_tables = 4) {
+    FeaturesReplyMsg features;
+    features.datapath_id = Dpid{9};
+    features.n_tables = n_tables;
+    session_.from_switch(encode(OfMessage{1, features}));
+    sim_.run();
+  }
+
+  PacketInMsg table0_miss() {
+    PacketInMsg msg;
+    msg.table_id = 0;
+    msg.in_port = PortNo{3};
+    msg.data = make_tcp_packet(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                               Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                               1000, 80)
+                   .serialize();
+    return msg;
+  }
+
+  template <typename T>
+  std::vector<T> of_type(const std::vector<OfMessage>& sink) const {
+    std::vector<T> out;
+    for (const auto& message : sink) {
+      if (const T* typed = std::get_if<T>(&message.payload)) out.push_back(*typed);
+    }
+    return out;
+  }
+
+  Simulator sim_;
+  MessageBus bus_;
+  EntityResolutionManager erm_;
+  PolicyManager manager_;
+  PolicyCompilationPoint pcp_;
+  DfiProxy proxy_;
+  DfiProxy::Session& session_;
+  std::vector<OfMessage> to_switch_;
+  std::vector<OfMessage> to_controller_;
+};
+
+TEST_F(ProxyTest, FeaturesReplyHidesDfiTable) {
+  complete_handshake(4);
+  const auto features = of_type<FeaturesReplyMsg>(to_controller_);
+  ASSERT_EQ(features.size(), 1u);
+  EXPECT_EQ(features[0].n_tables, 3);  // one table hidden
+  EXPECT_EQ(session_.dpid(), Dpid{9});
+}
+
+TEST_F(ProxyTest, ControllerFlowModShiftedUp) {
+  complete_handshake();
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.table_id = 0;  // controller's first table
+  mod.instructions = Instructions::to_table(1);
+  session_.from_controller(encode(OfMessage{5, mod}));
+  sim_.run();
+
+  const auto mods = of_type<FlowModMsg>(to_switch_);
+  ASSERT_EQ(mods.size(), 1u);
+  EXPECT_EQ(mods[0].table_id, 1);                 // shifted +1
+  EXPECT_EQ(mods[0].instructions.goto_table, 2);  // goto shifted too
+}
+
+TEST_F(ProxyTest, ControllerCannotAddressBeyondShiftedRange) {
+  complete_handshake(4);  // controller sees 3 tables: valid ids 0..2
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.table_id = 3;  // would land on switch table 4 — out of range
+  session_.from_controller(encode(OfMessage{6, mod}));
+  sim_.run();
+  EXPECT_TRUE(of_type<FlowModMsg>(to_switch_).empty());
+  const auto errors = of_type<ErrorMsg>(to_controller_);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, 2);  // BAD_TABLE_ID
+}
+
+TEST_F(ProxyTest, DeleteAllExpandsToControllerTablesOnly) {
+  complete_handshake(4);
+  FlowModMsg del;
+  del.command = FlowModCommand::kDelete;
+  del.table_id = 0xff;
+  session_.from_controller(encode(OfMessage{7, del}));
+  sim_.run();
+  const auto mods = of_type<FlowModMsg>(to_switch_);
+  ASSERT_EQ(mods.size(), 3u);  // tables 1, 2, 3 — never table 0
+  for (std::size_t i = 0; i < mods.size(); ++i) {
+    EXPECT_EQ(mods[i].table_id, i + 1);
+    EXPECT_NE(mods[i].table_id, 0);
+  }
+}
+
+TEST_F(ProxyTest, AddToAllTablesRejected) {
+  complete_handshake();
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.table_id = 0xff;
+  session_.from_controller(encode(OfMessage{8, mod}));
+  sim_.run();
+  EXPECT_TRUE(of_type<FlowModMsg>(to_switch_).empty());
+  EXPECT_EQ(of_type<ErrorMsg>(to_controller_).size(), 1u);
+}
+
+TEST_F(ProxyTest, Table0PacketInGoesToPcpDeniedSuppressed) {
+  complete_handshake();
+  // Default deny: the controller must never see this packet.
+  session_.from_switch(encode(OfMessage{9, table0_miss()}));
+  sim_.run();
+  EXPECT_TRUE(of_type<PacketInMsg>(to_controller_).empty());
+  // But the deny rule was installed in the switch.
+  const auto mods = of_type<FlowModMsg>(to_switch_);
+  ASSERT_EQ(mods.size(), 1u);
+  EXPECT_EQ(mods[0].table_id, 0);
+  EXPECT_TRUE(mods[0].instructions.apply_actions.empty());
+  EXPECT_EQ(proxy_.stats().packet_ins_suppressed, 1u);
+}
+
+TEST_F(ProxyTest, Table0PacketInAllowedForwardedToController) {
+  complete_handshake();
+  PolicyRule allow;
+  allow.action = PolicyAction::kAllow;
+  manager_.insert(allow, PdpPriority{5}, "t");
+
+  session_.from_switch(encode(OfMessage{10, table0_miss()}));
+  sim_.run();
+  const auto packet_ins = of_type<PacketInMsg>(to_controller_);
+  ASSERT_EQ(packet_ins.size(), 1u);
+  EXPECT_EQ(packet_ins[0].table_id, 0);  // controller-view table id
+  // Allow rule (goto table 1) installed. (The Allow policy insert also
+  // produced a default-deny flush DELETE; look at ADDs only.)
+  std::vector<FlowModMsg> mods;
+  for (const auto& mod : of_type<FlowModMsg>(to_switch_)) {
+    if (mod.command == FlowModCommand::kAdd) mods.push_back(mod);
+  }
+  ASSERT_EQ(mods.size(), 1u);
+  EXPECT_EQ(mods[0].instructions.goto_table, 1);
+  EXPECT_EQ(proxy_.stats().packet_ins_forwarded, 1u);
+}
+
+TEST_F(ProxyTest, LaterTablePacketInBypassesPcpAndShiftsDown) {
+  complete_handshake();
+  PacketInMsg msg = table0_miss();
+  msg.table_id = 2;  // miss in a controller table
+  session_.from_switch(encode(OfMessage{11, msg}));
+  sim_.run();
+  const auto packet_ins = of_type<PacketInMsg>(to_controller_);
+  ASSERT_EQ(packet_ins.size(), 1u);
+  EXPECT_EQ(packet_ins[0].table_id, 1);  // decremented
+  EXPECT_TRUE(of_type<FlowModMsg>(to_switch_).empty());  // no DFI decision
+}
+
+TEST_F(ProxyTest, PacketInBeforeHandshakeDropped) {
+  session_.from_switch(encode(OfMessage{12, table0_miss()}));
+  sim_.run();
+  EXPECT_TRUE(to_controller_.empty());
+  EXPECT_EQ(proxy_.stats().packet_ins_suppressed, 1u);
+}
+
+TEST_F(ProxyTest, FlowRemovedTable0Swallowed) {
+  complete_handshake();
+  FlowRemovedMsg removed;
+  removed.table_id = 0;
+  session_.from_switch(encode(OfMessage{13, removed}));
+  sim_.run();
+  EXPECT_TRUE(of_type<FlowRemovedMsg>(to_controller_).empty());
+
+  removed.table_id = 2;
+  session_.from_switch(encode(OfMessage{14, removed}));
+  sim_.run();
+  const auto forwarded = of_type<FlowRemovedMsg>(to_controller_);
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(forwarded[0].table_id, 1);
+}
+
+TEST_F(ProxyTest, FlowStatsHideTable0AndShiftRest) {
+  complete_handshake();
+  MultipartReplyMsg reply;
+  FlowStatsEntry dfi_entry;
+  dfi_entry.table_id = 0;
+  FlowStatsEntry ctrl_entry;
+  ctrl_entry.table_id = 1;
+  ctrl_entry.instructions.goto_table = 2;
+  reply.flow_stats = {dfi_entry, ctrl_entry};
+  session_.from_switch(encode(OfMessage{15, reply}));
+  sim_.run();
+
+  const auto replies = of_type<MultipartReplyMsg>(to_controller_);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_EQ(replies[0].flow_stats.size(), 1u);  // DFI row hidden
+  EXPECT_EQ(replies[0].flow_stats[0].table_id, 0);
+  EXPECT_EQ(replies[0].flow_stats[0].instructions.goto_table, 1);
+  EXPECT_EQ(proxy_.stats().stats_entries_hidden, 1u);
+}
+
+TEST_F(ProxyTest, FlowStatsRequestShifted) {
+  complete_handshake();
+  MultipartRequestMsg request;
+  request.flow_request.table_id = 1;
+  session_.from_controller(encode(OfMessage{16, request}));
+  sim_.run();
+  const auto requests = of_type<MultipartRequestMsg>(to_switch_);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].flow_request.table_id, 2);
+
+  // OFPTT_ALL passes through (the reply is filtered instead).
+  to_switch_.clear();
+  request.flow_request.table_id = 0xff;
+  session_.from_controller(encode(OfMessage{17, request}));
+  sim_.run();
+  EXPECT_EQ(of_type<MultipartRequestMsg>(to_switch_)[0].flow_request.table_id, 0xff);
+}
+
+TEST_F(ProxyTest, EchoAndPacketOutPassThrough) {
+  complete_handshake();
+  session_.from_controller(encode(OfMessage{18, EchoRequestMsg{{1}}}));
+  PacketOutMsg out;
+  out.actions = {OutputAction{kPortFlood}};
+  session_.from_controller(encode(OfMessage{19, out}));
+  sim_.run();
+  EXPECT_EQ(of_type<EchoRequestMsg>(to_switch_).size(), 1u);
+  EXPECT_EQ(of_type<PacketOutMsg>(to_switch_).size(), 1u);
+
+  session_.from_switch(encode(OfMessage{20, EchoReplyMsg{{1}}}));
+  sim_.run();
+  EXPECT_EQ(of_type<EchoReplyMsg>(to_controller_).size(), 1u);
+}
+
+TEST_F(ProxyTest, MalformedFramesCountedNotFatal) {
+  complete_handshake();
+  session_.from_switch({0x04, 0x63, 0x00, 0x08, 0, 0, 0, 1});  // unknown type
+  sim_.run();
+  EXPECT_EQ(proxy_.stats().malformed, 1u);
+  // Session still functional.
+  session_.from_switch(encode(OfMessage{21, EchoReplyMsg{{}}}));
+  sim_.run();
+  EXPECT_EQ(of_type<EchoReplyMsg>(to_controller_).size(), 1u);
+}
+
+// Property: whatever the controller sends, no FLOW_MOD addressing Table 0
+// ever reaches the switch; whatever the switch sends, no message revealing
+// Table 0 ever reaches the controller.
+TEST_F(ProxyTest, Table0IsolationInvariantUnderRandomTraffic) {
+  complete_handshake(4);
+  Rng rng(0x150);
+
+  for (int i = 0; i < 400; ++i) {
+    if (rng.chance(0.5)) {
+      // Random controller flow-mod at a random (possibly invalid) table.
+      FlowModMsg mod;
+      mod.command = rng.chance(0.7) ? FlowModCommand::kAdd : FlowModCommand::kDelete;
+      const std::int64_t table = rng.uniform_int(0, 5);
+      mod.table_id = table == 5 ? 0xff : static_cast<std::uint8_t>(table);
+      if (rng.chance(0.5)) {
+        mod.instructions.goto_table = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+      }
+      mod.priority = static_cast<std::uint16_t>(rng.uniform_int(0, 1000));
+      session_.from_controller(encode(OfMessage{static_cast<std::uint32_t>(i), mod}));
+    } else {
+      // Random switch-side report touching a random table.
+      const auto table = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+      if (rng.chance(0.5)) {
+        FlowRemovedMsg removed;
+        removed.table_id = table;
+        session_.from_switch(encode(OfMessage{static_cast<std::uint32_t>(i), removed}));
+      } else {
+        MultipartReplyMsg reply;
+        FlowStatsEntry entry;
+        entry.table_id = table;
+        if (rng.chance(0.5)) entry.instructions.goto_table = static_cast<std::uint8_t>(table + 1);
+        reply.flow_stats.push_back(entry);
+        session_.from_switch(encode(OfMessage{static_cast<std::uint32_t>(i), reply}));
+      }
+    }
+  }
+  sim_.run();
+
+  for (const auto& message : to_switch_) {
+    if (const auto* mod = std::get_if<FlowModMsg>(&message.payload)) {
+      EXPECT_NE(mod->table_id, 0) << "controller flow-mod reached DFI's table";
+      EXPECT_NE(mod->table_id, 0xff) << "unexpanded OFPTT_ALL reached the switch";
+      if (mod->instructions.goto_table.has_value()) {
+        EXPECT_GE(*mod->instructions.goto_table, 1);
+      }
+    }
+  }
+  for (const auto& message : to_controller_) {
+    if (const auto* removed = std::get_if<FlowRemovedMsg>(&message.payload)) {
+      // Shifted view: the controller only ever sees its own tables 0..2,
+      // and what it sees as 0 is really switch table 1.
+      EXPECT_LE(removed->table_id, 2);
+    }
+    if (const auto* reply = std::get_if<MultipartReplyMsg>(&message.payload)) {
+      for (const auto& entry : reply->flow_stats) {
+        EXPECT_LE(entry.table_id, 2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfi

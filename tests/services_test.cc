@@ -1,0 +1,211 @@
+// Unit tests for the enterprise service surrogates: DHCP, DNS, directory, SIEM.
+#include <gtest/gtest.h>
+
+#include "bus/message_bus.h"
+#include "services/dhcp.h"
+#include "services/directory.h"
+#include "services/dns.h"
+#include "services/siem.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+namespace {
+
+class ServicesTest : public ::testing::Test {
+ protected:
+  ServicesTest()
+      : dhcp_(bus_, [this]() { return sim_.now(); }, Ipv4Address(10, 0, 0, 10), 16),
+        dns_(bus_, [this]() { return sim_.now(); }),
+        siem_(bus_, [this]() { return sim_.now(); }) {}
+
+  Simulator sim_;
+  MessageBus bus_;
+  DhcpServer dhcp_;
+  DnsServer dns_;
+  SiemService siem_;
+  DirectoryService directory_;
+};
+
+TEST_F(ServicesTest, DhcpLeaseAssignsSequentially) {
+  const auto a = dhcp_.lease(MacAddress::from_u64(1));
+  const auto b = dhcp_.lease(MacAddress::from_u64(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), Ipv4Address(10, 0, 0, 10));
+  EXPECT_EQ(b.value(), Ipv4Address(10, 0, 0, 11));
+  EXPECT_EQ(dhcp_.active_leases(), 2u);
+}
+
+TEST_F(ServicesTest, DhcpRenewalKeepsAddress) {
+  const auto first = dhcp_.lease(MacAddress::from_u64(1));
+  const auto again = dhcp_.lease(MacAddress::from_u64(1));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first.value(), again.value());
+  EXPECT_EQ(dhcp_.active_leases(), 1u);
+}
+
+TEST_F(ServicesTest, DhcpReleaseRecyclesAddress) {
+  const auto a = dhcp_.lease(MacAddress::from_u64(1));
+  dhcp_.release(MacAddress::from_u64(1));
+  EXPECT_EQ(dhcp_.active_leases(), 0u);
+  EXPECT_FALSE(dhcp_.lookup(MacAddress::from_u64(1)).has_value());
+  const auto b = dhcp_.lease(MacAddress::from_u64(2));
+  EXPECT_EQ(b.value(), a.value());  // lowest free address reused
+}
+
+TEST_F(ServicesTest, DhcpPoolExhaustion) {
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(dhcp_.lease(MacAddress::from_u64(i + 1)).ok());
+  }
+  EXPECT_FALSE(dhcp_.lease(MacAddress::from_u64(99)).ok());
+}
+
+TEST_F(ServicesTest, DhcpStaticReservation) {
+  const auto reserved =
+      dhcp_.lease(MacAddress::from_u64(7), Ipv4Address(10, 0, 0, 20));
+  ASSERT_TRUE(reserved.ok());
+  EXPECT_EQ(reserved.value(), Ipv4Address(10, 0, 0, 20));
+  // Conflicting reservation fails; out-of-pool fails.
+  EXPECT_FALSE(dhcp_.lease(MacAddress::from_u64(8), Ipv4Address(10, 0, 0, 20)).ok());
+  EXPECT_FALSE(dhcp_.lease(MacAddress::from_u64(9), Ipv4Address(10, 0, 1, 5)).ok());
+}
+
+TEST_F(ServicesTest, DhcpPublishesLeaseEvents) {
+  std::vector<DhcpLeaseEvent> events;
+  auto sub = bus_.subscribe<DhcpLeaseEvent>(
+      topics::kDhcpEvents, [&](const DhcpLeaseEvent& e) { events.push_back(e); });
+  dhcp_.lease(MacAddress::from_u64(1));
+  dhcp_.release(MacAddress::from_u64(1));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].released);
+  EXPECT_TRUE(events[1].released);
+  EXPECT_EQ(events[0].ip, events[1].ip);
+}
+
+TEST_F(ServicesTest, DnsForwardAndReverse) {
+  dns_.register_record(Hostname{"h1"}, Ipv4Address(10, 0, 0, 10));
+  dns_.register_record(Hostname{"h1"}, Ipv4Address(10, 0, 0, 11));  // second NIC
+  EXPECT_EQ(dns_.resolve(Hostname{"h1"}).size(), 2u);
+  EXPECT_EQ(dns_.reverse(Ipv4Address(10, 0, 0, 10)), Hostname{"h1"});
+  EXPECT_EQ(dns_.record_count(), 2u);
+}
+
+TEST_F(ServicesTest, DnsAddressReassignment) {
+  // DHCP churn: an address moves from h1 to h2.
+  dns_.register_record(Hostname{"h1"}, Ipv4Address(10, 0, 0, 10));
+  dns_.register_record(Hostname{"h2"}, Ipv4Address(10, 0, 0, 10));
+  EXPECT_TRUE(dns_.resolve(Hostname{"h1"}).empty());
+  EXPECT_EQ(dns_.reverse(Ipv4Address(10, 0, 0, 10)), Hostname{"h2"});
+}
+
+TEST_F(ServicesTest, DnsRemoveHost) {
+  dns_.register_record(Hostname{"h1"}, Ipv4Address(10, 0, 0, 10));
+  dns_.register_record(Hostname{"h1"}, Ipv4Address(10, 0, 0, 11));
+  dns_.remove_host(Hostname{"h1"});
+  EXPECT_TRUE(dns_.resolve(Hostname{"h1"}).empty());
+  EXPECT_EQ(dns_.record_count(), 0u);
+}
+
+TEST_F(ServicesTest, DnsPublishesRecordEvents) {
+  std::vector<DnsRecordEvent> events;
+  auto sub = bus_.subscribe<DnsRecordEvent>(
+      topics::kDnsEvents, [&](const DnsRecordEvent& e) { events.push_back(e); });
+  dns_.register_record(Hostname{"h1"}, Ipv4Address(1, 1, 1, 1));
+  dns_.register_record(Hostname{"h1"}, Ipv4Address(1, 1, 1, 1));  // duplicate: no event
+  dns_.remove_record(Hostname{"h1"}, Ipv4Address(1, 1, 1, 1));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].removed);
+  EXPECT_TRUE(events[1].removed);
+}
+
+TEST_F(ServicesTest, DirectoryLocalAdminByEnclave) {
+  ASSERT_TRUE(directory_.add_host(HostRecord{Hostname{"h1"}, "dept-1", false}).ok());
+  ASSERT_TRUE(directory_.add_host(HostRecord{Hostname{"h2"}, "dept-1", false}).ok());
+  ASSERT_TRUE(directory_.add_host(HostRecord{Hostname{"h3"}, "dept-2", false}).ok());
+  ASSERT_TRUE(directory_.add_host(HostRecord{Hostname{"srv"}, "dept-1", true}).ok());
+  ASSERT_TRUE(directory_.add_user(UserRecord{Username{"u1"}, "dept-1", Hostname{"h1"}}).ok());
+
+  EXPECT_TRUE(directory_.is_local_admin(Username{"u1"}, Hostname{"h1"}));
+  EXPECT_TRUE(directory_.is_local_admin(Username{"u1"}, Hostname{"h2"}));
+  EXPECT_FALSE(directory_.is_local_admin(Username{"u1"}, Hostname{"h3"}));
+  EXPECT_FALSE(directory_.is_local_admin(Username{"u1"}, Hostname{"srv"}));  // server
+  EXPECT_FALSE(directory_.is_local_admin(Username{"ghost"}, Hostname{"h1"}));
+}
+
+TEST_F(ServicesTest, DirectoryCredentialCache) {
+  ASSERT_TRUE(directory_.add_host(HostRecord{Hostname{"h1"}, "dept-1", false}).ok());
+  ASSERT_TRUE(directory_.add_host(HostRecord{Hostname{"srv"}, "s", true}).ok());
+  directory_.record_logon(Username{"u1"}, Hostname{"h1"});
+  directory_.record_logon(Username{"u2"}, Hostname{"h1"});
+  directory_.record_logon(Username{"u1"}, Hostname{"srv"});  // servers never cache
+
+  EXPECT_EQ(directory_.cached_credentials(Hostname{"h1"}).size(), 2u);
+  EXPECT_TRUE(directory_.cached_credentials(Hostname{"srv"}).empty());
+
+  directory_.clear_credentials(Hostname{"h1"});
+  EXPECT_TRUE(directory_.cached_credentials(Hostname{"h1"}).empty());
+}
+
+TEST_F(ServicesTest, DirectoryDuplicateRejected) {
+  ASSERT_TRUE(directory_.add_host(HostRecord{Hostname{"h1"}, "d", false}).ok());
+  EXPECT_FALSE(directory_.add_host(HostRecord{Hostname{"h1"}, "d", false}).ok());
+  ASSERT_TRUE(directory_.add_user(UserRecord{Username{"u1"}, "d", {}}).ok());
+  EXPECT_FALSE(directory_.add_user(UserRecord{Username{"u1"}, "d", {}}).ok());
+}
+
+TEST_F(ServicesTest, DirectoryEnclaveQueries) {
+  ASSERT_TRUE(directory_.add_host(HostRecord{Hostname{"h1"}, "a", false}).ok());
+  ASSERT_TRUE(directory_.add_host(HostRecord{Hostname{"h2"}, "b", false}).ok());
+  ASSERT_TRUE(directory_.add_user(UserRecord{Username{"u1"}, "a", Hostname{"h1"}}).ok());
+  EXPECT_EQ(directory_.hosts_in_enclave("a").size(), 1u);
+  EXPECT_EQ(directory_.users_in_enclave("a").size(), 1u);
+  EXPECT_EQ(directory_.enclaves().size(), 2u);
+  EXPECT_EQ(directory_.all_hosts().size(), 2u);
+  EXPECT_EQ(directory_.all_users().size(), 1u);
+}
+
+// --- SIEM process-count log-on logic (paper Section IV-A) ---
+
+TEST_F(ServicesTest, SiemLogOnAtFirstProcess) {
+  std::vector<SessionEvent> events;
+  auto sub = bus_.subscribe<SessionEvent>(
+      topics::kSiemSessions, [&](const SessionEvent& e) { events.push_back(e); });
+
+  siem_.process_created(Username{"alice"}, Hostname{"h1"});
+  siem_.process_created(Username{"alice"}, Hostname{"h1"});
+  ASSERT_EQ(events.size(), 1u);  // only the 0 -> 1 transition publishes
+  EXPECT_TRUE(events[0].logged_on);
+  EXPECT_TRUE(siem_.is_logged_on(Username{"alice"}, Hostname{"h1"}));
+  EXPECT_EQ(siem_.process_count(Username{"alice"}, Hostname{"h1"}), 2);
+}
+
+TEST_F(ServicesTest, SiemLogOffOnlyWhenCountReachesZero) {
+  std::vector<SessionEvent> events;
+  auto sub = bus_.subscribe<SessionEvent>(
+      topics::kSiemSessions, [&](const SessionEvent& e) { events.push_back(e); });
+
+  siem_.process_created(Username{"alice"}, Hostname{"h1"});
+  siem_.process_created(Username{"alice"}, Hostname{"h1"});
+  siem_.process_terminated(Username{"alice"}, Hostname{"h1"});
+  EXPECT_EQ(events.size(), 1u);  // still logged on
+  siem_.process_terminated(Username{"alice"}, Hostname{"h1"});
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[1].logged_on);
+  EXPECT_FALSE(siem_.is_logged_on(Username{"alice"}, Hostname{"h1"}));
+}
+
+TEST_F(ServicesTest, SiemSessionsPerUserAndHost) {
+  siem_.process_created(Username{"alice"}, Hostname{"h1"});
+  siem_.process_created(Username{"alice"}, Hostname{"h2"});
+  siem_.process_created(Username{"bob"}, Hostname{"h1"});
+  EXPECT_EQ(siem_.sessions_of(Username{"alice"}).size(), 2u);
+  EXPECT_EQ(siem_.users_on(Hostname{"h1"}).size(), 2u);
+}
+
+TEST_F(ServicesTest, SiemSpuriousTerminationIgnored) {
+  siem_.process_terminated(Username{"alice"}, Hostname{"h1"});  // no creation
+  EXPECT_FALSE(siem_.is_logged_on(Username{"alice"}, Hostname{"h1"}));
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,251 @@
+// Unit tests for the OpenFlow switch device (OVS surrogate).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "openflow/switch_device.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+namespace {
+
+class SwitchTest : public ::testing::Test {
+ protected:
+  SwitchTest()
+      : device_(SwitchConfig{Dpid{42}, 4, 1024}, [this]() { return sim_.now(); }) {
+    device_.add_port(PortNo{1}, [this](PortNo, const std::vector<std::uint8_t>& bytes) {
+      port1_out_.push_back(bytes);
+    });
+    device_.add_port(PortNo{2}, [this](PortNo, const std::vector<std::uint8_t>& bytes) {
+      port2_out_.push_back(bytes);
+    });
+    device_.connect_control([this](const std::vector<std::uint8_t>& bytes) {
+      FrameDecoder decoder;
+      decoder.feed(bytes);
+      for (auto& result : decoder.drain()) {
+        ASSERT_TRUE(result.ok());
+        control_out_.push_back(std::move(result).value());
+      }
+    });
+  }
+
+  void send_control(const OfMessage& message) {
+    device_.receive_control(encode(message));
+  }
+
+  Packet sample_packet() const {
+    return make_tcp_packet(MacAddress::from_u64(0xa), MacAddress::from_u64(0xb),
+                           Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 1000, 80);
+  }
+
+  // Messages of a given type received on the control channel.
+  template <typename T>
+  std::vector<T> control_of_type() const {
+    std::vector<T> out;
+    for (const auto& message : control_out_) {
+      if (const T* typed = std::get_if<T>(&message.payload)) out.push_back(*typed);
+    }
+    return out;
+  }
+
+  Simulator sim_;
+  SwitchDevice device_;
+  std::vector<std::vector<std::uint8_t>> port1_out_;
+  std::vector<std::vector<std::uint8_t>> port2_out_;
+  std::vector<OfMessage> control_out_;
+};
+
+TEST_F(SwitchTest, SendsHelloOnConnect) {
+  ASSERT_FALSE(control_out_.empty());
+  EXPECT_EQ(control_out_[0].type(), OfType::kHello);
+}
+
+TEST_F(SwitchTest, AnswersFeaturesRequest) {
+  send_control(OfMessage{5, FeaturesRequestMsg{}});
+  const auto replies = control_of_type<FeaturesReplyMsg>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].datapath_id, Dpid{42});
+  EXPECT_EQ(replies[0].n_tables, 4);
+}
+
+TEST_F(SwitchTest, AnswersEchoWithSamePayload) {
+  send_control(OfMessage{6, EchoRequestMsg{{1, 2, 3}}});
+  const auto replies = control_of_type<EchoReplyMsg>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].data, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_F(SwitchTest, AnswersBarrier) {
+  send_control(OfMessage{7, BarrierRequestMsg{}});
+  EXPECT_EQ(control_of_type<BarrierReplyMsg>().size(), 1u);
+}
+
+TEST_F(SwitchTest, TableMissRaisesPacketIn) {
+  const auto bytes = sample_packet().serialize();
+  device_.receive_packet(PortNo{1}, bytes);
+  const auto packet_ins = control_of_type<PacketInMsg>();
+  ASSERT_EQ(packet_ins.size(), 1u);
+  EXPECT_EQ(packet_ins[0].in_port, PortNo{1});
+  EXPECT_EQ(packet_ins[0].table_id, 0);
+  EXPECT_EQ(packet_ins[0].reason, PacketInReason::kNoMatch);
+  EXPECT_EQ(packet_ins[0].data, bytes);
+  EXPECT_EQ(device_.counters().packet_in_events, 1u);
+}
+
+TEST_F(SwitchTest, FlowModAddThenForward) {
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.table_id = 0;
+  mod.priority = 10;
+  mod.instructions = Instructions::output(PortNo{2});
+  send_control(OfMessage{8, mod});
+
+  device_.receive_packet(PortNo{1}, sample_packet().serialize());
+  EXPECT_EQ(port2_out_.size(), 1u);
+  EXPECT_TRUE(control_of_type<PacketInMsg>().empty());
+  EXPECT_EQ(device_.counters().packets_forwarded, 1u);
+}
+
+TEST_F(SwitchTest, DropRuleDiscards) {
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.instructions = Instructions::drop();
+  send_control(OfMessage{9, mod});
+
+  device_.receive_packet(PortNo{1}, sample_packet().serialize());
+  EXPECT_TRUE(port1_out_.empty());
+  EXPECT_TRUE(port2_out_.empty());
+  EXPECT_TRUE(control_of_type<PacketInMsg>().empty());
+  EXPECT_EQ(device_.counters().packets_dropped, 1u);
+}
+
+TEST_F(SwitchTest, PacketOutFlood) {
+  PacketOutMsg out;
+  out.in_port = PortNo{1};
+  out.actions = {OutputAction{kPortFlood}};
+  out.data = sample_packet().serialize();
+  send_control(OfMessage{10, out});
+  EXPECT_TRUE(port1_out_.empty());  // flood excludes ingress
+  EXPECT_EQ(port2_out_.size(), 1u);
+}
+
+TEST_F(SwitchTest, PacketOutSpecificPort) {
+  PacketOutMsg out;
+  out.in_port = PortNo{2};
+  out.actions = {OutputAction{PortNo{1}}};
+  out.data = sample_packet().serialize();
+  send_control(OfMessage{11, out});
+  EXPECT_EQ(port1_out_.size(), 1u);
+}
+
+TEST_F(SwitchTest, FlowModBadTableIdErrors) {
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.table_id = 9;  // only 4 tables
+  send_control(OfMessage{12, mod});
+  const auto errors = control_of_type<ErrorMsg>();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].type, 5);  // FLOW_MOD_FAILED
+}
+
+TEST_F(SwitchTest, TableFullErrors) {
+  for (int i = 0; i < 1025; ++i) {
+    FlowModMsg mod;
+    mod.command = FlowModCommand::kAdd;
+    mod.priority = 1;
+    mod.match.tcp_dst = static_cast<std::uint16_t>(i % 65536);
+    mod.match.tcp_src = static_cast<std::uint16_t>(i / 65536 + 1);
+    send_control(OfMessage{static_cast<std::uint32_t>(i), mod});
+  }
+  const auto errors = control_of_type<ErrorMsg>();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, 1);  // TABLE_FULL
+}
+
+TEST_F(SwitchTest, DeleteWithFlowRemovedFlag) {
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.priority = 7;
+  mod.cookie = Cookie{123};
+  mod.flags = 0x1;  // OFPFF_SEND_FLOW_REM
+  mod.match.tcp_dst = 80;
+  send_control(OfMessage{13, mod});
+
+  FlowModMsg del;
+  del.command = FlowModCommand::kDelete;
+  del.table_id = 0;
+  del.cookie = Cookie{123};
+  del.cookie_mask = Cookie{~0ull};
+  send_control(OfMessage{14, del});
+
+  const auto removed = control_of_type<FlowRemovedMsg>();
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].cookie, Cookie{123});
+  EXPECT_EQ(removed[0].reason, FlowRemovedReason::kDelete);
+  EXPECT_EQ(removed[0].priority, 7);
+}
+
+TEST_F(SwitchTest, DeleteAllTables) {
+  for (std::uint8_t table = 0; table < 3; ++table) {
+    FlowModMsg mod;
+    mod.command = FlowModCommand::kAdd;
+    mod.table_id = table;
+    send_control(OfMessage{table, mod});
+  }
+  EXPECT_EQ(device_.pipeline().total_rules(), 3u);
+  FlowModMsg del;
+  del.command = FlowModCommand::kDelete;
+  del.table_id = 0xff;  // OFPTT_ALL
+  send_control(OfMessage{20, del});
+  EXPECT_EQ(device_.pipeline().total_rules(), 0u);
+}
+
+TEST_F(SwitchTest, FlowStatsReplyFiltersByCookie) {
+  int port = 1;
+  for (std::uint64_t cookie : {1ull, 1ull, 2ull}) {
+    FlowModMsg mod;
+    mod.command = FlowModCommand::kAdd;
+    mod.cookie = Cookie{cookie};
+    mod.match.tcp_dst = static_cast<std::uint16_t>(port++);
+    send_control(OfMessage{30, mod});
+  }
+  MultipartRequestMsg request;
+  request.flow_request.table_id = 0xff;
+  request.flow_request.cookie = Cookie{1};
+  request.flow_request.cookie_mask = Cookie{~0ull};
+  send_control(OfMessage{31, request});
+
+  const auto replies = control_of_type<MultipartReplyMsg>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].flow_stats.size(), 2u);
+  for (const auto& entry : replies[0].flow_stats) EXPECT_EQ(entry.cookie, Cookie{1});
+}
+
+TEST_F(SwitchTest, ExpireFlowsEmitsFlowRemoved) {
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.idle_timeout = 1;
+  mod.flags = 0x1;
+  send_control(OfMessage{40, mod});
+  sim_.schedule_at(SimTime{} + seconds(5), []() {});
+  sim_.run();
+  device_.expire_flows();
+  const auto removed = control_of_type<FlowRemovedMsg>();
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].reason, FlowRemovedReason::kIdleTimeout);
+}
+
+TEST_F(SwitchTest, UnparsablePacketDropped) {
+  device_.receive_packet(PortNo{1}, {0x01, 0x02});
+  EXPECT_EQ(device_.counters().packets_dropped, 1u);
+  EXPECT_TRUE(control_of_type<PacketInMsg>().empty());
+}
+
+TEST_F(SwitchTest, MalformedControlFrameAnswersError) {
+  device_.receive_control({0x04, 0x63, 0x00, 0x08, 0, 0, 0, 1});  // unknown type 99
+  const auto errors = control_of_type<ErrorMsg>();
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dfi

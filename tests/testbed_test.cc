@@ -1,0 +1,313 @@
+// Tests for the testbed: host TCP model, network wiring, activity scripts,
+// and the enterprise builder's shape (paper Section V-B).
+#include <gtest/gtest.h>
+
+#include "testbed/activity.h"
+#include "testbed/enterprise.h"
+#include "testbed/network.h"
+
+namespace dfi {
+namespace {
+
+// ---------------------------------------------------------------- activity
+
+class ActivityScriptProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ActivityScriptProperty, PaperConstraintsHold) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const ActivityScript script = generate_activity_script(rng);
+    ASSERT_FALSE(script.empty());
+    // Sorted and disjoint.
+    for (std::size_t k = 0; k < script.size(); ++k) {
+      EXPECT_LT(script[k].on, script[k].off);
+      if (k > 0) {
+        EXPECT_GT(script[k].on, script[k - 1].off);
+      }
+    }
+    // Paper: at least two hours logged on within 09:00-13:00.
+    const SimDuration morning =
+        logged_on_within(script, clock_time(9), clock_time(13));
+    EXPECT_GE(morning.us, hours(2).us);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ActivityScriptProperty,
+                         ::testing::Values(1ull, 17ull, 99ull, 12345ull));
+
+TEST(ActivityScript, LoggedOnAtQueriesIntervals) {
+  ActivityScript script{{clock_time(9), clock_time(11)}};
+  EXPECT_FALSE(logged_on_at(script, clock_time(8, 59)));
+  EXPECT_TRUE(logged_on_at(script, clock_time(9)));
+  EXPECT_TRUE(logged_on_at(script, clock_time(10, 30)));
+  EXPECT_FALSE(logged_on_at(script, clock_time(11)));
+}
+
+TEST(ActivityScript, ScheduleDrivesSiemAndCredentialCache) {
+  Simulator sim;
+  MessageBus bus;
+  SiemService siem(bus, [&sim]() { return sim.now(); });
+  DirectoryService directory;
+  ASSERT_TRUE(directory.add_host(HostRecord{Hostname{"h1"}, "d", false}).ok());
+
+  const ActivityScript script{{clock_time(9), clock_time(11)},
+                              {clock_time(14), clock_time(15)}};
+  schedule_script(sim, siem, directory, Username{"u1"}, Hostname{"h1"}, script);
+
+  sim.run_until(clock_time(10));
+  EXPECT_TRUE(siem.is_logged_on(Username{"u1"}, Hostname{"h1"}));
+  EXPECT_EQ(directory.cached_credentials(Hostname{"h1"}).size(), 1u);
+
+  sim.run_until(clock_time(12));
+  EXPECT_FALSE(siem.is_logged_on(Username{"u1"}, Hostname{"h1"}));
+  // Credentials stay cached after log-off — that is the attack surface.
+  EXPECT_EQ(directory.cached_credentials(Hostname{"h1"}).size(), 1u);
+
+  sim.run_until(clock_time(14, 30));
+  EXPECT_TRUE(siem.is_logged_on(Username{"u1"}, Hostname{"h1"}));
+}
+
+// ------------------------------------------------------------------- hosts
+
+TEST(HostTcp, ConnectSucceedsAcrossDirectWire) {
+  Simulator sim;
+  auto arp = std::make_shared<ArpTable>();
+  Host client(sim, Hostname{"c"}, MacAddress::from_u64(1), arp);
+  Host server(sim, Hostname{"s"}, MacAddress::from_u64(2), arp);
+  client.set_ip(Ipv4Address(10, 0, 0, 1));
+  server.set_ip(Ipv4Address(10, 0, 0, 2));
+  (*arp)[client.ip()] = client.mac();
+  (*arp)[server.ip()] = server.mac();
+  // Wire the two hosts back to back with 1 ms latency.
+  client.set_transmit([&](const std::vector<std::uint8_t>& bytes) {
+    sim.schedule_after(milliseconds(1.0), [&, bytes]() { server.receive(bytes); });
+  });
+  server.set_transmit([&](const std::vector<std::uint8_t>& bytes) {
+    sim.schedule_after(milliseconds(1.0), [&, bytes]() { client.receive(bytes); });
+  });
+  server.open_port(445);
+
+  ConnectResult outcome;
+  client.connect(server.ip(), 445, [&](const ConnectResult& r) { outcome = r; });
+  sim.run();
+  EXPECT_TRUE(outcome.connected);
+  EXPECT_FALSE(outcome.refused);
+  EXPECT_EQ(outcome.time_to_first_byte, milliseconds(2.0));
+  EXPECT_EQ(outcome.syn_transmissions, 1);
+}
+
+TEST(HostTcp, ClosedPortRefused) {
+  Simulator sim;
+  auto arp = std::make_shared<ArpTable>();
+  Host client(sim, Hostname{"c"}, MacAddress::from_u64(1), arp);
+  Host server(sim, Hostname{"s"}, MacAddress::from_u64(2), arp);
+  client.set_ip(Ipv4Address(10, 0, 0, 1));
+  server.set_ip(Ipv4Address(10, 0, 0, 2));
+  (*arp)[client.ip()] = client.mac();
+  (*arp)[server.ip()] = server.mac();
+  client.set_transmit([&](const std::vector<std::uint8_t>& bytes) {
+    server.receive(bytes);
+  });
+  server.set_transmit([&](const std::vector<std::uint8_t>& bytes) {
+    client.receive(bytes);
+  });
+
+  ConnectResult outcome;
+  client.connect(server.ip(), 22, [&](const ConnectResult& r) { outcome = r; });
+  sim.run();
+  EXPECT_FALSE(outcome.connected);
+  EXPECT_TRUE(outcome.refused);
+}
+
+TEST(HostTcp, TimeoutWithRetransmissions) {
+  Simulator sim;
+  auto arp = std::make_shared<ArpTable>();
+  Host client(sim, Hostname{"c"}, MacAddress::from_u64(1), arp);
+  client.set_ip(Ipv4Address(10, 0, 0, 1));
+  (*arp)[Ipv4Address(10, 0, 0, 2)] = MacAddress::from_u64(2);
+  int packets_sent = 0;
+  client.set_transmit([&](const std::vector<std::uint8_t>&) { ++packets_sent; });
+
+  ConnectResult outcome;
+  ConnectOptions options;
+  options.timeout = seconds(1.0);
+  options.rto = milliseconds(300);
+  options.max_syn_retries = 2;
+  client.connect(Ipv4Address(10, 0, 0, 2), 445,
+                 [&](const ConnectResult& r) { outcome = r; }, options);
+  sim.run();
+  EXPECT_FALSE(outcome.connected);
+  EXPECT_FALSE(outcome.refused);
+  EXPECT_EQ(packets_sent, 3);  // initial + 2 retries within the deadline
+}
+
+TEST(HostTcp, UnresolvableDestinationFailsImmediately) {
+  Simulator sim;
+  auto arp = std::make_shared<ArpTable>();
+  Host client(sim, Hostname{"c"}, MacAddress::from_u64(1), arp);
+  bool called = false;
+  client.connect(Ipv4Address(9, 9, 9, 9), 80, [&](const ConnectResult& r) {
+    called = true;
+    EXPECT_FALSE(r.connected);
+  });
+  EXPECT_TRUE(called);
+}
+
+// A direct-wired two-host fixture for ARP behaviours.
+class ArpTest : public ::testing::Test {
+ protected:
+  ArpTest()
+      : table_(std::make_shared<ArpTable>()),
+        client_(sim_, Hostname{"c"}, MacAddress::from_u64(1), table_),
+        server_(sim_, Hostname{"s"}, MacAddress::from_u64(2), table_) {
+    client_.set_ip(Ipv4Address(10, 0, 0, 1));
+    server_.set_ip(Ipv4Address(10, 0, 0, 2));
+    client_.set_transmit([this](const std::vector<std::uint8_t>& bytes) {
+      sim_.schedule_after(milliseconds(1.0), [this, bytes]() { server_.receive(bytes); });
+    });
+    server_.set_transmit([this](const std::vector<std::uint8_t>& bytes) {
+      sim_.schedule_after(milliseconds(1.0), [this, bytes]() { client_.receive(bytes); });
+    });
+    server_.open_port(445);
+  }
+
+  Simulator sim_;
+  std::shared_ptr<ArpTable> table_;
+  Host client_;
+  Host server_;
+};
+
+TEST_F(ArpTest, DynamicResolutionThenConnect) {
+  client_.enable_arp();
+  server_.enable_arp();
+  // Note: the shared table is empty — resolution must go over the wire.
+  ConnectResult outcome;
+  client_.connect(server_.ip(), 445, [&](const ConnectResult& r) { outcome = r; });
+  sim_.run();
+  EXPECT_TRUE(outcome.connected);
+  EXPECT_GE(client_.arp_cache_size(), 1u);   // learned server from the reply
+  EXPECT_GE(server_.arp_cache_size(), 1u);   // gleaned client from the request
+  // TTFB is SYN -> SYN-ACK (as the paper measures it); the preceding ARP
+  // exchange is not part of it. Two one-way hops at 1 ms each.
+  EXPECT_EQ(outcome.time_to_first_byte, milliseconds(2.0));
+}
+
+TEST_F(ArpTest, ResolutionFailureAfterRetries) {
+  client_.enable_arp();
+  // The server does not answer ARP (not enabled, and not in the table).
+  ConnectResult outcome;
+  bool done = false;
+  client_.connect(Ipv4Address(10, 0, 0, 99), 445, [&](const ConnectResult& r) {
+    outcome = r;
+    done = true;
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(outcome.connected);
+  // 3 requests at 500 ms spacing -> gave up by 1.5 s.
+  EXPECT_GE(sim_.now().us, milliseconds(1500).us);
+}
+
+TEST_F(ArpTest, ConcurrentResolutionsShareOneExchange) {
+  client_.enable_arp();
+  server_.enable_arp();
+  int connected = 0;
+  std::uint64_t packets_before = client_.packets_sent();
+  for (int i = 0; i < 3; ++i) {
+    client_.connect(server_.ip(), 445, [&](const ConnectResult& r) {
+      connected += r.connected ? 1 : 0;
+    });
+  }
+  sim_.run();
+  EXPECT_EQ(connected, 3);
+  // One ARP request serves all three waiters: 1 ARP + 3 SYNs.
+  EXPECT_EQ(client_.packets_sent() - packets_before, 4u);
+}
+
+TEST_F(ArpTest, StaticTableBypassesArp) {
+  (*table_)[server_.ip()] = server_.mac();
+  ConnectResult outcome;
+  client_.connect(server_.ip(), 445, [&](const ConnectResult& r) { outcome = r; });
+  sim_.run();
+  EXPECT_TRUE(outcome.connected);
+  EXPECT_EQ(client_.arp_cache_size(), 0u);  // no dynamic resolution needed
+}
+
+// ------------------------------------------------------------ enterprise
+
+TEST(Enterprise, PaperTestbedShape) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kBaseline;
+  EnterpriseTestbed testbed(config);
+
+  // 86 end hosts + 6 servers = 92 endpoints; 14 switches.
+  EXPECT_EQ(testbed.endpoints().size(), 92u);
+  EXPECT_EQ(testbed.servers().size(), 6u);
+  EXPECT_EQ(testbed.network().switches().size(), 14u);
+
+  // 10 vulnerable end hosts (one per department enclave) + 6 servers.
+  int vulnerable_hosts = 0, vulnerable_servers = 0;
+  for (const auto& endpoint : testbed.endpoints()) {
+    if (!testbed.is_vulnerable(endpoint)) continue;
+    const HostRecord* record = testbed.directory().find_host(endpoint);
+    ASSERT_NE(record, nullptr);
+    (record->is_server ? vulnerable_servers : vulnerable_hosts)++;
+  }
+  EXPECT_EQ(vulnerable_hosts, 10);
+  EXPECT_EQ(vulnerable_servers, 6);
+
+  // Every end host has a unique primary user with a cached credential.
+  int primary_users = 0;
+  for (const auto& endpoint : testbed.endpoints()) {
+    const auto user = testbed.primary_user(endpoint);
+    if (user.has_value()) {
+      ++primary_users;
+      const auto creds = testbed.directory().cached_credentials(endpoint);
+      EXPECT_FALSE(creds.empty());
+    }
+  }
+  EXPECT_EQ(primary_users, 86);
+
+  // Department enclave sizes: 9x9 + 1x5.
+  EXPECT_EQ(testbed.directory().hosts_in_enclave("dept-1").size(), 9u);
+  EXPECT_EQ(testbed.directory().hosts_in_enclave("dept-10").size(), 5u);
+}
+
+TEST(Enterprise, BaselineConnectivityEndToEnd) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kBaseline;
+  EnterpriseTestbed testbed(config);
+
+  // Cross-enclave connection succeeds with no access control.
+  Host* source = testbed.host(Hostname{"host-d1-2"});
+  Host* target = testbed.host(Hostname{"host-d2-3"});
+  ASSERT_NE(source, nullptr);
+  ASSERT_NE(target, nullptr);
+
+  ConnectResult outcome;
+  source->connect(target->ip(), 445, [&](const ConnectResult& r) { outcome = r; });
+  testbed.sim().run_until(testbed.sim().now() + seconds(10.0));
+  EXPECT_TRUE(outcome.connected);
+}
+
+TEST(Enterprise, ActivityScheduledForAllUsers) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kBaseline;
+  EnterpriseTestbed testbed(config);
+  testbed.schedule_all_activity();
+  EXPECT_EQ(testbed.scripts().size(), 86u);
+
+  // By 10:30 every script's guaranteed morning block has started... not
+  // necessarily; but at least one user must be on by then, and by 11:00
+  // the majority.
+  testbed.sim().run_until(clock_time(11));
+  int logged_on = 0;
+  for (const auto& endpoint : testbed.endpoints()) {
+    const auto user = testbed.primary_user(endpoint);
+    if (user.has_value() && testbed.siem().is_logged_on(*user, endpoint)) ++logged_on;
+  }
+  EXPECT_GT(logged_on, 43);  // majority of 86
+}
+
+}  // namespace
+}  // namespace dfi

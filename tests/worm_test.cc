@@ -1,0 +1,186 @@
+// Tests for the NotPetya surrogate on the enterprise testbed
+// (paper Section V-B). Kept short: tight worm timings, bounded horizons.
+#include <gtest/gtest.h>
+
+#include "worm/worm.h"
+
+namespace dfi {
+namespace {
+
+WormConfig fast_worm() {
+  WormConfig config;
+  config.exploit_time = milliseconds(200);
+  config.credential_time = milliseconds(100);
+  config.connect = ConnectOptions{seconds(3.0), seconds(1.0), 2};
+  config.sweep_pause = seconds(30.0);
+  config.min_active_minutes = 30.0;
+  config.max_active_minutes = 30.0;
+  return config;
+}
+
+TEST(Worm, BaselineInfectsEntireNetworkQuickly) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kBaseline;
+  EnterpriseTestbed testbed(config);
+  testbed.schedule_all_activity();
+
+  WormScenario worm(testbed, fast_worm());
+  worm.infect_foothold(Hostname{"host-d3-2"}, clock_time(9));
+  worm.run_until(clock_time(9, 10));
+
+  // No access control: everything falls within minutes.
+  EXPECT_EQ(worm.infected_count(), 92u);
+  EXPECT_GT(worm.stats().exploit_successes, 0u);
+  EXPECT_GT(worm.stats().credential_successes, 0u);
+
+  // The foothold is the first record; infections are time-monotone.
+  ASSERT_FALSE(worm.infections().empty());
+  EXPECT_EQ(worm.infections()[0].host, Hostname{"host-d3-2"});
+  for (std::size_t i = 1; i < worm.infections().size(); ++i) {
+    EXPECT_GE(worm.infections()[i].at.us, worm.infections()[i - 1].at.us);
+  }
+}
+
+TEST(Worm, SRbacConfinesFirstWaveToEnclaveAndServers) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kSRbac;
+  config.dfi = DfiConfig::functional();  // timing not under test here
+  EnterpriseTestbed testbed(config);
+  testbed.schedule_all_activity();
+
+  WormConfig worm_config = fast_worm();
+  WormScenario worm(testbed, worm_config);
+  worm.infect_foothold(Hostname{"host-d3-2"}, clock_time(9));
+  worm.run_until(clock_time(9, 10));
+
+  // Every infection edge must be an S-RBAC-permitted flow: same enclave,
+  // or one endpoint is a server. Direct cross-enclave host-to-host
+  // infections are impossible.
+  for (const auto& record : worm.infections()) {
+    if (record.infected_from.value.empty()) continue;  // the foothold
+    const HostRecord* victim = testbed.directory().find_host(record.host);
+    const HostRecord* attacker = testbed.directory().find_host(record.infected_from);
+    ASSERT_NE(victim, nullptr);
+    ASSERT_NE(attacker, nullptr);
+    EXPECT_TRUE(victim->enclave == attacker->enclave || victim->is_server ||
+                attacker->is_server)
+        << record.infected_from.value << " -> " << record.host.value
+        << " violates S-RBAC reachability";
+  }
+  // The first infection is inside the foothold's enclave or a server.
+  ASSERT_GE(worm.infections().size(), 2u);
+  const HostRecord* first = testbed.directory().find_host(worm.infections()[1].host);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(first->enclave == "dept-3" || first->is_server);
+}
+
+TEST(Worm, AtRbacOffHoursFootholdIsContained) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kAtRbac;
+  config.dfi = DfiConfig::functional();
+  EnterpriseTestbed testbed(config);
+  testbed.schedule_all_activity();
+
+  WormScenario worm(testbed, fast_worm());
+  // 02:00 foothold: no logged-on users anywhere, so only the foothold is
+  // infected when the worm times out (paper Fig. 5b).
+  worm.infect_foothold(Hostname{"host-d3-2"}, clock_time(2));
+  worm.run_until(clock_time(4));
+  EXPECT_EQ(worm.infected_count(), 1u);
+  EXPECT_EQ(worm.stats().connections_succeeded, 0u);
+}
+
+TEST(Worm, AtRbacBusinessHoursSlowerThanBaseline) {
+  // Compare infected counts at the same horizon under baseline vs AT-RBAC.
+  const auto run_condition = [](PolicyCondition condition) {
+    EnterpriseConfig config;
+    config.condition = condition;
+    config.dfi = DfiConfig::functional();
+    EnterpriseTestbed testbed(config);
+    testbed.schedule_all_activity();
+    WormScenario worm(testbed, fast_worm());
+    worm.infect_foothold(Hostname{"host-d3-2"}, clock_time(9));
+    worm.run_until(clock_time(9, 6));
+    return worm.infected_count();
+  };
+  const std::size_t baseline = run_condition(PolicyCondition::kBaseline);
+  const std::size_t atrbac = run_condition(PolicyCondition::kAtRbac);
+  EXPECT_EQ(baseline, 92u);
+  EXPECT_LT(atrbac, baseline);
+}
+
+TEST(Worm, InfectionCurveIsStepMonotone) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kBaseline;
+  EnterpriseTestbed testbed(config);
+  WormScenario worm(testbed, fast_worm());
+  worm.infect_foothold(Hostname{"host-d1-1"}, clock_time(9));
+  worm.run_until(clock_time(9, 5));
+
+  const TimeSeries curve = worm.infection_curve();
+  double last = -1.0;
+  for (const auto& point : curve.points) {
+    EXPECT_GE(point.value, last);
+    last = point.value;
+  }
+  EXPECT_EQ(curve.value_at(static_cast<double>(clock_time(9, 5).us) / 1e6),
+            static_cast<double>(worm.infected_count()));
+}
+
+TEST(Worm, ServersSpreadOnlyByExploit) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kBaseline;
+  EnterpriseTestbed testbed(config);
+  WormScenario worm(testbed, fast_worm());
+  worm.infect_foothold(Hostname{"host-d1-1"}, clock_time(9));
+  worm.run_until(clock_time(9, 10));
+
+  // Servers cache no credentials, so every server infection used the
+  // exploit vector.
+  for (const auto& record : worm.infections()) {
+    const HostRecord* host = testbed.directory().find_host(record.host);
+    if (host != nullptr && host->is_server && !record.infected_from.value.empty()) {
+      EXPECT_TRUE(record.via_exploit) << record.host.value;
+    }
+  }
+}
+
+TEST(Worm, ExploitOnlyCappedAtVulnerableMachines) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kBaseline;
+  EnterpriseTestbed testbed(config);
+  WormConfig worm_config = fast_worm();
+  worm_config.credential_vector = false;  // WannaCry-style strain
+  WormScenario worm(testbed, worm_config);
+  worm.infect_foothold(Hostname{"host-d3-2"}, clock_time(9));
+  worm.run_until(clock_time(9, 15));
+
+  // 10 vulnerable hosts + 6 servers + the (patched) foothold.
+  EXPECT_EQ(worm.infected_count(), 17u);
+  EXPECT_EQ(worm.stats().credential_successes, 0u);
+  EXPECT_EQ(worm.stats().exploit_successes, 16u);
+}
+
+TEST(Worm, CredentialOnlyCannotTouchServers) {
+  EnterpriseConfig config;
+  config.condition = PolicyCondition::kBaseline;
+  EnterpriseTestbed testbed(config);
+  WormConfig worm_config = fast_worm();
+  worm_config.exploit_vector = false;  // pure lateral-movement tool
+  WormScenario worm(testbed, worm_config);
+  worm.infect_foothold(Hostname{"host-d3-2"}, clock_time(9));
+  worm.run_until(clock_time(9, 15));
+
+  // Cached credentials only grant Local Administrator inside the enclave;
+  // servers grant no one local admin, so the spread stops at dept-3.
+  EXPECT_EQ(worm.infected_count(), 9u);
+  EXPECT_EQ(worm.stats().exploit_successes, 0u);
+  for (const auto& record : worm.infections()) {
+    const HostRecord* host = testbed.directory().find_host(record.host);
+    ASSERT_NE(host, nullptr);
+    EXPECT_EQ(host->enclave, "dept-3");
+  }
+}
+
+}  // namespace
+}  // namespace dfi
