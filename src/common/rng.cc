@@ -84,12 +84,19 @@ double Rng::normal(double mean, double stddev) {
   return mean + stddev * normal();
 }
 
-double Rng::lognormal_from_moments(double mean, double stddev) {
+LogNormalParams LogNormalParams::from_moments(double mean, double stddev) {
   assert(mean > 0.0);
   const double variance = stddev * stddev;
   const double sigma2 = std::log(1.0 + variance / (mean * mean));
-  const double mu = std::log(mean) - sigma2 / 2.0;
-  return std::exp(mu + std::sqrt(sigma2) * normal());
+  return {std::log(mean) - sigma2 / 2.0, std::sqrt(sigma2)};
+}
+
+double Rng::lognormal_from_moments(double mean, double stddev) {
+  return lognormal(LogNormalParams::from_moments(mean, stddev));
+}
+
+double Rng::lognormal(const LogNormalParams& params) {
+  return std::exp(params.mu + params.sigma * normal());
 }
 
 double Rng::exponential(double mean) {

@@ -12,6 +12,20 @@
 
 namespace dfi {
 
+// Precomputed parameters of the normal underlying a log-normal
+// distribution. Deriving (mu, sigma) from a target mean/sd costs two logs
+// and a sqrt; callers on a hot path (the PCP samples three service times
+// per Packet-in) derive them once at configuration time and sample with
+// Rng::lognormal.
+struct LogNormalParams {
+  double mu = 0.0;
+  double sigma = 0.0;
+
+  // Parameters such that exp(N(mu, sigma^2)) has the given mean and
+  // standard deviation. Requires mean > 0.
+  static LogNormalParams from_moments(double mean, double stddev);
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
@@ -41,6 +55,10 @@ class Rng {
   // the resulting distribution (not the underlying normal). Used for
   // component service times calibrated to the paper's Table II.
   double lognormal_from_moments(double mean, double stddev);
+
+  // Log-normal sample from precomputed parameters (hot-path form of
+  // lognormal_from_moments).
+  double lognormal(const LogNormalParams& params);
 
   // Exponential with the given mean (inter-arrival times for open-loop
   // traffic generation in the Fig. 4 reproduction).

@@ -1,0 +1,55 @@
+#include "core/decision_cache.h"
+
+namespace dfi {
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed mixing for hash combining.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FlowKey FlowKey::from_packet(Dpid dpid, PortNo in_port, const Packet& packet) {
+  FlowKey key;
+  key.dpid = dpid.value;
+  key.in_port = in_port.value;
+  key.src_mac = packet.eth.src.to_u64();
+  key.dst_mac = packet.eth.dst.to_u64();
+  key.ether_type = packet.eth.ether_type;
+  if (packet.ipv4.has_value()) {
+    key.has_ipv4 = true;
+    key.src_ip = packet.ipv4->src.value();
+    key.dst_ip = packet.ipv4->dst.value();
+    key.ip_proto = packet.ipv4->protocol;
+  }
+  // The PCP collects L4 ports from whichever transport header is present;
+  // the protocol field already disambiguates TCP from UDP.
+  if (packet.tcp.has_value()) {
+    key.has_l4 = true;
+    key.src_l4 = packet.tcp->src_port;
+    key.dst_l4 = packet.tcp->dst_port;
+  } else if (packet.udp.has_value()) {
+    key.has_l4 = true;
+    key.src_l4 = packet.udp->src_port;
+    key.dst_l4 = packet.udp->dst_port;
+  }
+  return key;
+}
+
+std::size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
+  std::uint64_t h = mix(key.dpid ^ (std::uint64_t{key.in_port} << 32));
+  h ^= mix(key.src_mac + 0x9e3779b97f4a7c15ull);
+  h ^= mix(key.dst_mac + 0x3c6ef372fe94f82bull);
+  h ^= mix((std::uint64_t{key.ether_type} << 48) |
+           (std::uint64_t{key.has_ipv4} << 40) |
+           (std::uint64_t{key.ip_proto} << 32) |
+           (std::uint64_t{key.has_l4} << 31) | key.src_ip);
+  h ^= mix((std::uint64_t{key.dst_ip} << 32) |
+           (std::uint64_t{key.src_l4} << 16) | key.dst_l4);
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace dfi

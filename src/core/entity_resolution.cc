@@ -1,28 +1,42 @@
 #include "core/entity_resolution.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace dfi {
 namespace {
 
-template <typename K, typename V>
-void insert_pair(std::map<K, std::set<V>>& forward, const K& key, const V& value) {
-  forward[key].insert(value);
+template <typename Map, typename K, typename V>
+bool insert_pair(Map& forward, const K& key, const V& value) {
+  return forward[key].insert(value).second;
 }
 
-template <typename K, typename V>
-void erase_pair(std::map<K, std::set<V>>& forward, const K& key, const V& value) {
+template <typename Map, typename K, typename V>
+bool erase_pair(Map& forward, const K& key, const V& value) {
   const auto it = forward.find(key);
-  if (it == forward.end()) return;
-  it->second.erase(value);
+  if (it == forward.end()) return false;
+  const bool erased = it->second.erase(value) > 0;
   if (it->second.empty()) forward.erase(it);
+  return erased;
 }
 
-template <typename K, typename V>
-std::vector<V> values_of(const std::map<K, std::set<V>>& forward, const K& key) {
+template <typename Map, typename K>
+auto values_of(const Map& forward, const K& key)
+    -> std::vector<typename Map::mapped_type::value_type> {
   const auto it = forward.find(key);
   if (it == forward.end()) return {};
   return {it->second.begin(), it->second.end()};
+}
+
+// Deterministic snapshot order over a hash map: keys sorted ascending.
+template <typename Map>
+auto sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 }  // namespace
@@ -35,60 +49,97 @@ EntityResolutionManager::EntityResolutionManager(MessageBus& bus)
 
 void EntityResolutionManager::apply(const BindingEvent& event) {
   ++stats_.binding_updates;
+  // `changed` tracks whether the event mutated state: redundant
+  // re-assertions and retractions of absent bindings must not bump the
+  // epoch (they cannot alter any decision) or they would needlessly flush
+  // the PCP's decision cache.
+  bool changed = false;
   switch (event.kind) {
     case BindingKind::kUserHost:
       if (event.retracted) {
-        erase_pair(user_to_hosts_, event.user, event.host);
-        erase_pair(host_to_users_, event.host, event.user);
+        changed |= erase_pair(user_to_hosts_, event.user, event.host);
+        changed |= erase_pair(host_to_users_, event.host, event.user);
       } else {
-        insert_pair(user_to_hosts_, event.user, event.host);
-        insert_pair(host_to_users_, event.host, event.user);
+        changed |= insert_pair(user_to_hosts_, event.user, event.host);
+        changed |= insert_pair(host_to_users_, event.host, event.user);
       }
       break;
     case BindingKind::kHostIp:
       if (event.retracted) {
-        erase_pair(host_to_ips_, event.host, event.ip);
-        erase_pair(ip_to_hosts_, event.ip, event.host);
+        changed |= erase_pair(host_to_ips_, event.host, event.ip);
+        changed |= erase_pair(ip_to_hosts_, event.ip, event.host);
       } else {
-        insert_pair(host_to_ips_, event.host, event.ip);
-        insert_pair(ip_to_hosts_, event.ip, event.host);
+        changed |= insert_pair(host_to_ips_, event.host, event.ip);
+        changed |= insert_pair(ip_to_hosts_, event.ip, event.host);
       }
       break;
     case BindingKind::kIpMac:
       if (event.retracted) {
-        ip_to_mac_.erase(event.ip);
-        erase_pair(mac_to_ips_, event.mac, event.ip);
+        changed |= ip_to_mac_.erase(event.ip) > 0;
+        changed |= erase_pair(mac_to_ips_, event.mac, event.ip);
       } else {
         // DHCP is authoritative: a lease replaces any prior MAC for the IP.
         if (const auto prev = ip_to_mac_.find(event.ip);
             prev != ip_to_mac_.end() && prev->second != event.mac) {
           erase_pair(mac_to_ips_, prev->second, event.ip);
+          changed = true;
         }
-        ip_to_mac_[event.ip] = event.mac;
-        insert_pair(mac_to_ips_, event.mac, event.ip);
+        changed |= insert_pair(mac_to_ips_, event.mac, event.ip);
+        if (changed) ip_to_mac_[event.ip] = event.mac;
       }
       break;
     case BindingKind::kMacLocation: {
       const auto key = std::make_pair(event.dpid, event.mac);
       if (event.retracted) {
-        mac_location_.erase(key);
+        changed = mac_location_.erase(key) > 0;
       } else {
-        mac_location_[key] = event.port;  // at most one port per switch
+        const auto [it, inserted] = mac_location_.emplace(key, event.port);
+        if (inserted) {
+          // First sighting of this (switch, MAC). Deliberately NOT an
+          // epoch bump: validate() passes on missing location bindings and
+          // the PCP asserts every packet's own location before deciding,
+          // so no cached decision can be contradicted by a first
+          // assertion (see epoch() in the header).
+        } else if (it->second != event.port) {
+          it->second = event.port;  // the MAC moved: replaces the binding
+          changed = true;
+        }
       }
       break;
     }
   }
+  if (changed) ++epoch_;
 }
 
 EndpointView EntityResolutionManager::enrich(EndpointView view) const {
   ++stats_.queries;
-  if (view.ip.has_value()) {
-    view.hostnames = hosts_of_ip(*view.ip);
-    for (const auto& host : view.hostnames) {
-      for (const auto& user : users_of_host(host)) {
-        view.usernames.push_back(user);
-      }
-    }
+  if (!view.ip.has_value()) return view;
+  const auto hosts = ip_to_hosts_.find(*view.ip);
+  if (hosts == ip_to_hosts_.end()) return view;
+  view.hostnames.assign(hosts->second.begin(), hosts->second.end());
+
+  // Gather each bound host's user set without copying it, then fill the
+  // output in one reserved pass. A user logged on to a host reachable via
+  // several hostname bindings must appear once, so multi-host enrichments
+  // are deduplicated (each individual set is already sorted and unique).
+  std::size_t total_users = 0;
+  std::vector<const std::set<Username>*> user_sets;
+  user_sets.reserve(view.hostnames.size());
+  for (const auto& host : view.hostnames) {
+    const auto users = host_to_users_.find(host);
+    if (users == host_to_users_.end() || users->second.empty()) continue;
+    user_sets.push_back(&users->second);
+    total_users += users->second.size();
+  }
+  view.usernames.reserve(total_users);
+  for (const auto* users : user_sets) {
+    view.usernames.insert(view.usernames.end(), users->begin(), users->end());
+  }
+  if (user_sets.size() > 1) {
+    std::sort(view.usernames.begin(), view.usernames.end());
+    view.usernames.erase(
+        std::unique(view.usernames.begin(), view.usernames.end()),
+        view.usernames.end());
   }
   return view;
 }
@@ -153,8 +204,9 @@ std::optional<PortNo> EntityResolutionManager::location_of_mac(Dpid dpid,
 
 std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
   std::vector<BindingEvent> out;
-  for (const auto& [user, hosts] : user_to_hosts_) {
-    for (const auto& host : hosts) {
+  out.reserve(binding_count());
+  for (const auto& user : sorted_keys(user_to_hosts_)) {
+    for (const auto& host : user_to_hosts_.at(user)) {
       BindingEvent event;
       event.kind = BindingKind::kUserHost;
       event.user = user;
@@ -162,8 +214,8 @@ std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
       out.push_back(std::move(event));
     }
   }
-  for (const auto& [host, ips] : host_to_ips_) {
-    for (const auto& ip : ips) {
+  for (const auto& host : sorted_keys(host_to_ips_)) {
+    for (const auto& ip : host_to_ips_.at(host)) {
       BindingEvent event;
       event.kind = BindingKind::kHostIp;
       event.host = host;
@@ -171,19 +223,19 @@ std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
       out.push_back(std::move(event));
     }
   }
-  for (const auto& [ip, mac] : ip_to_mac_) {
+  for (const auto& ip : sorted_keys(ip_to_mac_)) {
     BindingEvent event;
     event.kind = BindingKind::kIpMac;
     event.ip = ip;
-    event.mac = mac;
+    event.mac = ip_to_mac_.at(ip);
     out.push_back(std::move(event));
   }
-  for (const auto& [key, port] : mac_location_) {
+  for (const auto& key : sorted_keys(mac_location_)) {
     BindingEvent event;
     event.kind = BindingKind::kMacLocation;
     event.dpid = key.first;
     event.mac = key.second;
-    event.port = port;
+    event.port = mac_location_.at(key);
     out.push_back(std::move(event));
   }
   return out;

@@ -12,10 +12,10 @@
 // a different MAC marks the packet spoofed, and the PCP denies it).
 #pragma once
 
-#include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -46,7 +46,9 @@ class EntityResolutionManager {
 
   // Enrich the low-level identifiers of one endpoint: returns the input
   // plus all hostnames bound to the IP and all usernames bound to those
-  // hostnames. `view.dpid`/`switch_port` pass through untouched.
+  // hostnames (deduplicated — a user logged on to a host reachable via
+  // several hostname bindings appears once). `view.dpid`/`switch_port`
+  // pass through untouched.
   EndpointView enrich(EndpointView view) const;
 
   // Validate that packet-observed identifiers agree with authoritative
@@ -70,27 +72,54 @@ class EntityResolutionManager {
   const ErmStats& stats() const { return stats_; }
   std::size_t binding_count() const;
 
+  // Monotonic version of the binding state, bumped on every applied event
+  // that could change an enrichment or spoof-validation result. Decision
+  // caches (core/decision_cache.h) stamp entries with this epoch; a
+  // mismatch forces a full re-decision, which is what keeps cached
+  // decisions consistent with late binding (paper Section III-B).
+  //
+  // One deliberate exception: a *first* MAC-location assertion (no prior
+  // port for that (switch, MAC)) does not bump the epoch. validate()
+  // treats a missing location binding as a pass, and the PCP asserts the
+  // observed location of every packet's source before deciding, so any
+  // cached decision for that (switch, MAC, port) already reflects a
+  // binding at that very port — a brand-new assertion can only originate
+  // from a different flow it cannot retroactively contradict. Without this
+  // exception every first packet of a new host would flush the cache.
+  std::uint64_t epoch() const { return epoch_; }
+
   // Every current binding, as assertion events (persistence snapshots and
   // diagnostics; replaying them into a fresh ERM reproduces this state).
+  // Deterministically ordered regardless of hash-map iteration order.
   std::vector<BindingEvent> snapshot() const;
 
  private:
-  void apply_pair_binding(BindingKind kind, const BindingEvent& event);
+  // Hash for the (dpid, mac) location key.
+  struct LocationKeyHash {
+    std::size_t operator()(const std::pair<Dpid, MacAddress>& key) const noexcept {
+      return std::hash<std::uint64_t>{}(key.first.value * 0x9e3779b97f4a7c15ull ^
+                                        key.second.to_u64());
+    }
+  };
 
   MessageBus& bus_;
   Subscription subscription_;
 
-  // Each binding is stored as a bidirectional multimap.
-  std::map<Username, std::set<Hostname>> user_to_hosts_;
-  std::map<Hostname, std::set<Username>> host_to_users_;
-  std::map<Hostname, std::set<Ipv4Address>> host_to_ips_;
-  std::map<Ipv4Address, std::set<Hostname>> ip_to_hosts_;
-  std::map<Ipv4Address, MacAddress> ip_to_mac_;  // DHCP: one MAC per IP
-  std::map<MacAddress, std::set<Ipv4Address>> mac_to_ips_;
+  // Each binding is stored as a bidirectional multimap. The outer maps are
+  // hash-indexed (enrichment and spoof validation sit on the Packet-in hot
+  // path); the inner sets stay ordered so enrichment output and snapshots
+  // are deterministic.
+  std::unordered_map<Username, std::set<Hostname>> user_to_hosts_;
+  std::unordered_map<Hostname, std::set<Username>> host_to_users_;
+  std::unordered_map<Hostname, std::set<Ipv4Address>> host_to_ips_;
+  std::unordered_map<Ipv4Address, std::set<Hostname>> ip_to_hosts_;
+  std::unordered_map<Ipv4Address, MacAddress> ip_to_mac_;  // DHCP: one MAC per IP
+  std::unordered_map<MacAddress, std::set<Ipv4Address>> mac_to_ips_;
   // (dpid, mac) -> port. At most one port per MAC per switch; the PCP's
   // location sensor replaces the binding when a MAC legitimately moves.
-  std::map<std::pair<Dpid, MacAddress>, PortNo> mac_location_;
+  std::unordered_map<std::pair<Dpid, MacAddress>, PortNo, LocationKeyHash> mac_location_;
 
+  std::uint64_t epoch_ = 0;
   mutable ErmStats stats_;
 };
 

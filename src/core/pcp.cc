@@ -18,9 +18,20 @@ PolicyCompilationPoint::PolicyCompilationPoint(Simulator& sim, MessageBus& bus,
       config_(config),
       rng_(rng),
       station_(sim, config.workers, config.queue_capacity),
+      decision_cache_(config.decision_cache_capacity),
       flush_subscription_(bus.subscribe<FlushDirective>(
           topics::kRuleFlush,
           [this](const FlushDirective& directive) { flush(directive); })) {
+  if (!config_.zero_latency) {
+    // Table II calibration: derive the log-normal parameters once here
+    // rather than from the mean/sd on every handle_packet_in.
+    binding_service_ = LogNormalParams::from_moments(config_.binding_query_mean_ms,
+                                                     config_.binding_query_sd_ms);
+    policy_service_ = LogNormalParams::from_moments(config_.policy_query_mean_ms,
+                                                    config_.policy_query_sd_ms);
+    other_service_ =
+        LogNormalParams::from_moments(config_.other_mean_ms, config_.other_sd_ms);
+  }
   if (config_.wildcard_caching) {
     // Identity-derived cached rules depend on the bindings used to narrow
     // them; retraction invalidates those caches (see core/rule_cache.h).
@@ -45,12 +56,9 @@ bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
   // Sample the simulated cost of this decision's subtasks (Table II).
   double binding_ms = 0.0, policy_ms = 0.0, other_ms = 0.0;
   if (!config_.zero_latency) {
-    binding_ms = rng_.lognormal_from_moments(config_.binding_query_mean_ms,
-                                             config_.binding_query_sd_ms);
-    policy_ms = rng_.lognormal_from_moments(config_.policy_query_mean_ms,
-                                            config_.policy_query_sd_ms);
-    other_ms =
-        rng_.lognormal_from_moments(config_.other_mean_ms, config_.other_sd_ms);
+    binding_ms = rng_.lognormal(binding_service_);
+    policy_ms = rng_.lognormal(policy_service_);
+    other_ms = rng_.lognormal(other_service_);
   }
   const double total_ms = binding_ms + policy_ms + other_ms;
 
@@ -89,6 +97,23 @@ PcpDecision PolicyCompilationPoint::decide(Dpid dpid, const PacketInMsg& msg) {
   // Packet-in metadata and keeps the ERM binding current (Section IV-A).
   observe_mac_location(dpid, msg.in_port, packet.eth.src);
 
+  // Decision cache: an identical flow tuple decided under the current
+  // policy and binding epochs replays its decision without re-running
+  // validation, enrichment, or the policy query. Any policy insert/revoke
+  // or effective binding change bumps an epoch and forces the full path,
+  // preserving late binding (Section III-B).
+  const FlowKey flow_key = FlowKey::from_packet(dpid, msg.in_port, packet);
+  if (decision_cache_.enabled()) {
+    if (const PcpDecision* cached = decision_cache_.lookup(
+            flow_key, policy_.epoch(), erm_.epoch())) {
+      PcpDecision replayed = *cached;
+      ++stats_.decision_cache_hits;
+      count_outcome(replayed);
+      install(dpid, replayed.installed_rule);
+      return replayed;
+    }
+  }
+
   // Collect all source/destination identifiers present in the packet.
   EndpointView src;
   src.mac = packet.eth.src;
@@ -112,13 +137,14 @@ PcpDecision PolicyCompilationPoint::decide(Dpid dpid, const PacketInMsg& msg) {
   // destination's claimed identifiers are not attacker-controlled claims).
   const SpoofCheck spoof = erm_.validate(src.mac, src.ip, src.dpid, src.switch_port);
   if (spoof.spoofed) {
-    ++stats_.spoof_denied;
     decision.spoofed = true;
     decision.allow = false;
     decision.policy =
         PolicyDecision{PolicyAction::kDeny, PolicyRuleId{kDefaultDenyCookie.value}, true};
     decision.installed_rule = compile_rule(packet, msg.in_port, /*allow=*/false,
                                            kDefaultDenyCookie);
+    count_outcome(decision);
+    decision_cache_.store(flow_key, decision, policy_.epoch(), erm_.epoch());
     install(dpid, decision.installed_rule);
     DFI_INFO << "PCP: spoofed packet denied (" << spoof.reason << ")";
     return decision;
@@ -137,13 +163,7 @@ PcpDecision PolicyCompilationPoint::decide(Dpid dpid, const PacketInMsg& msg) {
   decision.allow = decision.policy.action == PolicyAction::kAllow;
   decision.flow = flow;
 
-  if (decision.allow) {
-    ++stats_.allowed;
-  } else if (decision.policy.default_deny) {
-    ++stats_.default_denied;
-  } else {
-    ++stats_.denied;
-  }
+  count_outcome(decision);
 
   decision.installed_rule =
       compile_rule(packet, msg.in_port, decision.allow,
@@ -164,8 +184,21 @@ PcpDecision PolicyCompilationPoint::decide(Dpid dpid, const PacketInMsg& msg) {
     }
   }
 
+  decision_cache_.store(flow_key, decision, policy_.epoch(), erm_.epoch());
   install(dpid, decision.installed_rule);
   return decision;
+}
+
+void PolicyCompilationPoint::count_outcome(const PcpDecision& decision) {
+  if (decision.spoofed) {
+    ++stats_.spoof_denied;
+  } else if (decision.allow) {
+    ++stats_.allowed;
+  } else if (decision.policy.default_deny) {
+    ++stats_.default_denied;
+  } else {
+    ++stats_.denied;
+  }
 }
 
 void PolicyCompilationPoint::on_binding_changed(const BindingEvent& event) {

@@ -30,6 +30,7 @@
 
 #include "bus/message_bus.h"
 #include "common/rng.h"
+#include "core/decision_cache.h"
 #include "core/entity_resolution.h"
 #include "core/policy_manager.h"
 #include "openflow/messages.h"
@@ -63,6 +64,14 @@ struct PcpConfig {
   // wildcard generalizations of the deciding policy instead of one
   // exact-match rule per flow. See core/rule_cache.h for the safety gates.
   bool wildcard_caching = false;
+
+  // Decision cache (core/decision_cache.h): replay a prior decision for an
+  // identical flow tuple when neither the policy epoch nor the binding
+  // epoch has moved since it was derived. 0 disables. This trims real CPU
+  // from the hot path only; the *simulated* Table II service times above
+  // are sampled regardless, so calibrated latency/throughput shapes
+  // (Table I, Fig. 4) are unchanged.
+  std::size_t decision_cache_capacity = 8192;
 };
 
 struct PcpStats {
@@ -79,6 +88,7 @@ struct PcpStats {
   std::uint64_t wildcard_rules_installed = 0;  // caching extension
   std::uint64_t wildcard_fallbacks = 0;        // safety gate fired
   std::uint64_t binding_invalidations = 0;     // identity caches flushed
+  std::uint64_t decision_cache_hits = 0;       // decisions replayed from cache
 };
 
 // Outcome of one access-control decision.
@@ -114,6 +124,10 @@ class PolicyCompilationPoint {
   PcpDecision decide(Dpid dpid, const PacketInMsg& msg);
 
   const PcpStats& stats() const { return stats_; }
+  const DecisionCacheStats& decision_cache_stats() const {
+    return decision_cache_.stats();
+  }
+  std::size_t decision_cache_size() const { return decision_cache_.size(); }
   std::size_t queue_depth() const { return station_.queue_depth(); }
 
   // Per-component simulated latency, for the Table II reproduction.
@@ -129,6 +143,7 @@ class PolicyCompilationPoint {
                           Cookie cookie) const;
   void install(Dpid dpid, const FlowModMsg& rule);
   void on_binding_changed(const BindingEvent& event);
+  void count_outcome(const PcpDecision& decision);
 
   Simulator& sim_;
   MessageBus& bus_;
@@ -136,7 +151,13 @@ class PolicyCompilationPoint {
   PolicyManager& policy_;
   PcpConfig config_;
   Rng rng_;
+  // Table II service-time distributions, derived once from the configured
+  // moments instead of per Packet-in.
+  LogNormalParams binding_service_{};
+  LogNormalParams policy_service_{};
+  LogNormalParams other_service_{};
   ServiceStation station_;
+  DecisionCache<PcpDecision> decision_cache_;
   Subscription flush_subscription_;
   Subscription binding_subscription_;  // active only with wildcard_caching
   std::map<Dpid, SwitchWriter> switches_;

@@ -1,0 +1,144 @@
+#include "core/policy_index.h"
+
+#include <algorithm>
+
+namespace dfi {
+namespace {
+
+// Probe one posting map with one observed value.
+template <typename Map, typename Key, typename Fn>
+void probe(const Map& map, const std::optional<Key>& observed, Fn&& fn) {
+  if (!observed.has_value()) return;
+  const auto it = map.find(*observed);
+  if (it == map.end()) return;
+  for (const StoredPolicyRule* stored : it->second) fn(stored);
+}
+
+// Probe one posting map with every enriched identifier bound to the
+// endpoint (user/host fields are sets under late binding).
+template <typename Map, typename Key, typename Fn>
+void probe_each(const Map& map, const std::vector<Key>& observed, Fn&& fn) {
+  if (map.empty()) return;
+  for (const Key& key : observed) {
+    const auto it = map.find(key);
+    if (it == map.end()) continue;
+    for (const StoredPolicyRule* stored : it->second) fn(stored);
+  }
+}
+
+// Overlap probing: a rule pivoted on field f with value v overlaps the new
+// rule on f iff the new rule wildcards f or names the same v — so a
+// concrete spec costs one probe, a wildcard spec visits the whole map.
+template <typename Map, typename Key, typename Fn>
+void probe_overlap(const Map& map, const std::optional<Key>& spec, Fn&& fn) {
+  if (spec.has_value()) {
+    const auto it = map.find(*spec);
+    if (it == map.end()) return;
+    for (const StoredPolicyRule* stored : it->second) fn(stored);
+    return;
+  }
+  for (const auto& [key, list] : map) {
+    for (const StoredPolicyRule* stored : list) fn(stored);
+  }
+}
+
+}  // namespace
+
+PolicyRuleIndex::RuleList& PolicyRuleIndex::posting_list(Bucket& bucket,
+                                                         const PolicyRule& rule) {
+  const EndpointSpec& src = rule.source;
+  const EndpointSpec& dst = rule.destination;
+  if (src.ip) return bucket.src_ip[*src.ip];
+  if (dst.ip) return bucket.dst_ip[*dst.ip];
+  if (src.mac) return bucket.src_mac[*src.mac];
+  if (dst.mac) return bucket.dst_mac[*dst.mac];
+  if (src.user) return bucket.src_user[*src.user];
+  if (dst.user) return bucket.dst_user[*dst.user];
+  if (src.host) return bucket.src_host[*src.host];
+  if (dst.host) return bucket.dst_host[*dst.host];
+  if (src.dpid) return bucket.src_dpid[*src.dpid];
+  if (dst.dpid) return bucket.dst_dpid[*dst.dpid];
+  return bucket.wildcard;
+}
+
+void PolicyRuleIndex::insert(const StoredPolicyRule* stored) {
+  Bucket& bucket = buckets_[stored->priority.value];
+  posting_list(bucket, stored->rule).push_back(stored);
+  ++bucket.size;
+  ++size_;
+}
+
+void PolicyRuleIndex::remove(const StoredPolicyRule* stored) {
+  const auto bucket_it = buckets_.find(stored->priority.value);
+  if (bucket_it == buckets_.end()) return;
+  Bucket& bucket = bucket_it->second;
+  RuleList& list = posting_list(bucket, stored->rule);
+  const auto it = std::find(list.begin(), list.end(), stored);
+  if (it == list.end()) return;
+  list.erase(it);
+  --bucket.size;
+  --size_;
+  if (bucket.size == 0) buckets_.erase(bucket_it);
+}
+
+void PolicyRuleIndex::clear() {
+  buckets_.clear();
+  size_ = 0;
+}
+
+const StoredPolicyRule* PolicyRuleIndex::best_match(const FlowView& flow) const {
+  for (const auto& [priority, bucket] : buckets_) {
+    ++stats_.buckets_visited;
+    const StoredPolicyRule* best = nullptr;
+    const auto consider = [&](const StoredPolicyRule* stored) {
+      ++stats_.match_candidates;
+      if (!stored->rule.matches(flow)) return;
+      if (best == nullptr) {
+        best = stored;
+      } else if (best->rule.action == PolicyAction::kAllow &&
+                 stored->rule.action == PolicyAction::kDeny) {
+        best = stored;  // equal-priority conflict: Deny wins
+      }
+    };
+    probe(bucket.src_ip, flow.src.ip, consider);
+    probe(bucket.dst_ip, flow.dst.ip, consider);
+    probe(bucket.src_mac, flow.src.mac, consider);
+    probe(bucket.dst_mac, flow.dst.mac, consider);
+    probe_each(bucket.src_user, flow.src.usernames, consider);
+    probe_each(bucket.dst_user, flow.dst.usernames, consider);
+    probe_each(bucket.src_host, flow.src.hostnames, consider);
+    probe_each(bucket.dst_host, flow.dst.hostnames, consider);
+    probe(bucket.src_dpid, flow.src.dpid, consider);
+    probe(bucket.dst_dpid, flow.dst.dpid, consider);
+    for (const StoredPolicyRule* stored : bucket.wildcard) consider(stored);
+    if (best != nullptr) return best;  // no lower bucket can outrank this one
+  }
+  return nullptr;
+}
+
+void PolicyRuleIndex::for_each_overlap_candidate(
+    const PolicyRule& rule, PdpPriority below,
+    const std::function<void(const StoredPolicyRule&)>& fn) const {
+  const auto visit = [&](const StoredPolicyRule* stored) {
+    ++stats_.overlap_candidates;
+    fn(*stored);
+  };
+  // greater<> ordering: upper_bound yields the first bucket with priority
+  // strictly below the new rule's.
+  for (auto it = buckets_.upper_bound(below.value); it != buckets_.end(); ++it) {
+    const Bucket& bucket = it->second;
+    probe_overlap(bucket.src_ip, rule.source.ip, visit);
+    probe_overlap(bucket.dst_ip, rule.destination.ip, visit);
+    probe_overlap(bucket.src_mac, rule.source.mac, visit);
+    probe_overlap(bucket.dst_mac, rule.destination.mac, visit);
+    probe_overlap(bucket.src_user, rule.source.user, visit);
+    probe_overlap(bucket.dst_user, rule.destination.user, visit);
+    probe_overlap(bucket.src_host, rule.source.host, visit);
+    probe_overlap(bucket.dst_host, rule.destination.host, visit);
+    probe_overlap(bucket.src_dpid, rule.source.dpid, visit);
+    probe_overlap(bucket.dst_dpid, rule.destination.dpid, visit);
+    for (const StoredPolicyRule* stored : bucket.wildcard) visit(stored);
+  }
+}
+
+}  // namespace dfi

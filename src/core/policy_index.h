@@ -1,0 +1,110 @@
+// Priority-bucketed posting-list index over policy rules.
+//
+// The Policy Manager must return the highest-PDP-priority rule matching an
+// enriched flow, resolving equal-priority Allow/Deny conflicts toward Deny
+// (paper Section III-B). The reference implementation scans every stored
+// rule per query — O(n) on the Packet-in hot path. This index buckets
+// rules by PDP priority (kept in descending order) and, within a bucket,
+// files each rule under exactly ONE concrete "pivot" field — the first
+// concrete one of src/dst IP, MAC, user, host, DPID in that order. Rules
+// with none of those fields concrete (wildcard-only rules, or rules
+// constrained solely by ports / flow properties) live on the bucket's
+// wildcard list.
+//
+// Query: walk buckets from the highest priority down. A bucket's candidate
+// set is its wildcard list plus, for each pivot field, the posting list
+// keyed by the flow's observed value for that field (enriched user/host
+// fields contribute one probe per bound identifier). Skipping rules whose
+// pivot value is absent from the flow is exact, not heuristic: a concrete
+// spec field only matches when the observed value is present and equal
+// (core/policy.cc, field_matches), so such rules cannot match the flow.
+// Because each rule lives in exactly one posting list, no candidate is
+// visited twice and the Deny-wins tie-break inspects every equal-priority
+// match exactly as the linear scan does. The first bucket containing any
+// match decides (early exit).
+//
+// The same structure serves the insert-time consistency sweep (Section
+// III-B): overlap candidates for a new rule are, per strictly-lower
+// priority bucket, the wildcard list plus — for each pivot field — either
+// one posting list (the new rule names that field concretely; overlap
+// requires equality) or the field's entire map (the new rule wildcards the
+// field, which overlaps every value).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/policy.h"
+
+namespace dfi {
+
+// A rule as stored by the Policy Manager. Defined here (rather than in
+// policy_manager.h, which includes this header) so the index can file
+// pointers to stored rules; the Policy Manager's node-based storage
+// guarantees pointer stability for the lifetime of each rule.
+struct StoredPolicyRule {
+  PolicyRuleId id{};
+  PolicyRule rule;
+  PdpPriority priority{};
+  std::string pdp_name;
+};
+
+struct PolicyIndexStats {
+  std::uint64_t buckets_visited = 0;      // priority buckets walked by queries
+  std::uint64_t match_candidates = 0;     // rules tested with matches()
+  std::uint64_t overlap_candidates = 0;   // rules tested by the insert sweep
+};
+
+class PolicyRuleIndex {
+ public:
+  // `stored` must outlive its presence in the index and keep (rule,
+  // priority) unchanged while indexed.
+  void insert(const StoredPolicyRule* stored);
+  void remove(const StoredPolicyRule* stored);
+  void clear();
+
+  // Highest-priority rule matching `flow`, Deny winning equal-priority
+  // conflicts; nullptr when nothing matches (default deny).
+  const StoredPolicyRule* best_match(const FlowView& flow) const;
+
+  // Invoke `fn` on every indexed rule with priority strictly below `below`
+  // that could field-wise overlap `rule`. The candidate set is a superset
+  // of the truly overlapping rules; callers re-check with
+  // PolicyRule::overlaps. Each rule is visited at most once.
+  void for_each_overlap_candidate(
+      const PolicyRule& rule, PdpPriority below,
+      const std::function<void(const StoredPolicyRule&)>& fn) const;
+
+  std::size_t size() const { return size_; }
+  const PolicyIndexStats& stats() const { return stats_; }
+
+ private:
+  using RuleList = std::vector<const StoredPolicyRule*>;
+
+  struct Bucket {
+    std::unordered_map<Ipv4Address, RuleList> src_ip, dst_ip;
+    std::unordered_map<MacAddress, RuleList> src_mac, dst_mac;
+    std::unordered_map<Username, RuleList> src_user, dst_user;
+    std::unordered_map<Hostname, RuleList> src_host, dst_host;
+    std::unordered_map<Dpid, RuleList> src_dpid, dst_dpid;
+    RuleList wildcard;
+    std::size_t size = 0;
+  };
+
+  // The posting list `rule` belongs to within `bucket` (pivot selection is
+  // a pure function of the rule, so insert and remove agree).
+  static RuleList& posting_list(Bucket& bucket, const PolicyRule& rule);
+
+  // Buckets in descending PDP priority: queries early-exit on the first
+  // bucket containing a match.
+  std::map<std::uint32_t, Bucket, std::greater<std::uint32_t>> buckets_;
+  std::size_t size_ = 0;
+  mutable PolicyIndexStats stats_;
+};
+
+}  // namespace dfi

@@ -13,20 +13,24 @@ PolicyRuleId PolicyManager::insert(PolicyRule rule, PdpPriority priority,
 
   // Consistency check: flush switch rules derived from existing
   // lower-priority rules with the opposite action that overlap the new one.
-  for (const auto& [existing_id, stored] : rules_) {
-    if (stored.rule.action == rule.action) continue;
-    if (stored.priority >= priority) continue;
-    if (!stored.rule.overlaps(rule)) continue;
-    ++stats_.conflict_flushes;
-    publish_flush(existing_id);
-  }
+  // The index narrows the sweep to field-wise overlap candidates.
+  index_.for_each_overlap_candidate(
+      rule, priority, [&](const StoredPolicyRule& stored) {
+        if (stored.rule.action == rule.action) return;
+        if (!stored.rule.overlaps(rule)) return;
+        ++stats_.conflict_flushes;
+        publish_flush(stored.id);
+      });
   // A new Allow rule may override previous default-deny decisions whose
   // exact-match deny rules are cached in switches; flush those too.
   if (rule.action == PolicyAction::kAllow) {
     publish_flush(PolicyRuleId{kDefaultDenyCookie.value});
   }
 
-  rules_.emplace(id, StoredPolicyRule{id, std::move(rule), priority, std::move(pdp_name)});
+  const auto [it, inserted] = rules_.emplace(
+      id, StoredPolicyRule{id, std::move(rule), priority, std::move(pdp_name)});
+  index_.insert(&it->second);
+  ++epoch_;
   return id;
 }
 
@@ -34,7 +38,9 @@ bool PolicyManager::revoke(PolicyRuleId id) {
   const auto it = rules_.find(id);
   if (it == rules_.end()) return false;
   ++stats_.revocations;
+  index_.remove(&it->second);
   rules_.erase(it);
+  ++epoch_;
   // Flush every switch rule derived from the revoked policy so ongoing
   // flows are re-evaluated against the remaining policy (Section III-B).
   publish_flush(id);
@@ -43,6 +49,16 @@ bool PolicyManager::revoke(PolicyRuleId id) {
 
 PolicyDecision PolicyManager::query(const FlowView& flow) const {
   ++stats_.queries;
+  const StoredPolicyRule* best = index_.best_match(flow);
+  if (best == nullptr) {
+    return PolicyDecision{PolicyAction::kDeny, PolicyRuleId{kDefaultDenyCookie.value},
+                          /*default_deny=*/true};
+  }
+  return PolicyDecision{best->rule.action, best->id, /*default_deny=*/false};
+}
+
+PolicyDecision PolicyManager::query_linear(const FlowView& flow) const {
+  ++stats_.linear_queries;
   const StoredPolicyRule* best = nullptr;
   for (const auto& [id, stored] : rules_) {
     if (!stored.rule.matches(flow)) continue;

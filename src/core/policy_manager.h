@@ -25,6 +25,7 @@
 #include "bus/message_bus.h"
 #include "common/types.h"
 #include "core/policy.h"
+#include "core/policy_index.h"
 #include "services/events.h"
 
 namespace dfi {
@@ -36,13 +37,6 @@ inline constexpr Cookie kDefaultDenyCookie{1};
 // Directive to the PCP: flush all switch flow rules derived from `policy`.
 struct FlushDirective {
   PolicyRuleId policy{};
-};
-
-struct StoredPolicyRule {
-  PolicyRuleId id{};
-  PolicyRule rule;
-  PdpPriority priority{};
-  std::string pdp_name;
 };
 
 // Outcome of a policy query for one flow.
@@ -58,6 +52,7 @@ struct PolicyManagerStats {
   std::uint64_t inserts = 0;
   std::uint64_t revocations = 0;
   std::uint64_t queries = 0;
+  std::uint64_t linear_queries = 0;  // reference-scan queries (tests/bench)
   std::uint64_t conflict_flushes = 0;
 };
 
@@ -74,20 +69,37 @@ class PolicyManager {
 
   // Highest-priority rule matching the flow. PDP priority orders rules; on
   // a same-priority Allow/Deny conflict the Deny wins ("err on the side of
-  // stopping unauthorized flows"). No match -> default deny.
+  // stopping unauthorized flows"). No match -> default deny. Served from
+  // the posting-list index (core/policy_index.h); O(candidates), not O(n).
   PolicyDecision query(const FlowView& flow) const;
+
+  // Reference implementation of query(): the original full linear scan.
+  // Retained as the differential-test oracle and the scan baseline for
+  // bench_micro_policy_index; semantically identical to query() up to the
+  // choice among equally-ranked same-action rules.
+  PolicyDecision query_linear(const FlowView& flow) const;
 
   std::optional<StoredPolicyRule> find(PolicyRuleId id) const;
   std::vector<StoredPolicyRule> rules() const;
   std::size_t size() const { return rules_.size(); }
   const PolicyManagerStats& stats() const { return stats_; }
+  const PolicyIndexStats& index_stats() const { return index_.stats(); }
+
+  // Monotonic version of the policy database, bumped on every successful
+  // insert/revoke. Decision caches (core/decision_cache.h) stamp entries
+  // with this epoch; a mismatch forces a full re-decision.
+  std::uint64_t epoch() const { return epoch_; }
 
  private:
   void publish_flush(PolicyRuleId id);
 
   MessageBus& bus_;
+  // Node-based storage: the index holds pointers into this map, which stay
+  // valid across unrelated inserts/erases.
   std::map<PolicyRuleId, StoredPolicyRule> rules_;
+  PolicyRuleIndex index_;
   std::uint64_t next_id_ = kDefaultDenyCookie.value + 1;
+  std::uint64_t epoch_ = 0;
   mutable PolicyManagerStats stats_;
 };
 

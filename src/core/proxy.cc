@@ -6,7 +6,12 @@ namespace dfi {
 
 DfiProxy::DfiProxy(Simulator& sim, PolicyCompilationPoint& pcp, ProxyConfig config,
                    Rng rng)
-    : sim_(sim), pcp_(pcp), config_(config), rng_(rng) {}
+    : sim_(sim), pcp_(pcp), config_(config), rng_(rng) {
+  if (!config_.zero_latency) {
+    latency_ =
+        LogNormalParams::from_moments(config_.latency_mean_ms, config_.latency_sd_ms);
+  }
+}
 
 DfiProxy::~DfiProxy() {
   for (const auto& session : sessions_) {
@@ -23,7 +28,7 @@ DfiProxy::Session& DfiProxy::create_session(SendFn to_switch, SendFn to_controll
 void DfiProxy::after_proxy_delay(std::function<void()> deliver) {
   double delay_ms = 0.0;
   if (!config_.zero_latency) {
-    delay_ms = rng_.lognormal_from_moments(config_.latency_mean_ms, config_.latency_sd_ms);
+    delay_ms = rng_.lognormal(latency_);
   }
   latency_ms_.add(delay_ms);
   sim_.schedule_after(milliseconds(delay_ms), std::move(deliver));

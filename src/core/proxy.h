@@ -108,6 +108,9 @@ class DfiProxy {
   PolicyCompilationPoint& pcp_;
   ProxyConfig config_;
   Rng rng_;
+  // Table II proxy latency distribution, derived once from the configured
+  // moments instead of per message.
+  LogNormalParams latency_{};
   std::vector<std::unique_ptr<Session>> sessions_;
   ProxyStats stats_;
   SampleStats latency_ms_;

@@ -160,6 +160,65 @@ TEST_F(ErmTest, ConsumesBusEvents) {
   EXPECT_EQ(erm_.stats().binding_updates, 1u);
 }
 
+TEST_F(ErmTest, EnrichDeduplicatesUsersAcrossHostnames) {
+  // One IP carries two hostname bindings (e.g. DNS alias); alice is logged
+  // onto both. She must appear once in the enriched view, not per host.
+  erm_.apply(host_ip("h1", Ipv4Address(10, 0, 0, 1)));
+  erm_.apply(host_ip("h1-alias", Ipv4Address(10, 0, 0, 1)));
+  erm_.apply(user_host("alice", "h1"));
+  erm_.apply(user_host("alice", "h1-alias"));
+  erm_.apply(user_host("bob", "h1"));
+
+  EndpointView view;
+  view.ip = Ipv4Address(10, 0, 0, 1);
+  const EndpointView enriched = erm_.enrich(view);
+  EXPECT_EQ(enriched.hostnames.size(), 2u);
+  ASSERT_EQ(enriched.usernames.size(), 2u);
+  EXPECT_EQ(enriched.usernames[0], Username{"alice"});
+  EXPECT_EQ(enriched.usernames[1], Username{"bob"});
+}
+
+TEST_F(ErmTest, EpochBumpsOnEffectiveChangesOnly) {
+  const std::uint64_t e0 = erm_.epoch();
+  erm_.apply(user_host("alice", "h1"));
+  EXPECT_GT(erm_.epoch(), e0);
+  const std::uint64_t e1 = erm_.epoch();
+  erm_.apply(user_host("alice", "h1"));  // redundant re-assertion: no-op
+  EXPECT_EQ(erm_.epoch(), e1);
+  erm_.apply(user_host("alice", "h9", /*retract=*/true));  // absent binding
+  EXPECT_EQ(erm_.epoch(), e1);
+  erm_.apply(user_host("alice", "h1", /*retract=*/true));
+  EXPECT_GT(erm_.epoch(), e1);
+}
+
+TEST_F(ErmTest, EpochSkipsFirstMacLocationAssertion) {
+  // A first (switch, MAC) location sighting deliberately does not bump the
+  // epoch (see the header comment): validate() passes on missing location
+  // bindings, so no cached decision can be contradicted by it.
+  const std::uint64_t e0 = erm_.epoch();
+  erm_.apply(mac_location(MacAddress::from_u64(7), Dpid{1}, PortNo{3}));
+  EXPECT_EQ(erm_.epoch(), e0);
+  // Re-assertion at the same port: still no change.
+  erm_.apply(mac_location(MacAddress::from_u64(7), Dpid{1}, PortNo{3}));
+  EXPECT_EQ(erm_.epoch(), e0);
+  // A move replaces the binding: that IS an effective change.
+  erm_.apply(mac_location(MacAddress::from_u64(7), Dpid{1}, PortNo{4}));
+  EXPECT_GT(erm_.epoch(), e0);
+  const std::uint64_t e1 = erm_.epoch();
+  // Retraction of an existing location: effective change too.
+  erm_.apply(mac_location(MacAddress::from_u64(7), Dpid{1}, PortNo{4}, true));
+  EXPECT_GT(erm_.epoch(), e1);
+}
+
+TEST_F(ErmTest, EpochBumpsOnDhcpReassignment) {
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 1), MacAddress::from_u64(1)));
+  const std::uint64_t e0 = erm_.epoch();
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 1), MacAddress::from_u64(1)));  // no-op
+  EXPECT_EQ(erm_.epoch(), e0);
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 1), MacAddress::from_u64(2)));  // lease moves
+  EXPECT_GT(erm_.epoch(), e0);
+}
+
 TEST_F(ErmTest, BindingCountAggregates) {
   erm_.apply(user_host("a", "h"));
   erm_.apply(host_ip("h", Ipv4Address(1, 1, 1, 1)));

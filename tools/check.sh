@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repo check: tier-1 build + full test suite, then an ASan+UBSan build
+# (-DDFI_SANITIZE=ON) running the policy-index differential and
+# decision-cache tests under the sanitizers.
+#
+# Usage: tools/check.sh [--no-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  echo "== skipping sanitizer build (--no-sanitize) =="
+  exit 0
+fi
+
+echo "== sanitizer build (ASan+UBSan) =="
+cmake -B build-asan -S . -DDFI_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "${JOBS}" --target \
+  policy_index_test decision_cache_test policy_manager_test erm_test pcp_test
+
+echo "== sanitizer tests =="
+./build-asan/tests/policy_index_test
+./build-asan/tests/decision_cache_test
+./build-asan/tests/policy_manager_test
+./build-asan/tests/erm_test
+./build-asan/tests/pcp_test
+
+echo "== all checks passed =="
