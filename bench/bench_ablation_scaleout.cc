@@ -2,38 +2,212 @@
 // "Scaling up could be achieved using multiple DFI Proxy and PCP
 // instances" / "running some control-plane components in parallel").
 //
-// We vary the PCP worker-pool width and measure saturation throughput with
-// the cbench surrogate. Throughput should scale near-linearly with workers
-// while per-flow no-load latency stays flat (the work per flow is fixed).
+// PR 2 turned that deployment advice into a mechanism: the PcpShardPool
+// partitions Packet-ins by canonical-flow-tuple hash over N shards, in two
+// backends. This bench sweeps shards {1, 2, 4, 8} through both:
+//
+//  * kSimulated — the cbench surrogate measures saturation throughput and
+//    no-load latency in simulated time (N=1 is the paper's calibrated
+//    single PCP; Table I);
+//  * kThreads — real std::thread workers measured on the wall clock. Each
+//    decision blocks for its sampled Table II service time (the production
+//    PCP blocks on IPC to the ERM / Policy Manager), so throughput scales
+//    with the number of in-flight decisions.
+//
+// Emits BENCH_scaleout.json: per configuration, throughput, p50/p99
+// decision latency, and the per-shard decision-cache hit rates.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "core/pcp.h"
 #include "harness/cbench.h"
 #include "harness/report.h"
+#include "sim/stats.h"
 
-using namespace dfi;
+namespace dfi {
+namespace {
+
+constexpr std::size_t kShardSweep[] = {1, 2, 4, 8};
+
+struct Point {
+  std::size_t shards = 0;
+  double throughput_fps = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  std::vector<double> shard_hit_rates;
+};
+
+// ------------------------------------------------- simulated backend (DES)
+
+Point run_simulated_point(std::size_t shards) {
+  CbenchConfig config;
+  config.dfi.pcp.shards = shards;
+  config.dfi.pcp.workers = 7;
+  config.dfi.pcp.queue_capacity = 96;
+  config.seed = 0x5ca1e + shards;
+  CbenchEmulator bench(config);
+
+  Point point;
+  point.shards = shards;
+  const SampleStats latency = bench.run_latency_mode(300);
+  point.latency_p50_ms = latency.percentile(50.0);
+  point.latency_p99_ms = latency.percentile(99.0);
+  point.throughput_fps = bench.find_saturation(200.0, 200.0, 14000.0, seconds(10.0));
+  for (std::size_t s = 0; s < bench.dfi().pcp().shard_count(); ++s) {
+    point.shard_hit_rates.push_back(bench.dfi().pcp().decision_cache_stats(s).hit_rate());
+  }
+  return point;
+}
+
+// ------------------------------------------- threaded backend (wall clock)
+
+// Fig. 4-style workload: a fixed host population, traffic drawn from a
+// bounded tuple set (flows repeat, so the per-shard caches see hits), an
+// allow-all rule so decisions compile goto rules. Service times follow the
+// Table II moments, spent as real blocking time in the shard workers.
+Point run_threaded_point(std::size_t shards) {
+  constexpr std::size_t kHosts = 64;
+  constexpr std::size_t kTuples = 256;
+  constexpr std::size_t kPackets = 400;
+
+  Simulator sim;
+  MessageBus bus;
+  EntityResolutionManager erm(bus);
+  PolicyManager manager(bus);
+  PcpConfig config;
+  config.backend = PcpBackend::kThreads;
+  config.shards = shards;
+  config.queue_capacity = 64;
+  PolicyCompilationPoint pcp(sim, bus, erm, manager, config, Rng(11));
+  pcp.register_switch(Dpid{1}, [](const OfMessage&) {});
+
+  PolicyRule allow;
+  allow.action = PolicyAction::kAllow;
+  manager.insert(allow, PdpPriority{10}, "bench");
+
+  std::vector<PacketInMsg> tuples;
+  tuples.reserve(kTuples);
+  for (std::size_t i = 0; i < kTuples; ++i) {
+    const std::size_t src = i % kHosts;
+    const std::size_t dst = (i * 7 + 1) % kHosts;
+    const Packet packet = make_tcp_packet(
+        MacAddress::from_u64(src + 1), MacAddress::from_u64(dst + 1),
+        Ipv4Address(static_cast<std::uint32_t>(0x0a000100 + src)),
+        Ipv4Address(static_cast<std::uint32_t>(0x0a000100 + dst)),
+        static_cast<std::uint16_t>(40000 + i % 16), 445);
+    PacketInMsg msg;
+    msg.in_port = PortNo{static_cast<std::uint32_t>(src % 8 + 1)};
+    msg.table_id = 0;
+    msg.data = packet.serialize();
+    tuples.push_back(std::move(msg));
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<Clock::time_point> submitted(kPackets);
+  SampleStats sojourn_ms;
+
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    submitted[i] = Clock::now();
+    const auto done = [&sojourn_ms, &submitted, i](const PcpDecision&) {
+      sojourn_ms.add(std::chrono::duration<double, std::milli>(
+                         Clock::now() - submitted[i])
+                         .count());
+    };
+    // Open loop with a bounded shard queue: on rejection, release finished
+    // decisions and retry. Workers are blocked in service waits, so the
+    // retry loop naps instead of spinning.
+    while (!pcp.handle_packet_in(Dpid{1}, tuples[i % kTuples], done)) {
+      if (pcp.poll_completions() == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    pcp.poll_completions();
+  }
+  pcp.wait_idle();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  Point point;
+  point.shards = shards;
+  point.throughput_fps = static_cast<double>(kPackets) / elapsed_s;
+  point.latency_p50_ms = sojourn_ms.percentile(50.0);
+  point.latency_p99_ms = sojourn_ms.percentile(99.0);
+  for (std::size_t s = 0; s < pcp.shard_count(); ++s) {
+    point.shard_hit_rates.push_back(pcp.decision_cache_stats(s).hit_rate());
+  }
+  return point;
+}
+
+// ----------------------------------------------------------------- report
+
+void append_json(std::ofstream& out, const char* backend,
+                 const std::vector<Point>& points) {
+  out << "  \"" << backend << "\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    out << "    {\"shards\": " << p.shards
+        << ", \"throughput_fps\": " << p.throughput_fps
+        << ", \"latency_p50_ms\": " << p.latency_p50_ms
+        << ", \"latency_p99_ms\": " << p.latency_p99_ms << ", \"shard_hit_rates\": [";
+    for (std::size_t s = 0; s < p.shard_hit_rates.size(); ++s) {
+      out << (s > 0 ? ", " : "") << p.shard_hit_rates[s];
+    }
+    out << "]}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]";
+}
+
+void print_report(const char* title, const std::vector<Point>& points) {
+  Report report(title);
+  report.columns({"shards", "throughput (flows/s)", "latency p50 (ms)",
+                  "latency p99 (ms)", "scaling vs 1 shard"});
+  const double base = points.empty() ? 0.0 : points.front().throughput_fps;
+  for (const Point& p : points) {
+    report.row({std::to_string(p.shards), Report::fmt(p.throughput_fps, 0),
+                Report::fmt(p.latency_p50_ms), Report::fmt(p.latency_p99_ms),
+                Report::fmt(base > 0 ? p.throughput_fps / base : 0.0, 1) + "x"});
+  }
+  report.print();
+}
+
+}  // namespace
+}  // namespace dfi
 
 int main() {
-  std::printf("DFI reproduction — ablation: PCP worker scale-out\n");
+  using namespace dfi;
+  std::printf("DFI reproduction — ablation: sharded PCP scale-out\n");
 
-  Report report("Saturation throughput and no-load latency vs PCP workers");
-  report.columns({"workers", "throughput (flows/s)", "latency mean (ms)",
-                  "scaling vs 1 worker"});
-  double base_throughput = 0.0;
-  for (const std::size_t workers : {1u, 2u, 4u, 7u, 8u, 16u, 32u}) {
-    CbenchConfig config;
-    config.dfi.pcp.workers = workers;
-    config.dfi.pcp.queue_capacity = 96;
-    config.seed = 0x5ca1e + workers;
-    CbenchEmulator bench(config);
-    const SampleStats latency = bench.run_latency_mode(300);
-    const double throughput = bench.find_saturation(200.0, 200.0, 12000.0,
-                                                    seconds(10.0));
-    if (base_throughput == 0.0) base_throughput = throughput;
-    report.row({std::to_string(workers), Report::fmt(throughput, 0),
-                Report::fmt(latency.mean()),
-                Report::fmt(throughput / base_throughput, 1) + "x"});
+  std::vector<Point> simulated;
+  for (const std::size_t shards : kShardSweep) {
+    simulated.push_back(run_simulated_point(shards));
+    std::printf("simulated shards=%zu: %.0f flows/s\n", shards,
+                simulated.back().throughput_fps);
   }
-  report.note("paper deployment ~= 7-8 effective workers (1350 flows/s at 5.7 ms/flow)");
-  report.print();
+  std::vector<Point> threaded;
+  for (const std::size_t shards : kShardSweep) {
+    threaded.push_back(run_threaded_point(shards));
+    std::printf("threads   shards=%zu: %.0f flows/s\n", shards,
+                threaded.back().throughput_fps);
+  }
+
+  print_report("Simulated backend: saturation throughput vs shards (DES)", simulated);
+  print_report("Thread backend: wall-clock throughput vs shards", threaded);
+
+  std::ofstream out("BENCH_scaleout.json");
+  out << "{\n";
+  append_json(out, "simulated", simulated);
+  out << ",\n";
+  append_json(out, "threads", threaded);
+  out << "\n}\n";
+  std::printf("wrote BENCH_scaleout.json\n");
+
+  const double scaling =
+      threaded[0].throughput_fps > 0 ? threaded[2].throughput_fps / threaded[0].throughput_fps
+                                     : 0.0;
+  std::printf("thread backend scaling at 4 shards: %.2fx\n", scaling);
   return 0;
 }

@@ -41,24 +41,62 @@ void MessageBus::publish_raw(const std::string& topic, const std::any& payload) 
   ++published_count_;
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return;
-  // Copy the entry list so handlers may subscribe/unsubscribe re-entrantly.
-  const std::vector<Entry> entries = it->second;
-  for (const auto& entry : entries) entry.handler(payload);
+  // Dispatch from the live list, bounded by the pre-dispatch size: handlers
+  // subscribed during this publish are not delivered this message, and a
+  // handler unsubscribed mid-dispatch — by itself or by an earlier handler —
+  // is marked dead and skipped. (Dispatching from a snapshot copy instead
+  // would still invoke the unsubscribed handler, whose captured state the
+  // unsubscribe typically just destroyed.)
+  const std::size_t bound = it->second.size();
+  ++dispatch_depth_;
+  for (std::size_t i = 0; i < bound; ++i) {
+    // Re-index each round — a re-entrant subscribe may reallocate the
+    // vector — and invoke through a copy so the handler survives that
+    // reallocation mid-call.
+    if (!it->second[i].alive) continue;
+    const RawHandler handler = it->second[i].handler;
+    handler(payload);
+  }
+  if (--dispatch_depth_ == 0 && needs_compaction_) compact();
 }
 
 void MessageBus::unsubscribe(const std::string& topic, std::uint64_t id) {
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return;
   auto& entries = it->second;
-  entries.erase(std::remove_if(entries.begin(), entries.end(),
-                               [id](const Entry& entry) { return entry.id == id; }),
-                entries.end());
+  const auto entry =
+      std::find_if(entries.begin(), entries.end(),
+                   [id](const Entry& e) { return e.id == id; });
+  if (entry == entries.end()) return;
+  if (dispatch_depth_ > 0) {
+    // A publish is walking this (or some) entry vector by index; erasing
+    // now would shift entries under it. Mark dead — dispatch skips dead
+    // entries — and compact after the outermost publish returns.
+    entry->alive = false;
+    needs_compaction_ = true;
+    return;
+  }
+  entries.erase(entry);
   if (entries.empty()) topics_.erase(it);
+}
+
+void MessageBus::compact() {
+  needs_compaction_ = false;
+  for (auto it = topics_.begin(); it != topics_.end();) {
+    auto& entries = it->second;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [](const Entry& entry) { return !entry.alive; }),
+                  entries.end());
+    it = entries.empty() ? topics_.erase(it) : std::next(it);
+  }
 }
 
 std::size_t MessageBus::subscriber_count(const std::string& topic) const {
   const auto it = topics_.find(topic);
-  return it == topics_.end() ? 0 : it->second.size();
+  if (it == topics_.end()) return 0;
+  std::size_t count = 0;
+  for (const auto& entry : it->second) count += entry.alive ? 1 : 0;
+  return count;
 }
 
 }  // namespace dfi

@@ -86,11 +86,21 @@ class MessageBus {
   struct Entry {
     std::uint64_t id;
     RawHandler handler;
+    // Cleared instead of erased while a dispatch is walking the list; dead
+    // entries are skipped and compacted away after the outermost publish.
+    bool alive = true;
   };
+
+  // Erase entries marked dead during dispatch (and now-empty topics).
+  void compact();
 
   std::map<std::string, std::vector<Entry>> topics_;
   std::uint64_t next_id_ = 1;
   std::uint64_t published_count_ = 0;
+  // Nesting depth of publish_raw: non-zero means entry vectors and topic
+  // map nodes must not be erased (deferred to compact()).
+  int dispatch_depth_ = 0;
+  bool needs_compaction_ = false;
 };
 
 }  // namespace dfi

@@ -1,0 +1,28 @@
+// Shared hash-mixing primitives.
+//
+// The Packet-in hot path hashes the canonical flow tuple twice: once for
+// the per-shard decision cache (core/decision_cache.h) and once to pick the
+// PCP shard a flow is routed to (core/pcp_shard_pool.h). Both uses need the
+// same property — cheap, well-distributed 64-bit mixing — so the finalizer
+// lives here rather than being re-derived per call site. Shard routing in
+// particular depends on high-entropy low bits (the shard id is `hash %
+// shards`), which the raw tuple fields do not provide.
+#pragma once
+
+#include <cstdint>
+
+namespace dfi {
+
+// splitmix64 finalizer: cheap, well-distributed mixing for hash combining.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Fold `value` into an accumulated hash.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return seed ^ (mix64(value) + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace dfi

@@ -1,0 +1,59 @@
+// Lazily rebuilt, immutable state snapshots.
+//
+// The snapshot-isolated control plane (DESIGN.md §5) has every mutable
+// component — the Entity Resolution Manager and the Policy Manager —
+// publish an immutable, epoch-versioned copy of its decision-relevant
+// state. The Packet-in decision path is a pure function of such a snapshot
+// pair, so any number of PCP shards (including real threads) can decide
+// concurrently without reading live component state.
+//
+// Concurrency contract: all mutation, invalidation, and rebuilding happen
+// on the single control thread that owns the component. Worker threads only
+// ever hold `shared_ptr<const T>` copies handed out at submit time, so the
+// only cross-thread traffic is the shared_ptr refcount. Rebuilds create a
+// fresh object rather than mutating one a worker might still read; stale
+// snapshots simply deallocate when their last holder drops them. This is
+// deliberately NOT copy-on-write through a use_count() probe — observing a
+// refcount of 1 from a relaxed load does not order the former holder's
+// reads before our writes, and that boundary is exactly where COW schemes
+// go racy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace dfi {
+
+// Caches one immutable snapshot of type T, rebuilt on demand after the
+// owner invalidates it. T is built at most once per invalidation no matter
+// how many decisions read it in between.
+template <typename T>
+class SnapshotCache {
+ public:
+  // Mark the cached snapshot stale (call on every mutation that could
+  // change what `build` would produce).
+  void invalidate() { dirty_ = true; }
+
+  bool dirty() const { return dirty_; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+  // Current snapshot, rebuilding via `build() -> std::shared_ptr<const T>`
+  // (or anything convertible) if a mutation invalidated the cached one.
+  template <typename BuildFn>
+  std::shared_ptr<const T> get(BuildFn&& build) {
+    if (dirty_ || cached_ == nullptr) {
+      cached_ = std::forward<BuildFn>(build)();
+      dirty_ = false;
+      ++rebuilds_;
+    }
+    return cached_;
+  }
+
+ private:
+  std::shared_ptr<const T> cached_;
+  bool dirty_ = true;
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace dfi

@@ -1,16 +1,8 @@
 #include "core/decision_cache.h"
 
+#include "common/hash.h"
+
 namespace dfi {
-namespace {
-
-// splitmix64 finalizer: cheap, well-distributed mixing for hash combining.
-std::uint64_t mix(std::uint64_t x) {
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 FlowKey FlowKey::from_packet(Dpid dpid, PortNo in_port, const Packet& packet) {
   FlowKey key;
@@ -40,14 +32,14 @@ FlowKey FlowKey::from_packet(Dpid dpid, PortNo in_port, const Packet& packet) {
 }
 
 std::size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
-  std::uint64_t h = mix(key.dpid ^ (std::uint64_t{key.in_port} << 32));
-  h ^= mix(key.src_mac + 0x9e3779b97f4a7c15ull);
-  h ^= mix(key.dst_mac + 0x3c6ef372fe94f82bull);
-  h ^= mix((std::uint64_t{key.ether_type} << 48) |
+  std::uint64_t h = mix64(key.dpid ^ (std::uint64_t{key.in_port} << 32));
+  h ^= mix64(key.src_mac + 0x9e3779b97f4a7c15ull);
+  h ^= mix64(key.dst_mac + 0x3c6ef372fe94f82bull);
+  h ^= mix64((std::uint64_t{key.ether_type} << 48) |
            (std::uint64_t{key.has_ipv4} << 40) |
            (std::uint64_t{key.ip_proto} << 32) |
            (std::uint64_t{key.has_l4} << 31) | key.src_ip);
-  h ^= mix((std::uint64_t{key.dst_ip} << 32) |
+  h ^= mix64((std::uint64_t{key.dst_ip} << 32) |
            (std::uint64_t{key.src_l4} << 16) | key.dst_l4);
   return static_cast<std::size_t>(h);
 }

@@ -1,6 +1,7 @@
 #include "core/entity_resolution.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
 
@@ -57,35 +58,35 @@ void EntityResolutionManager::apply(const BindingEvent& event) {
   switch (event.kind) {
     case BindingKind::kUserHost:
       if (event.retracted) {
-        changed |= erase_pair(user_to_hosts_, event.user, event.host);
-        changed |= erase_pair(host_to_users_, event.host, event.user);
+        changed |= erase_pair(identity_.user_to_hosts, event.user, event.host);
+        changed |= erase_pair(identity_.host_to_users, event.host, event.user);
       } else {
-        changed |= insert_pair(user_to_hosts_, event.user, event.host);
-        changed |= insert_pair(host_to_users_, event.host, event.user);
+        changed |= insert_pair(identity_.user_to_hosts, event.user, event.host);
+        changed |= insert_pair(identity_.host_to_users, event.host, event.user);
       }
       break;
     case BindingKind::kHostIp:
       if (event.retracted) {
-        changed |= erase_pair(host_to_ips_, event.host, event.ip);
-        changed |= erase_pair(ip_to_hosts_, event.ip, event.host);
+        changed |= erase_pair(identity_.host_to_ips, event.host, event.ip);
+        changed |= erase_pair(identity_.ip_to_hosts, event.ip, event.host);
       } else {
-        changed |= insert_pair(host_to_ips_, event.host, event.ip);
-        changed |= insert_pair(ip_to_hosts_, event.ip, event.host);
+        changed |= insert_pair(identity_.host_to_ips, event.host, event.ip);
+        changed |= insert_pair(identity_.ip_to_hosts, event.ip, event.host);
       }
       break;
     case BindingKind::kIpMac:
       if (event.retracted) {
-        changed |= ip_to_mac_.erase(event.ip) > 0;
-        changed |= erase_pair(mac_to_ips_, event.mac, event.ip);
+        changed |= identity_.ip_to_mac.erase(event.ip) > 0;
+        changed |= erase_pair(identity_.mac_to_ips, event.mac, event.ip);
       } else {
         // DHCP is authoritative: a lease replaces any prior MAC for the IP.
-        if (const auto prev = ip_to_mac_.find(event.ip);
-            prev != ip_to_mac_.end() && prev->second != event.mac) {
-          erase_pair(mac_to_ips_, prev->second, event.ip);
+        if (const auto prev = identity_.ip_to_mac.find(event.ip);
+            prev != identity_.ip_to_mac.end() && prev->second != event.mac) {
+          erase_pair(identity_.mac_to_ips, prev->second, event.ip);
           changed = true;
         }
-        changed |= insert_pair(mac_to_ips_, event.mac, event.ip);
-        if (changed) ip_to_mac_[event.ip] = event.mac;
+        changed |= insert_pair(identity_.mac_to_ips, event.mac, event.ip);
+        if (changed) identity_.ip_to_mac[event.ip] = event.mac;
       }
       break;
     case BindingKind::kMacLocation: {
@@ -108,53 +109,36 @@ void EntityResolutionManager::apply(const BindingEvent& event) {
       break;
     }
   }
-  if (changed) ++epoch_;
+  if (changed) {
+    ++epoch_;
+    // Any epoch bump must reach the next published snapshot, even when the
+    // identity tables themselves are untouched (a MAC move): decision
+    // caches compare against the snapshot's epoch stamp.
+    snapshot_cache_.invalidate();
+  }
+}
+
+ErmSnapshot EntityResolutionManager::snapshot_view() const {
+  const auto tables = snapshot_cache_.get([this]() {
+    ++stats_.snapshot_rebuilds;
+    return std::make_shared<const ErmIdentityTables>(identity_);
+  });
+  return ErmSnapshot(tables, epoch_);
 }
 
 EndpointView EntityResolutionManager::enrich(EndpointView view) const {
   ++stats_.queries;
-  if (!view.ip.has_value()) return view;
-  const auto hosts = ip_to_hosts_.find(*view.ip);
-  if (hosts == ip_to_hosts_.end()) return view;
-  view.hostnames.assign(hosts->second.begin(), hosts->second.end());
-
-  // Gather each bound host's user set without copying it, then fill the
-  // output in one reserved pass. A user logged on to a host reachable via
-  // several hostname bindings must appear once, so multi-host enrichments
-  // are deduplicated (each individual set is already sorted and unique).
-  std::size_t total_users = 0;
-  std::vector<const std::set<Username>*> user_sets;
-  user_sets.reserve(view.hostnames.size());
-  for (const auto& host : view.hostnames) {
-    const auto users = host_to_users_.find(host);
-    if (users == host_to_users_.end() || users->second.empty()) continue;
-    user_sets.push_back(&users->second);
-    total_users += users->second.size();
-  }
-  view.usernames.reserve(total_users);
-  for (const auto* users : user_sets) {
-    view.usernames.insert(view.usernames.end(), users->begin(), users->end());
-  }
-  if (user_sets.size() > 1) {
-    std::sort(view.usernames.begin(), view.usernames.end());
-    view.usernames.erase(
-        std::unique(view.usernames.begin(), view.usernames.end()),
-        view.usernames.end());
-  }
-  return view;
+  return identity_.enrich(std::move(view));
 }
 
 SpoofCheck EntityResolutionManager::validate(const std::optional<MacAddress>& mac,
                                              const std::optional<Ipv4Address>& ip,
                                              const std::optional<Dpid>& dpid,
                                              const std::optional<PortNo>& port) const {
-  if (ip.has_value() && mac.has_value()) {
-    const auto bound = ip_to_mac_.find(*ip);
-    if (bound != ip_to_mac_.end() && bound->second != *mac) {
-      ++stats_.spoof_rejections;
-      return {true, "IP " + ip->to_string() + " is bound to MAC " +
-                        bound->second.to_string() + ", not " + mac->to_string()};
-    }
+  SpoofCheck identity = identity_.validate_identity(mac, ip);
+  if (identity.spoofed) {
+    ++stats_.spoof_rejections;
+    return identity;
   }
   if (mac.has_value() && dpid.has_value() && port.has_value()) {
     const auto located = mac_location_.find({*dpid, *mac});
@@ -170,29 +154,29 @@ SpoofCheck EntityResolutionManager::validate(const std::optional<MacAddress>& ma
 }
 
 std::vector<Hostname> EntityResolutionManager::hosts_of_ip(Ipv4Address ip) const {
-  return values_of(ip_to_hosts_, ip);
+  return values_of(identity_.ip_to_hosts, ip);
 }
 
 std::vector<Ipv4Address> EntityResolutionManager::ips_of_host(const Hostname& host) const {
-  return values_of(host_to_ips_, host);
+  return values_of(identity_.host_to_ips, host);
 }
 
 std::vector<Username> EntityResolutionManager::users_of_host(const Hostname& host) const {
-  return values_of(host_to_users_, host);
+  return values_of(identity_.host_to_users, host);
 }
 
 std::vector<Hostname> EntityResolutionManager::hosts_of_user(const Username& user) const {
-  return values_of(user_to_hosts_, user);
+  return values_of(identity_.user_to_hosts, user);
 }
 
 std::optional<MacAddress> EntityResolutionManager::mac_of_ip(Ipv4Address ip) const {
-  const auto it = ip_to_mac_.find(ip);
-  if (it == ip_to_mac_.end()) return std::nullopt;
+  const auto it = identity_.ip_to_mac.find(ip);
+  if (it == identity_.ip_to_mac.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<Ipv4Address> EntityResolutionManager::ips_of_mac(MacAddress mac) const {
-  return values_of(mac_to_ips_, mac);
+  return values_of(identity_.mac_to_ips, mac);
 }
 
 std::optional<PortNo> EntityResolutionManager::location_of_mac(Dpid dpid,
@@ -205,8 +189,8 @@ std::optional<PortNo> EntityResolutionManager::location_of_mac(Dpid dpid,
 std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
   std::vector<BindingEvent> out;
   out.reserve(binding_count());
-  for (const auto& user : sorted_keys(user_to_hosts_)) {
-    for (const auto& host : user_to_hosts_.at(user)) {
+  for (const auto& user : sorted_keys(identity_.user_to_hosts)) {
+    for (const auto& host : identity_.user_to_hosts.at(user)) {
       BindingEvent event;
       event.kind = BindingKind::kUserHost;
       event.user = user;
@@ -214,8 +198,8 @@ std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
       out.push_back(std::move(event));
     }
   }
-  for (const auto& host : sorted_keys(host_to_ips_)) {
-    for (const auto& ip : host_to_ips_.at(host)) {
+  for (const auto& host : sorted_keys(identity_.host_to_ips)) {
+    for (const auto& ip : identity_.host_to_ips.at(host)) {
       BindingEvent event;
       event.kind = BindingKind::kHostIp;
       event.host = host;
@@ -223,11 +207,11 @@ std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
       out.push_back(std::move(event));
     }
   }
-  for (const auto& ip : sorted_keys(ip_to_mac_)) {
+  for (const auto& ip : sorted_keys(identity_.ip_to_mac)) {
     BindingEvent event;
     event.kind = BindingKind::kIpMac;
     event.ip = ip;
-    event.mac = ip_to_mac_.at(ip);
+    event.mac = identity_.ip_to_mac.at(ip);
     out.push_back(std::move(event));
   }
   for (const auto& key : sorted_keys(mac_location_)) {
@@ -242,9 +226,9 @@ std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
 }
 
 std::size_t EntityResolutionManager::binding_count() const {
-  std::size_t count = mac_location_.size() + ip_to_mac_.size();
-  for (const auto& [user, hosts] : user_to_hosts_) count += hosts.size();
-  for (const auto& [host, ips] : host_to_ips_) count += ips.size();
+  std::size_t count = mac_location_.size() + identity_.ip_to_mac.size();
+  for (const auto& [user, hosts] : identity_.user_to_hosts) count += hosts.size();
+  for (const auto& [host, ips] : identity_.host_to_ips) count += ips.size();
   return count;
 }
 

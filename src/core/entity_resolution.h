@@ -10,6 +10,13 @@
 // It also performs spoof validation: identifiers present in a packet must
 // agree with the authoritative bindings (e.g. a source IP bound by DHCP to
 // a different MAC marks the packet spoofed, and the PCP denies it).
+//
+// Snapshot isolation (DESIGN.md §5): the identity bindings live in an
+// ErmIdentityTables (core/erm_snapshot.h) and the manager publishes
+// immutable, epoch-stamped ErmSnapshot views of them on demand. The PCP
+// decision path reads only snapshots; the live maps are mutated exclusively
+// on the control thread. Snapshots are rebuilt lazily — at most once per
+// epoch-bumping mutation, no matter how many decisions run in between.
 #pragma once
 
 #include <optional>
@@ -20,6 +27,8 @@
 #include <vector>
 
 #include "bus/message_bus.h"
+#include "common/snapshot.h"
+#include "core/erm_snapshot.h"
 #include "core/policy.h"
 #include "services/events.h"
 
@@ -29,12 +38,7 @@ struct ErmStats {
   std::uint64_t binding_updates = 0;
   std::uint64_t queries = 0;
   std::uint64_t spoof_rejections = 0;
-};
-
-// Result of spoof validation.
-struct SpoofCheck {
-  bool spoofed = false;
-  std::string reason;
+  std::uint64_t snapshot_rebuilds = 0;
 };
 
 class EntityResolutionManager {
@@ -88,6 +92,12 @@ class EntityResolutionManager {
   // exception every first packet of a new host would flush the cache.
   std::uint64_t epoch() const { return epoch_; }
 
+  // Immutable snapshot of the identity bindings at the current epoch. The
+  // frozen tables are shared, not copied, until the next epoch-bumping
+  // mutation forces a rebuild; first MAC-location sightings (see epoch())
+  // leave outstanding snapshots untouched.
+  ErmSnapshot snapshot_view() const;
+
   // Every current binding, as assertion events (persistence snapshots and
   // diagnostics; replaying them into a fresh ERM reproduces this state).
   // Deterministically ordered regardless of hash-map iteration order.
@@ -105,21 +115,19 @@ class EntityResolutionManager {
   MessageBus& bus_;
   Subscription subscription_;
 
-  // Each binding is stored as a bidirectional multimap. The outer maps are
-  // hash-indexed (enrichment and spoof validation sit on the Packet-in hot
-  // path); the inner sets stay ordered so enrichment output and snapshots
-  // are deterministic.
-  std::unordered_map<Username, std::set<Hostname>> user_to_hosts_;
-  std::unordered_map<Hostname, std::set<Username>> host_to_users_;
-  std::unordered_map<Hostname, std::set<Ipv4Address>> host_to_ips_;
-  std::unordered_map<Ipv4Address, std::set<Hostname>> ip_to_hosts_;
-  std::unordered_map<Ipv4Address, MacAddress> ip_to_mac_;  // DHCP: one MAC per IP
-  std::unordered_map<MacAddress, std::set<Ipv4Address>> mac_to_ips_;
+  // Live identity bindings: user<->host, host<->IP, IP<->MAC multimaps.
+  // The outer maps are hash-indexed (enrichment and spoof validation sit on
+  // the Packet-in hot path); the inner sets stay ordered so enrichment
+  // output and persistence snapshots are deterministic. Mutated only via
+  // apply(); published to the decision path as frozen copies.
+  ErmIdentityTables identity_;
   // (dpid, mac) -> port. At most one port per MAC per switch; the PCP's
   // location sensor replaces the binding when a MAC legitimately moves.
+  // Deliberately outside the snapshot (see core/erm_snapshot.h).
   std::unordered_map<std::pair<Dpid, MacAddress>, PortNo, LocationKeyHash> mac_location_;
 
   std::uint64_t epoch_ = 0;
+  mutable SnapshotCache<ErmIdentityTables> snapshot_cache_;
   mutable ErmStats stats_;
 };
 

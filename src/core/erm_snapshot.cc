@@ -1,0 +1,52 @@
+#include "core/erm_snapshot.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dfi {
+
+EndpointView ErmIdentityTables::enrich(EndpointView view) const {
+  if (!view.ip.has_value()) return view;
+  const auto hosts = ip_to_hosts.find(*view.ip);
+  if (hosts == ip_to_hosts.end()) return view;
+  view.hostnames.assign(hosts->second.begin(), hosts->second.end());
+
+  // Gather each bound host's user set without copying it, then fill the
+  // output in one reserved pass. A user logged on to a host reachable via
+  // several hostname bindings must appear once, so multi-host enrichments
+  // are deduplicated (each individual set is already sorted and unique).
+  std::size_t total_users = 0;
+  std::vector<const std::set<Username>*> user_sets;
+  user_sets.reserve(view.hostnames.size());
+  for (const auto& host : view.hostnames) {
+    const auto users = host_to_users.find(host);
+    if (users == host_to_users.end() || users->second.empty()) continue;
+    user_sets.push_back(&users->second);
+    total_users += users->second.size();
+  }
+  view.usernames.reserve(total_users);
+  for (const auto* users : user_sets) {
+    view.usernames.insert(view.usernames.end(), users->begin(), users->end());
+  }
+  if (user_sets.size() > 1) {
+    std::sort(view.usernames.begin(), view.usernames.end());
+    view.usernames.erase(
+        std::unique(view.usernames.begin(), view.usernames.end()),
+        view.usernames.end());
+  }
+  return view;
+}
+
+SpoofCheck ErmIdentityTables::validate_identity(
+    const std::optional<MacAddress>& mac, const std::optional<Ipv4Address>& ip) const {
+  if (ip.has_value() && mac.has_value()) {
+    const auto bound = ip_to_mac.find(*ip);
+    if (bound != ip_to_mac.end() && bound->second != *mac) {
+      return {true, "IP " + ip->to_string() + " is bound to MAC " +
+                        bound->second.to_string() + ", not " + mac->to_string()};
+    }
+  }
+  return {false, ""};
+}
+
+}  // namespace dfi

@@ -1,0 +1,84 @@
+// Immutable snapshot of the Entity Resolution Manager's identity bindings.
+//
+// The PCP decision path must be a pure function of frozen state (DESIGN.md
+// §5): enrichment and spoof validation run against an `ErmSnapshot`, never
+// against the live ERM maps, so N PCP shards — simulated stations or real
+// threads — can decide concurrently while sensors keep mutating the live
+// manager on the control thread.
+//
+// The snapshot covers the *identity* bindings (user<->host, host<->IP,
+// IP<->MAC). The MAC<->(switch,port) location binding is deliberately NOT
+// part of it: the PCP's own location sensor asserts the observed location
+// of every packet's source before deciding, which makes the source-side
+// location check a tautology for unicast MACs (see decide_on_snapshots in
+// core/pcp_decide.h). Freezing the location map would instead force a
+// snapshot rebuild on every first packet of every new host — O(bindings)
+// work per flow. The one packet-visible location fact — the prior port of
+// the source MAC — travels with the decision request as a scalar input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "core/policy.h"
+
+namespace dfi {
+
+// Result of spoof validation (also returned by the live ERM).
+struct SpoofCheck {
+  bool spoofed = false;
+  std::string reason;
+};
+
+// The identity-binding multimaps, shared verbatim between the live ERM
+// (which mutates its private copy) and published snapshots (frozen). Pure
+// queries live here so live and snapshot paths cannot drift apart.
+struct ErmIdentityTables {
+  std::unordered_map<Username, std::set<Hostname>> user_to_hosts;
+  std::unordered_map<Hostname, std::set<Username>> host_to_users;
+  std::unordered_map<Hostname, std::set<Ipv4Address>> host_to_ips;
+  std::unordered_map<Ipv4Address, std::set<Hostname>> ip_to_hosts;
+  std::unordered_map<Ipv4Address, MacAddress> ip_to_mac;  // DHCP: one MAC per IP
+  std::unordered_map<MacAddress, std::set<Ipv4Address>> mac_to_ips;
+
+  // Enrich the low-level identifiers of one endpoint: the input plus all
+  // hostnames bound to the IP and all usernames bound to those hostnames,
+  // deduplicated. Pure — no counters, no side effects.
+  EndpointView enrich(EndpointView view) const;
+
+  // IP<->MAC spoof validation: a packet claiming an IP that DHCP bound to
+  // a different MAC is spoofed. Missing bindings are not spoofing.
+  SpoofCheck validate_identity(const std::optional<MacAddress>& mac,
+                               const std::optional<Ipv4Address>& ip) const;
+};
+
+// One immutable, epoch-stamped view of the identity bindings. Cheap to
+// copy (a shared_ptr plus the epoch); safe to read from any thread.
+class ErmSnapshot {
+ public:
+  ErmSnapshot() : tables_(std::make_shared<const ErmIdentityTables>()) {}
+  ErmSnapshot(std::shared_ptr<const ErmIdentityTables> tables, std::uint64_t epoch)
+      : tables_(std::move(tables)), epoch_(epoch) {}
+
+  EndpointView enrich(EndpointView view) const { return tables_->enrich(std::move(view)); }
+  SpoofCheck validate_identity(const std::optional<MacAddress>& mac,
+                               const std::optional<Ipv4Address>& ip) const {
+    return tables_->validate_identity(mac, ip);
+  }
+
+  // The ERM epoch in force when this snapshot was taken; decision-cache
+  // entries derived from it are stamped with this value.
+  std::uint64_t epoch() const { return epoch_; }
+
+  const ErmIdentityTables& tables() const { return *tables_; }
+
+ private:
+  std::shared_ptr<const ErmIdentityTables> tables_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dfi

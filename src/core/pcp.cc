@@ -1,9 +1,11 @@
 #include "core/pcp.h"
 
 #include <cassert>
+#include <chrono>
+#include <thread>
+#include <utility>
 
 #include "common/logging.h"
-#include "core/rule_cache.h"
 
 namespace dfi {
 
@@ -17,11 +19,15 @@ PolicyCompilationPoint::PolicyCompilationPoint(Simulator& sim, MessageBus& bus,
       policy_(policy),
       config_(config),
       rng_(rng),
-      station_(sim, config.workers, config.queue_capacity),
-      decision_cache_(config.decision_cache_capacity),
+      pool_(sim, config),
       flush_subscription_(bus.subscribe<FlushDirective>(
           topics::kRuleFlush,
           [this](const FlushDirective& directive) { flush(directive); })) {
+  caches_.reserve(pool_.shards());
+  for (std::size_t i = 0; i < pool_.shards(); ++i) {
+    caches_.push_back(std::make_unique<DecisionCache<PcpDecision>>(
+        config_.decision_cache_capacity));
+  }
   if (!config_.zero_latency) {
     // Table II calibration: derive the log-normal parameters once here
     // rather than from the mean/sd on every handle_packet_in.
@@ -49,11 +55,17 @@ void PolicyCompilationPoint::unregister_switch(Dpid dpid) {
   switches_.erase(dpid);
 }
 
+DecisionSnapshots PolicyCompilationPoint::capture_snapshots() const {
+  return DecisionSnapshots{erm_.snapshot_view(), policy_.snapshot_view()};
+}
+
 bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
                                               DecisionCallback done) {
   ++stats_.packet_ins;
 
-  // Sample the simulated cost of this decision's subtasks (Table II).
+  // Sample the simulated cost of this decision's subtasks (Table II). The
+  // draws stay here, before shard routing, so the per-packet draw sequence
+  // is independent of the shard count (shards=1 replays PR-1 exactly).
   double binding_ms = 0.0, policy_ms = 0.0, other_ms = 0.0;
   if (!config_.zero_latency) {
     binding_ms = rng_.lognormal(binding_service_);
@@ -62,131 +74,113 @@ bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
   }
   const double total_ms = binding_ms + policy_ms + other_ms;
 
-  const bool accepted = station_.submit(
-      [total_ms]() { return milliseconds(total_ms); },
-      [this, dpid, msg = std::move(msg), done = std::move(done), binding_ms,
-       policy_ms, other_ms, total_ms](SimTime, SimTime) {
-        binding_latency_ms_.add(binding_ms);
-        policy_latency_ms_.add(policy_ms);
-        other_latency_ms_.add(other_ms);
-        total_latency_ms_.add(total_ms);
-        const PcpDecision decision = decide(dpid, msg);
-        if (done) done(decision);
-      });
+  // Parse once, on the control thread: the canonical flow tuple both keys
+  // the decision cache and pins the flow to its shard.
+  DecisionInput input = make_decision_input(dpid, msg);
+  const std::size_t shard = pool_.shard_of(input.flow_key);
+
+  bool accepted = false;
+  if (pool_.backend() == PcpBackend::kSimulated) {
+    // Decision-time context capture: the DES serializes everything, so
+    // running the sensor + snapshot capture when service *completes* makes
+    // each completion exactly one step of the single-threaded oracle.
+    accepted = pool_.submit_simulated(
+        shard, [total_ms]() { return milliseconds(total_ms); },
+        [this, dpid, input = std::move(input), done = std::move(done),
+         binding_ms, policy_ms, other_ms, total_ms](SimTime, SimTime) mutable {
+          binding_latency_ms_.add(binding_ms);
+          policy_latency_ms_.add(policy_ms);
+          other_latency_ms_.add(other_ms);
+          total_latency_ms_.add(total_ms);
+          const DecisionEffects effects = decide_from_input(input);
+          apply_effects(dpid, effects, done);
+        });
+  } else {
+    // Submit-time context capture: workers must not read live ERM/policy
+    // state, so the immutable snapshot pair and the one location scalar are
+    // fixed here, on the control thread. The location sensor runs later, in
+    // the apply closure, so binding updates still happen in submission
+    // order against the live ERM.
+    if (input.packet.has_value()) {
+      input.prior_src_location =
+          erm_.location_of_mac(dpid, input.packet->eth.src);
+    }
+    accepted = pool_.submit_threaded(
+        shard,
+        [this, dpid, shard, input = std::move(input), done = std::move(done),
+         snapshots = capture_snapshots(), binding_ms, policy_ms, other_ms,
+         total_ms]() mutable -> std::function<void()> {
+          if (total_ms > 0.0) {
+            // The paper's PCP spends its Table II service time blocked on
+            // component queries (IPC to the ERM and Policy Manager), not on
+            // CPU. Model that as real blocking time so wall-clock
+            // throughput scales with the number of in-flight decisions,
+            // exactly like the simulated backend's service stations.
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(total_ms));
+          }
+          DecisionEffects effects =
+              decide_on_snapshots(input, snapshots, *caches_[shard], config_);
+          return [this, dpid, input = std::move(input),
+                  effects = std::move(effects), done = std::move(done),
+                  binding_ms, policy_ms, other_ms, total_ms]() {
+            binding_latency_ms_.add(binding_ms);
+            policy_latency_ms_.add(policy_ms);
+            other_latency_ms_.add(other_ms);
+            total_latency_ms_.add(total_ms);
+            if (input.packet.has_value()) {
+              observe_mac_location(dpid, input.in_port, input.packet->eth.src);
+            }
+            apply_effects(dpid, effects, done);
+          };
+        });
+  }
   if (!accepted) ++stats_.dropped_overload;
   return accepted;
 }
 
-PcpDecision PolicyCompilationPoint::decide(Dpid dpid, const PacketInMsg& msg) {
-  PcpDecision decision;
+DecisionEffects PolicyCompilationPoint::decide_from_input(DecisionInput& input) {
+  if (input.packet.has_value()) {
+    // MAC<->switch-port sensor: the PCP observes data-plane locations from
+    // Packet-in metadata and keeps the ERM binding current (Section IV-A).
+    observe_mac_location(input.dpid, input.in_port, input.packet->eth.src);
+    input.prior_src_location =
+        erm_.location_of_mac(input.dpid, input.packet->eth.src);
+  }
+  const DecisionSnapshots snapshots = capture_snapshots();
+  return decide_on_snapshots(input, snapshots,
+                             *caches_[pool_.shard_of(input.flow_key)], config_);
+}
 
-  const auto parsed = Packet::parse(msg.data);
-  if (!parsed.ok()) {
-    // Unparsable traffic cannot be matched to policy; default deny, but no
-    // rule can be compiled for it (no usable header fields).
+PcpDecision PolicyCompilationPoint::decide(Dpid dpid, const PacketInMsg& msg) {
+  DecisionInput input = make_decision_input(dpid, msg);
+  const DecisionEffects effects = decide_from_input(input);
+  apply_effects(dpid, effects, nullptr);
+  return effects.decision;
+}
+
+void PolicyCompilationPoint::apply_effects(Dpid dpid,
+                                           const DecisionEffects& effects,
+                                           const DecisionCallback& done) {
+  if (effects.unparsable) {
     ++stats_.unparsable;
     ++stats_.default_denied;
-    decision.allow = false;
-    decision.policy =
-        PolicyDecision{PolicyAction::kDeny, PolicyRuleId{kDefaultDenyCookie.value}, true};
-    return decision;
-  }
-  const Packet& packet = parsed.value();
-
-  // MAC<->switch-port sensor: the PCP observes data-plane locations from
-  // Packet-in metadata and keeps the ERM binding current (Section IV-A).
-  observe_mac_location(dpid, msg.in_port, packet.eth.src);
-
-  // Decision cache: an identical flow tuple decided under the current
-  // policy and binding epochs replays its decision without re-running
-  // validation, enrichment, or the policy query. Any policy insert/revoke
-  // or effective binding change bumps an epoch and forces the full path,
-  // preserving late binding (Section III-B).
-  const FlowKey flow_key = FlowKey::from_packet(dpid, msg.in_port, packet);
-  if (decision_cache_.enabled()) {
-    if (const PcpDecision* cached = decision_cache_.lookup(
-            flow_key, policy_.epoch(), erm_.epoch())) {
-      PcpDecision replayed = *cached;
-      ++stats_.decision_cache_hits;
-      count_outcome(replayed);
-      install(dpid, replayed.installed_rule);
-      return replayed;
-    }
-  }
-
-  // Collect all source/destination identifiers present in the packet.
-  EndpointView src;
-  src.mac = packet.eth.src;
-  src.dpid = dpid;
-  src.switch_port = msg.in_port;
-  EndpointView dst;
-  dst.mac = packet.eth.dst;
-  if (packet.ipv4.has_value()) {
-    src.ip = packet.ipv4->src;
-    dst.ip = packet.ipv4->dst;
-  }
-  if (packet.tcp.has_value()) {
-    src.l4_port = packet.tcp->src_port;
-    dst.l4_port = packet.tcp->dst_port;
-  } else if (packet.udp.has_value()) {
-    src.l4_port = packet.udp->src_port;
-    dst.l4_port = packet.udp->dst_port;
-  }
-
-  // Spoof validation against authoritative bindings (source side; the
-  // destination's claimed identifiers are not attacker-controlled claims).
-  const SpoofCheck spoof = erm_.validate(src.mac, src.ip, src.dpid, src.switch_port);
-  if (spoof.spoofed) {
-    decision.spoofed = true;
-    decision.allow = false;
-    decision.policy =
-        PolicyDecision{PolicyAction::kDeny, PolicyRuleId{kDefaultDenyCookie.value}, true};
-    decision.installed_rule = compile_rule(packet, msg.in_port, /*allow=*/false,
-                                           kDefaultDenyCookie);
-    count_outcome(decision);
-    decision_cache_.store(flow_key, decision, policy_.epoch(), erm_.epoch());
-    install(dpid, decision.installed_rule);
-    DFI_INFO << "PCP: spoofed packet denied (" << spoof.reason << ")";
-    return decision;
-  }
-
-  // Enrichment: map low-level identifiers up to hostnames and usernames at
-  // decision time (late binding).
-  FlowView flow;
-  flow.ether_type = packet.eth.ether_type;
-  if (packet.ipv4.has_value()) flow.ip_proto = packet.ipv4->protocol;
-  flow.src = erm_.enrich(std::move(src));
-  flow.dst = erm_.enrich(std::move(dst));
-
-  // Policy query: highest-priority matching rule, default deny.
-  decision.policy = policy_.query(flow);
-  decision.allow = decision.policy.action == PolicyAction::kAllow;
-  decision.flow = flow;
-
-  count_outcome(decision);
-
-  decision.installed_rule =
-      compile_rule(packet, msg.in_port, decision.allow,
-                   Cookie{decision.policy.rule_id.value});
-
-  // Wildcard caching extension: replace the exact match with a safe
-  // generalization of the deciding policy when one exists.
-  if (config_.wildcard_caching) {
-    const auto cached = compile_wildcard(policy_, decision.policy, flow);
-    if (cached.has_value()) {
-      decision.installed_rule.match = cached->match;
+  } else {
+    if (effects.cache_hit) ++stats_.decision_cache_hits;
+    count_outcome(effects.decision);
+    if (effects.wildcard_installed) {
       ++stats_.wildcard_rules_installed;
-      if (cached->identity_derived) {
-        identity_cached_policies_.insert(decision.policy.rule_id);
+      if (effects.identity_derived) {
+        identity_cached_policies_.insert(effects.decision.policy.rule_id);
       }
-    } else {
-      ++stats_.wildcard_fallbacks;
     }
+    if (effects.wildcard_fallback) ++stats_.wildcard_fallbacks;
+    if (!effects.spoof_reason.empty()) {
+      DFI_INFO << "PCP: spoofed packet denied (" << effects.spoof_reason << ")";
+    }
+    if (effects.has_rule) install(dpid, effects.decision.installed_rule);
   }
-
-  decision_cache_.store(flow_key, decision, policy_.epoch(), erm_.epoch());
-  install(dpid, decision.installed_rule);
-  return decision;
+  if (done) done(effects.decision);
 }
 
 void PolicyCompilationPoint::count_outcome(const PcpDecision& decision) {
@@ -199,6 +193,26 @@ void PolicyCompilationPoint::count_outcome(const PcpDecision& decision) {
   } else {
     ++stats_.denied;
   }
+}
+
+DecisionCacheStats PolicyCompilationPoint::aggregate_decision_cache_stats() const {
+  DecisionCacheStats total;
+  for (const auto& cache : caches_) {
+    const DecisionCacheStats& s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.stale_policy += s.stale_policy;
+    total.stale_binding += s.stale_binding;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+std::size_t PolicyCompilationPoint::decision_cache_size() const {
+  std::size_t size = 0;
+  for (const auto& cache : caches_) size += cache->size();
+  return size;
 }
 
 void PolicyCompilationPoint::on_binding_changed(const BindingEvent& event) {
@@ -241,21 +255,6 @@ void PolicyCompilationPoint::observe_mac_location(Dpid dpid, PortNo port,
   assert_event.port = port;
   assert_event.at = sim_.now();
   bus_.publish(topics::kErmBindings, assert_event);
-}
-
-FlowModMsg PolicyCompilationPoint::compile_rule(const Packet& packet, PortNo in_port,
-                                                bool allow, Cookie cookie) const {
-  FlowModMsg mod;
-  mod.command = FlowModCommand::kAdd;
-  mod.table_id = 0;  // DFI's reserved table
-  mod.priority = config_.rule_priority;
-  mod.cookie = cookie;
-  // Exact match: every identifier available in the packet is specified so
-  // each new flow gets its own policy check (Section III-B).
-  mod.match = Match::exact_from_packet(packet, in_port);
-  mod.instructions = allow ? Instructions::to_table(config_.controller_first_table)
-                           : Instructions::drop();
-  return mod;
 }
 
 void PolicyCompilationPoint::install(Dpid dpid, const FlowModMsg& rule) {

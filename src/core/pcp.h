@@ -16,22 +16,36 @@
 // and executes flush directives from the Policy Manager by issuing
 // cookie-masked FLOW_MOD deletes to every registered switch.
 //
-// Capacity model: requests are served by a bounded worker pool (paper
+// Snapshot-isolated split (DESIGN.md §5): steps 2-5's decision logic is the
+// pure decide_on_snapshots() (core/pcp_decide.h), running against immutable
+// ErmSnapshot/PolicySnapshot pairs on a PcpShardPool
+// (core/pcp_shard_pool.h) that partitions Packet-ins by flow-tuple hash.
+// This class is the stateful shell: it owns the per-shard decision caches,
+// captures snapshots, runs the location sensor, applies decision effects
+// (stats, bus publishes, rule installation, callbacks) on the control
+// thread, and preserves the pre-split public API.
+//
+// Capacity model: requests are served by bounded worker pools (paper
 // Section V-A: saturation at ~1350 flows/sec, bounded queue, drops past
 // saturation). Component latencies are sampled from log-normal
-// distributions calibrated to Table II.
+// distributions calibrated to Table II. With the default
+// shards=1/kSimulated backend this is exactly the paper's single PCP.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <optional>
+#include <vector>
 
 #include "bus/message_bus.h"
 #include "common/rng.h"
 #include "core/decision_cache.h"
 #include "core/entity_resolution.h"
+#include "core/pcp_decide.h"
+#include "core/pcp_shard_pool.h"
 #include "core/policy_manager.h"
 #include "openflow/messages.h"
 #include "sim/service_station.h"
@@ -39,40 +53,6 @@
 #include "sim/stats.h"
 
 namespace dfi {
-
-struct PcpConfig {
-  // Capacity (paper Section V-A calibration — see DESIGN.md §5): 7 workers
-  // at ~5.3 ms mean service time saturate near the paper's ~1350 flows/sec.
-  std::size_t workers = 7;
-  std::size_t queue_capacity = 32;
-
-  // Flow-rule shape.
-  std::uint16_t rule_priority = 100;
-  std::uint8_t controller_first_table = 1;  // allow -> goto this table
-
-  // Component service times in ms (paper Table II). Set zero_latency for
-  // functional tests where timing is irrelevant.
-  double binding_query_mean_ms = 2.41;
-  double binding_query_sd_ms = 0.97;
-  double policy_query_mean_ms = 2.52;
-  double policy_query_sd_ms = 0.85;
-  double other_mean_ms = 0.39;
-  double other_sd_ms = 0.27;
-  bool zero_latency = false;
-
-  // Extension (paper Section III-B future work, CAB-ACME): install safe
-  // wildcard generalizations of the deciding policy instead of one
-  // exact-match rule per flow. See core/rule_cache.h for the safety gates.
-  bool wildcard_caching = false;
-
-  // Decision cache (core/decision_cache.h): replay a prior decision for an
-  // identical flow tuple when neither the policy epoch nor the binding
-  // epoch has moved since it was derived. 0 disables. This trims real CPU
-  // from the hot path only; the *simulated* Table II service times above
-  // are sampled regardless, so calibrated latency/throughput shapes
-  // (Table I, Fig. 4) are unchanged.
-  std::size_t decision_cache_capacity = 8192;
-};
 
 struct PcpStats {
   std::uint64_t packet_ins = 0;
@@ -91,15 +71,6 @@ struct PcpStats {
   std::uint64_t decision_cache_hits = 0;       // decisions replayed from cache
 };
 
-// Outcome of one access-control decision.
-struct PcpDecision {
-  bool allow = false;
-  bool spoofed = false;
-  PolicyDecision policy;
-  FlowView flow;            // the enriched view the decision was made on
-  FlowModMsg installed_rule;
-};
-
 class PolicyCompilationPoint {
  public:
   using SwitchWriter = std::function<void(const OfMessage&)>;
@@ -113,22 +84,39 @@ class PolicyCompilationPoint {
   void register_switch(Dpid dpid, SwitchWriter writer);
   void unregister_switch(Dpid dpid);
 
-  // Queue a Packet-in for processing. Returns false when the bounded queue
-  // rejects it (control-plane saturation): the packet is dropped and the
-  // flow must re-enter on retransmission. On completion the compiled rule
-  // has been written to the switch and `done` is invoked.
+  // Queue a Packet-in for processing. Returns false when the bounded shard
+  // queue rejects it (control-plane saturation): the packet is dropped and
+  // the flow must re-enter on retransmission. On completion the compiled
+  // rule has been written to the switch and `done` is invoked — in the DES
+  // for the simulated backend, during poll_completions()/wait_idle() for
+  // the threaded one.
   bool handle_packet_in(Dpid dpid, PacketInMsg msg, DecisionCallback done);
 
-  // Synchronous decision core (no queueing/latency). Used internally, by
-  // tests, and by the insert-time-binding ablation.
+  // Synchronous decision core (no queueing/latency): capture snapshots,
+  // decide, apply effects, all inline on the calling thread. The
+  // single-threaded oracle the sharded backends are differential-tested
+  // against; also used by tests and the insert-time-binding ablation.
   PcpDecision decide(Dpid dpid, const PacketInMsg& msg);
 
+  // Threaded backend only: release finished decisions' effects on the
+  // calling (control) thread, in submission order. No-ops for kSimulated.
+  std::size_t poll_completions() { return pool_.poll_completions(); }
+  void wait_idle() { pool_.wait_idle(); }
+
   const PcpStats& stats() const { return stats_; }
-  const DecisionCacheStats& decision_cache_stats() const {
-    return decision_cache_.stats();
+
+  // Decision-cache stats of one shard (default: shard 0 — the only shard
+  // in the paper configuration, so existing callers keep PR-1 semantics).
+  const DecisionCacheStats& decision_cache_stats(std::size_t shard = 0) const {
+    return caches_[shard]->stats();
   }
-  std::size_t decision_cache_size() const { return decision_cache_.size(); }
-  std::size_t queue_depth() const { return station_.queue_depth(); }
+  // Sum over all shards. Threaded backend: call only when idle.
+  DecisionCacheStats aggregate_decision_cache_stats() const;
+  std::size_t decision_cache_size() const;
+
+  std::size_t shard_count() const { return pool_.shards(); }
+  std::size_t queue_depth() const { return pool_.queue_depth(); }
+  const PcpShardPool& pool() const { return pool_; }
 
   // Per-component simulated latency, for the Table II reproduction.
   const SampleStats& binding_latency_ms() const { return binding_latency_ms_; }
@@ -137,13 +125,22 @@ class PolicyCompilationPoint {
   const SampleStats& total_latency_ms() const { return total_latency_ms_; }
 
  private:
+  // Decision-time context + pure decide, in oracle order: sensor first,
+  // then snapshot capture, then decide_on_snapshots against the shard's
+  // cache. Shared by decide() and the simulated backend's completions.
+  DecisionEffects decide_from_input(DecisionInput& input);
+
+  // Apply a finished decision's side effects on the control thread: stats,
+  // identity-cache tracking, spoof logging, rule installation, callback.
+  void apply_effects(Dpid dpid, const DecisionEffects& effects,
+                     const DecisionCallback& done);
+
   void observe_mac_location(Dpid dpid, PortNo port, const MacAddress& mac);
   void flush(const FlushDirective& directive);
-  FlowModMsg compile_rule(const Packet& packet, PortNo in_port, bool allow,
-                          Cookie cookie) const;
   void install(Dpid dpid, const FlowModMsg& rule);
   void on_binding_changed(const BindingEvent& event);
   void count_outcome(const PcpDecision& decision);
+  DecisionSnapshots capture_snapshots() const;
 
   Simulator& sim_;
   MessageBus& bus_;
@@ -156,8 +153,11 @@ class PolicyCompilationPoint {
   LogNormalParams binding_service_{};
   LogNormalParams policy_service_{};
   LogNormalParams other_service_{};
-  ServiceStation station_;
-  DecisionCache<PcpDecision> decision_cache_;
+  PcpShardPool pool_;
+  // One decision cache per shard; a flow's hash pins it to one shard, so
+  // each cache is touched only by that shard's execution context (the DES
+  // thread for kSimulated, the shard's worker for kThreads).
+  std::vector<std::unique_ptr<DecisionCache<PcpDecision>>> caches_;
   Subscription flush_subscription_;
   Subscription binding_subscription_;  // active only with wildcard_caching
   std::map<Dpid, SwitchWriter> switches_;

@@ -1,0 +1,126 @@
+#include "core/pcp_shard_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace dfi {
+
+PcpShardPool::PcpShardPool(Simulator& sim, const PcpConfig& config)
+    : backend_(config.backend),
+      shards_(std::max<std::size_t>(1, config.shards)),
+      queue_capacity_(config.queue_capacity) {
+  if (backend_ == PcpBackend::kSimulated) {
+    stations_.reserve(shards_);
+    for (std::size_t i = 0; i < shards_; ++i) {
+      stations_.push_back(std::make_unique<ServiceStation>(
+          sim, config.workers, config.queue_capacity));
+    }
+  } else {
+    thread_shards_.reserve(shards_);
+    for (std::size_t i = 0; i < shards_; ++i) {
+      thread_shards_.push_back(std::make_unique<ThreadShard>());
+    }
+    // Start workers only after every shard exists: a worker never touches
+    // the vector, but symmetry with the destructor keeps this obvious.
+    for (auto& shard : thread_shards_) {
+      shard->worker = std::thread([this, &shard = *shard] { worker_loop(shard); });
+    }
+  }
+}
+
+PcpShardPool::~PcpShardPool() {
+  for (auto& shard : thread_shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : thread_shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+bool PcpShardPool::submit_simulated(std::size_t shard,
+                                    ServiceStation::ServiceTimeFn service_time,
+                                    ServiceStation::DoneFn on_done) {
+  return stations_[shard]->submit(std::move(service_time), std::move(on_done));
+}
+
+bool PcpShardPool::submit_threaded(std::size_t shard, ThreadWork work) {
+  ThreadShard& target = *thread_shards_[shard];
+  {
+    std::lock_guard<std::mutex> lock(target.mu);
+    if (target.queue.size() >= queue_capacity_) return false;
+    // The sequence number is allocated only for accepted jobs, so drops
+    // leave no hole in the apply order.
+    target.queue.emplace_back(next_submit_seq_++, std::move(work));
+  }
+  target.cv.notify_one();
+  return true;
+}
+
+void PcpShardPool::worker_loop(ThreadShard& shard) {
+  for (;;) {
+    std::pair<std::uint64_t, ThreadWork> job;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] { return shard.stop || !shard.queue.empty(); });
+      if (shard.queue.empty()) return;  // stop requested and drained
+      job = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::function<void()> apply = job.second();
+    const auto end = std::chrono::steady_clock::now();
+    shard.latency_us.add(
+        std::chrono::duration<double, std::micro>(end - start).count());
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      completed_.emplace(job.first, std::move(apply));
+    }
+    done_cv_.notify_all();
+  }
+}
+
+std::size_t PcpShardPool::poll_completions() {
+  std::size_t applied = 0;
+  for (;;) {
+    std::function<void()> apply;
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      const auto it = completed_.find(next_apply_seq_);
+      if (it == completed_.end()) break;
+      apply = std::move(it->second);
+      completed_.erase(it);
+    }
+    ++next_apply_seq_;
+    // Run outside the lock: applies publish on the bus, install rules, and
+    // may re-enter the pool via callbacks.
+    apply();
+    ++applied;
+  }
+  return applied;
+}
+
+void PcpShardPool::wait_idle() {
+  while (next_apply_seq_ < next_submit_seq_) {
+    poll_completions();
+    if (next_apply_seq_ >= next_submit_seq_) break;
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] { return completed_.contains(next_apply_seq_); });
+  }
+}
+
+std::size_t PcpShardPool::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& station : stations_) depth += station->queue_depth();
+  for (const auto& shard : thread_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    depth += shard->queue.size();
+  }
+  return depth;
+}
+
+}  // namespace dfi

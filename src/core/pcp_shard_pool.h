@@ -1,0 +1,126 @@
+// Sharded execution plane for Packet-in decisions (DESIGN.md §5).
+//
+// The pool partitions Packet-ins across N logical PCP shards (the caller
+// routes by canonical-flow-tuple hash, so one flow always lands on one
+// shard — and therefore one decision cache). Each shard is a full capacity
+// unit; two interchangeable backends implement it:
+//
+//   * kSimulated — one deterministic-simulator ServiceStation per shard.
+//     Everything still runs on the single DES thread; shards model parallel
+//     *capacity*, not parallel execution, so shards=1 is bit-identical to
+//     the paper-calibrated single-PCP model (Table I / Fig. 4) and any N
+//     stays deterministic.
+//
+//   * kThreads — one std::thread worker per shard with a bounded FIFO
+//     queue. Work runs concurrently for real; each job returns an "apply"
+//     closure that the pool releases back to the control thread strictly in
+//     submission order (a sequence-numbered reorder buffer), so all side
+//     effects — stats, bus publishes, rule installation, done callbacks —
+//     happen single-threaded and in a deterministic order regardless of how
+//     worker execution interleaves.
+//
+// The pool is pure transport: it never inspects packets, snapshots, or
+// decisions. The PCP shell decides what runs where (core/pcp.cc).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/decision_cache.h"
+#include "core/pcp_decide.h"
+#include "sim/service_station.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace dfi {
+
+class PcpShardPool {
+ public:
+  // Thread-backend job: runs on the shard's worker thread and returns the
+  // apply closure, which the pool runs later on the control thread (via
+  // poll_completions/wait_idle) in submission order.
+  using ThreadWork = std::function<std::function<void()>()>;
+
+  PcpShardPool(Simulator& sim, const PcpConfig& config);
+  ~PcpShardPool();
+
+  PcpShardPool(const PcpShardPool&) = delete;
+  PcpShardPool& operator=(const PcpShardPool&) = delete;
+
+  PcpBackend backend() const { return backend_; }
+  std::size_t shards() const { return shards_; }
+
+  // The shard one flow is pinned to. mix64 gives the modulo high-entropy
+  // low bits (common/hash.h).
+  std::size_t shard_of(const FlowKey& key) const {
+    return mix64(FlowKeyHash{}(key)) % shards_;
+  }
+
+  // --------------------------------------------------- simulated backend
+  // Submit to a shard's service station; `on_done` runs in the DES when
+  // service completes. Returns false when the shard's queue is full.
+  bool submit_simulated(std::size_t shard,
+                        ServiceStation::ServiceTimeFn service_time,
+                        ServiceStation::DoneFn on_done);
+
+  // ---------------------------------------------------- threaded backend
+  // Enqueue work on a shard's worker. Control thread only. Returns false
+  // when the shard's queue is full (the caller counts the drop).
+  bool submit_threaded(std::size_t shard, ThreadWork work);
+
+  // Run apply closures of finished jobs, in submission order, stopping at
+  // the first job still in flight. Control thread only. Returns how many
+  // were applied. No-op in the simulated backend.
+  std::size_t poll_completions();
+
+  // Block until every accepted job has been applied. Control thread only.
+  void wait_idle();
+
+  // Jobs accepted but not yet (simulated: dispatched; threaded: taken by a
+  // worker). Aggregated across shards.
+  std::size_t queue_depth() const;
+
+  // Wall-clock microseconds each decision spent executing on shard
+  // `shard`'s worker (threaded backend only). Read when idle: the stats are
+  // written by the worker thread.
+  const SampleStats& decision_latency_us(std::size_t shard) const {
+    return thread_shards_[shard]->latency_us;
+  }
+
+ private:
+  struct ThreadShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<std::uint64_t, ThreadWork>> queue;
+    bool stop = false;
+    SampleStats latency_us;  // written by the worker thread only
+    std::thread worker;
+  };
+
+  void worker_loop(ThreadShard& shard);
+
+  const PcpBackend backend_;
+  const std::size_t shards_;
+  const std::size_t queue_capacity_;
+
+  // kSimulated: one station per shard (unique_ptr: stations are immovable).
+  std::vector<std::unique_ptr<ServiceStation>> stations_;
+
+  // kThreads: workers + the submission-order reorder buffer.
+  std::vector<std::unique_ptr<ThreadShard>> thread_shards_;
+  std::uint64_t next_submit_seq_ = 0;  // control thread only
+  std::uint64_t next_apply_seq_ = 0;   // control thread only
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::map<std::uint64_t, std::function<void()>> completed_;
+};
+
+}  // namespace dfi

@@ -88,10 +88,10 @@ void PolicyRuleIndex::clear() {
 
 const StoredPolicyRule* PolicyRuleIndex::best_match(const FlowView& flow) const {
   for (const auto& [priority, bucket] : buckets_) {
-    ++stats_.buckets_visited;
+    if (stats_enabled_) ++stats_.buckets_visited;
     const StoredPolicyRule* best = nullptr;
     const auto consider = [&](const StoredPolicyRule* stored) {
-      ++stats_.match_candidates;
+      if (stats_enabled_) ++stats_.match_candidates;
       if (!stored->rule.matches(flow)) return;
       if (best == nullptr) {
         best = stored;
@@ -120,7 +120,7 @@ void PolicyRuleIndex::for_each_overlap_candidate(
     const PolicyRule& rule, PdpPriority below,
     const std::function<void(const StoredPolicyRule&)>& fn) const {
   const auto visit = [&](const StoredPolicyRule* stored) {
-    ++stats_.overlap_candidates;
+    if (stats_enabled_) ++stats_.overlap_candidates;
     fn(*stored);
   };
   // greater<> ordering: upper_bound yields the first bucket with priority

@@ -68,6 +68,12 @@ class PolicyRuleIndex {
   void remove(const StoredPolicyRule* stored);
   void clear();
 
+  // Stop maintaining the (mutable) query counters. A frozen index inside a
+  // PolicySnapshot (core/policy_snapshot.h) is queried concurrently from
+  // PCP shard threads; with stats disabled best_match touches no mutable
+  // state at all, so concurrent queries are data-race free.
+  void disable_stats() { stats_enabled_ = false; }
+
   // Highest-priority rule matching `flow`, Deny winning equal-priority
   // conflicts; nullptr when nothing matches (default deny).
   const StoredPolicyRule* best_match(const FlowView& flow) const;
@@ -104,6 +110,7 @@ class PolicyRuleIndex {
   // bucket containing a match.
   std::map<std::uint32_t, Bucket, std::greater<std::uint32_t>> buckets_;
   std::size_t size_ = 0;
+  bool stats_enabled_ = true;
   mutable PolicyIndexStats stats_;
 };
 

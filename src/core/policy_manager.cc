@@ -31,6 +31,7 @@ PolicyRuleId PolicyManager::insert(PolicyRule rule, PdpPriority priority,
       id, StoredPolicyRule{id, std::move(rule), priority, std::move(pdp_name)});
   index_.insert(&it->second);
   ++epoch_;
+  snapshot_cache_.invalidate();
   return id;
 }
 
@@ -41,6 +42,7 @@ bool PolicyManager::revoke(PolicyRuleId id) {
   index_.remove(&it->second);
   rules_.erase(it);
   ++epoch_;
+  snapshot_cache_.invalidate();
   // Flush every switch rule derived from the revoked policy so ongoing
   // flows are re-evaluated against the remaining policy (Section III-B).
   publish_flush(id);
@@ -88,6 +90,15 @@ std::vector<StoredPolicyRule> PolicyManager::rules() const {
   out.reserve(rules_.size());
   for (const auto& [id, stored] : rules_) out.push_back(stored);
   return out;
+}
+
+std::shared_ptr<const PolicySnapshot> PolicyManager::snapshot_view() const {
+  return snapshot_cache_.get([this]() {
+    ++stats_.snapshot_rebuilds;
+    // rules_ is an ordered map keyed by id, so this is ascending-id order —
+    // the order PolicySnapshot requires for tie-break equivalence.
+    return std::make_shared<const PolicySnapshot>(rules(), epoch_);
+  });
 }
 
 void PolicyManager::publish_flush(PolicyRuleId id) {

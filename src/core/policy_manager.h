@@ -18,34 +18,27 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bus/message_bus.h"
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "core/policy.h"
 #include "core/policy_index.h"
+#include "core/policy_snapshot.h"
 #include "services/events.h"
 
 namespace dfi {
 
-// Cookie value reserved for flow rules the PCP installs for the default
-// Deny decision (no matching policy rule). PolicyRuleIds start above it.
-inline constexpr Cookie kDefaultDenyCookie{1};
+// kDefaultDenyCookie and PolicyDecision live in core/policy_snapshot.h (the
+// snapshot is the layer below the manager and both share them).
 
 // Directive to the PCP: flush all switch flow rules derived from `policy`.
 struct FlushDirective {
   PolicyRuleId policy{};
-};
-
-// Outcome of a policy query for one flow.
-struct PolicyDecision {
-  PolicyAction action = PolicyAction::kDeny;
-  // Id of the deciding rule; kDefaultDenyCookie.value when no rule matched
-  // (default deny).
-  PolicyRuleId rule_id{kDefaultDenyCookie.value};
-  bool default_deny = false;
 };
 
 struct PolicyManagerStats {
@@ -54,6 +47,7 @@ struct PolicyManagerStats {
   std::uint64_t queries = 0;
   std::uint64_t linear_queries = 0;  // reference-scan queries (tests/bench)
   std::uint64_t conflict_flushes = 0;
+  std::uint64_t snapshot_rebuilds = 0;
 };
 
 class PolicyManager {
@@ -90,6 +84,12 @@ class PolicyManager {
   // with this epoch; a mismatch forces a full re-decision.
   std::uint64_t epoch() const { return epoch_; }
 
+  // Immutable, epoch-stamped snapshot of the rule database for the PCP
+  // decision path (DESIGN.md §5). Rebuilt lazily — at most once per
+  // insert/revoke, no matter how many decisions run in between; repeated
+  // calls at the same epoch share one frozen object.
+  std::shared_ptr<const PolicySnapshot> snapshot_view() const;
+
  private:
   void publish_flush(PolicyRuleId id);
 
@@ -100,6 +100,7 @@ class PolicyManager {
   PolicyRuleIndex index_;
   std::uint64_t next_id_ = kDefaultDenyCookie.value + 1;
   std::uint64_t epoch_ = 0;
+  mutable SnapshotCache<PolicySnapshot> snapshot_cache_;
   mutable PolicyManagerStats stats_;
 };
 

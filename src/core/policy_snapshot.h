@@ -1,0 +1,75 @@
+// Immutable snapshot of the Policy Manager's rule database.
+//
+// The PCP decision path queries policy through a frozen PolicySnapshot —
+// a deep copy of every stored rule plus a PolicyRuleIndex built over the
+// copies with its counters disabled — instead of the Policy Manager's live
+// index (DESIGN.md §5). A snapshot is therefore safe to query from any
+// number of PCP shards concurrently while PDPs keep inserting and revoking
+// rules against the live manager on the control thread.
+//
+// Query equivalence: the frozen index files its rules in ascending-id
+// order, which is exactly the surviving-insertion order of the live
+// index's posting lists (inserts append, revokes erase in place), so
+// query() here returns bit-identical decisions to PolicyManager::query()
+// at the epoch the snapshot was taken — including the choice among
+// equally-ranked same-action rules.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/policy.h"
+#include "core/policy_index.h"
+
+namespace dfi {
+
+// Cookie value reserved for flow rules the PCP installs for the default
+// Deny decision (no matching policy rule). PolicyRuleIds start above it.
+inline constexpr Cookie kDefaultDenyCookie{1};
+
+// Outcome of a policy query for one flow.
+struct PolicyDecision {
+  PolicyAction action = PolicyAction::kDeny;
+  // Id of the deciding rule; kDefaultDenyCookie.value when no rule matched
+  // (default deny).
+  PolicyRuleId rule_id{kDefaultDenyCookie.value};
+  bool default_deny = false;
+};
+
+class PolicySnapshot {
+ public:
+  // Freeze `rules` (presented in ascending-id order) at `epoch`.
+  PolicySnapshot(std::vector<StoredPolicyRule> rules, std::uint64_t epoch);
+
+  // Highest-priority rule matching the flow; PDP priority orders rules,
+  // equal-priority Allow/Deny conflicts resolve to Deny, no match is the
+  // default deny. Pure: touches no mutable state.
+  PolicyDecision query(const FlowView& flow) const;
+
+  const StoredPolicyRule* find(PolicyRuleId id) const;
+
+  // Every frozen rule, ascending id. Iteration without the per-call copy
+  // PolicyManager::rules() makes.
+  const std::deque<StoredPolicyRule>& rules() const { return rules_; }
+
+  std::size_t size() const { return rules_.size(); }
+
+  // The Policy Manager epoch in force when this snapshot was taken;
+  // decision-cache entries derived from it are stamped with this value.
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  // Deque: stable element addresses while building, required because the
+  // index holds pointers to the stored rules.
+  std::deque<StoredPolicyRule> rules_;
+  std::unordered_map<std::uint64_t, const StoredPolicyRule*> by_id_;
+  PolicyRuleIndex index_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dfi

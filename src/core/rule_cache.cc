@@ -34,13 +34,13 @@ bool pin_endpoint(const EndpointSpec& spec, const EndpointView& view, bool is_so
 
 }  // namespace
 
-std::optional<WildcardCompileResult> compile_wildcard(const PolicyManager& policy,
+std::optional<WildcardCompileResult> compile_wildcard(const PolicySnapshot& policy,
                                                       const PolicyDecision& decision,
                                                       const FlowView& flow) {
   // Default deny has no policy scope to generalize.
   if (decision.default_deny) return std::nullopt;
-  const auto stored = policy.find(decision.rule_id);
-  if (!stored.has_value()) return std::nullopt;
+  const StoredPolicyRule* stored = policy.find(decision.rule_id);
+  if (stored == nullptr) return std::nullopt;
 
   // Safety gate: any other rule with priority >= ours and the opposite
   // action that overlaps our scope could decide a covered packet
@@ -91,6 +91,12 @@ std::optional<WildcardCompileResult> compile_wildcard(const PolicyManager& polic
   // A fully-wildcarded result (allow/deny-all policy with no identity) is
   // legitimate: one rule covers the whole table.
   return result;
+}
+
+std::optional<WildcardCompileResult> compile_wildcard(const PolicyManager& policy,
+                                                      const PolicyDecision& decision,
+                                                      const FlowView& flow) {
+  return compile_wildcard(*policy.snapshot_view(), decision, flow);
 }
 
 }  // namespace dfi

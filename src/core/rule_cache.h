@@ -46,8 +46,15 @@ struct WildcardCompileResult {
 };
 
 // Compile a wildcard match for `flow`, decided by `decision` against the
-// current `policy` database. Returns nullopt when no safe generalization
-// exists (caller installs the exact-match rule instead).
+// frozen `policy` snapshot. Pure — safe to call from PCP shard threads.
+// Returns nullopt when no safe generalization exists (caller installs the
+// exact-match rule instead).
+std::optional<WildcardCompileResult> compile_wildcard(
+    const PolicySnapshot& policy, const PolicyDecision& decision, const FlowView& flow);
+
+// Convenience overload over the live manager: freezes a snapshot and
+// delegates (the snapshot is cached inside the manager, so repeated calls
+// at one epoch share it).
 std::optional<WildcardCompileResult> compile_wildcard(
     const PolicyManager& policy, const PolicyDecision& decision, const FlowView& flow);
 

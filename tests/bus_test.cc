@@ -112,6 +112,83 @@ TEST(MessageBus, ReentrantUnsubscribeDuringDispatch) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(MessageBus, UnsubscribingLaterSubscriberMidDispatchPreventsItsDelivery) {
+  MessageBus bus;
+  int second_count = 0;
+  Subscription second;
+  auto first = bus.subscribe<EventA>("t", [&](const EventA&) {
+    second.reset();  // drop a *later* subscription while dispatching
+  });
+  second = bus.subscribe<EventA>("t", [&](const EventA&) { ++second_count; });
+  bus.publish("t", EventA{});
+  EXPECT_EQ(second_count, 0)
+      << "a handler unsubscribed mid-dispatch must not be invoked";
+  EXPECT_EQ(bus.subscriber_count("t"), 1u);
+  bus.publish("t", EventA{});
+  EXPECT_EQ(second_count, 0);
+}
+
+// The failure mode the deferred-removal dispatch exists to prevent: an
+// earlier handler destroys the object whose state a later handler's
+// captures point at. Dispatching from a snapshot copy of the subscriber
+// list would still invoke the later handler and read freed memory (caught
+// by ASan as heap-use-after-free).
+TEST(MessageBus, MidDispatchUnsubscribeDoesNotTouchDestroyedState) {
+  MessageBus bus;
+  struct Listener {
+    explicit Listener(MessageBus& bus) {
+      sub = bus.subscribe<EventA>("t", [this](const EventA&) { ++hits; });
+    }
+    int hits = 0;
+    Subscription sub;
+  };
+  auto listener = std::make_unique<Listener>(bus);
+  auto killer = bus.subscribe<EventA>("t", [&](const EventA&) {
+    listener.reset();  // destroys the Listener (and its captured `this`)
+  });
+  // `killer` subscribed after the listener, so reverse the order: resubscribe
+  // the listener behind it.
+  listener = std::make_unique<Listener>(bus);
+  bus.publish("t", EventA{});
+  EXPECT_EQ(bus.subscriber_count("t"), 1u);
+}
+
+TEST(MessageBus, NestedPublishSkipsDeadEntriesAndCompactsOnceDone) {
+  MessageBus bus;
+  int inner_count = 0;
+  Subscription inner;
+  auto outer = bus.subscribe<EventA>("t", [&](const EventA& e) {
+    if (e.value == 0) {
+      inner.reset();
+      bus.publish("t", EventA{1});  // nested dispatch sees the dead entry
+    }
+  });
+  inner = bus.subscribe<EventA>("t", [&](const EventA&) { ++inner_count; });
+  bus.publish("t", EventA{0});
+  EXPECT_EQ(inner_count, 0);
+  EXPECT_EQ(bus.subscriber_count("t"), 1u);
+}
+
+TEST(MessageBus, ResubscribeDuringDispatchAfterUnsubscribe) {
+  MessageBus bus;
+  std::vector<int> got;
+  Subscription other;
+  bool churned = false;
+  other = bus.subscribe<EventA>("t", [&](const EventA& e) { got.push_back(e.value); });
+  auto churner = bus.subscribe<EventA>("t", [&](const EventA&) {
+    if (churned) return;
+    churned = true;
+    // Replace `other` mid-dispatch: the old handler already ran this
+    // publish (it subscribed earlier); the replacement only sees the next.
+    other.reset();
+    other = bus.subscribe<EventA>("t",
+                                  [&](const EventA& e) { got.push_back(100 + e.value); });
+  });
+  bus.publish("t", EventA{1});
+  bus.publish("t", EventA{2});
+  EXPECT_EQ(got, (std::vector<int>{1, 102}));
+}
+
 TEST(MessageBus, PublishedCountTracksAllPublishes) {
   MessageBus bus;
   bus.publish("nobody-listens", EventA{});

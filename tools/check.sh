@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo check: tier-1 build + full test suite, then an ASan+UBSan build
 # (-DDFI_SANITIZE=ON) running the policy-index differential and
-# decision-cache tests under the sanitizers.
+# decision-cache tests under the sanitizers, then a TSan build
+# (-DDFI_SANITIZE=thread) running the threaded shard-pool tests.
 #
 # Usage: tools/check.sh [--no-sanitize]
 set -euo pipefail
@@ -24,7 +25,8 @@ fi
 echo "== sanitizer build (ASan+UBSan) =="
 cmake -B build-asan -S . -DDFI_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "${JOBS}" --target \
-  policy_index_test decision_cache_test policy_manager_test erm_test pcp_test
+  policy_index_test decision_cache_test policy_manager_test erm_test pcp_test \
+  bus_test
 
 echo "== sanitizer tests =="
 ./build-asan/tests/policy_index_test
@@ -32,5 +34,14 @@ echo "== sanitizer tests =="
 ./build-asan/tests/policy_manager_test
 ./build-asan/tests/erm_test
 ./build-asan/tests/pcp_test
+./build-asan/tests/bus_test
+
+echo "== sanitizer build (TSan, threaded backend) =="
+cmake -B build-tsan -S . -DDFI_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target shard_pool_test bus_test
+
+echo "== sanitizer tests (TSan) =="
+./build-tsan/tests/shard_pool_test
+./build-tsan/tests/bus_test
 
 echo "== all checks passed =="
