@@ -48,7 +48,22 @@ PolicyCompilationPoint::PolicyCompilationPoint(Simulator& sim, MessageBus& bus,
 }
 
 void PolicyCompilationPoint::register_switch(Dpid dpid, SwitchWriter writer) {
+  const bool reconnect = !known_dpids_.insert(dpid).second;
   switches_[dpid] = std::move(writer);
+  if (!reconnect) return;
+  // Reconnect resync: rules installed before the session was lost may cite
+  // policies revoked while the switch was unreachable — the flush DELETE
+  // could not be delivered. Clear Table 0 wholesale (cookie mask 0 selects
+  // every rule); flows re-enter via Packet-in and are re-decided against
+  // current policy.
+  ++stats_.resync_clears;
+  FlowModMsg del;
+  del.command = FlowModCommand::kDelete;
+  del.table_id = 0;
+  del.cookie = Cookie{0};
+  del.cookie_mask = Cookie{0};
+  del.out_port = kPortAny;
+  switches_[dpid](OfMessage{0, del});
 }
 
 void PolicyCompilationPoint::unregister_switch(Dpid dpid) {
@@ -119,17 +134,31 @@ bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
             std::this_thread::sleep_for(
                 std::chrono::duration<double, std::milli>(total_ms));
           }
+          const std::uint64_t policy_epoch = snapshots.policy->epoch();
+          const std::uint64_t binding_epoch = snapshots.erm.epoch();
           DecisionEffects effects =
               decide_on_snapshots(input, snapshots, *caches_[shard], config_);
           return [this, dpid, input = std::move(input),
                   effects = std::move(effects), done = std::move(done),
-                  binding_ms, policy_ms, other_ms, total_ms]() {
+                  policy_epoch, binding_epoch, binding_ms, policy_ms, other_ms,
+                  total_ms]() mutable {
             binding_latency_ms_.add(binding_ms);
             policy_latency_ms_.add(policy_ms);
             other_latency_ms_.add(other_ms);
             total_latency_ms_.add(total_ms);
             if (input.packet.has_value()) {
               observe_mac_location(dpid, input.in_port, input.packet->eth.src);
+            }
+            if (!effects.unparsable && (policy_.epoch() != policy_epoch ||
+                                        erm_.epoch() != binding_epoch)) {
+              // The decision raced a policy or binding mutation: its
+              // snapshots predate the change, so installing its rule could
+              // resurrect a just-revoked policy (the flush DELETE already
+              // ran). Re-decide on fresh snapshots before any effect lands.
+              ++stats_.stale_redecides;
+              effects =
+                  decide_on_snapshots(input, capture_snapshots(),
+                                      redecide_cache_, config_);
             }
             apply_effects(dpid, effects, done);
           };

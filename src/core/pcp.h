@@ -69,6 +69,13 @@ struct PcpStats {
   std::uint64_t wildcard_fallbacks = 0;        // safety gate fired
   std::uint64_t binding_invalidations = 0;     // identity caches flushed
   std::uint64_t decision_cache_hits = 0;       // decisions replayed from cache
+  // Threaded backend: a finished decision reached the control thread after
+  // the policy or binding epoch moved past its snapshots and was re-decided
+  // on fresh state before its effects ran (DESIGN.md §6, invariant I3).
+  std::uint64_t stale_redecides = 0;
+  // A switch re-registered after a session loss and had its Table 0 cleared
+  // wholesale: flushes issued while it was unreachable never arrived.
+  std::uint64_t resync_clears = 0;
 };
 
 class PolicyCompilationPoint {
@@ -102,6 +109,13 @@ class PolicyCompilationPoint {
   // calling (control) thread, in submission order. No-ops for kSimulated.
   std::size_t poll_completions() { return pool_.poll_completions(); }
   void wait_idle() { pool_.wait_idle(); }
+
+  // Fault injection (DESIGN.md §6): forwarded to the shard pool. Threaded
+  // backend only.
+  void set_worker_fault_probe(PcpShardPool::WorkerFaultProbe probe) {
+    pool_.set_worker_fault_probe(std::move(probe));
+  }
+  std::size_t respawn_dead_workers() { return pool_.respawn_dead_workers(); }
 
   const PcpStats& stats() const { return stats_; }
 
@@ -158,9 +172,16 @@ class PolicyCompilationPoint {
   // each cache is touched only by that shard's execution context (the DES
   // thread for kSimulated, the shard's worker for kThreads).
   std::vector<std::unique_ptr<DecisionCache<PcpDecision>>> caches_;
+  // Control-thread-only scratch cache (capacity 0: lookups miss, stores are
+  // dropped) for re-deciding stale threaded completions without touching a
+  // shard's cache from the wrong thread.
+  DecisionCache<PcpDecision> redecide_cache_{0};
   Subscription flush_subscription_;
   Subscription binding_subscription_;  // active only with wildcard_caching
   std::map<Dpid, SwitchWriter> switches_;
+  // Every dpid ever registered: a re-registration is a reconnect and
+  // triggers a Table-0 resync clear (flushes may have missed the switch).
+  std::set<Dpid> known_dpids_;
   // Policies whose cached wildcard rules were narrowed using identity
   // bindings; flushed when bindings are retracted.
   std::set<PolicyRuleId> identity_cached_policies_;

@@ -20,6 +20,7 @@ PcpShardPool::PcpShardPool(Simulator& sim, const PcpConfig& config)
     thread_shards_.reserve(shards_);
     for (std::size_t i = 0; i < shards_; ++i) {
       thread_shards_.push_back(std::make_unique<ThreadShard>());
+      thread_shards_.back()->index = i;
     }
     // Start workers only after every shard exists: a worker never touches
     // the vector, but symmetry with the destructor keeps this obvious.
@@ -52,6 +53,9 @@ bool PcpShardPool::submit_threaded(std::size_t shard, ThreadWork work) {
   ThreadShard& target = *thread_shards_[shard];
   {
     std::lock_guard<std::mutex> lock(target.mu);
+    // A dead shard has no worker to run the job; reject like a full queue
+    // (the caller counts the drop) until respawn_dead_workers revives it.
+    if (target.dead) return false;
     if (target.queue.size() >= queue_capacity_) return false;
     // The sequence number is allocated only for accepted jobs, so drops
     // leave no hole in the apply order.
@@ -59,6 +63,11 @@ bool PcpShardPool::submit_threaded(std::size_t shard, ThreadWork work) {
   }
   target.cv.notify_one();
   return true;
+}
+
+void PcpShardPool::set_worker_fault_probe(WorkerFaultProbe probe) {
+  std::lock_guard<std::mutex> lock(done_mu_);
+  fault_probe_ = std::move(probe);
 }
 
 void PcpShardPool::worker_loop(ThreadShard& shard) {
@@ -70,6 +79,33 @@ void PcpShardPool::worker_loop(ThreadShard& shard) {
       if (shard.queue.empty()) return;  // stop requested and drained
       job = std::move(shard.queue.front());
       shard.queue.pop_front();
+    }
+    WorkerFault fault = WorkerFault::kNone;
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      if (fault_probe_) fault = fault_probe_(shard.index, job.first);
+    }
+    if (fault == WorkerFault::kStall) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    } else if (fault == WorkerFault::kKill) {
+      // Die mid-decision: the job in hand is abandoned (a null completion
+      // keeps the reorder buffer advancing past its seq) and everything
+      // still queued on this shard is left for the control thread's
+      // recovery path. The shard stops accepting work until respawned.
+      std::uint64_t stranded = 0;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.dead = true;
+        stranded = shard.queue.size();
+      }
+      stranded_jobs_.fetch_add(stranded);
+      jobs_abandoned_.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        completed_.emplace(job.first, nullptr);
+      }
+      done_cv_.notify_all();
+      return;
     }
     const auto start = std::chrono::steady_clock::now();
     std::function<void()> apply = job.second();
@@ -84,18 +120,68 @@ void PcpShardPool::worker_loop(ThreadShard& shard) {
   }
 }
 
+void PcpShardPool::recover_dead_shards() {
+  if (stranded_jobs_.load() == 0) return;
+  for (auto& shard : thread_shards_) {
+    std::deque<std::pair<std::uint64_t, ThreadWork>> stranded;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      if (!shard->dead || shard->queue.empty()) continue;
+      stranded.swap(shard->queue);
+    }
+    stranded_jobs_.fetch_sub(stranded.size());
+    // The worker is gone (it marked the shard dead on its way out), so the
+    // control thread may safely run the jobs — including their touches of
+    // the shard's decision cache — without racing anyone.
+    for (auto& [seq, work] : stranded) {
+      std::function<void()> apply = work();
+      std::lock_guard<std::mutex> lock(done_mu_);
+      completed_.emplace(seq, std::move(apply));
+    }
+  }
+}
+
+std::size_t PcpShardPool::respawn_dead_workers() {
+  recover_dead_shards();
+  std::size_t respawned = 0;
+  for (auto& shard : thread_shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      if (!shard->dead) continue;
+      shard->dead = false;
+    }
+    if (shard->worker.joinable()) shard->worker.join();
+    shard->worker = std::thread([this, &shard = *shard] { worker_loop(shard); });
+    ++respawned;
+  }
+  return respawned;
+}
+
+std::size_t PcpShardPool::dead_workers() const {
+  std::size_t dead = 0;
+  for (const auto& shard : thread_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->dead) ++dead;
+  }
+  return dead;
+}
+
 std::size_t PcpShardPool::poll_completions() {
+  recover_dead_shards();
   std::size_t applied = 0;
   for (;;) {
     std::function<void()> apply;
+    bool abandoned = false;
     {
       std::lock_guard<std::mutex> lock(done_mu_);
       const auto it = completed_.find(next_apply_seq_);
       if (it == completed_.end()) break;
+      abandoned = it->second == nullptr;
       apply = std::move(it->second);
       completed_.erase(it);
     }
     ++next_apply_seq_;
+    if (abandoned) continue;  // killed mid-decision: effects never existed
     // Run outside the lock: applies publish on the bus, install rules, and
     // may re-enter the pool via callbacks.
     apply();
@@ -109,7 +195,13 @@ void PcpShardPool::wait_idle() {
     poll_completions();
     if (next_apply_seq_ >= next_submit_seq_) break;
     std::unique_lock<std::mutex> lock(done_mu_);
-    done_cv_.wait(lock, [&] { return completed_.contains(next_apply_seq_); });
+    // Wake on the next in-order completion OR on worker death: a killed
+    // shard's stranded jobs will never complete on their own — the
+    // recovery pass inside poll_completions runs them inline instead, so
+    // waiting only on completed_ would wedge forever.
+    done_cv_.wait(lock, [&] {
+      return completed_.contains(next_apply_seq_) || stranded_jobs_.load() > 0;
+    });
   }
 }
 

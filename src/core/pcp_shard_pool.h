@@ -23,6 +23,7 @@
 // decisions. The PCP shell decides what runs where (core/pcp.cc).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,12 +43,26 @@
 
 namespace dfi {
 
+// Fault-injection verdict for one threaded-backend job (DESIGN.md §6).
+// Consulted by the worker just before it runs the job.
+enum class WorkerFault {
+  kNone,
+  kStall,  // worker sleeps briefly first — models a wedged decision
+  kKill,   // worker abandons the job and exits — models a crashed shard
+};
+
 class PcpShardPool {
  public:
   // Thread-backend job: runs on the shard's worker thread and returns the
   // apply closure, which the pool runs later on the control thread (via
   // poll_completions/wait_idle) in submission order.
   using ThreadWork = std::function<std::function<void()>()>;
+
+  // Fault probe for the threaded backend: called from the worker thread
+  // with (shard, submission seq) before each job runs, so it must be a
+  // pure, thread-safe function. Deterministic probes (hash of seed, shard
+  // and seq) make worker crashes replayable.
+  using WorkerFaultProbe = std::function<WorkerFault(std::size_t, std::uint64_t)>;
 
   PcpShardPool(Simulator& sim, const PcpConfig& config);
   ~PcpShardPool();
@@ -79,10 +94,32 @@ class PcpShardPool {
   // Run apply closures of finished jobs, in submission order, stopping at
   // the first job still in flight. Control thread only. Returns how many
   // were applied. No-op in the simulated backend.
+  //
+  // Fault recovery: jobs stranded on a dead shard (worker killed by the
+  // fault probe) are executed inline on the control thread first, so the
+  // submission-order contract survives worker death. The one job the
+  // worker was killed *on* is abandoned — its apply never runs and its
+  // callback never fires, exactly like an overload drop.
   std::size_t poll_completions();
 
-  // Block until every accepted job has been applied. Control thread only.
+  // Block until every accepted job has been applied or abandoned. Control
+  // thread only. Wakes on worker death too, so a killed shard can never
+  // wedge the caller (the recovery path above drains its queue).
   void wait_idle();
+
+  // ---------------------------------------------------- fault injection
+  // Install (or clear, with nullptr) the worker fault probe. Threaded
+  // backend only; call from the control thread.
+  void set_worker_fault_probe(WorkerFaultProbe probe);
+
+  // Join and restart workers the probe killed; their shards accept
+  // submissions again. Returns how many workers were respawned. Control
+  // thread only.
+  std::size_t respawn_dead_workers();
+
+  std::size_t dead_workers() const;
+  // Jobs killed by the probe: accepted but neither executed nor applied.
+  std::uint64_t jobs_abandoned() const { return jobs_abandoned_.load(); }
 
   // Jobs accepted but not yet (simulated: dispatched; threaded: taken by a
   // worker). Aggregated across shards.
@@ -97,15 +134,23 @@ class PcpShardPool {
 
  private:
   struct ThreadShard {
+    std::size_t index = 0;
     std::mutex mu;
     std::condition_variable cv;
     std::deque<std::pair<std::uint64_t, ThreadWork>> queue;
     bool stop = false;
+    // Set by the worker (under mu) when the fault probe kills it. A dead
+    // shard rejects submissions; its stranded queue is drained inline by
+    // poll_completions until respawn_dead_workers revives the worker.
+    bool dead = false;
     SampleStats latency_us;  // written by the worker thread only
     std::thread worker;
   };
 
   void worker_loop(ThreadShard& shard);
+  // Execute jobs stranded on dead shards inline (control thread), filing
+  // their applies into the reorder buffer under their original seq.
+  void recover_dead_shards();
 
   const PcpBackend backend_;
   const std::size_t shards_;
@@ -120,7 +165,15 @@ class PcpShardPool {
   std::uint64_t next_apply_seq_ = 0;   // control thread only
   std::mutex done_mu_;
   std::condition_variable done_cv_;
+  // seq -> apply closure; a null closure marks a job the probe abandoned
+  // (poll_completions skips it without running anything).
   std::map<std::uint64_t, std::function<void()>> completed_;
+  // Guarded by done_mu_ (workers read it once per job).
+  WorkerFaultProbe fault_probe_;
+  // Jobs stranded in dead shards' queues, visible to wait_idle's wait
+  // predicate without taking shard locks.
+  std::atomic<std::uint64_t> stranded_jobs_{0};
+  std::atomic<std::uint64_t> jobs_abandoned_{0};
 };
 
 }  // namespace dfi

@@ -25,6 +25,19 @@ DfiProxy::Session& DfiProxy::create_session(SendFn to_switch, SendFn to_controll
   return *sessions_.back();
 }
 
+void DfiProxy::destroy_session(Session& session) {
+  // Kill outstanding closures first: an in-flight PCP decision callback or
+  // deferred delivery may fire after the erase below frees the session.
+  *session.alive_ = false;
+  if (session.dpid_.has_value()) pcp_.unregister_switch(*session.dpid_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() == &session) {
+      sessions_.erase(it);
+      return;
+    }
+  }
+}
+
 void DfiProxy::after_proxy_delay(std::function<void()> deliver) {
   double delay_ms = 0.0;
   if (!config_.zero_latency) {
@@ -46,6 +59,18 @@ void DfiProxy::Session::send_to_switch(const OfMessage& message) {
 void DfiProxy::Session::send_to_controller(const OfMessage& message) {
   const auto bytes = encode(message);
   to_controller_(bytes);
+}
+
+void DfiProxy::Session::defer_to_switch(OfMessage message) {
+  proxy_.after_proxy_delay([this, alive = alive_, out = std::move(message)]() {
+    if (*alive) send_to_switch(out);
+  });
+}
+
+void DfiProxy::Session::defer_to_controller(OfMessage message) {
+  proxy_.after_proxy_delay([this, alive = alive_, out = std::move(message)]() {
+    if (*alive) send_to_controller(out);
+  });
 }
 
 void DfiProxy::Session::from_switch(const std::vector<std::uint8_t>& chunk) {
@@ -81,15 +106,13 @@ void DfiProxy::Session::handle_switch_message(OfMessage message) {
   if (auto* features = std::get_if<FeaturesReplyMsg>(&message.payload)) {
     dpid_ = features->datapath_id;
     switch_num_tables_ = features->n_tables;
-    proxy_.pcp_.register_switch(*dpid_, [this](const OfMessage& msg) {
-      proxy_.after_proxy_delay([this, msg]() { send_to_switch(msg); });
+    proxy_.pcp_.register_switch(*dpid_, [this, alive = alive_](const OfMessage& msg) {
+      if (*alive) defer_to_switch(msg);
     });
     // Hide DFI's reserved table from the controller.
     FeaturesReplyMsg shifted = *features;
     if (shifted.n_tables > 0) --shifted.n_tables;
-    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, shifted}]() {
-      send_to_controller(out);
-    });
+    defer_to_controller(OfMessage{message.xid, shifted});
     return;
   }
 
@@ -107,7 +130,12 @@ void DfiProxy::Session::handle_switch_message(OfMessage message) {
       PacketInMsg copy = *packet_in;
       const bool accepted = proxy_.pcp_.handle_packet_in(
           *dpid_, std::move(copy),
-          [this, xid, original = *packet_in](const PcpDecision& decision) {
+          [this, alive = alive_, xid,
+           original = *packet_in](const PcpDecision& decision) {
+            // Session torn down while the decision was in flight: nothing
+            // to deliver and `this` may be gone — the token is the only
+            // safe thing to touch.
+            if (!*alive) return;
             if (!decision.allow) {
               ++proxy_.stats_.packet_ins_suppressed;
               return;  // denied: the controller never sees this packet
@@ -115,9 +143,7 @@ void DfiProxy::Session::handle_switch_message(OfMessage message) {
             ++proxy_.stats_.packet_ins_forwarded;
             // Table 0 in the controller's shifted view is its own first
             // table, so table_id 0 is already correct after the allow.
-            proxy_.after_proxy_delay([this, out = OfMessage{xid, original}]() {
-              send_to_controller(out);
-            });
+            defer_to_controller(OfMessage{xid, original});
           });
       if (!accepted) {
         // PCP queue full: the packet-in is dropped entirely; the flow
@@ -129,9 +155,7 @@ void DfiProxy::Session::handle_switch_message(OfMessage message) {
     // Miss in a controller table: the flow already passed DFI's Table 0.
     PacketInMsg shifted = *packet_in;
     --shifted.table_id;
-    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, shifted}]() {
-      send_to_controller(out);
-    });
+    defer_to_controller(OfMessage{message.xid, shifted});
     return;
   }
 
@@ -139,9 +163,7 @@ void DfiProxy::Session::handle_switch_message(OfMessage message) {
     if (removed->table_id == 0) return;  // DFI-internal; invisible to controller
     FlowRemovedMsg shifted = *removed;
     --shifted.table_id;
-    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, shifted}]() {
-      send_to_controller(out);
-    });
+    defer_to_controller(OfMessage{message.xid, shifted});
     return;
   }
 
@@ -162,16 +184,12 @@ void DfiProxy::Session::handle_switch_message(OfMessage message) {
       }
       shifted.flow_stats.push_back(std::move(adjusted));
     }
-    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, std::move(shifted)}]() {
-      send_to_controller(out);
-    });
+    defer_to_controller(OfMessage{message.xid, std::move(shifted)});
     return;
   }
 
   // Hello, Echo, Error, Barrier replies: pass through unchanged.
-  proxy_.after_proxy_delay([this, out = std::move(message)]() {
-    send_to_controller(out);
-  });
+  defer_to_controller(std::move(message));
 }
 
 void DfiProxy::Session::handle_controller_message(OfMessage message) {
@@ -190,33 +208,22 @@ void DfiProxy::Session::handle_controller_message(OfMessage message) {
             ++*per_table.instructions.goto_table;
           }
           ++proxy_.stats_.flow_mods_shifted;
-          proxy_.after_proxy_delay(
-              [this, out = OfMessage{message.xid, std::move(per_table)}]() {
-                send_to_switch(out);
-              });
+          defer_to_switch(OfMessage{message.xid, std::move(per_table)});
         }
         return;
       }
       // ADD/MODIFY to ALL is a controller bug; reject.
       ++proxy_.stats_.controller_errors;
-      proxy_.after_proxy_delay([this, out = OfMessage{
-                                          message.xid,
-                                          ErrorMsg{/*FLOW_MOD_FAILED*/ 5,
-                                                   /*BAD_TABLE_ID*/ 2, {}}}]() {
-        send_to_controller(out);
-      });
+      defer_to_controller(OfMessage{
+          message.xid, ErrorMsg{/*FLOW_MOD_FAILED*/ 5, /*BAD_TABLE_ID*/ 2, {}}});
       return;
     }
     const std::uint8_t tables = switch_num_tables_ == 0 ? 4 : switch_num_tables_;
     if (shifted.table_id + 1 >= tables) {
       // The controller addressed a table beyond its shifted range.
       ++proxy_.stats_.controller_errors;
-      proxy_.after_proxy_delay([this, out = OfMessage{
-                                          message.xid,
-                                          ErrorMsg{/*FLOW_MOD_FAILED*/ 5,
-                                                   /*BAD_TABLE_ID*/ 2, {}}}]() {
-        send_to_controller(out);
-      });
+      defer_to_controller(OfMessage{
+          message.xid, ErrorMsg{/*FLOW_MOD_FAILED*/ 5, /*BAD_TABLE_ID*/ 2, {}}});
       return;
     }
     ++shifted.table_id;
@@ -224,9 +231,7 @@ void DfiProxy::Session::handle_controller_message(OfMessage message) {
       ++*shifted.instructions.goto_table;
     }
     ++proxy_.stats_.flow_mods_shifted;
-    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, std::move(shifted)}]() {
-      send_to_switch(out);
-    });
+    defer_to_switch(OfMessage{message.xid, std::move(shifted)});
     return;
   }
 
@@ -235,16 +240,12 @@ void DfiProxy::Session::handle_controller_message(OfMessage message) {
     if (shifted.stats_type == kStatsTypeFlow && shifted.flow_request.table_id != 0xff) {
       ++shifted.flow_request.table_id;
     }
-    proxy_.after_proxy_delay([this, out = OfMessage{message.xid, std::move(shifted)}]() {
-      send_to_switch(out);
-    });
+    defer_to_switch(OfMessage{message.xid, std::move(shifted)});
     return;
   }
 
   // Hello, Echo, FeaturesRequest, PacketOut, Barrier: pass through.
-  proxy_.after_proxy_delay([this, out = std::move(message)]() {
-    send_to_switch(out);
-  });
+  defer_to_switch(std::move(message));
 }
 
 }  // namespace dfi

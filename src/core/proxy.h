@@ -77,6 +77,10 @@ class DfiProxy {
     void handle_controller_message(OfMessage message);
     void send_to_switch(const OfMessage& message);
     void send_to_controller(const OfMessage& message);
+    // Queue a message for delivery after the proxy processing delay. The
+    // delivery no-ops if the session is destroyed in the meantime.
+    void defer_to_switch(OfMessage message);
+    void defer_to_controller(OfMessage message);
 
     DfiProxy& proxy_;
     SendFn to_switch_;
@@ -85,6 +89,12 @@ class DfiProxy {
     FrameDecoder controller_decoder_;
     std::optional<Dpid> dpid_;
     std::uint8_t switch_num_tables_ = 0;
+    // Liveness token: deferred deliveries and in-flight PCP decision
+    // callbacks capture this instead of trusting `this` to outlive them.
+    // destroy_session() flips it, turning every outstanding closure into a
+    // no-op — tearing a session down mid-Packet-in must not touch freed
+    // memory.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   };
 
   DfiProxy(Simulator& sim, PolicyCompilationPoint& pcp, ProxyConfig config, Rng rng);
@@ -94,6 +104,15 @@ class DfiProxy {
   DfiProxy& operator=(const DfiProxy&) = delete;
 
   Session& create_session(SendFn to_switch, SendFn to_controller);
+
+  // Tear a session down immediately: its switch is unregistered from the
+  // PCP and every outstanding deferred delivery or in-flight decision
+  // callback becomes a no-op. Models the control channel dying mid-flight.
+  // Call before re-creating a session for the same switch — the new
+  // session's PCP registration must come after the old one is gone.
+  void destroy_session(Session& session);
+
+  std::size_t session_count() const { return sessions_.size(); }
 
   const ProxyStats& stats() const { return stats_; }
   const SampleStats& latency_ms() const { return latency_ms_; }

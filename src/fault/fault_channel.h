@@ -1,0 +1,136 @@
+// Seeded faulty delivery channel (DESIGN.md §6).
+//
+// A FaultChannel<T> sits between a producer and a consumer of discrete
+// messages — sensor service events bound for the bus, OpenFlow messages on
+// the proxy's byte streams, binding flaps — and injects drop, duplication,
+// delay and reordering according to a FaultSpec, drawing every decision
+// from the shared FaultPlan so the schedule replays from one seed.
+//
+// Delivery is batched: offer() classifies a message (drop it, queue it once
+// or twice, or hold it for a later flush) and flush() delivers the due
+// backlog — in offer order, or scrambled when the plan draws a reorder for
+// this flush. The fuzzer flushes at its step boundaries, which keeps fault
+// timing deterministic in both the DES and the threaded Packet-in backend:
+// messages move only when the control thread says so, never at a wall-clock
+// whim. sever()/restore() model channel failure: a severed channel drops
+// every offer (TCP sessions do not deliver partial streams after a cut;
+// message-granular loss keeps the FrameDecoder framing intact).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace dfi {
+
+template <typename T>
+class FaultChannel {
+ public:
+  using DeliverFn = std::function<void(const T&)>;
+
+  FaultChannel(std::string name, FaultSpec spec, FaultPlan& plan, DeliverFn deliver)
+      : name_(std::move(name)),
+        spec_(spec),
+        plan_(plan),
+        deliver_(std::move(deliver)) {}
+
+  // Hand one message to the channel. It is delivered (possibly twice,
+  // possibly scrambled) on a future flush — or never, if dropped.
+  void offer(const T& message) {
+    ++offered_;
+    if (severed_) {
+      ++plan_.stats().severed_drops;
+      plan_.note(name_ + ": severed-drop #" + std::to_string(offered_));
+      return;
+    }
+    if (plan_.chance(spec_.drop)) {
+      ++plan_.stats().dropped;
+      plan_.note(name_ + ": drop #" + std::to_string(offered_));
+      return;
+    }
+    int copies = 1;
+    if (plan_.chance(spec_.duplicate)) {
+      copies = 2;
+      ++plan_.stats().duplicated;
+      plan_.note(name_ + ": duplicate #" + std::to_string(offered_));
+    }
+    for (int copy = 0; copy < copies; ++copy) {
+      int hold = 0;
+      if (plan_.chance(spec_.delay)) {
+        hold = static_cast<int>(
+            plan_.rng().uniform_int(1, spec_.max_delay_flushes));
+        ++plan_.stats().delayed;
+        plan_.note(name_ + ": delay #" + std::to_string(offered_) + " by " +
+                   std::to_string(hold));
+      }
+      pending_.push_back(Pending{message, hold});
+    }
+  }
+
+  // Deliver every message whose hold has expired. Returns how many were
+  // delivered. The consumer runs synchronously inside this call.
+  std::size_t flush() {
+    std::vector<T> due;
+    std::deque<Pending> kept;
+    for (Pending& pending : pending_) {
+      if (pending.hold_flushes > 0) {
+        --pending.hold_flushes;
+        kept.push_back(std::move(pending));
+      } else {
+        due.push_back(std::move(pending.message));
+      }
+    }
+    pending_ = std::move(kept);
+    if (due.size() > 1 && plan_.chance(spec_.reorder)) {
+      ++plan_.stats().reordered_flushes;
+      plan_.note(name_ + ": reorder flush of " + std::to_string(due.size()));
+      plan_.rng().shuffle(due);
+    }
+    for (const T& message : due) deliver_(message);
+    delivered_ += due.size();
+    return due.size();
+  }
+
+  // Channel failure: every subsequent offer is lost until restore().
+  // Pending (delayed) messages are lost too — they were in flight on the
+  // severed stream.
+  void sever() {
+    severed_ = true;
+    plan_.note(name_ + ": sever (" + std::to_string(pending_.size()) +
+               " in-flight lost)");
+    pending_.clear();
+  }
+
+  void restore() {
+    severed_ = false;
+    plan_.note(name_ + ": restore");
+  }
+
+  bool severed() const { return severed_; }
+  std::size_t pending() const { return pending_.size(); }
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t delivered() const { return delivered_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Pending {
+    T message;
+    int hold_flushes = 0;
+  };
+
+  std::string name_;
+  FaultSpec spec_;
+  FaultPlan& plan_;
+  DeliverFn deliver_;
+  std::deque<Pending> pending_;
+  bool severed_ = false;
+  std::uint64_t offered_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace dfi

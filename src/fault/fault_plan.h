@@ -1,0 +1,70 @@
+// Deterministic fault-injection plan (DESIGN.md §6).
+//
+// The paper's safety claims — denied flows never reach the controller,
+// Table 0 stays invisible, revoked policies leave no residual switch rules —
+// must hold under event loss, reordering, delay and channel failure, not
+// just on clean traces. The fault substrate makes those scenarios
+// *replayable*: every fault decision (drop this DHCP event, duplicate that
+// Packet-in, kill shard worker 2 at job 17) is drawn from one seeded Rng
+// owned by a FaultPlan, and every decision is appended to a textual trace.
+// Same seed -> byte-identical fault schedule and trace, so any invariant
+// violation found by the fuzzer (tests/fuzz_invariants_test.cc) reproduces
+// from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace dfi {
+
+// Per-channel fault probabilities. All default to zero: a FaultChannel with
+// a default spec is a transparent pipe.
+struct FaultSpec {
+  double drop = 0.0;       // message silently lost
+  double duplicate = 0.0;  // message delivered twice
+  double delay = 0.0;      // message held back 1..max_delay_flushes flushes
+  double reorder = 0.0;    // per-flush: scramble this flush's delivery order
+  int max_delay_flushes = 2;
+};
+
+struct FaultPlanStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered_flushes = 0;
+  std::uint64_t severed_drops = 0;  // messages offered while severed
+};
+
+// The single source of randomness and the replay trace for one fault
+// schedule. Channels and the fuzzer share one plan so the interleaving of
+// their draws is part of the seed's definition.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+  Rng& rng() { return rng_; }
+
+  bool chance(double p) { return p > 0.0 && rng_.chance(p); }
+
+  // Append one line to the replay trace. Records fault decisions and any
+  // checkpoints the caller wants covered by byte-identical replay.
+  void note(const std::string& line) {
+    trace_ += line;
+    trace_ += '\n';
+  }
+
+  const std::string& trace() const { return trace_; }
+  FaultPlanStats& stats() { return stats_; }
+  const FaultPlanStats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+  std::string trace_;
+  FaultPlanStats stats_;
+};
+
+}  // namespace dfi

@@ -334,5 +334,78 @@ TEST_F(ProxyTest, Table0IsolationInvariantUnderRandomTraffic) {
   }
 }
 
+// ---------------------------------------------------- teardown regressions
+//
+// Pinned regressions for the session-teardown use-after-free the invariant
+// fuzzer surfaced (tests/fuzz_invariants_test.cc, FuzzRegression seed 3301):
+// a session destroyed while a Packet-in decision is still in flight must
+// drop the decision's deferred deliveries instead of writing through freed
+// session state. The Session's liveness token (proxy.cc) is what these pin.
+
+TEST_F(ProxyTest, SessionTornDownWithPacketInInFlight) {
+  complete_handshake();
+  session_.from_switch(encode(OfMessage{7, table0_miss()}));
+  // The PCP decision and its deliveries are queued in the simulator; tear
+  // the session down before any of them run.
+  const std::size_t switch_msgs = to_switch_.size();
+  const std::size_t controller_msgs = to_controller_.size();
+  proxy_.destroy_session(session_);
+  EXPECT_EQ(proxy_.session_count(), 0u);
+  sim_.run();  // pre-fix: wrote through the freed Session (ASan heap-UAF)
+  EXPECT_EQ(to_switch_.size(), switch_msgs);
+  EXPECT_EQ(to_controller_.size(), controller_msgs);
+}
+
+TEST(ProxyTeardown, ThreadedDecisionsInFlightAtDestroy) {
+  Simulator sim;
+  MessageBus bus;
+  EntityResolutionManager erm(bus);
+  PolicyManager manager(bus);
+  PcpConfig config;
+  config.zero_latency = true;
+  config.backend = PcpBackend::kThreads;
+  config.shards = 2;
+  PolicyCompilationPoint pcp(sim, bus, erm, manager, config, Rng(1));
+  DfiProxy proxy(sim, pcp, ProxyConfig{0, 0, true}, Rng(2));
+
+  std::size_t switch_bytes = 0;
+  std::size_t controller_bytes = 0;
+  auto& session = proxy.create_session(
+      [&switch_bytes](const std::vector<std::uint8_t>& b) {
+        switch_bytes += b.size();
+      },
+      [&controller_bytes](const std::vector<std::uint8_t>& b) {
+        controller_bytes += b.size();
+      });
+  FeaturesReplyMsg features;
+  features.datapath_id = Dpid{9};
+  features.n_tables = 4;
+  session.from_switch(encode(OfMessage{1, features}));
+  sim.run();
+
+  // A burst of distinct table-0 misses, all handed to shard workers, then
+  // teardown before a single completion is applied.
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    PacketInMsg msg;
+    msg.table_id = 0;
+    msg.in_port = PortNo{3};
+    msg.data = make_tcp_packet(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                               Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                               1000, static_cast<std::uint16_t>(80 + i))
+                   .serialize();
+    session.from_switch(encode(OfMessage{static_cast<std::uint32_t>(10 + i), msg}));
+  }
+  const std::size_t switch_before = switch_bytes;
+  const std::size_t controller_before = controller_bytes;
+  proxy.destroy_session(session);
+  EXPECT_EQ(proxy.session_count(), 0u);
+  // Completions apply here against the destroyed session: every delivery
+  // must hit the dead liveness token and drop.
+  pcp.wait_idle();
+  sim.run();
+  EXPECT_EQ(switch_bytes, switch_before);
+  EXPECT_EQ(controller_bytes, controller_before);
+}
+
 }  // namespace
 }  // namespace dfi

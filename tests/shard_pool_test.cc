@@ -409,5 +409,126 @@ TEST(ShardPoolDifferential, ThreadedEffectsAreDeferredUntilPolled) {
   EXPECT_EQ(world.pcp.stats().rules_installed, 1u);
 }
 
+// ------------------------------------------- fault-injection regressions
+//
+// Pinned-probe regressions for behavior the invariant fuzzer exercises
+// randomly (tests/support/fuzz_harness.cc, invariant I5): wait_idle must
+// never wedge on a killed worker, abandoned jobs leave no effects, stranded
+// queues are recovered inline in submission order, and dead shards reject
+// work until respawned.
+
+PcpConfig fault_pool_config(std::size_t shards) {
+  PcpConfig config;
+  config.backend = PcpBackend::kThreads;
+  config.shards = shards;
+  config.queue_capacity = 64;
+  config.zero_latency = true;
+  return config;
+}
+
+TEST(ShardPoolFaults, WaitIdleSurvivesWorkerKill) {
+  Simulator sim;
+  PcpShardPool pool(sim, fault_pool_config(1));
+  // Kill the worker on the last submitted job. Deterministic: the FIFO
+  // worker cannot probe seq 3 before it is submitted, so seqs 0-2 are
+  // always accepted and executed first.
+  pool.set_worker_fault_probe([](std::size_t, std::uint64_t seq) {
+    return seq == 3 ? WorkerFault::kKill : WorkerFault::kNone;
+  });
+  std::vector<std::uint64_t> applied;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.submit_threaded(0, [i, &applied]() {
+      return [i, &applied]() { applied.push_back(i); };
+    }));
+  }
+  // Pre-fix this wedged forever: the abandoned seq never completed and
+  // nothing woke the waiter on worker death.
+  pool.wait_idle();
+  EXPECT_EQ(applied, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(pool.jobs_abandoned(), 1u);
+  EXPECT_EQ(pool.dead_workers(), 1u);
+}
+
+TEST(ShardPoolFaults, KilledShardRejectsSubmissionsUntilRespawn) {
+  Simulator sim;
+  PcpShardPool pool(sim, fault_pool_config(2));
+  pool.set_worker_fault_probe([](std::size_t shard, std::uint64_t seq) {
+    return (shard == 0 && seq == 0) ? WorkerFault::kKill : WorkerFault::kNone;
+  });
+  bool killed_job_ran = false;
+  ASSERT_TRUE(pool.submit_threaded(0, [&killed_job_ran]() {
+    return [&killed_job_ran]() { killed_job_ran = true; };
+  }));
+  pool.wait_idle();
+  EXPECT_FALSE(killed_job_ran);  // killed mid-decision: effects never existed
+  ASSERT_EQ(pool.dead_workers(), 1u);
+
+  // The dead shard drops work like a full queue; healthy shards are
+  // unaffected.
+  EXPECT_FALSE(pool.submit_threaded(0, []() { return []() {}; }));
+  bool healthy_ran = false;
+  ASSERT_TRUE(pool.submit_threaded(1, [&healthy_ran]() {
+    return [&healthy_ran]() { healthy_ran = true; };
+  }));
+  pool.wait_idle();
+  EXPECT_TRUE(healthy_ran);
+
+  EXPECT_EQ(pool.respawn_dead_workers(), 1u);
+  EXPECT_EQ(pool.dead_workers(), 0u);
+  bool revived_ran = false;
+  ASSERT_TRUE(pool.submit_threaded(0, [&revived_ran]() {
+    return [&revived_ran]() { revived_ran = true; };
+  }));
+  pool.wait_idle();
+  EXPECT_TRUE(revived_ran);
+}
+
+TEST(ShardPoolFaults, StrandedJobsRecoverInlineInSubmissionOrder) {
+  Simulator sim;
+  PcpShardPool pool(sim, fault_pool_config(1));
+  // Kill on the first job: everything still queued behind it is stranded on
+  // the dead shard and must run inline on the control thread. How many of
+  // the later submissions the dying shard still accepts races the kill, so
+  // the assertions are conservation and order, not exact counts.
+  pool.set_worker_fault_probe([](std::size_t, std::uint64_t seq) {
+    return seq == 0 ? WorkerFault::kKill : WorkerFault::kNone;
+  });
+  std::vector<std::uint64_t> applied;
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    if (pool.submit_threaded(0, [i, &applied]() {
+          return [i, &applied]() { applied.push_back(i); };
+        })) {
+      ++accepted;
+    }
+  }
+  pool.wait_idle();
+  ASSERT_GE(accepted, 1u);
+  EXPECT_EQ(pool.jobs_abandoned(), 1u);
+  EXPECT_EQ(applied.size(), static_cast<std::size_t>(accepted - 1));
+  for (std::size_t i = 1; i < applied.size(); ++i) {
+    EXPECT_LT(applied[i - 1], applied[i]);
+  }
+}
+
+TEST(ShardPoolFaults, StallsDelayButPreserveSubmissionOrder) {
+  Simulator sim;
+  PcpShardPool pool(sim, fault_pool_config(2));
+  // Shard 0 stalls on every job while shard 1 races ahead; the reorder
+  // buffer must still release effects in global submission order.
+  pool.set_worker_fault_probe([](std::size_t shard, std::uint64_t) {
+    return shard == 0 ? WorkerFault::kStall : WorkerFault::kNone;
+  });
+  std::vector<std::uint64_t> applied;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.submit_threaded(i % 2, [i, &applied]() {
+      return [i, &applied]() { applied.push_back(i); };
+    }));
+  }
+  pool.wait_idle();
+  ASSERT_EQ(applied.size(), 16u);
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(applied[i], i);
+}
+
 }  // namespace
 }  // namespace dfi

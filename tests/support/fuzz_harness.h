@@ -1,0 +1,88 @@
+// Model-based invariant fuzz harness for the DFI control plane (DESIGN.md
+// §6).
+//
+// One call to run_fuzz_schedule() assembles a complete system under test —
+// two OpenFlow switches behind DfiProxy sessions, PCP + shard pool, ERM +
+// Policy Manager + binding sensors on a shared bus — alongside a
+// ReferenceModel, then replays one seeded fault schedule against it:
+// randomized bursts of data-plane packets, sensor events and controller
+// traffic pushed through FaultChannels that drop/duplicate/delay/reorder,
+// policy churn racing in-flight decisions, proxy sessions severed and
+// reconnected mid-flight, and (threaded backend) shard workers stalled or
+// killed mid-decision.
+//
+// After every delivery and at every step boundary the harness checks the
+// five safety invariants (DESIGN.md §6 table):
+//   I1  no denied (or unparsable) Packet-in is ever forwarded to the
+//       controller;
+//   I2  no controller-visible message references Table 0 — FEATURES_REPLY
+//       always advertises one fewer table, flow-stats rows and
+//       FLOW_REMOVED for Table 0 are filtered, DFI cookies never escape;
+//   I3  once a revoke has quiesced, no connected switch holds a Table-0
+//       rule citing the revoked policy's cookie;
+//   I4  cache/snapshot staleness never changes an observable verdict: every
+//       installed Table-0 rule's action equals the reference model's
+//       verdict at install time;
+//   I5  the threaded shard pool applies completion effects in submission
+//       order even when workers die mid-job.
+//
+// Violations are collected (not asserted) so the caller owns the failure
+// message — including the seed-replay instructions the fuzz test prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pcp_decide.h"
+#include "fault/fault_plan.h"
+
+namespace dfi::test {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  PcpBackend backend = PcpBackend::kSimulated;
+  std::size_t shards = 2;
+  std::size_t steps = 10;
+  // Threaded backend only: arm the deterministic worker kill/stall probe.
+  bool worker_faults = false;
+  // Exercise the CAB-ACME wildcard-caching extension. Per-install verdict
+  // checks (I4) are skipped — a generalized match covers many flows — but
+  // the cookie invariants (I2/I3) still apply to every install.
+  bool wildcard_caching = false;
+  std::size_t decision_cache_capacity = 64;
+};
+
+struct FuzzResult {
+  // Empty means the schedule passed. Each entry is one invariant violation
+  // with step context.
+  std::vector<std::string> violations;
+  // The FaultPlan replay trace: byte-identical across runs of the same
+  // seed+options. The determinism test compares these directly.
+  std::string trace;
+  FaultPlanStats fault_stats;
+
+  // Coverage counters, for the campaign-level "the fuzzer actually
+  // exercised the machinery" assertions.
+  std::uint64_t packet_ins = 0;       // Packet-ins the PCP accepted
+  std::uint64_t installs_seen = 0;    // Table-0 ADDs observed at the tap
+  std::uint64_t forwards_seen = 0;    // Packet-ins delivered to controller
+  std::uint64_t denies = 0;           // denied + default + spoof (system)
+  std::uint64_t decision_cache_hits = 0;
+  std::uint64_t severs = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t resync_clears = 0;
+  std::uint64_t stale_redecides = 0;
+  std::uint64_t jobs_abandoned = 0;
+  std::uint64_t pool_jobs_checked = 0;  // I5 sub-schedule jobs verified
+};
+
+// Replay one fault schedule. Deterministic: equal options produce an equal
+// FuzzResult, byte-identical trace included.
+FuzzResult run_fuzz_schedule(const FuzzOptions& options);
+
+// Human-readable reproduction recipe for a failing seed, printed by the
+// fuzz test on violation.
+std::string replay_instructions(const FuzzOptions& options);
+
+}  // namespace dfi::test

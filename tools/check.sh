@@ -1,47 +1,95 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 build + full test suite, then an ASan+UBSan build
-# (-DDFI_SANITIZE=ON) running the policy-index differential and
-# decision-cache tests under the sanitizers, then a TSan build
-# (-DDFI_SANITIZE=thread) running the threaded shard-pool tests.
+# Repo check, split into stages so CI can run them as separate jobs:
 #
-# Usage: tools/check.sh [--no-sanitize]
+#   tier1  configure + build + full ctest suite (the 380+ tier-1 tests)
+#   asan   ASan+UBSan build (-DDFI_SANITIZE=ON) of the memory-sensitive
+#          component tests — including the proxy teardown regressions
+#   tsan   TSan build (-DDFI_SANITIZE=thread) of the threaded shard-pool
+#          and bus tests
+#   fuzz   the model-based invariant fuzz campaign (tests/support/
+#          fuzz_harness.cc): the full deterministic campaign on the plain
+#          build, plus bounded campaigns under ASan+UBSan and TSan.
+#          DFI_FUZZ_SCHEDULES / DFI_FUZZ_SEED override campaign size and
+#          seed (see tests/fuzz_invariants_test.cc).
+#
+# Usage: tools/check.sh [--no-sanitize] [stage...]
+#   no stages        -> all of tier1 asan tsan fuzz
+#   --no-sanitize    -> tier1 only (kept for compatibility)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== tier-1: configure + build =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "${JOBS}"
-
-echo "== tier-1: ctest =="
-ctest --test-dir build --output-on-failure -j "${JOBS}"
-
-if [[ "${1:-}" == "--no-sanitize" ]]; then
-  echo "== skipping sanitizer build (--no-sanitize) =="
-  exit 0
+STAGES=()
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitize) STAGES=(tier1) ;;
+    tier1|asan|tsan|fuzz) STAGES+=("$arg") ;;
+    *) echo "unknown stage: $arg (want tier1, asan, tsan, fuzz)" >&2; exit 2 ;;
+  esac
+done
+if [[ ${#STAGES[@]} -eq 0 ]]; then
+  STAGES=(tier1 asan tsan fuzz)
 fi
 
-echo "== sanitizer build (ASan+UBSan) =="
-cmake -B build-asan -S . -DDFI_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "${JOBS}" --target \
-  policy_index_test decision_cache_test policy_manager_test erm_test pcp_test \
-  bus_test
+want() { local s; for s in "${STAGES[@]}"; do [[ "$s" == "$1" ]] && return 0; done; return 1; }
 
-echo "== sanitizer tests =="
-./build-asan/tests/policy_index_test
-./build-asan/tests/decision_cache_test
-./build-asan/tests/policy_manager_test
-./build-asan/tests/erm_test
-./build-asan/tests/pcp_test
-./build-asan/tests/bus_test
+if want tier1; then
+  echo "== tier-1: configure + build =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}"
 
-echo "== sanitizer build (TSan, threaded backend) =="
-cmake -B build-tsan -S . -DDFI_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target shard_pool_test bus_test
+  echo "== tier-1: ctest =="
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+fi
 
-echo "== sanitizer tests (TSan) =="
-./build-tsan/tests/shard_pool_test
-./build-tsan/tests/bus_test
+if want asan; then
+  echo "== sanitizer build (ASan+UBSan) =="
+  cmake -B build-asan -S . -DDFI_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target \
+    policy_index_test decision_cache_test policy_manager_test erm_test \
+    pcp_test bus_test proxy_test flush_test
 
-echo "== all checks passed =="
+  echo "== sanitizer tests =="
+  ./build-asan/tests/policy_index_test
+  ./build-asan/tests/decision_cache_test
+  ./build-asan/tests/policy_manager_test
+  ./build-asan/tests/erm_test
+  ./build-asan/tests/pcp_test
+  ./build-asan/tests/bus_test
+  ./build-asan/tests/proxy_test
+  ./build-asan/tests/flush_test
+fi
+
+if want tsan; then
+  echo "== sanitizer build (TSan, threaded backend) =="
+  cmake -B build-tsan -S . -DDFI_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target shard_pool_test bus_test \
+    proxy_test
+
+  echo "== sanitizer tests (TSan) =="
+  ./build-tsan/tests/shard_pool_test
+  ./build-tsan/tests/bus_test
+  ./build-tsan/tests/proxy_test
+fi
+
+if want fuzz; then
+  echo "== fuzz: full deterministic campaign (plain build) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target fuzz_invariants_test
+  ./build/tests/fuzz_invariants_test
+
+  echo "== fuzz: bounded campaign under ASan+UBSan =="
+  cmake -B build-asan -S . -DDFI_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target fuzz_invariants_test
+  DFI_FUZZ_SCHEDULES="${DFI_FUZZ_ASAN_SCHEDULES:-400}" \
+    ./build-asan/tests/fuzz_invariants_test
+
+  echo "== fuzz: bounded campaign under TSan =="
+  cmake -B build-tsan -S . -DDFI_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target fuzz_invariants_test
+  DFI_FUZZ_SCHEDULES="${DFI_FUZZ_TSAN_SCHEDULES:-200}" \
+    ./build-tsan/tests/fuzz_invariants_test
+fi
+
+echo "== all requested stages passed =="
