@@ -1,0 +1,90 @@
+// Slab of reusable frame buffers for the wire fast path (DESIGN.md §5).
+//
+// The proxy, the secure channel and the switch device each move thousands
+// of short-lived byte vectors per second; without pooling every forwarded
+// frame costs at least one heap allocation. acquire() hands back a cleared
+// vector whose *capacity* survives from earlier use, so steady-state
+// forwarding touches the allocator only while buffers are still warming up
+// to their working-set sizes. Buffers are plain std::vector values (not
+// RAII handles) so deferred-delivery closures can capture them by move and
+// release() them after delivery — std::function requires copyable callables,
+// which rules out move-only handle types.
+//
+// Not thread-safe: all users live on the control thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dfi {
+
+class FrameBufferPool {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t reuses = 0;       // served from the free list
+    std::uint64_t allocations = 0;  // free list empty: fresh vector
+    std::uint64_t releases = 0;
+    std::size_t free_buffers = 0;   // snapshot at stats() time
+    std::size_t peak_in_use = 0;
+
+    double hit_rate() const {
+      return acquires == 0 ? 1.0
+                           : static_cast<double>(reuses) /
+                                 static_cast<double>(acquires);
+    }
+  };
+
+  // `max_free` bounds the retained slab so a burst does not pin its peak
+  // memory forever; releases beyond it simply free the buffer.
+  explicit FrameBufferPool(std::size_t max_free = 64) : max_free_(max_free) {
+    free_.reserve(max_free_);
+  }
+
+  // A cleared buffer, reusing capacity from the free list when possible.
+  std::vector<std::uint8_t> acquire() {
+    ++stats_.acquires;
+    ++in_use_;
+    if (in_use_ > stats_.peak_in_use) stats_.peak_in_use = in_use_;
+    if (!free_.empty()) {
+      ++stats_.reuses;
+      std::vector<std::uint8_t> buffer = std::move(free_.back());
+      free_.pop_back();
+      buffer.clear();  // keeps capacity
+      return buffer;
+    }
+    ++stats_.allocations;
+    return {};
+  }
+
+  // Acquire pre-filled with a copy of [data, data + size).
+  std::vector<std::uint8_t> acquire_copy(const std::uint8_t* data, std::size_t size) {
+    std::vector<std::uint8_t> buffer = acquire();
+    buffer.insert(buffer.end(), data, data + size);
+    return buffer;
+  }
+
+  void release(std::vector<std::uint8_t>&& buffer) {
+    ++stats_.releases;
+    if (in_use_ > 0) --in_use_;
+    if (free_.size() < max_free_) free_.push_back(std::move(buffer));
+  }
+
+  Stats stats() const {
+    Stats out = stats_;
+    out.free_buffers = free_.size();
+    return out;
+  }
+
+  std::size_t in_use() const { return in_use_; }
+
+ private:
+  std::size_t max_free_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t in_use_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dfi

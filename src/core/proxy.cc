@@ -62,41 +62,135 @@ void DfiProxy::Session::send_to_controller(const OfMessage& message) {
 }
 
 void DfiProxy::Session::defer_to_switch(OfMessage message) {
-  proxy_.after_proxy_delay([this, alive = alive_, out = std::move(message)]() {
-    if (*alive) send_to_switch(out);
-  });
+  std::vector<std::uint8_t> frame = proxy_.pool_.acquire();
+  encode_into(message, frame);
+  defer_bytes_to_switch(std::move(frame));
 }
 
 void DfiProxy::Session::defer_to_controller(OfMessage message) {
-  proxy_.after_proxy_delay([this, alive = alive_, out = std::move(message)]() {
-    if (*alive) send_to_controller(out);
+  std::vector<std::uint8_t> frame = proxy_.pool_.acquire();
+  encode_into(message, frame);
+  defer_bytes_to_controller(std::move(frame));
+}
+
+void DfiProxy::Session::defer_bytes_to_switch(std::vector<std::uint8_t> frame) {
+  proxy_.after_proxy_delay([this, alive = alive_, out = std::move(frame)]() mutable {
+    // A dead session leaves the buffer to the closure's destructor: with
+    // `this` untrusted, even the pool is out of reach.
+    if (!*alive) return;
+    to_switch_(out);
+    proxy_.pool_.release(std::move(out));
+  });
+}
+
+void DfiProxy::Session::defer_bytes_to_controller(std::vector<std::uint8_t> frame) {
+  proxy_.after_proxy_delay([this, alive = alive_, out = std::move(frame)]() mutable {
+    if (!*alive) return;
+    to_controller_(out);
+    proxy_.pool_.release(std::move(out));
   });
 }
 
 void DfiProxy::Session::from_switch(const std::vector<std::uint8_t>& chunk) {
   switch_decoder_.feed(chunk);
-  for (auto& result : switch_decoder_.drain()) {
+  FrameView view;
+  for (;;) {
+    const FrameStatus status = switch_decoder_.next_frame(view);
+    if (status == FrameStatus::kAwait) return;
     ++proxy_.stats_.from_switch;
-    if (!result.ok()) {
+    if (status == FrameStatus::kCorrupt) {
       ++proxy_.stats_.malformed;
-      DFI_WARN << "proxy: malformed frame from switch: " << result.error().message;
-      continue;
+      DFI_WARN << "proxy: malformed frame from switch: frame length < 8";
+      return;  // the decoder reset the stream
     }
-    handle_switch_message(std::move(result).value());
+    fast_path_from_switch(view);
   }
 }
 
 void DfiProxy::Session::from_controller(const std::vector<std::uint8_t>& chunk) {
   controller_decoder_.feed(chunk);
-  for (auto& result : controller_decoder_.drain()) {
+  FrameView view;
+  for (;;) {
+    const FrameStatus status = controller_decoder_.next_frame(view);
+    if (status == FrameStatus::kAwait) return;
     ++proxy_.stats_.from_controller;
-    if (!result.ok()) {
+    if (status == FrameStatus::kCorrupt) {
       ++proxy_.stats_.malformed;
-      DFI_WARN << "proxy: malformed frame from controller: " << result.error().message;
-      continue;
+      DFI_WARN << "proxy: malformed frame from controller: frame length < 8";
+      return;
     }
-    handle_controller_message(std::move(result).value());
+    fast_path_from_controller(view);
   }
+}
+
+void DfiProxy::Session::fast_path_from_switch(const FrameView& view) {
+  switch (classify(view, ProxyDirection::kSwitchToController, switch_num_tables_)) {
+    case FrameClass::kPassThrough:
+      ++proxy_.stats_.frames_fast_path;
+      defer_bytes_to_controller(proxy_.pool_.acquire_copy(view.data(), view.size()));
+      return;
+    case FrameClass::kPatch: {
+      if (view.type() == OfType::kFlowRemoved &&
+          view.data()[kFlowRemovedTableOffset] == 0) {
+        // DFI-internal rule expiry: invisible to the controller, dropped
+        // without even a copy.
+        ++proxy_.stats_.frames_fast_path;
+        return;
+      }
+      std::vector<std::uint8_t> frame =
+          proxy_.pool_.acquire_copy(view.data(), view.size());
+      if (!patch_table_refs(frame.data(), frame.size(),
+                            ProxyDirection::kSwitchToController)) {
+        proxy_.pool_.release(std::move(frame));
+        break;  // revalidation failed: slow path decides on the original bytes
+      }
+      ++proxy_.stats_.frames_patched;
+      defer_bytes_to_controller(std::move(frame));
+      return;
+    }
+    case FrameClass::kDecode:
+      break;
+  }
+  ++proxy_.stats_.frames_decoded;
+  auto result = decode(view);
+  if (!result.ok()) {
+    ++proxy_.stats_.malformed;
+    DFI_WARN << "proxy: malformed frame from switch: " << result.error().message;
+    return;
+  }
+  handle_switch_message(std::move(result).value());
+}
+
+void DfiProxy::Session::fast_path_from_controller(const FrameView& view) {
+  switch (classify(view, ProxyDirection::kControllerToSwitch, switch_num_tables_)) {
+    case FrameClass::kPassThrough:
+      ++proxy_.stats_.frames_fast_path;
+      defer_bytes_to_switch(proxy_.pool_.acquire_copy(view.data(), view.size()));
+      return;
+    case FrameClass::kPatch: {
+      std::vector<std::uint8_t> frame =
+          proxy_.pool_.acquire_copy(view.data(), view.size());
+      if (!patch_table_refs(frame.data(), frame.size(),
+                            ProxyDirection::kControllerToSwitch)) {
+        proxy_.pool_.release(std::move(frame));
+        break;
+      }
+      ++proxy_.stats_.frames_patched;
+      if (view.type() == OfType::kFlowMod) ++proxy_.stats_.flow_mods_shifted;
+      defer_bytes_to_switch(std::move(frame));
+      return;
+    }
+    case FrameClass::kDecode:
+      break;
+  }
+  ++proxy_.stats_.frames_decoded;
+  auto result = decode(view);
+  if (!result.ok()) {
+    ++proxy_.stats_.malformed;
+    DFI_WARN << "proxy: malformed frame from controller: " << result.error().message;
+    return;
+  }
+  handle_controller_message(std::move(result).value());
 }
 
 void DfiProxy::Session::handle_switch_message(OfMessage message) {

@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/frame_buffer_pool.h"
 #include "common/rng.h"
 #include "core/pcp.h"
 #include "openflow/wire.h"
@@ -53,6 +54,22 @@ struct ProxyStats {
   std::uint64_t stats_entries_hidden = 0;   // Table-0 rows filtered
   std::uint64_t controller_errors = 0;      // bad table id from controller
   std::uint64_t malformed = 0;
+
+  // Wire fast path (DESIGN.md §5): frames forwarded verbatim or dropped
+  // without decode, frames table-shifted in place, and frames that needed
+  // the full decode->re-encode slow path.
+  std::uint64_t frames_fast_path = 0;
+  std::uint64_t frames_patched = 0;
+  std::uint64_t frames_decoded = 0;
+  // FrameBufferPool counters, mirrored by DfiProxy::stats().
+  std::uint64_t pool_acquires = 0;
+  std::uint64_t pool_reuses = 0;
+
+  double pool_hit_rate() const {
+    return pool_acquires == 0 ? 1.0
+                              : static_cast<double>(pool_reuses) /
+                                    static_cast<double>(pool_acquires);
+  }
 };
 
 class DfiProxy {
@@ -73,14 +90,23 @@ class DfiProxy {
    private:
     friend class DfiProxy;
 
+    // Wire fast path: pass-through / in-place patch / decode fallback for
+    // one complete frame (DESIGN.md §5 classification table).
+    void fast_path_from_switch(const FrameView& view);
+    void fast_path_from_controller(const FrameView& view);
     void handle_switch_message(OfMessage message);
     void handle_controller_message(OfMessage message);
     void send_to_switch(const OfMessage& message);
     void send_to_controller(const OfMessage& message);
     // Queue a message for delivery after the proxy processing delay. The
-    // delivery no-ops if the session is destroyed in the meantime.
+    // delivery no-ops if the session is destroyed in the meantime. Messages
+    // are encoded into pooled buffers at defer time; the byte variants take
+    // an already-encoded (pooled) frame and return it to the pool after
+    // delivery.
     void defer_to_switch(OfMessage message);
     void defer_to_controller(OfMessage message);
+    void defer_bytes_to_switch(std::vector<std::uint8_t> frame);
+    void defer_bytes_to_controller(std::vector<std::uint8_t> frame);
 
     DfiProxy& proxy_;
     SendFn to_switch_;
@@ -114,8 +140,16 @@ class DfiProxy {
 
   std::size_t session_count() const { return sessions_.size(); }
 
-  const ProxyStats& stats() const { return stats_; }
+  const ProxyStats& stats() const {
+    // Pool counters live in the pool; mirror them on read so ProxyStats
+    // stays one flat struct for tests and benches.
+    const FrameBufferPool::Stats pool = pool_.stats();
+    stats_.pool_acquires = pool.acquires;
+    stats_.pool_reuses = pool.reuses;
+    return stats_;
+  }
   const SampleStats& latency_ms() const { return latency_ms_; }
+  const FrameBufferPool& buffer_pool() const { return pool_; }
 
  private:
   friend class Session;
@@ -131,7 +165,10 @@ class DfiProxy {
   // moments instead of per message.
   LogNormalParams latency_{};
   std::vector<std::unique_ptr<Session>> sessions_;
-  ProxyStats stats_;
+  // Frame buffers shared by every session: forwarding reuses capacity
+  // instead of allocating per message.
+  FrameBufferPool pool_;
+  mutable ProxyStats stats_;
   SampleStats latency_ms_;
 };
 

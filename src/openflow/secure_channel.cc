@@ -10,25 +10,27 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-void keystream_xor(std::uint64_t key, std::uint64_t record, std::vector<std::uint8_t>& data) {
+void keystream_xor(std::uint64_t key, std::uint64_t record, std::uint8_t* data,
+                   std::size_t size) {
   std::uint64_t block = 0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
+  for (std::size_t i = 0; i < size; ++i) {
     if (i % 8 == 0) block = mix(key ^ mix(record ^ (i / 8)));
     data[i] ^= static_cast<std::uint8_t>(block >> ((i % 8) * 8));
   }
 }
 
 // Keyed 128-bit tag over (record number, ciphertext).
-void compute_tag(std::uint64_t key, std::uint64_t record,
-                 const std::vector<std::uint8_t>& ciphertext, std::uint8_t out[16]) {
+void compute_tag(std::uint64_t key, std::uint64_t record, const std::uint8_t* ciphertext,
+                 std::size_t size, std::uint8_t out[16]) {
   std::uint64_t a = mix(key ^ 0x7461675f61ull) ^ record;  // "tag_a"
   std::uint64_t b = mix(key ^ 0x7461675f62ull) ^ (record << 1);
-  for (const std::uint8_t byte : ciphertext) {
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint8_t byte = ciphertext[i];
     a = mix(a ^ byte);
     b = mix(b + byte + 1);
   }
-  a = mix(a ^ ciphertext.size());
-  b = mix(b ^ (ciphertext.size() << 8));
+  a = mix(a ^ size);
+  b = mix(b ^ (size << 8));
   for (int i = 0; i < 8; ++i) {
     out[i] = static_cast<std::uint8_t>(a >> (i * 8));
     out[8 + i] = static_cast<std::uint8_t>(b >> (i * 8));
@@ -50,49 +52,70 @@ std::uint64_t get_u64(const std::uint8_t* data) {
 }  // namespace
 
 std::vector<std::uint8_t> SecureChannel::seal(const std::vector<std::uint8_t>& plaintext) {
-  const std::uint64_t record = ++send_counter_;
   std::vector<std::uint8_t> out;
-  out.reserve(plaintext.size() + 24);
-  put_u64(out, record);
-  std::vector<std::uint8_t> ciphertext = plaintext;
-  keystream_xor(key_, record, ciphertext);
-  out.insert(out.end(), ciphertext.begin(), ciphertext.end());
-  std::uint8_t tag[16];
-  compute_tag(key_, record, ciphertext, tag);
-  out.insert(out.end(), tag, tag + 16);
+  seal_into(plaintext.data(), plaintext.size(), out);
   return out;
+}
+
+void SecureChannel::seal_into(const std::uint8_t* plaintext, std::size_t size,
+                              std::vector<std::uint8_t>& out) {
+  const std::uint64_t record = ++send_counter_;
+  out.clear();
+  out.reserve(size + 24);
+  put_u64(out, record);
+  // Encrypt in place inside the record: copy the plaintext, then xor the
+  // keystream over it. No ciphertext temporary.
+  out.insert(out.end(), plaintext, plaintext + size);
+  keystream_xor(key_, record, out.data() + 8, size);
+  std::uint8_t tag[16];
+  compute_tag(key_, record, out.data() + 8, size, tag);
+  out.insert(out.end(), tag, tag + 16);
 }
 
 Result<std::vector<std::uint8_t>> SecureChannel::open(
     const std::vector<std::uint8_t>& record) {
-  if (record.size() < 24) {
-    ++rejected_;
-    return Result<std::vector<std::uint8_t>>::Fail(ErrorCode::kMalformed,
-                                                   "truncated secure record");
+  std::vector<std::uint8_t> plaintext;
+  auto opened = open_into(record.data(), record.size(), plaintext);
+  if (!opened.ok()) {
+    return Result<std::vector<std::uint8_t>>::Fail(opened.error().code,
+                                                   opened.error().message);
   }
-  const std::uint64_t number = get_u64(record.data());
-  std::vector<std::uint8_t> ciphertext(record.begin() + 8, record.end() - 16);
+  return plaintext;
+}
+
+Result<std::size_t> SecureChannel::open_into(const std::uint8_t* record,
+                                             std::size_t size,
+                                             std::vector<std::uint8_t>& out) {
+  if (size < 24) {
+    ++rejected_;
+    return Result<std::size_t>::Fail(ErrorCode::kMalformed, "truncated secure record");
+  }
+  const std::uint64_t number = get_u64(record);
+  const std::uint8_t* ciphertext = record + 8;
+  const std::size_t ciphertext_len = size - 24;
   std::uint8_t expected[16];
-  compute_tag(key_, number, ciphertext, expected);
+  compute_tag(key_, number, ciphertext, ciphertext_len, expected);
   // Constant-time-style comparison (the spirit, if not the timing model).
   std::uint8_t diff = 0;
   for (int i = 0; i < 16; ++i) {
-    diff |= static_cast<std::uint8_t>(expected[i] ^ record[record.size() - 16 +
-                                                           static_cast<std::size_t>(i)]);
+    diff |= static_cast<std::uint8_t>(
+        expected[i] ^ record[size - 16 + static_cast<std::size_t>(i)]);
   }
   if (diff != 0) {
     ++rejected_;
-    return Result<std::vector<std::uint8_t>>::Fail(
+    return Result<std::size_t>::Fail(
         ErrorCode::kPermissionDenied, "authentication tag mismatch (tamper or wrong key)");
   }
   if (number <= highest_received_) {
     ++rejected_;
-    return Result<std::vector<std::uint8_t>>::Fail(ErrorCode::kPermissionDenied,
-                                                   "replayed or reordered record");
+    return Result<std::size_t>::Fail(ErrorCode::kPermissionDenied,
+                                     "replayed or reordered record");
   }
   highest_received_ = number;
-  keystream_xor(key_, number, ciphertext);
-  return ciphertext;
+  out.clear();
+  out.insert(out.end(), ciphertext, ciphertext + ciphertext_len);
+  keystream_xor(key_, number, out.data(), ciphertext_len);
+  return ciphertext_len;
 }
 
 }  // namespace dfi

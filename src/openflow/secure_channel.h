@@ -32,9 +32,20 @@ class SecureChannel {
   // Encrypt-and-authenticate one record.
   std::vector<std::uint8_t> seal(const std::vector<std::uint8_t>& plaintext);
 
+  // Same, into caller storage (cleared first; capacity reused). Encrypts in
+  // place inside `out` — no per-record ciphertext temporary — so sealing
+  // with a FrameBufferPool buffer allocates nothing at steady state.
+  void seal_into(const std::uint8_t* plaintext, std::size_t size,
+                 std::vector<std::uint8_t>& out);
+
   // Verify-and-decrypt one record. Fails on truncation, a bad tag (tamper
   // or wrong key), or a non-increasing record number (replay/reorder).
   Result<std::vector<std::uint8_t>> open(const std::vector<std::uint8_t>& record);
+
+  // Same, into caller storage (cleared first; untouched on failure). On
+  // success returns the plaintext length, equal to out.size().
+  Result<std::size_t> open_into(const std::uint8_t* record, std::size_t size,
+                                std::vector<std::uint8_t>& out);
 
   std::uint64_t records_sealed() const { return send_counter_; }
   std::uint64_t rejected() const { return rejected_; }

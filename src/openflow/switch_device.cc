@@ -302,7 +302,11 @@ void SwitchDevice::execute_actions(const std::vector<Action>& actions, PortNo in
 }
 
 void SwitchDevice::send_to_control(const OfMessage& message) {
-  if (control_output_) control_output_(encode(message));
+  if (!control_output_) return;
+  std::vector<std::uint8_t> frame = control_pool_.acquire();
+  encode_into(message, frame);
+  control_output_(frame);
+  control_pool_.release(std::move(frame));
 }
 
 void SwitchDevice::send_packet_in(PortNo in_port, std::uint8_t table_id,

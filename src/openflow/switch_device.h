@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "common/frame_buffer_pool.h"
 #include "common/sim_time.h"
 #include "common/types.h"
 #include "openflow/messages.h"
@@ -76,6 +77,9 @@ class SwitchDevice {
   // periodically when timeouts are in use; DFI itself installs none).
   void expire_flows();
 
+  // Control-egress frame buffer reuse (Packet-in floods are the hot case).
+  const FrameBufferPool& control_buffer_pool() const { return control_pool_; }
+
  private:
   void handle_message(const OfMessage& message);
   void apply_flow_mod(const FlowModMsg& mod);
@@ -109,6 +113,9 @@ class SwitchDevice {
   std::map<PortNo, Port> ports_;
   ControlOutputFn control_output_;
   FrameDecoder control_decoder_;
+  // Control egress is synchronous (callback returns before the buffer is
+  // released), so one small pool serves every outbound message.
+  FrameBufferPool control_pool_;
   SwitchCounters counters_;
   std::uint32_t next_xid_ = 1;
 };

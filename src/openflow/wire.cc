@@ -8,28 +8,39 @@ namespace {
 
 // ---------------------------------------------------------------- writing
 
+// Writes into caller-provided storage so pooled buffers keep their
+// capacity across encodes (encode_into). u32/u64 are single bounded writes
+// (one resize, direct stores) rather than per-byte push_back loops.
 class Writer {
  public:
-  std::vector<std::uint8_t> take() { return std::move(out_); }
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) { out_.clear(); }
+
   std::size_t size() const { return out_.size(); }
+  void reserve(std::size_t n) { out_.reserve(n); }
 
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v) {
-    out_.push_back(static_cast<std::uint8_t>(v >> 8));
-    out_.push_back(static_cast<std::uint8_t>(v));
+    const std::size_t p = grow(2);
+    out_[p] = static_cast<std::uint8_t>(v >> 8);
+    out_[p + 1] = static_cast<std::uint8_t>(v);
   }
   void u32(std::uint32_t v) {
-    for (int shift = 24; shift >= 0; shift -= 8) {
-      out_.push_back(static_cast<std::uint8_t>(v >> shift));
-    }
+    const std::size_t p = grow(4);
+    out_[p] = static_cast<std::uint8_t>(v >> 24);
+    out_[p + 1] = static_cast<std::uint8_t>(v >> 16);
+    out_[p + 2] = static_cast<std::uint8_t>(v >> 8);
+    out_[p + 3] = static_cast<std::uint8_t>(v);
   }
   void u64(std::uint64_t v) {
-    for (int shift = 56; shift >= 0; shift -= 8) {
-      out_.push_back(static_cast<std::uint8_t>(v >> shift));
+    const std::size_t p = grow(8);
+    for (int i = 0; i < 8; ++i) {
+      out_[p + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (56 - 8 * i));
     }
   }
   void mac(const MacAddress& m) {
-    for (auto octet : m.octets()) out_.push_back(octet);
+    const auto& octets = m.octets();
+    out_.insert(out_.end(), octets.begin(), octets.end());
   }
   void pad(std::size_t n) { out_.insert(out_.end(), n, 0); }
   void bytes(const std::vector<std::uint8_t>& data) {
@@ -42,7 +53,13 @@ class Writer {
   }
 
  private:
-  std::vector<std::uint8_t> out_;
+  std::size_t grow(std::size_t n) {
+    const std::size_t p = out_.size();
+    out_.resize(p + n);
+    return p;
+  }
+
+  std::vector<std::uint8_t>& out_;
 };
 
 // OXM field codes (OFPXMC_OPENFLOW_BASIC class 0x8000).
@@ -381,8 +398,51 @@ std::string OfMessage::summary() const {
   return text;
 }
 
+namespace {
+
+// Lower-bound size hint so encode_into reserves once up front instead of
+// growing geometrically through the body (match/instruction TLV sizes are
+// approximated, not summed exactly).
+std::size_t body_size_hint(const OfMessage& message) {
+  struct Visitor {
+    std::size_t operator()(const HelloMsg&) const { return 0; }
+    std::size_t operator()(const ErrorMsg& m) const { return 4 + m.data.size(); }
+    std::size_t operator()(const EchoRequestMsg& m) const { return m.data.size(); }
+    std::size_t operator()(const EchoReplyMsg& m) const { return m.data.size(); }
+    std::size_t operator()(const FeaturesRequestMsg&) const { return 0; }
+    std::size_t operator()(const FeaturesReplyMsg&) const { return 24; }
+    std::size_t operator()(const PacketInMsg& m) const {
+      return 16 + 16 + 2 + m.data.size();
+    }
+    std::size_t operator()(const PacketOutMsg& m) const {
+      return 16 + 16 * m.actions.size() + m.data.size();
+    }
+    std::size_t operator()(const FlowModMsg&) const { return 40 + 56 + 32; }
+    std::size_t operator()(const FlowRemovedMsg&) const { return 40 + 56; }
+    std::size_t operator()(const PortStatusMsg&) const { return 8 + 64; }
+    std::size_t operator()(const MultipartRequestMsg& m) const {
+      return m.stats_type == kStatsTypeFlow ? 8 + 32 + 56 : 8 + 8;
+    }
+    std::size_t operator()(const MultipartReplyMsg& m) const {
+      return 8 + m.flow_stats.size() * (48 + 56 + 32) + m.port_stats.size() * 112;
+    }
+    std::size_t operator()(const BarrierRequestMsg&) const { return 0; }
+    std::size_t operator()(const BarrierReplyMsg&) const { return 0; }
+  };
+  return std::visit(Visitor{}, message.payload);
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> encode(const OfMessage& message) {
-  Writer w;
+  std::vector<std::uint8_t> bytes;
+  encode_into(message, bytes);
+  return bytes;
+}
+
+void encode_into(const OfMessage& message, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.reserve(8 + body_size_hint(message));
   w.u8(kOfVersion13);
   w.u8(static_cast<std::uint8_t>(message.type()));
   const std::size_t len_offset = w.size();
@@ -526,10 +586,11 @@ std::vector<std::uint8_t> encode(const OfMessage& message) {
   };
   std::visit(Visitor{w}, message.payload);
 
-  auto bytes = w.take();
-  bytes[len_offset] = static_cast<std::uint8_t>(bytes.size() >> 8);
-  bytes[len_offset + 1] = static_cast<std::uint8_t>(bytes.size());
-  return bytes;
+  w.patch_u16(len_offset, static_cast<std::uint16_t>(out.size()));
+  // The patched header length must describe the whole frame: a body that
+  // outgrew the u16 length field would silently truncate on the wire.
+  assert(out.size() == (static_cast<std::size_t>(out[len_offset]) << 8 |
+                        out[len_offset + 1]));
 }
 
 namespace {
@@ -785,35 +846,430 @@ Result<OfMessage> decode_frame(const std::uint8_t* data, std::size_t size) {
                                  "message type " + std::to_string(type));
 }
 
+// ------------------------------------------------- fast-path classification
+//
+// The walkers below accept exactly the byte layouts encode() produces
+// ("canonical form") and nothing else. That is deliberately stricter than
+// decode(): decode() tolerates unknown OXM classes, masked fields, unknown
+// action/instruction types, nonzero skipped padding, reordered instructions
+// and trailing garbage — all of which re-encode *differently* after the
+// round trip. Only frames the round trip would reproduce bit-for-bit may
+// skip it; everything else is kDecode so both paths stay byte-identical.
+
+constexpr std::size_t kHdrLen = 8;
+
+std::uint16_t rd16(const std::uint8_t* d) {
+  return static_cast<std::uint16_t>((d[0] << 8) | d[1]);
+}
+
+bool all_zero(const std::uint8_t* d, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] != 0) return false;
+  }
+  return true;
+}
+
+// Canonical OXM match starting at `off`: OFPMT_OXM, fields from the known
+// set in encode order (strictly ascending field codes, exact value lengths,
+// class 0x8000, no masks), zeroed pad to the 8-byte boundary. Returns the
+// offset just past the pad, or 0 on anything non-canonical.
+std::size_t walk_canonical_match(const std::uint8_t* d, std::size_t size,
+                                 std::size_t off) {
+  if (off + 4 > size) return 0;
+  if (rd16(d + off) != 1) return 0;  // OFPMT_OXM
+  const std::uint16_t length = rd16(d + off + 2);
+  if (length < 4) return 0;
+  const std::size_t padded = (static_cast<std::size_t>(length) + 7) / 8 * 8;
+  if (off + padded > size) return 0;
+  const std::size_t fields_end = off + length;
+  std::size_t p = off + 4;
+  int prev_field = -1;
+  while (p < fields_end) {
+    if (p + 4 > fields_end) return 0;
+    if (rd16(d + p) != 0x8000) return 0;  // OFPXMC_OPENFLOW_BASIC
+    const std::uint8_t field_hm = d[p + 2];
+    if ((field_hm & 1) != 0) return 0;  // masked
+    const std::uint8_t field = field_hm >> 1;
+    std::uint8_t want = 0;
+    switch (field) {
+      case kOxmInPort: want = 4; break;
+      case kOxmEthDst: want = 6; break;
+      case kOxmEthSrc: want = 6; break;
+      case kOxmEthType: want = 2; break;
+      case kOxmIpProto: want = 1; break;
+      case kOxmIpv4Src: want = 4; break;
+      case kOxmIpv4Dst: want = 4; break;
+      case kOxmTcpSrc: want = 2; break;
+      case kOxmTcpDst: want = 2; break;
+      case kOxmUdpSrc: want = 2; break;
+      case kOxmUdpDst: want = 2; break;
+      default: return 0;
+    }
+    if (d[p + 3] != want) return 0;
+    // encode() emits the known fields in ascending field-code order,
+    // each at most once.
+    if (static_cast<int>(field) <= prev_field) return 0;
+    prev_field = field;
+    p += 4 + want;
+  }
+  if (p != fields_end) return 0;
+  if (!all_zero(d + fields_end, off + padded - fields_end)) return 0;
+  return off + padded;
+}
+
+// Canonical action list covering exactly [off, end): OFPAT_OUTPUT only,
+// length 16, max_len OFPCML_MAX, zeroed pad.
+bool walk_canonical_actions(const std::uint8_t* d, std::size_t off, std::size_t end) {
+  while (off < end) {
+    if (off + 16 > end) return false;
+    if (rd16(d + off) != 0) return false;       // OFPAT_OUTPUT
+    if (rd16(d + off + 2) != 16) return false;  // length
+    if (rd16(d + off + 8) != 0xffff) return false;  // max_len re-encodes as MAX
+    if (!all_zero(d + off + 10, 6)) return false;
+    off += 16;
+  }
+  return true;
+}
+
+// Canonical instruction list covering exactly [off, end): at most one
+// goto-table first, then at most one non-empty apply-actions — the order
+// and multiplicity write_instructions() produces. Records the offset of the
+// goto table_id byte (0 if absent) for in-place patching.
+bool walk_canonical_instructions(const std::uint8_t* d, std::size_t off,
+                                 std::size_t end, std::size_t* goto_offset) {
+  if (goto_offset != nullptr) *goto_offset = 0;
+  if (off < end && off + 4 <= end && rd16(d + off) == 1) {  // OFPIT_GOTO_TABLE
+    if (rd16(d + off + 2) != 8 || off + 8 > end) return false;
+    if (!all_zero(d + off + 5, 3)) return false;
+    if (goto_offset != nullptr) *goto_offset = off + 4;
+    off += 8;
+  }
+  if (off < end) {  // OFPIT_APPLY_ACTIONS
+    if (off + 8 > end) return false;
+    if (rd16(d + off) != 4) return false;
+    const std::uint16_t len = rd16(d + off + 2);
+    // encode() omits an empty apply-actions entirely, so len == 8 (zero
+    // actions) is non-canonical.
+    if (len < 8 + 16 || (len - 8) % 16 != 0) return false;
+    if (off + len > end) return false;
+    if (!all_zero(d + off + 4, 4)) return false;
+    if (!walk_canonical_actions(d, off + 8, off + len)) return false;
+    off += len;
+  }
+  return off == end;
+}
+
+// FLOW_MOD fixed part (body offsets 8..47): out_group and pad re-encode as
+// OFPG_ANY / zero, everything else round-trips. Match at 48.
+bool flow_mod_fixed_canonical(const std::uint8_t* d, std::size_t size) {
+  if (size < kHdrLen + 40) return false;
+  if (d[40] != 0xff || d[41] != 0xff || d[42] != 0xff || d[43] != 0xff) return false;
+  return d[46] == 0 && d[47] == 0;
+}
+
+FrameClass classify_flow_mod(const std::uint8_t* d, std::size_t n,
+                             std::uint8_t switch_num_tables) {
+  if (!flow_mod_fixed_canonical(d, n)) return FrameClass::kDecode;
+  const std::uint8_t table = d[kFlowModTableOffset];
+  // OFPTT_ALL expands to per-table deletes (or an error); an out-of-range
+  // table draws an ERROR reply. Both originate messages — slow path.
+  if (table == 0xff) return FrameClass::kDecode;
+  const std::uint8_t tables = switch_num_tables == 0 ? 4 : switch_num_tables;
+  if (table + 1 >= tables) return FrameClass::kDecode;
+  const std::size_t match_end = walk_canonical_match(d, n, kHdrLen + 40);
+  if (match_end == 0) return FrameClass::kDecode;
+  std::size_t goto_offset = 0;
+  if (!walk_canonical_instructions(d, match_end, n, &goto_offset)) {
+    return FrameClass::kDecode;
+  }
+  return FrameClass::kPatch;
+}
+
+FrameClass classify_packet_in(const std::uint8_t* d, std::size_t n) {
+  if (n < kHdrLen + 16) return FrameClass::kDecode;
+  // Table-0 miss: the PCP decides before the controller may see it.
+  if (d[kPacketInTableOffset] == 0) return FrameClass::kDecode;
+  // decode() keeps only the IN_PORT oxm and re-encode always writes exactly
+  // one, so canonical means: match of length 12 whose single field is
+  // IN_PORT (4 + 8), padded to 16, then the 2-byte zero pad, then data.
+  const std::size_t match_off = kHdrLen + 16;
+  const std::size_t match_end = walk_canonical_match(d, n, match_off);
+  if (match_end == 0) return FrameClass::kDecode;
+  if (rd16(d + match_off + 2) != 12) return FrameClass::kDecode;
+  if (d[match_off + 6] >> 1 != kOxmInPort) return FrameClass::kDecode;
+  if (match_end + 2 > n) return FrameClass::kDecode;
+  if (d[match_end] != 0 || d[match_end + 1] != 0) return FrameClass::kDecode;
+  return FrameClass::kPatch;
+}
+
+FrameClass classify_flow_removed(const std::uint8_t* d, std::size_t n) {
+  if (n < kHdrLen + 40) return FrameClass::kDecode;
+  if (!all_zero(d + 24, 4)) return FrameClass::kDecode;  // duration_nsec
+  // decode() ignores trailing bytes after the match; re-encode drops them.
+  if (walk_canonical_match(d, n, kHdrLen + 40) != n) return FrameClass::kDecode;
+  return FrameClass::kPatch;
+}
+
+FrameClass classify_multipart_request(const std::uint8_t* d, std::size_t n) {
+  if (n < kHdrLen + 8) return FrameClass::kDecode;
+  if (!all_zero(d + 10, 6)) return FrameClass::kDecode;  // flags + pad
+  const std::uint16_t stats_type = rd16(d + 8);
+  if (stats_type == kStatsTypeFlow) {
+    if (n < kHdrLen + 8 + 32) return FrameClass::kDecode;
+    if (!all_zero(d + 17, 3)) return FrameClass::kDecode;  // pad after table_id
+    // out_port / out_group re-encode as OFPP_ANY / OFPG_ANY.
+    for (std::size_t i = 20; i < 28; ++i) {
+      if (d[i] != 0xff) return FrameClass::kDecode;
+    }
+    if (!all_zero(d + 28, 4)) return FrameClass::kDecode;
+    if (walk_canonical_match(d, n, kHdrLen + 40) != n) return FrameClass::kDecode;
+    // OFPTT_ALL is forwarded unshifted.
+    return d[kMultipartRequestTableOffset] == 0xff ? FrameClass::kPassThrough
+                                                   : FrameClass::kPatch;
+  }
+  if (stats_type == kStatsTypePort) {
+    if (n != kHdrLen + 8 + 8) return FrameClass::kDecode;
+    if (!all_zero(d + 20, 4)) return FrameClass::kDecode;
+    return FrameClass::kPassThrough;
+  }
+  // Other stats types decode to an empty request body.
+  return n == kHdrLen + 8 ? FrameClass::kPassThrough : FrameClass::kDecode;
+}
+
+// Flow-stats entries: length-prefixed records, each 48 fixed bytes + match
+// + instructions. Walks every entry; reports whether any row cites Table 0
+// (those are filtered by the proxy, which changes the frame length — slow
+// path).
+FrameClass classify_multipart_reply(const std::uint8_t* d, std::size_t n) {
+  if (n < kHdrLen + 8) return FrameClass::kDecode;
+  if (!all_zero(d + 10, 6)) return FrameClass::kDecode;
+  const std::uint16_t stats_type = rd16(d + 8);
+  if (stats_type == kStatsTypeFlow) {
+    std::size_t off = kHdrLen + 8;
+    bool any_table0 = false;
+    bool any_shift = false;
+    while (off < n) {
+      if (off + 48 > n) return FrameClass::kDecode;
+      const std::uint16_t entry_len = rd16(d + off);
+      if (entry_len < 48 || off + entry_len > n) return FrameClass::kDecode;
+      if (d[off + 2] == 0) any_table0 = true;
+      if (d[off + 3] != 0) return FrameClass::kDecode;       // pad
+      if (!all_zero(d + off + 8, 4)) return FrameClass::kDecode;   // duration_nsec
+      if (!all_zero(d + off + 18, 6)) return FrameClass::kDecode;  // flags + pad
+      const std::size_t match_end = walk_canonical_match(d, off + entry_len, off + 48);
+      if (match_end == 0) return FrameClass::kDecode;
+      if (!walk_canonical_instructions(d, match_end, off + entry_len, nullptr)) {
+        return FrameClass::kDecode;
+      }
+      any_shift = true;
+      off += entry_len;
+    }
+    if (off != n) return FrameClass::kDecode;
+    if (any_table0) return FrameClass::kDecode;  // rows get filtered out
+    return any_shift ? FrameClass::kPatch : FrameClass::kPassThrough;
+  }
+  if (stats_type == kStatsTypePort) {
+    std::size_t off = kHdrLen + 8;
+    while (off < n) {
+      if (off + 112 > n) return FrameClass::kDecode;
+      if (!all_zero(d + off + 4, 4)) return FrameClass::kDecode;    // pad
+      if (!all_zero(d + off + 56, 48)) return FrameClass::kDecode;  // error ctrs
+      if (!all_zero(d + off + 108, 4)) return FrameClass::kDecode;  // duration_nsec
+      off += 112;
+    }
+    return FrameClass::kPassThrough;
+  }
+  return n == kHdrLen + 8 ? FrameClass::kPassThrough : FrameClass::kDecode;
+}
+
+FrameClass classify_packet_out(const std::uint8_t* d, std::size_t n) {
+  if (n < kHdrLen + 16) return FrameClass::kDecode;
+  const std::uint16_t actions_len = rd16(d + 16);
+  if (!all_zero(d + 18, 6)) return FrameClass::kDecode;
+  if (kHdrLen + 16 + actions_len > n) return FrameClass::kDecode;
+  // decode() recomputes actions_len as 16 * count, so only an exact list of
+  // canonical OUTPUT actions round-trips.
+  if (!walk_canonical_actions(d, kHdrLen + 16, kHdrLen + 16 + actions_len)) {
+    return FrameClass::kDecode;
+  }
+  return FrameClass::kPassThrough;  // data tail round-trips verbatim
+}
+
 }  // namespace
+
+FrameClass classify(const FrameView& view, ProxyDirection direction,
+                    std::uint8_t switch_num_tables) {
+  const std::uint8_t* d = view.data();
+  const std::size_t n = view.size();
+  // Frames decode() would reject (bad version, length mismatch) take the
+  // slow path so the malformed accounting stays identical.
+  if (n < kHdrLen || d[0] != kOfVersion13 || view.length() != n) {
+    return FrameClass::kDecode;
+  }
+  const bool to_controller = direction == ProxyDirection::kSwitchToController;
+  switch (static_cast<OfType>(d[1])) {
+    // Body-less messages: decode() ignores any body bytes and re-encode
+    // emits exactly 8, so only bare headers pass through.
+    case OfType::kHello:
+    case OfType::kFeaturesRequest:
+    case OfType::kBarrierRequest:
+    case OfType::kBarrierReply:
+      return n == kHdrLen ? FrameClass::kPassThrough : FrameClass::kDecode;
+    // Echo and Error carry their payload verbatim.
+    case OfType::kEchoRequest:
+    case OfType::kEchoReply:
+      return FrameClass::kPassThrough;
+    case OfType::kError:
+      return n >= kHdrLen + 4 ? FrameClass::kPassThrough : FrameClass::kDecode;
+    case OfType::kPacketIn:
+      // Controller-originated PACKET_IN is nonsensical; let the slow path's
+      // default pass-through handle it.
+      return to_controller ? classify_packet_in(d, n) : FrameClass::kDecode;
+    case OfType::kFlowRemoved:
+      // kPatch here includes the Table-0 case: the proxy checks
+      // kFlowRemovedTableOffset and drops the frame without copying it.
+      return to_controller ? classify_flow_removed(d, n) : FrameClass::kDecode;
+    case OfType::kFlowMod:
+      return to_controller ? FrameClass::kDecode
+                           : classify_flow_mod(d, n, switch_num_tables);
+    case OfType::kMultipartRequest:
+      return to_controller ? FrameClass::kDecode : classify_multipart_request(d, n);
+    case OfType::kMultipartReply:
+      return to_controller ? classify_multipart_reply(d, n) : FrameClass::kDecode;
+    case OfType::kPacketOut:
+      return to_controller ? FrameClass::kDecode : classify_packet_out(d, n);
+    // FEATURES_REPLY drives session registration; PORT_STATUS is rare.
+    case OfType::kFeaturesReply:
+    case OfType::kPortStatus:
+      return FrameClass::kDecode;
+  }
+  return FrameClass::kDecode;  // unknown type: slow path counts it malformed
+}
+
+bool patch_table_refs(std::uint8_t* data, std::size_t size, ProxyDirection direction) {
+  const bool to_controller = direction == ProxyDirection::kSwitchToController;
+  switch (static_cast<OfType>(data[1])) {
+    case OfType::kPacketIn: {
+      if (!to_controller || size < kHdrLen + 16) return false;
+      std::uint8_t& table = data[kPacketInTableOffset];
+      if (table == 0) return false;  // PCP-bound; never patched
+      --table;
+      return true;
+    }
+    case OfType::kFlowRemoved: {
+      if (!to_controller || size < kHdrLen + 40) return false;
+      std::uint8_t& table = data[kFlowRemovedTableOffset];
+      if (table == 0) return false;  // dropped, not shifted
+      --table;
+      return true;
+    }
+    case OfType::kFlowMod: {
+      if (to_controller || size < kHdrLen + 40) return false;
+      const std::size_t match_end = walk_canonical_match(data, size, kHdrLen + 40);
+      if (match_end == 0) return false;
+      std::size_t goto_offset = 0;
+      if (!walk_canonical_instructions(data, match_end, size, &goto_offset)) {
+        return false;
+      }
+      ++data[kFlowModTableOffset];
+      // The slow path increments goto unconditionally on the shift path.
+      if (goto_offset != 0) ++data[goto_offset];
+      return true;
+    }
+    case OfType::kMultipartRequest: {
+      if (to_controller || size < kHdrLen + 8 + 32) return false;
+      std::uint8_t& table = data[kMultipartRequestTableOffset];
+      if (table == 0xff) return false;  // OFPTT_ALL passes through
+      ++table;
+      return true;
+    }
+    case OfType::kMultipartReply: {
+      if (!to_controller || size < kHdrLen + 8) return false;
+      if (rd16(data + 8) != kStatsTypeFlow) return false;
+      std::size_t off = kHdrLen + 8;
+      while (off < size) {
+        if (off + 48 > size) return false;
+        const std::uint16_t entry_len = rd16(data + off);
+        if (entry_len < 48 || off + entry_len > size) return false;
+        if (data[off + 2] == 0) return false;  // Table-0 rows are filtered
+        --data[off + 2];
+        const std::size_t match_end =
+            walk_canonical_match(data, off + entry_len, off + 48);
+        if (match_end == 0) return false;
+        std::size_t goto_offset = 0;
+        if (!walk_canonical_instructions(data, match_end, off + entry_len,
+                                         &goto_offset)) {
+          return false;
+        }
+        // Matches the slow path: only gotos above the boundary shift down.
+        if (goto_offset != 0 && data[goto_offset] > 0) --data[goto_offset];
+        off += entry_len;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
 
 Result<OfMessage> decode(const std::vector<std::uint8_t>& bytes) {
   return decode_frame(bytes.data(), bytes.size());
 }
 
+Result<OfMessage> decode(const FrameView& view) {
+  return decode_frame(view.data(), view.size());
+}
+
 void FrameDecoder::feed(const std::vector<std::uint8_t>& chunk) {
+  if (read_pos_ == buffer_.size()) {
+    // Fully drained: recycle the storage outright.
+    buffer_.clear();
+    read_pos_ = 0;
+  } else if (read_pos_ > 0 && read_pos_ >= buffer_.size() - read_pos_) {
+    // The consumed prefix outweighs the live tail: compact once. The move
+    // cost is bounded by bytes consumed since the last compaction, so the
+    // decoder stays amortized O(1) per byte even under 1-byte feeds.
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(read_pos_));
+    read_pos_ = 0;
+  }
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+}
+
+FrameStatus FrameDecoder::next_frame(FrameView& view) {
+  const std::size_t available = buffer_.size() - read_pos_;
+  if (available < 8) return FrameStatus::kAwait;
+  const std::size_t frame_len =
+      (static_cast<std::size_t>(buffer_[read_pos_ + 2]) << 8) |
+      buffer_[read_pos_ + 3];
+  if (frame_len < 8) {
+    // Unrecoverable framing corruption: reset the stream.
+    buffer_.clear();
+    read_pos_ = 0;
+    return FrameStatus::kCorrupt;
+  }
+  if (available < frame_len) return FrameStatus::kAwait;
+  view = FrameView(buffer_.data() + read_pos_, frame_len);
+  read_pos_ += frame_len;
+  return FrameStatus::kFrame;
 }
 
 std::vector<Result<OfMessage>> FrameDecoder::drain() {
   std::vector<Result<OfMessage>> messages;
-  std::size_t offset = 0;
-  while (buffer_.size() - offset >= 8) {
-    const std::size_t frame_len =
-        (static_cast<std::size_t>(buffer_[offset + 2]) << 8) | buffer_[offset + 3];
-    if (frame_len < 8) {
-      // Unrecoverable framing corruption: report and reset the stream.
-      messages.push_back(
-          Result<OfMessage>::Fail(ErrorCode::kMalformed, "frame length < 8"));
-      buffer_.clear();
-      return messages;
+  FrameView view;
+  for (;;) {
+    switch (next_frame(view)) {
+      case FrameStatus::kFrame:
+        messages.push_back(decode(view));
+        break;
+      case FrameStatus::kAwait:
+        return messages;
+      case FrameStatus::kCorrupt:
+        messages.push_back(
+            Result<OfMessage>::Fail(ErrorCode::kMalformed, "frame length < 8"));
+        return messages;
     }
-    if (buffer_.size() - offset < frame_len) break;  // incomplete frame
-    messages.push_back(decode_frame(buffer_.data() + offset, frame_len));
-    offset += frame_len;
   }
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
-  return messages;
 }
 
 }  // namespace dfi

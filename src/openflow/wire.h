@@ -6,6 +6,21 @@
 // controller and proxy here exchange real OF 1.3 byte streams: 8-byte
 // ofp_header framing, OXM TLV matches, instruction/action TLVs. The codec
 // covers the message subset in messages.h and rejects the rest cleanly.
+//
+// Two paths through the codec:
+//
+//  * Slow path: decode() a frame into an OfMessage, mutate it, encode() it
+//    back. Fully general, allocation-heavy.
+//  * Fast path (DESIGN.md §5): classify() looks at a FrameView — a
+//    non-owning span over one frame in the decoder's buffer — and reports
+//    whether the proxy can forward the bytes untouched (kPassThrough),
+//    rewrite every table_id in place at fixed/TLV-walked offsets (kPatch),
+//    or must fall back to full decode (kDecode). classify() only admits
+//    frames in *canonical* form — the exact byte layout encode() produces —
+//    because the slow path is decode→re-encode and therefore canonicalizes;
+//    admitting anything else would break byte-for-byte equivalence between
+//    the two paths. The slow path stays on as the differential oracle
+//    (tests/wire_fastpath_test.cc).
 #pragma once
 
 #include <cstdint>
@@ -16,26 +31,116 @@
 
 namespace dfi {
 
+// Non-owning view over one length-prefixed frame (ofp_header + body). Valid
+// only while the underlying storage is — for views produced by
+// FrameDecoder::next_frame, until the next feed().
+class FrameView {
+ public:
+  FrameView() = default;
+  FrameView(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Header accessors; only meaningful when size() >= 8.
+  std::uint8_t version() const { return data_[0]; }
+  OfType type() const { return static_cast<OfType>(data_[1]); }
+  std::uint8_t raw_type() const { return data_[1]; }
+  std::uint16_t length() const {
+    return static_cast<std::uint16_t>((data_[2] << 8) | data_[3]);
+  }
+  std::uint32_t xid() const {
+    return (static_cast<std::uint32_t>(data_[4]) << 24) |
+           (static_cast<std::uint32_t>(data_[5]) << 16) |
+           (static_cast<std::uint32_t>(data_[6]) << 8) | data_[7];
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Which way a frame is crossing the proxy. Table shifting is asymmetric:
+// +1 toward the switch, -1 toward the controller.
+enum class ProxyDirection : std::uint8_t {
+  kSwitchToController,
+  kControllerToSwitch,
+};
+
+enum class FrameClass : std::uint8_t {
+  kPassThrough,  // forward the bytes verbatim
+  kPatch,        // rewrite table ids in place via patch_table_refs()
+  kDecode,       // full decode required (Packet-in -> PCP, handshake,
+                 // errors, expansion, and anything non-canonical)
+};
+
+// Fixed byte offsets of the primary table_id in patchable messages
+// (ofp_header included). Used by patch_table_refs and the proxy's
+// FLOW_REMOVED Table-0 drop check.
+inline constexpr std::size_t kPacketInTableOffset = 15;
+inline constexpr std::size_t kFlowRemovedTableOffset = 19;
+inline constexpr std::size_t kFlowModTableOffset = 24;
+inline constexpr std::size_t kMultipartRequestTableOffset = 16;
+
+// Classify one frame for the proxy fast path without decoding it.
+// `switch_num_tables` is the table count learned from the handshake (0 if
+// unknown); it gates the FLOW_MOD out-of-range check exactly like the slow
+// path does. Guarantees: a kPassThrough frame forwarded verbatim, or a
+// kPatch frame run through patch_table_refs(), is byte-identical to what
+// decode -> table shift -> encode would have produced.
+FrameClass classify(const FrameView& view, ProxyDirection direction,
+                    std::uint8_t switch_num_tables);
+
+// Rewrite every table reference in a frame previously classified kPatch for
+// the same direction: the primary table_id at its fixed offset, plus
+// goto-table instructions and multipart flow-stats entries at TLV-walked
+// offsets. Returns false (leaving partial writes possible) only if the
+// frame does not hold up to re-validation — callers then fall back to the
+// slow path on the original bytes.
+bool patch_table_refs(std::uint8_t* data, std::size_t size, ProxyDirection direction);
+
 // Encode one message to wire bytes (ofp_header + body).
 std::vector<std::uint8_t> encode(const OfMessage& message);
+
+// Encode into caller-provided storage (cleared first; capacity reused).
+// This is the zero-allocation path when `out` comes from a FrameBufferPool.
+void encode_into(const OfMessage& message, std::vector<std::uint8_t>& out);
 
 // Decode exactly one message from `bytes` (must contain exactly one frame).
 Result<OfMessage> decode(const std::vector<std::uint8_t>& bytes);
 
-// Stream decoder: feed arbitrary byte chunks, pop complete messages. Models
-// the TCP byte-stream the proxy actually reads.
+// Slow-path fallback for frames the fast path cannot handle.
+Result<OfMessage> decode(const FrameView& view);
+
+enum class FrameStatus : std::uint8_t {
+  kFrame,    // `view` holds the next complete frame
+  kAwait,    // need more bytes
+  kCorrupt,  // framing destroyed (length < 8); stream was reset
+};
+
+// Stream decoder: feed arbitrary byte chunks, pop complete frames. Models
+// the TCP byte-stream the proxy actually reads. Consumed bytes are
+// reclaimed by compacting the buffer at most once per feed (amortized O(1)
+// per byte — never the old erase-from-front per drain).
 class FrameDecoder {
  public:
   void feed(const std::vector<std::uint8_t>& chunk);
+
+  // Zero-copy: yields a view over the next complete frame in internal
+  // storage. The view is valid until the next feed(). kCorrupt resets the
+  // stream (framing is unrecoverable once a length field is < 8).
+  FrameStatus next_frame(FrameView& view);
 
   // Returns decoded messages in arrival order; malformed frames produce an
   // Error result but do not desynchronize the stream (length-prefixed).
   std::vector<Result<OfMessage>> drain();
 
-  std::size_t buffered_bytes() const { return buffer_.size(); }
+  std::size_t buffered_bytes() const { return buffer_.size() - read_pos_; }
 
  private:
   std::vector<std::uint8_t> buffer_;
+  std::size_t read_pos_ = 0;
 };
 
 }  // namespace dfi

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <set>
 
+#include "common/frame_buffer_pool.h"
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -189,6 +190,53 @@ TEST(Types, StrongTypeComparisons) {
   EXPECT_NE(PortNo{1}, PortNo{2});
   EXPECT_EQ(to_string(kPortFlood), "port:FLOOD");
   EXPECT_EQ(to_string(Cookie{9}), "cookie:9");
+}
+
+TEST(FrameBufferPool, ReusesCapacityAfterRelease) {
+  FrameBufferPool pool;
+  auto first = pool.acquire();
+  first.resize(1500);
+  const std::uint8_t* slab = first.data();
+  const std::size_t capacity = first.capacity();
+  pool.release(std::move(first));
+
+  auto second = pool.acquire();
+  EXPECT_TRUE(second.empty());          // cleared...
+  EXPECT_EQ(second.capacity(), capacity);  // ...but capacity survives
+  EXPECT_EQ(second.data(), slab);       // same slab, no allocation
+  pool.release(std::move(second));
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_EQ(stats.reuses, 1u);
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.releases, 2u);
+  EXPECT_EQ(stats.free_buffers, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(FrameBufferPool, AcquireCopyFillsBuffer) {
+  FrameBufferPool pool;
+  const std::uint8_t bytes[] = {1, 2, 3, 4};
+  auto buffer = pool.acquire_copy(bytes, sizeof(bytes));
+  EXPECT_EQ(buffer, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  pool.release(std::move(buffer));
+  auto again = pool.acquire_copy(bytes, 2);
+  EXPECT_EQ(again, (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(pool.stats().reuses, 1u);
+}
+
+TEST(FrameBufferPool, MaxFreeBoundsRetainedSlab) {
+  FrameBufferPool pool(/*max_free=*/2);
+  std::vector<std::vector<std::uint8_t>> held;
+  for (int i = 0; i < 5; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.in_use(), 5u);
+  EXPECT_EQ(pool.stats().peak_in_use, 5u);
+  for (auto& buffer : held) pool.release(std::move(buffer));
+  EXPECT_EQ(pool.in_use(), 0u);
+  // Releases past max_free simply free the buffer.
+  EXPECT_EQ(pool.stats().free_buffers, 2u);
+  EXPECT_EQ(pool.stats().releases, 5u);
 }
 
 }  // namespace

@@ -56,6 +56,9 @@ struct Coverage {
   std::uint64_t delayed = 0;
   std::uint64_t reordered = 0;
   std::uint64_t severed_drops = 0;
+  std::uint64_t frames_fast_path = 0;
+  std::uint64_t frames_patched = 0;
+  std::uint64_t frames_decoded = 0;
 
   void add(const FuzzResult& result) {
     packet_ins += result.packet_ins;
@@ -74,6 +77,9 @@ struct Coverage {
     delayed += result.fault_stats.delayed;
     reordered += result.fault_stats.reordered_flushes;
     severed_drops += result.fault_stats.severed_drops;
+    frames_fast_path += result.frames_fast_path;
+    frames_patched += result.frames_patched;
+    frames_decoded += result.frames_decoded;
   }
 };
 
@@ -119,6 +125,12 @@ TEST(FuzzCampaign, SimulatedSingleShard) {
   EXPECT_GT(c.delayed, 0u);
   EXPECT_GT(c.reordered, 0u);
   EXPECT_GT(c.severed_drops, 0u);
+  // The proxied streams must actually ride the wire fast path: verbatim
+  // pass-throughs, in-place table patches, and decode fallbacks all fire
+  // under faults — I1-I5 above hold across all three.
+  EXPECT_GT(c.frames_fast_path, 0u);
+  EXPECT_GT(c.frames_patched, 0u);
+  EXPECT_GT(c.frames_decoded, 0u);
 }
 
 TEST(FuzzCampaign, SimulatedFourShards) {

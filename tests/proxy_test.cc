@@ -407,5 +407,60 @@ TEST(ProxyTeardown, ThreadedDecisionsInFlightAtDestroy) {
   EXPECT_EQ(controller_bytes, controller_before);
 }
 
+TEST_F(ProxyTest, FastPathCountersClassifyTraffic) {
+  complete_handshake();  // FEATURES_REPLY itself needs the decode path
+  const auto decoded_baseline = proxy_.stats().frames_decoded;
+
+  // Echo: canonical pass-through, forwarded without decode.
+  session_.from_switch(encode(OfMessage{10, EchoRequestMsg{{0xaa}}}));
+  // Packet-in from a controller table: patched in place.
+  PacketInMsg packet_in;
+  packet_in.table_id = 2;
+  packet_in.in_port = PortNo{1};
+  packet_in.data = {1, 2, 3};
+  session_.from_switch(encode(OfMessage{11, packet_in}));
+  // Flow-mod from the controller: patched in place, counted as shifted.
+  FlowModMsg mod;
+  mod.table_id = 1;
+  mod.match.in_port = PortNo{1};
+  mod.instructions = Instructions::output(PortNo{2});
+  session_.from_controller(encode(OfMessage{12, mod}));
+  sim_.run();
+
+  const ProxyStats& stats = proxy_.stats();
+  EXPECT_EQ(stats.frames_fast_path, 1u);
+  EXPECT_EQ(stats.frames_patched, 2u);
+  EXPECT_EQ(stats.frames_decoded, decoded_baseline);
+  EXPECT_EQ(stats.flow_mods_shifted, 1u);
+
+  // The patched bytes decoded back out with shifted table ids.
+  const auto packet_ins = of_type<PacketInMsg>(to_controller_);
+  ASSERT_EQ(packet_ins.size(), 1u);
+  EXPECT_EQ(packet_ins[0].table_id, 1);
+  const auto mods = of_type<FlowModMsg>(to_switch_);
+  ASSERT_EQ(mods.size(), 1u);
+  EXPECT_EQ(mods[0].table_id, 2);
+}
+
+TEST_F(ProxyTest, SteadyStateForwardingReusesPooledBuffers) {
+  complete_handshake();
+  // Warm the pool, then verify a long pass-through burst allocates nothing.
+  for (int i = 0; i < 4; ++i) {
+    session_.from_switch(encode(OfMessage{static_cast<std::uint32_t>(i),
+                                          EchoRequestMsg{{0x55}}}));
+    sim_.run();
+  }
+  const auto warm = proxy_.buffer_pool().stats();
+  for (int i = 0; i < 200; ++i) {
+    session_.from_switch(encode(OfMessage{static_cast<std::uint32_t>(100 + i),
+                                          EchoRequestMsg{{0x55}}}));
+    sim_.run();
+  }
+  const auto stats = proxy_.buffer_pool().stats();
+  EXPECT_EQ(stats.allocations, warm.allocations);
+  EXPECT_EQ(stats.reuses, warm.reuses + 200);
+  EXPECT_GT(proxy_.stats().pool_hit_rate(), 0.5);
+}
+
 }  // namespace
 }  // namespace dfi

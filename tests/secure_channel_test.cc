@@ -1,6 +1,7 @@
 // Tests for the TLS-surrogate secure control channel.
 #include <gtest/gtest.h>
 
+#include "common/frame_buffer_pool.h"
 #include "common/rng.h"
 #include "openflow/secure_channel.h"
 #include "openflow/wire.h"
@@ -98,6 +99,55 @@ TEST(SecureChannel, CarriesOpenFlowFrames) {
   const auto decoded = decode(opened.value());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(std::get<FlowModMsg>(decoded.value().payload).match.tcp_dst, 445);
+}
+
+TEST(SecureChannel, IntoVariantsMatchAllocatingApi) {
+  SecureChannel sealer(0xfeed);
+  SecureChannel sealer_copy(0xfeed);
+  SecureChannel opener(0xfeed);
+  const std::vector<std::uint8_t> plaintext = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+
+  std::vector<std::uint8_t> record;
+  sealer.seal_into(plaintext.data(), plaintext.size(), record);
+  EXPECT_EQ(record, sealer_copy.seal(plaintext));  // same counter, same bytes
+
+  std::vector<std::uint8_t> opened;
+  const auto result = opener.open_into(record.data(), record.size(), opened);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), plaintext.size());
+  EXPECT_EQ(opened, plaintext);
+}
+
+TEST(SecureChannel, PooledBuffersForwardWithoutSteadyStateAllocation) {
+  // The intended deployment shape: one pool on each side of the channel,
+  // seal_into/open_into reusing pooled capacity for every record.
+  FrameBufferPool pool;
+  SecureChannel tx(0xabc);
+  SecureChannel rx(0xabc);
+  const auto frame = encode(OfMessage{7, EchoRequestMsg{{0x11, 0x22, 0x33}}});
+
+  // Warm-up pass sizes the buffers.
+  for (int i = 0; i < 2; ++i) {
+    auto sealed = pool.acquire();
+    tx.seal_into(frame.data(), frame.size(), sealed);
+    auto opened = pool.acquire();
+    ASSERT_TRUE(rx.open_into(sealed.data(), sealed.size(), opened).ok());
+    EXPECT_EQ(opened, frame);
+    pool.release(std::move(sealed));
+    pool.release(std::move(opened));
+  }
+  const auto warm = pool.stats();
+  for (int i = 0; i < 100; ++i) {
+    auto sealed = pool.acquire();
+    tx.seal_into(frame.data(), frame.size(), sealed);
+    auto opened = pool.acquire();
+    ASSERT_TRUE(rx.open_into(sealed.data(), sealed.size(), opened).ok());
+    pool.release(std::move(sealed));
+    pool.release(std::move(opened));
+  }
+  // Every post-warm-up acquire was served from the free list.
+  EXPECT_EQ(pool.stats().allocations, warm.allocations);
+  EXPECT_EQ(pool.stats().reuses, warm.reuses + 200);
 }
 
 }  // namespace

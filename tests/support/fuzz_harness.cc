@@ -157,6 +157,11 @@ class FuzzWorld {
     result.severs = severs_;
     result.reconnects = reconnects_;
     result.pool_jobs_checked = pool_jobs_checked_;
+    const ProxyStats& proxy_stats = proxy_.stats();
+    result.frames_fast_path = proxy_stats.frames_fast_path;
+    result.frames_patched = proxy_stats.frames_patched;
+    result.frames_decoded = proxy_stats.frames_decoded;
+    result.pool_hit_rate = proxy_stats.pool_hit_rate();
   }
 
  private:

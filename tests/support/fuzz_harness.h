@@ -75,6 +75,13 @@ struct FuzzResult {
   std::uint64_t stale_redecides = 0;
   std::uint64_t jobs_abandoned = 0;
   std::uint64_t pool_jobs_checked = 0;  // I5 sub-schedule jobs verified
+  // Wire fast-path counters (DESIGN.md §5): the switch<->proxy streams run
+  // through classify()/patch_table_refs() + pooled buffers, so a healthy
+  // campaign must show pass-through and patched frames, not only decodes.
+  std::uint64_t frames_fast_path = 0;
+  std::uint64_t frames_patched = 0;
+  std::uint64_t frames_decoded = 0;
+  double pool_hit_rate = 0.0;
 };
 
 // Replay one fault schedule. Deterministic: equal options produce an equal

@@ -235,6 +235,65 @@ TEST(FrameDecoderTest, CorruptLengthResetsStream) {
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
 }
 
+// Regression for the old drain(): it erased consumed bytes from the front
+// of the buffer on every call, which is O(n^2) across a drip-fed stream.
+// The compacting decoder must chew through 10k one-byte chunks without
+// re-copying the whole buffer per feed; with the old implementation this
+// test still passes functionally but the buffered-bytes invariant below
+// documents the new contract (consumed bytes are reclaimed, never leaked).
+TEST(FrameDecoderTest, TenThousandOneByteChunksCompact) {
+  std::vector<std::uint8_t> stream;
+  std::uint32_t xid = 0;
+  while (stream.size() < 10000) {
+    const auto bytes =
+        encode(OfMessage{xid++, EchoRequestMsg{{0xab, 0xcd, 0xef}}});
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  FrameDecoder decoder;
+  std::size_t decoded = 0;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed({byte});
+    FrameView view;
+    while (decoder.next_frame(view) == FrameStatus::kFrame) {
+      ASSERT_TRUE(decode(view).ok());
+      ++decoded;
+    }
+    // A fully consumed frame must be reclaimed: the residue is always
+    // smaller than one max frame, never the whole history of the stream.
+    ASSERT_LT(decoder.buffered_bytes(), 16u);
+  }
+  EXPECT_EQ(decoded, xid);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, NextFrameViewsAreZeroCopyAndSequential) {
+  const auto first = encode(OfMessage{1, HelloMsg{}});
+  const auto second = encode(OfMessage{2, BarrierRequestMsg{}});
+  std::vector<std::uint8_t> stream = first;
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  FrameView view;
+  ASSERT_EQ(decoder.next_frame(view), FrameStatus::kFrame);
+  EXPECT_EQ(std::vector<std::uint8_t>(view.data(), view.data() + view.size()), first);
+  EXPECT_EQ(view.type(), OfType::kHello);
+  EXPECT_EQ(view.xid(), 1u);
+  ASSERT_EQ(decoder.next_frame(view), FrameStatus::kFrame);
+  EXPECT_EQ(std::vector<std::uint8_t>(view.data(), view.data() + view.size()), second);
+  EXPECT_EQ(decoder.next_frame(view), FrameStatus::kAwait);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, NextFrameCorruptLengthResets) {
+  FrameDecoder decoder;
+  decoder.feed({0x04, 0x00, 0x00, 0x02, 0, 0, 0, 0});  // length 2 < 8
+  FrameView view;
+  EXPECT_EQ(decoder.next_frame(view), FrameStatus::kCorrupt);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_EQ(decoder.next_frame(view), FrameStatus::kAwait);
+}
+
 // Property: random valid messages survive random chunking.
 class WireChunkProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

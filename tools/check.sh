@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repo check, split into stages so CI can run them as separate jobs:
 #
-#   tier1  configure + build + full ctest suite (the 380+ tier-1 tests)
+#   tier1  configure + build + full ctest suite (the 400+ tier-1 tests),
+#          then the proxy-datapath bench in smoke mode gated against
+#          bench/baselines/BENCH_proxy_datapath.baseline.json
 #   asan   ASan+UBSan build (-DDFI_SANITIZE=ON) of the memory-sensitive
 #          component tests — including the proxy teardown regressions
 #   tsan   TSan build (-DDFI_SANITIZE=thread) of the threaded shard-pool
@@ -41,6 +43,12 @@ if want tier1; then
 
   echo "== tier-1: ctest =="
   ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+  echo "== tier-1: proxy datapath bench (smoke + baseline gate) =="
+  # Byte-identity + zero-allocation checks, then speedups vs the committed
+  # conservative floors; a >10% regression below a floor fails the stage.
+  (cd build/bench && ./bench_micro_proxy_datapath --smoke \
+    --check-baseline ../../bench/baselines/BENCH_proxy_datapath.baseline.json)
 fi
 
 if want asan; then
