@@ -25,6 +25,7 @@ int main() {
   report.columns({"rate", "no-DFI mean", "no-DFI sd", "DFI mean", "DFI sd",
                   "DFI drops", "paper ref"});
 
+  ProxyStats recovery_totals;
   for (const double rate : rates) {
     TtfbConfig without;
     without.with_dfi = false;
@@ -38,6 +39,16 @@ int main() {
     with.duration = seconds(20.0);
     const TtfbResult dfi = run_ttfb_experiment(with);
 
+    recovery_totals.degraded_entries += dfi.proxy.degraded_entries;
+    recovery_totals.degraded_exits += dfi.proxy.degraded_exits;
+    recovery_totals.degraded_suppressed += dfi.proxy.degraded_suppressed;
+    recovery_totals.degraded_forwarded += dfi.proxy.degraded_forwarded;
+    recovery_totals.backoff_retries += dfi.proxy.backoff_retries;
+    recovery_totals.resync_clears += dfi.proxy.resync_clears;
+    recovery_totals.journal_replays += dfi.proxy.journal_replays;
+    recovery_totals.journal_records_replayed += dfi.proxy.journal_records_replayed;
+    recovery_totals.journal_torn_tails += dfi.proxy.journal_torn_tails;
+
     std::string paper_ref = "-";
     if (rate == 0) paper_ref = "no-DFI 4-6; DFI ~22";
     if (rate == 700) paper_ref = "DFI ~85 (saturation begins)";
@@ -50,5 +61,11 @@ int main() {
   }
   report.note("each row: 20 s run, probe every 250 ms; drops = PCP queue rejections");
   report.print();
+
+  // Fault-free runs should show all-zero recovery counters — a nonzero row
+  // here means a degraded window opened during the benchmark.
+  Report recovery = recovery_report(recovery_totals);
+  recovery.note("summed over the DFI series above (health monitoring idle)");
+  recovery.print();
   return 0;
 }

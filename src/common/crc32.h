@@ -1,0 +1,47 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), for journal record framing.
+//
+// The write-ahead log (core/journal.h) stores a checksum with every record
+// so startup can distinguish a torn tail — a record cut short by a crash
+// mid-write — from a complete one. The classic byte-wise table algorithm is
+// plenty: journal records are short and appended on the control plane, not
+// the packet hot path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dfi {
+
+namespace crc32_detail {
+
+inline const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = [] {
+    std::array<std::uint32_t, 256> out{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      out[i] = c;
+    }
+    return out;
+  }();
+  return t;
+}
+
+}  // namespace crc32_detail
+
+// CRC-32 of `size` bytes at `data`; `seed` chains incremental computations
+// (pass the previous call's return value).
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                           std::uint32_t seed = 0) {
+  const auto& t = crc32_detail::table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = t[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace dfi

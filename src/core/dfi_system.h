@@ -1,16 +1,26 @@
 // DfiSystem: facade wiring the complete DFI control plane.
 //
 // Owns the message bus, Entity Resolution Manager, Policy Manager, Policy
-// Compilation Point, DFI Proxy and the data-plane binding sensors, in the
-// topology of paper Figure 1. PDPs are created by the application (they
-// embody specific policies) against `policy_manager()` and `bus()`.
+// Compilation Point, DFI Proxy, data-plane binding sensors and the health
+// monitor, in the topology of paper Figure 1. PDPs are created by the
+// application (they embody specific policies) against `policy_manager()`
+// and `bus()`.
+//
+// Durability (DESIGN.md §6): the system does not own a Journal — storage
+// lifetime belongs to the deployment — but enable_durability() attaches
+// one so every policy/binding mutation is journaled before it takes
+// effect, and recover_from() replays one into the empty managers inside an
+// explicit degraded window (fail-secure while the store is not yet
+// authoritative).
 #pragma once
 
 #include <memory>
 
 #include "bus/message_bus.h"
+#include "common/result.h"
 #include "common/rng.h"
 #include "core/entity_resolution.h"
+#include "core/health_monitor.h"
 #include "core/pcp.h"
 #include "core/policy_manager.h"
 #include "core/proxy.h"
@@ -19,9 +29,13 @@
 
 namespace dfi {
 
+class Journal;
+struct JournalRecovery;
+
 struct DfiConfig {
   PcpConfig pcp;
   ProxyConfig proxy;
+  HealthConfig health;
   std::uint64_t seed = 0xdf1df1df1ull;
 
   // Convenience: zero out all modeled latencies (functional tests).
@@ -49,6 +63,21 @@ class DfiSystem {
   PolicyCompilationPoint& pcp() { return pcp_; }
   DfiProxy& proxy() { return proxy_; }
   SensorSuite& sensors() { return sensors_; }
+  HealthMonitor& health() { return health_; }
+
+  // Attach `journal` as the durable write-ahead log: every PolicyManager
+  // insert/revoke and ERM binding event is appended (and synced) before it
+  // takes effect, and the proxy's stats() mirror its recovery counters.
+  // The journal must outlive this object.
+  void enable_durability(Journal& journal);
+
+  // Replay `journal` into the (expected-empty) managers, holding an
+  // explicit degraded window for the duration: while the store is not yet
+  // authoritative, the proxy's gate applies (fail-secure suppresses new
+  // flows). Attaches the journal afterwards, so post-recovery mutations
+  // are journaled. Returns the replay summary or the first corruption
+  // beyond the torn tail.
+  Result<JournalRecovery> recover_from(Journal& journal);
 
  private:
   Simulator& sim_;
@@ -58,6 +87,7 @@ class DfiSystem {
   PolicyCompilationPoint pcp_;
   DfiProxy proxy_;
   SensorSuite sensors_;
+  HealthMonitor health_;
 };
 
 }  // namespace dfi

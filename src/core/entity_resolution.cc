@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "core/journal.h"
 
 namespace dfi {
 namespace {
@@ -49,6 +50,12 @@ EntityResolutionManager::EntityResolutionManager(MessageBus& bus)
           [this](const BindingEvent& event) { apply(event); })) {}
 
 void EntityResolutionManager::apply(const BindingEvent& event) {
+  // WAL ordering: the event is durable before it mutates the tables. A
+  // crash inside the append means the binding change never happened.
+  // Redundant events are journaled too — replaying them is a no-op with
+  // the same (zero) epoch delta, which keeps recovery deterministic
+  // without the journal knowing the dedup rules.
+  if (journal_ != nullptr) journal_->append_binding(event);
   ++stats_.binding_updates;
   // `changed` tracks whether the event mutated state: redundant
   // re-assertions and retractions of absent bindings must not bump the
@@ -114,6 +121,13 @@ void EntityResolutionManager::apply(const BindingEvent& event) {
     // Any epoch bump must reach the next published snapshot, even when the
     // identity tables themselves are untouched (a MAC move): decision
     // caches compare against the snapshot's epoch stamp.
+    snapshot_cache_.invalidate();
+  }
+}
+
+void EntityResolutionManager::advance_epoch_to(std::uint64_t epoch) {
+  if (epoch > epoch_) {
+    epoch_ = epoch;
     snapshot_cache_.invalidate();
   }
 }

@@ -34,6 +34,8 @@
 
 namespace dfi {
 
+class Journal;
+
 struct ErmStats {
   std::uint64_t binding_updates = 0;
   std::uint64_t queries = 0;
@@ -103,6 +105,19 @@ class EntityResolutionManager {
   // Deterministically ordered regardless of hash-map iteration order.
   std::vector<BindingEvent> snapshot() const;
 
+  // ------------------------------------------------- durability (WAL)
+  // Attach a write-ahead log: every subsequent apply() appends its event
+  // record before mutating. Pass nullptr to detach.
+  void attach_journal(Journal* journal) { journal_ = journal; }
+
+  // Never move the epoch backwards across a reload: a freshly loaded ERM
+  // replays only the surviving assertions and lands *behind* the
+  // pre-restart epoch, and decision caches stamped with the old epoch
+  // values must never see them recur with different binding state (see
+  // load_bindings' epoch_floor). The journal calls this with the recorded
+  // epoch after replaying a snapshot.
+  void advance_epoch_to(std::uint64_t epoch);
+
  private:
   // Hash for the (dpid, mac) location key.
   struct LocationKeyHash {
@@ -127,6 +142,7 @@ class EntityResolutionManager {
   std::unordered_map<std::pair<Dpid, MacAddress>, PortNo, LocationKeyHash> mac_location_;
 
   std::uint64_t epoch_ = 0;
+  Journal* journal_ = nullptr;
   mutable SnapshotCache<ErmIdentityTables> snapshot_cache_;
   mutable ErmStats stats_;
 };

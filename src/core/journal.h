@@ -1,0 +1,204 @@
+// Durable write-ahead log for the control-plane state (DESIGN.md §6).
+//
+// The paper backs the Policy Manager and ERM with MySQL so the control
+// plane survives restarts. This is the surrogate's crash-safe layer: every
+// PolicyManager insert/revoke and every ERM binding event appends one
+// length-prefixed, CRC-checksummed record to a JournalStore *before* the
+// mutation takes effect (classic WAL ordering — if the append did not
+// complete, the operation never happened). Startup replays the log with
+// torn-tail tolerance: the first record whose length prefix or checksum
+// does not hold marks the crash point, and everything from there on is
+// truncated. Periodic snapshot+compaction rewrites the store down to one
+// snapshot record reusing the save_policies/save_bindings text format
+// (core/persistence.h) plus a header carrying what that format does not:
+// the rule ids, the next id, and both epochs — so recovery restores not
+// just the rule/binding *sets* but the exact PolicyRuleIds (Table-0
+// cookies cite them) and epoch counters (decision caches stamp entries
+// with them; see load_policies' epoch_floor rationale).
+//
+// Record grammar (one text payload per framed record):
+//   p+|<id>|<epoch_after>|policy|<pdp>|<priority>|...   rule inserted
+//   p-|<id>|<epoch_after>                               rule revoked
+//   b|+|binding|...                                     binding asserted
+//   b|-|binding|...                                     binding retracted
+//   snapshot|v1|next_id=..|policy_epoch=..|binding_epoch=..|ids=..
+//   <save_policies text>
+//   ---
+//   <save_bindings text>                                compaction record
+//
+// Crash injection: the store is where a process dies, so the fault
+// substrate arms it with a seeded CrashPoint (src/fault/fault_plan.h).
+// When the kill fires the store throws CrashException out of the durable
+// operation; the crash-recovery fuzzer treats that as the process boundary
+// and restarts from the bytes that survived.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/entity_resolution.h"
+#include "core/policy_manager.h"
+#include "fault/fault_plan.h"
+
+namespace dfi {
+
+// Thrown by a JournalStore when an armed CrashPoint fires mid-operation.
+// Models the process dying: whatever the store persisted before the throw
+// is what a restart will find.
+struct CrashException {};
+
+// Durable byte store under the journal: an append-only live image plus an
+// atomically-committed rewrite area for compaction. The in-memory
+// implementation is the fuzzer's crash target; the file implementation
+// maps the same contract onto a real file (append/fsync/rename).
+class JournalStore {
+ public:
+  virtual ~JournalStore() = default;
+
+  // Append bytes to the live image. May persist a prefix and throw
+  // CrashException (torn write).
+  virtual void append(const std::uint8_t* data, std::size_t size) = 0;
+
+  // Durability barrier (fsync). A crash here loses nothing already
+  // appended in this model, but is a distinct kill site.
+  virtual void sync() = 0;
+
+  // The complete live image, as a restart would read it.
+  virtual std::vector<std::uint8_t> read_all() const = 0;
+
+  // Discard everything past `size` (torn-tail truncation on recovery).
+  virtual void truncate(std::size_t size) = 0;
+
+  // Compaction: stage a replacement image, then swap it in atomically.
+  // A crash inside commit_rewrite leaves either the old image or the new
+  // one, never a mix.
+  virtual void begin_rewrite() = 0;
+  virtual void append_rewrite(const std::uint8_t* data, std::size_t size) = 0;
+  virtual void commit_rewrite() = 0;
+};
+
+// In-memory store with seeded crash injection. arm_crash() loads one
+// CrashPoint; each durable operation (append, sync, commit_rewrite)
+// decrements its countdown and the operation it lands on dies mid-way:
+// append keeps only tear_fraction of the record's bytes, commit_rewrite
+// either never swaps or swaps completely (commit_survives).
+class InMemoryJournalStore final : public JournalStore {
+ public:
+  void append(const std::uint8_t* data, std::size_t size) override;
+  void sync() override;
+  std::vector<std::uint8_t> read_all() const override { return live_; }
+  void truncate(std::size_t size) override;
+  void begin_rewrite() override;
+  void append_rewrite(const std::uint8_t* data, std::size_t size) override;
+  void commit_rewrite() override;
+
+  void arm_crash(const CrashPoint& point) { crash_ = point; }
+  void disarm() { crash_.armed = false; }
+  bool armed() const { return crash_.armed; }
+  std::size_t size() const { return live_.size(); }
+
+ private:
+  // True when the armed crash lands on the current operation.
+  bool crash_fires();
+
+  std::vector<std::uint8_t> live_;
+  std::optional<std::vector<std::uint8_t>> rewrite_;
+  CrashPoint crash_;
+};
+
+// Real-file store: append+fsync on the live path, write-temp+rename on
+// commit_rewrite. I/O errors log and degrade (this is the experiment
+// surrogate, not a database); crash injection is the in-memory store's job.
+class FileJournalStore final : public JournalStore {
+ public:
+  explicit FileJournalStore(std::string path);
+  ~FileJournalStore() override;
+
+  void append(const std::uint8_t* data, std::size_t size) override;
+  void sync() override;
+  std::vector<std::uint8_t> read_all() const override;
+  void truncate(std::size_t size) override;
+  void begin_rewrite() override;
+  void append_rewrite(const std::uint8_t* data, std::size_t size) override;
+  void commit_rewrite() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  int rewrite_fd_ = -1;
+};
+
+struct JournalStats {
+  std::uint64_t appends = 0;            // records appended (WAL mutations)
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t replays = 0;            // recover() calls
+  std::uint64_t records_replayed = 0;
+  std::uint64_t torn_tails_truncated = 0;
+  std::uint64_t torn_bytes_discarded = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t snapshots_loaded = 0;
+};
+
+struct JournalRecovery {
+  std::size_t records_replayed = 0;
+  bool snapshot_loaded = false;
+  bool tail_truncated = false;
+  std::size_t bytes_discarded = 0;
+};
+
+class Journal {
+ public:
+  explicit Journal(JournalStore& store) : store_(store) {}
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // WAL appends, called by PolicyManager/ERM *before* mutating (no-ops
+  // while recover() is replaying — replayed operations are already in the
+  // log). `epoch_after` is the epoch the mutation will establish.
+  void append_policy_insert(PolicyRuleId id, const StoredPolicyRule& stored,
+                            std::uint64_t epoch_after);
+  void append_policy_revoke(PolicyRuleId id, std::uint64_t epoch_after);
+  void append_binding(const BindingEvent& event);
+
+  // Replay the store into `manager`/`erm`, which must be freshly
+  // constructed (recovery restores absolute state, it does not merge).
+  // Truncates the torn tail at the first bad record, loads the snapshot
+  // record if present, then replays the WAL tail — restoring rule ids,
+  // next_id, and both epochs exactly as they were when the last completed
+  // append returned.
+  Result<JournalRecovery> recover(PolicyManager& manager,
+                                  EntityResolutionManager& erm);
+
+  // Snapshot+compact: atomically replace the log with one snapshot record
+  // of the current state. The store's commit is the atomicity boundary; a
+  // crash before it leaves the old log, after it the new one.
+  Status compact(const PolicyManager& manager, const EntityResolutionManager& erm);
+
+  // True while recover() is replaying (appends are suppressed).
+  bool replaying() const { return replaying_; }
+
+  const JournalStats& stats() const { return stats_; }
+  JournalStore& store() { return store_; }
+
+ private:
+  void append_record(const std::string& payload);
+  static std::string frame(const std::string& payload);
+
+  Status apply_record(const std::string& payload, PolicyManager& manager,
+                      EntityResolutionManager& erm, bool first_record);
+  Status apply_snapshot(const std::string& payload, PolicyManager& manager,
+                        EntityResolutionManager& erm);
+
+  JournalStore& store_;
+  bool replaying_ = false;
+  JournalStats stats_;
+};
+
+}  // namespace dfi

@@ -47,23 +47,39 @@ PolicyCompilationPoint::PolicyCompilationPoint(Simulator& sim, MessageBus& bus,
   }
 }
 
-void PolicyCompilationPoint::register_switch(Dpid dpid, SwitchWriter writer) {
-  const bool reconnect = !known_dpids_.insert(dpid).second;
-  switches_[dpid] = std::move(writer);
-  if (!reconnect) return;
-  // Reconnect resync: rules installed before the session was lost may cite
-  // policies revoked while the switch was unreachable — the flush DELETE
-  // could not be delivered. Clear Table 0 wholesale (cookie mask 0 selects
-  // every rule); flows re-enter via Packet-in and are re-decided against
-  // current policy.
-  ++stats_.resync_clears;
+namespace {
+
+// Delete-all FLOW_MOD for Table 0: cookie mask 0 selects every rule.
+FlowModMsg make_clear_all() {
   FlowModMsg del;
   del.command = FlowModCommand::kDelete;
   del.table_id = 0;
   del.cookie = Cookie{0};
   del.cookie_mask = Cookie{0};
   del.out_port = kPortAny;
-  switches_[dpid](OfMessage{0, del});
+  return del;
+}
+
+}  // namespace
+
+void PolicyCompilationPoint::register_switch(Dpid dpid, SwitchWriter writer) {
+  const bool reconnect = !known_dpids_.insert(dpid).second;
+  switches_[dpid] = std::move(writer);
+  if (!reconnect) return;
+  // Reconnect resync: rules installed before the session was lost may cite
+  // policies revoked while the switch was unreachable — the flush DELETE
+  // could not be delivered. Clear Table 0 wholesale; flows re-enter via
+  // Packet-in and are re-decided against current policy.
+  ++stats_.resync_clears;
+  switches_[dpid](OfMessage{0, make_clear_all()});
+}
+
+void PolicyCompilationPoint::resync_all() {
+  const FlowModMsg del = make_clear_all();
+  for (const auto& [dpid, writer] : switches_) {
+    ++stats_.resync_clears;
+    writer(OfMessage{0, del});
+  }
 }
 
 void PolicyCompilationPoint::unregister_switch(Dpid dpid) {

@@ -91,6 +91,13 @@ class PolicyCompilationPoint {
   void register_switch(Dpid dpid, SwitchWriter writer);
   void unregister_switch(Dpid dpid);
 
+  // Clear Table 0 wholesale on every currently-registered switch. Called by
+  // the DfiSystem when the HealthMonitor declares the plane healthy again:
+  // rules installed or flushes missed across a degraded window cannot be
+  // trusted, so flows re-enter via Packet-in and are re-decided against
+  // current state. Counts one resync_clear per switch.
+  void resync_all();
+
   // Queue a Packet-in for processing. Returns false when the bounded shard
   // queue rejects it (control-plane saturation): the packet is dropped and
   // the flow must re-enter on retransmission. On completion the compiled

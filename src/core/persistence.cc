@@ -76,28 +76,151 @@ bool spec_from_text(const std::string& text, EndpointSpec& spec) {
   return true;
 }
 
+template <typename T>
+Result<T> fail_parse(const std::string& what) {
+  return Result<T>::Fail(ErrorCode::kMalformed, what);
+}
+
 }  // namespace
 
-std::string save_policies(const PolicyManager& manager) {
+std::string policy_rule_line(const StoredPolicyRule& stored) {
   std::ostringstream out;
-  for (const auto& stored : manager.rules()) {
-    out << "policy|" << stored.pdp_name << "|" << stored.priority.value << "|"
-        << (stored.rule.action == PolicyAction::kAllow ? "allow" : "deny") << "|";
-    out << (stored.rule.properties.ether_type
-                ? "ether=" + std::to_string(*stored.rule.properties.ether_type)
-                : std::string("ether=*"))
-        << "|";
-    out << (stored.rule.properties.ip_proto
-                ? "proto=" + std::to_string(*stored.rule.properties.ip_proto)
-                : std::string("proto=*"))
-        << "|";
-    out << spec_to_text(stored.rule.source) << "|"
-        << spec_to_text(stored.rule.destination) << "\n";
+  out << "policy|" << stored.pdp_name << "|" << stored.priority.value << "|"
+      << (stored.rule.action == PolicyAction::kAllow ? "allow" : "deny") << "|";
+  out << (stored.rule.properties.ether_type
+              ? "ether=" + std::to_string(*stored.rule.properties.ether_type)
+              : std::string("ether=*"))
+      << "|";
+  out << (stored.rule.properties.ip_proto
+              ? "proto=" + std::to_string(*stored.rule.properties.ip_proto)
+              : std::string("proto=*"))
+      << "|";
+  out << spec_to_text(stored.rule.source) << "|"
+      << spec_to_text(stored.rule.destination);
+  return out.str();
+}
+
+Result<StoredPolicyRule> parse_policy_rule_line(const std::string& line) {
+  const auto parts = split(line, '|');
+  if (parts.size() != 8 || parts[0] != "policy") {
+    return fail_parse<StoredPolicyRule>("expected 8 '|'-separated policy fields");
+  }
+  StoredPolicyRule stored;
+  stored.pdp_name = parts[1];
+  try {
+    stored.priority.value = static_cast<std::uint32_t>(std::stoul(parts[2]));
+  } catch (...) {
+    return fail_parse<StoredPolicyRule>("bad priority: " + parts[2]);
+  }
+  if (parts[3] == "allow") {
+    stored.rule.action = PolicyAction::kAllow;
+  } else if (parts[3] == "deny") {
+    stored.rule.action = PolicyAction::kDeny;
+  } else {
+    return fail_parse<StoredPolicyRule>("bad action: " + parts[3]);
+  }
+  try {
+    if (parts[4] != "ether=*") {
+      if (parts[4].rfind("ether=", 0) != 0) {
+        return fail_parse<StoredPolicyRule>("bad ether field");
+      }
+      stored.rule.properties.ether_type =
+          static_cast<std::uint16_t>(std::stoul(parts[4].substr(6)));
+    }
+    if (parts[5] != "proto=*") {
+      if (parts[5].rfind("proto=", 0) != 0) {
+        return fail_parse<StoredPolicyRule>("bad proto field");
+      }
+      stored.rule.properties.ip_proto =
+          static_cast<std::uint8_t>(std::stoul(parts[5].substr(6)));
+    }
+    if (!spec_from_text(parts[6], stored.rule.source)) {
+      return fail_parse<StoredPolicyRule>("bad source spec: " + parts[6]);
+    }
+    if (!spec_from_text(parts[7], stored.rule.destination)) {
+      return fail_parse<StoredPolicyRule>("bad destination spec: " + parts[7]);
+    }
+  } catch (...) {
+    return fail_parse<StoredPolicyRule>("bad numeric field");
+  }
+  return stored;
+}
+
+std::string binding_event_line(const BindingEvent& event) {
+  std::ostringstream out;
+  switch (event.kind) {
+    case BindingKind::kUserHost:
+      out << "binding|user-host|" << event.user.value << "|" << event.host.value;
+      break;
+    case BindingKind::kHostIp:
+      out << "binding|host-ip|" << event.host.value << "|" << event.ip.to_string();
+      break;
+    case BindingKind::kIpMac:
+      out << "binding|ip-mac|" << event.ip.to_string() << "|"
+          << event.mac.to_string();
+      break;
+    case BindingKind::kMacLocation:
+      out << "binding|mac-location|" << event.mac.to_string() << "|"
+          << event.dpid.value << "|" << event.port.value;
+      break;
   }
   return out.str();
 }
 
-Result<std::size_t> load_policies(PolicyManager& manager, const std::string& snapshot) {
+Result<BindingEvent> parse_binding_event_line(const std::string& line) {
+  const auto parts = split(line, '|');
+  if (parts.size() < 4 || parts[0] != "binding") {
+    return fail_parse<BindingEvent>("expected binding line");
+  }
+  BindingEvent event;
+  if (parts[1] == "user-host") {
+    event.kind = BindingKind::kUserHost;
+    event.user = Username{parts[2]};
+    event.host = Hostname{parts[3]};
+  } else if (parts[1] == "host-ip") {
+    event.kind = BindingKind::kHostIp;
+    event.host = Hostname{parts[2]};
+    const auto ip = Ipv4Address::parse(parts[3]);
+    if (!ip.ok()) return fail_parse<BindingEvent>("bad ip: " + parts[3]);
+    event.ip = ip.value();
+  } else if (parts[1] == "ip-mac") {
+    event.kind = BindingKind::kIpMac;
+    const auto ip = Ipv4Address::parse(parts[2]);
+    if (!ip.ok()) return fail_parse<BindingEvent>("bad ip: " + parts[2]);
+    event.ip = ip.value();
+    const auto mac = MacAddress::parse(parts[3]);
+    if (!mac.ok()) return fail_parse<BindingEvent>("bad mac: " + parts[3]);
+    event.mac = mac.value();
+  } else if (parts[1] == "mac-location") {
+    if (parts.size() != 5) {
+      return fail_parse<BindingEvent>("mac-location needs 5 fields");
+    }
+    event.kind = BindingKind::kMacLocation;
+    const auto mac = MacAddress::parse(parts[2]);
+    if (!mac.ok()) return fail_parse<BindingEvent>("bad mac: " + parts[2]);
+    event.mac = mac.value();
+    try {
+      event.dpid = Dpid{std::stoull(parts[3])};
+      event.port = PortNo{static_cast<std::uint32_t>(std::stoul(parts[4]))};
+    } catch (...) {
+      return fail_parse<BindingEvent>("bad dpid/port");
+    }
+  } else {
+    return fail_parse<BindingEvent>("unknown binding kind: " + parts[1]);
+  }
+  return event;
+}
+
+std::string save_policies(const PolicyManager& manager) {
+  std::ostringstream out;
+  for (const auto& stored : manager.rules()) {
+    out << policy_rule_line(stored) << "\n";
+  }
+  return out.str();
+}
+
+Result<std::size_t> load_policies(PolicyManager& manager, const std::string& snapshot,
+                                  std::uint64_t epoch_floor) {
   std::istringstream in(snapshot);
   std::string line;
   std::size_t line_number = 0;
@@ -105,82 +228,27 @@ Result<std::size_t> load_policies(PolicyManager& manager, const std::string& sna
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
-    const auto parts = split(line, '|');
-    if (parts.size() != 8 || parts[0] != "policy") {
-      return fail_line(line_number, "expected 8 '|'-separated policy fields");
-    }
-    PolicyRule rule;
-    const std::string& pdp_name = parts[1];
-    PdpPriority priority{};
-    try {
-      priority.value = static_cast<std::uint32_t>(std::stoul(parts[2]));
-    } catch (...) {
-      return fail_line(line_number, "bad priority: " + parts[2]);
-    }
-    if (parts[3] == "allow") {
-      rule.action = PolicyAction::kAllow;
-    } else if (parts[3] == "deny") {
-      rule.action = PolicyAction::kDeny;
-    } else {
-      return fail_line(line_number, "bad action: " + parts[3]);
-    }
-    try {
-      if (parts[4] != "ether=*") {
-        if (parts[4].rfind("ether=", 0) != 0) {
-          return fail_line(line_number, "bad ether field");
-        }
-        rule.properties.ether_type =
-            static_cast<std::uint16_t>(std::stoul(parts[4].substr(6)));
-      }
-      if (parts[5] != "proto=*") {
-        if (parts[5].rfind("proto=", 0) != 0) {
-          return fail_line(line_number, "bad proto field");
-        }
-        rule.properties.ip_proto =
-            static_cast<std::uint8_t>(std::stoul(parts[5].substr(6)));
-      }
-      if (!spec_from_text(parts[6], rule.source)) {
-        return fail_line(line_number, "bad source spec: " + parts[6]);
-      }
-      if (!spec_from_text(parts[7], rule.destination)) {
-        return fail_line(line_number, "bad destination spec: " + parts[7]);
-      }
-    } catch (...) {
-      return fail_line(line_number, "bad numeric field");
-    }
-    manager.insert(std::move(rule), priority, pdp_name);
+    auto parsed = parse_policy_rule_line(line);
+    if (!parsed.ok()) return fail_line(line_number, parsed.error().message);
+    StoredPolicyRule stored = std::move(parsed).value();
+    manager.insert(std::move(stored.rule), stored.priority, std::move(stored.pdp_name));
     ++loaded;
   }
+  manager.advance_epoch_to(epoch_floor);
   return loaded;
 }
 
 std::string save_bindings(const EntityResolutionManager& erm) {
   std::ostringstream out;
   for (const BindingEvent& event : erm.snapshot()) {
-    switch (event.kind) {
-      case BindingKind::kUserHost:
-        out << "binding|user-host|" << event.user.value << "|" << event.host.value
-            << "\n";
-        break;
-      case BindingKind::kHostIp:
-        out << "binding|host-ip|" << event.host.value << "|" << event.ip.to_string()
-            << "\n";
-        break;
-      case BindingKind::kIpMac:
-        out << "binding|ip-mac|" << event.ip.to_string() << "|"
-            << event.mac.to_string() << "\n";
-        break;
-      case BindingKind::kMacLocation:
-        out << "binding|mac-location|" << event.mac.to_string() << "|"
-            << event.dpid.value << "|" << event.port.value << "\n";
-        break;
-    }
+    out << binding_event_line(event) << "\n";
   }
   return out.str();
 }
 
 Result<std::size_t> load_bindings(EntityResolutionManager& erm,
-                                  const std::string& snapshot) {
+                                  const std::string& snapshot,
+                                  std::uint64_t epoch_floor) {
   std::istringstream in(snapshot);
   std::string line;
   std::size_t line_number = 0;
@@ -188,47 +256,12 @@ Result<std::size_t> load_bindings(EntityResolutionManager& erm,
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
-    const auto parts = split(line, '|');
-    if (parts.size() < 4 || parts[0] != "binding") {
-      return fail_line(line_number, "expected binding line");
-    }
-    BindingEvent event;
-    if (parts[1] == "user-host") {
-      event.kind = BindingKind::kUserHost;
-      event.user = Username{parts[2]};
-      event.host = Hostname{parts[3]};
-    } else if (parts[1] == "host-ip") {
-      event.kind = BindingKind::kHostIp;
-      event.host = Hostname{parts[2]};
-      const auto ip = Ipv4Address::parse(parts[3]);
-      if (!ip.ok()) return fail_line(line_number, "bad ip: " + parts[3]);
-      event.ip = ip.value();
-    } else if (parts[1] == "ip-mac") {
-      event.kind = BindingKind::kIpMac;
-      const auto ip = Ipv4Address::parse(parts[2]);
-      if (!ip.ok()) return fail_line(line_number, "bad ip: " + parts[2]);
-      event.ip = ip.value();
-      const auto mac = MacAddress::parse(parts[3]);
-      if (!mac.ok()) return fail_line(line_number, "bad mac: " + parts[3]);
-      event.mac = mac.value();
-    } else if (parts[1] == "mac-location") {
-      if (parts.size() != 5) return fail_line(line_number, "mac-location needs 5 fields");
-      event.kind = BindingKind::kMacLocation;
-      const auto mac = MacAddress::parse(parts[2]);
-      if (!mac.ok()) return fail_line(line_number, "bad mac: " + parts[2]);
-      event.mac = mac.value();
-      try {
-        event.dpid = Dpid{std::stoull(parts[3])};
-        event.port = PortNo{static_cast<std::uint32_t>(std::stoul(parts[4]))};
-      } catch (...) {
-        return fail_line(line_number, "bad dpid/port");
-      }
-    } else {
-      return fail_line(line_number, "unknown binding kind: " + parts[1]);
-    }
-    erm.apply(event);
+    auto parsed = parse_binding_event_line(line);
+    if (!parsed.ok()) return fail_line(line_number, parsed.error().message);
+    erm.apply(parsed.value());
     ++loaded;
   }
+  erm.advance_epoch_to(epoch_floor);
   return loaded;
 }
 

@@ -1,6 +1,7 @@
 #include "core/policy_manager.h"
 
 #include "common/logging.h"
+#include "core/journal.h"
 
 namespace dfi {
 
@@ -8,8 +9,17 @@ PolicyManager::PolicyManager(MessageBus& bus) : bus_(bus) {}
 
 PolicyRuleId PolicyManager::insert(PolicyRule rule, PdpPriority priority,
                                    std::string pdp_name) {
+  const PolicyRuleId id{next_id_};
+  if (journal_ != nullptr) {
+    // WAL ordering: the record is durable before any effect of the insert
+    // escapes — including the conflict flush publishes below. If the
+    // append dies mid-write (CrashException), the insert never happened:
+    // next_id_, the epoch and the rule map are all untouched.
+    journal_->append_policy_insert(id, StoredPolicyRule{id, rule, priority, pdp_name},
+                                   epoch_ + 1);
+  }
+  ++next_id_;
   ++stats_.inserts;
-  const PolicyRuleId id{next_id_++};
 
   // Consistency check: flush switch rules derived from existing
   // lower-priority rules with the opposite action that overlap the new one.
@@ -38,6 +48,7 @@ PolicyRuleId PolicyManager::insert(PolicyRule rule, PdpPriority priority,
 bool PolicyManager::revoke(PolicyRuleId id) {
   const auto it = rules_.find(id);
   if (it == rules_.end()) return false;
+  if (journal_ != nullptr) journal_->append_policy_revoke(id, epoch_ + 1);
   ++stats_.revocations;
   index_.remove(&it->second);
   rules_.erase(it);
@@ -90,6 +101,35 @@ std::vector<StoredPolicyRule> PolicyManager::rules() const {
   out.reserve(rules_.size());
   for (const auto& [id, stored] : rules_) out.push_back(stored);
   return out;
+}
+
+void PolicyManager::restore_rule(StoredPolicyRule stored) {
+  const PolicyRuleId id = stored.id;
+  const auto [it, inserted] = rules_.emplace(id, std::move(stored));
+  if (!inserted) return;  // replay is idempotent against duplicate records
+  index_.insert(&it->second);
+  if (id.value >= next_id_) next_id_ = id.value + 1;
+  snapshot_cache_.invalidate();
+}
+
+bool PolicyManager::restore_revoke(PolicyRuleId id) {
+  const auto it = rules_.find(id);
+  if (it == rules_.end()) return false;
+  index_.remove(&it->second);
+  rules_.erase(it);
+  snapshot_cache_.invalidate();
+  return true;
+}
+
+void PolicyManager::restore_next_id(std::uint64_t next_id) {
+  if (next_id > next_id_) next_id_ = next_id;
+}
+
+void PolicyManager::advance_epoch_to(std::uint64_t epoch) {
+  if (epoch > epoch_) {
+    epoch_ = epoch;
+    snapshot_cache_.invalidate();
+  }
 }
 
 std::shared_ptr<const PolicySnapshot> PolicyManager::snapshot_view() const {

@@ -33,6 +33,8 @@
 
 namespace dfi {
 
+class Journal;
+
 // kDefaultDenyCookie and PolicyDecision live in core/policy_snapshot.h (the
 // snapshot is the layer below the manager and both share them).
 
@@ -90,6 +92,26 @@ class PolicyManager {
   // calls at the same epoch share one frozen object.
   std::shared_ptr<const PolicySnapshot> snapshot_view() const;
 
+  // ------------------------------------------------- durability (WAL)
+  // Attach a write-ahead log (core/journal.h): every subsequent
+  // insert/revoke appends its record — and becomes durable — before any
+  // effect (conflict flushes included) escapes. Pass nullptr to detach.
+  void attach_journal(Journal* journal) { journal_ = journal; }
+
+  // Recovery hooks, used only by Journal::recover. They rebuild state
+  // *as recorded*: restore_rule keeps the stored id (and advances next_id_
+  // past it), restore_revoke removes without publishing a flush (switches
+  // are resynced wholesale after recovery), and neither bumps the epoch —
+  // the journal replays the recorded epoch via advance_epoch_to so the
+  // counter lands exactly where the pre-crash process left it.
+  void restore_rule(StoredPolicyRule stored);
+  bool restore_revoke(PolicyRuleId id);
+  void restore_next_id(std::uint64_t next_id);
+  void advance_epoch_to(std::uint64_t epoch);
+
+  // The id the next insert will assign (journal snapshot header).
+  std::uint64_t next_id() const { return next_id_; }
+
  private:
   void publish_flush(PolicyRuleId id);
 
@@ -100,6 +122,7 @@ class PolicyManager {
   PolicyRuleIndex index_;
   std::uint64_t next_id_ = kDefaultDenyCookie.value + 1;
   std::uint64_t epoch_ = 0;
+  Journal* journal_ = nullptr;
   mutable SnapshotCache<PolicySnapshot> snapshot_cache_;
   mutable PolicyManagerStats stats_;
 };

@@ -1,6 +1,8 @@
 #include "core/proxy.h"
 
 #include "common/logging.h"
+#include "core/health_monitor.h"
+#include "core/journal.h"
 
 namespace dfi {
 
@@ -17,6 +19,26 @@ DfiProxy::~DfiProxy() {
   for (const auto& session : sessions_) {
     if (session->dpid_.has_value()) pcp_.unregister_switch(*session->dpid_);
   }
+}
+
+const ProxyStats& DfiProxy::stats() const {
+  // Counters owned elsewhere are mirrored on read so ProxyStats stays one
+  // flat struct for tests, benches and the harness recovery report.
+  const FrameBufferPool::Stats pool = pool_.stats();
+  stats_.pool_acquires = pool.acquires;
+  stats_.pool_reuses = pool.reuses;
+  stats_.resync_clears = pcp_.stats().resync_clears;
+  if (health_ != nullptr) {
+    stats_.degraded_entries = health_->stats().degraded_entries;
+    stats_.degraded_exits = health_->stats().degraded_exits;
+    stats_.backoff_retries = health_->stats().backoff_retries;
+  }
+  if (journal_ != nullptr) {
+    stats_.journal_replays = journal_->stats().replays;
+    stats_.journal_records_replayed = journal_->stats().records_replayed;
+    stats_.journal_torn_tails = journal_->stats().torn_tails_truncated;
+  }
+  return stats_;
 }
 
 DfiProxy::Session& DfiProxy::create_session(SendFn to_switch, SendFn to_controller) {
@@ -217,6 +239,25 @@ void DfiProxy::Session::handle_switch_message(OfMessage message) {
       if (!dpid_.has_value()) {
         ++proxy_.stats_.packet_ins_suppressed;
         DFI_WARN << "proxy: packet-in before handshake completed; dropped";
+        return;
+      }
+      // Degraded-mode gate (DESIGN.md §6): while the control plane is
+      // degraded or recovering the PCP's answer cannot be trusted — the
+      // store may be mid-replay, shards may be dead. Fail-secure extends
+      // default-deny to component failure: the flow is suppressed and
+      // re-enters on retransmission once the plane is healthy (invariant
+      // I1 holds through the window by construction). Fail-open is the
+      // paper-discussed alternative stance, implemented for the ablation:
+      // the controller sees the packet undecided.
+      if (proxy_.health_ != nullptr && proxy_.health_->gating()) {
+        if (proxy_.health_->mode() == DegradedMode::kFailSecure) {
+          ++proxy_.stats_.packet_ins_suppressed;
+          ++proxy_.stats_.degraded_suppressed;
+          return;
+        }
+        ++proxy_.stats_.degraded_forwarded;
+        ++proxy_.stats_.packet_ins_forwarded;
+        defer_to_controller(OfMessage{message.xid, *packet_in});
         return;
       }
       ++proxy_.stats_.packet_ins_to_pcp;

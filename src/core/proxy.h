@@ -37,6 +37,9 @@
 
 namespace dfi {
 
+class HealthMonitor;
+class Journal;
+
 struct ProxyConfig {
   // Per-message proxy processing time (paper Table II: 0.16 ms ± 0.72 ms).
   double latency_mean_ms = 0.16;
@@ -64,6 +67,20 @@ struct ProxyStats {
   // FrameBufferPool counters, mirrored by DfiProxy::stats().
   std::uint64_t pool_acquires = 0;
   std::uint64_t pool_reuses = 0;
+
+  // Recovery behavior (DESIGN.md §6). The first two are counted by the
+  // proxy's degraded-mode gate; the rest are mirrored by DfiProxy::stats()
+  // from the attached HealthMonitor, Journal and PCP so one struct tells
+  // the whole failure-time story (harness recovery_report).
+  std::uint64_t degraded_suppressed = 0;  // fail-secure: denied while degraded
+  std::uint64_t degraded_forwarded = 0;   // fail-open: undecided, to controller
+  std::uint64_t degraded_entries = 0;
+  std::uint64_t degraded_exits = 0;
+  std::uint64_t backoff_retries = 0;
+  std::uint64_t resync_clears = 0;
+  std::uint64_t journal_replays = 0;
+  std::uint64_t journal_records_replayed = 0;
+  std::uint64_t journal_torn_tails = 0;
 
   double pool_hit_rate() const {
     return pool_acquires == 0 ? 1.0
@@ -140,14 +157,17 @@ class DfiProxy {
 
   std::size_t session_count() const { return sessions_.size(); }
 
-  const ProxyStats& stats() const {
-    // Pool counters live in the pool; mirror them on read so ProxyStats
-    // stays one flat struct for tests and benches.
-    const FrameBufferPool::Stats pool = pool_.stats();
-    stats_.pool_acquires = pool.acquires;
-    stats_.pool_reuses = pool.reuses;
-    return stats_;
-  }
+  // Degraded-mode gate (DESIGN.md §6). While the attached HealthMonitor
+  // reports a non-healthy plane, undecided table-0 Packet-ins are not
+  // handed to the PCP: fail-secure suppresses them (invariant I1 holds by
+  // construction — nothing reaches the controller), fail-open forwards
+  // them to the controller undecided. Detached (nullptr) or disabled
+  // monitoring leaves the pre-existing behavior untouched.
+  void attach_health(HealthMonitor* health) { health_ = health; }
+  // Observe a journal's recovery counters through stats() (read-only).
+  void attach_journal_stats(const Journal* journal) { journal_ = journal; }
+
+  const ProxyStats& stats() const;
   const SampleStats& latency_ms() const { return latency_ms_; }
   const FrameBufferPool& buffer_pool() const { return pool_; }
 
@@ -159,6 +179,8 @@ class DfiProxy {
 
   Simulator& sim_;
   PolicyCompilationPoint& pcp_;
+  HealthMonitor* health_ = nullptr;
+  const Journal* journal_ = nullptr;
   ProxyConfig config_;
   Rng rng_;
   // Table II proxy latency distribution, derived once from the configured

@@ -35,6 +35,22 @@ struct FaultPlanStats {
   std::uint64_t delayed = 0;
   std::uint64_t reordered_flushes = 0;
   std::uint64_t severed_drops = 0;  // messages offered while severed
+  std::uint64_t crash_points = 0;   // process-kill points armed
+};
+
+// One seeded process-kill point for the crash-recovery fuzzer
+// (tests/crash_recovery_fuzz_test.cc). A journal store armed with a
+// CrashPoint counts down `ops_remaining` durable operations (appends,
+// syncs, compaction commits) and then dies mid-operation: an append
+// persists only `tear_fraction` of its bytes (the torn tail recovery must
+// truncate), a sync persists nothing new, and a compaction commit either
+// never happens or completes just before the kill (`commit_survives`) —
+// the two sides of the atomic-rename race.
+struct CrashPoint {
+  bool armed = false;
+  std::uint64_t ops_remaining = 0;
+  double tear_fraction = 1.0;
+  bool commit_survives = false;
 };
 
 // The single source of randomness and the replay trace for one fault
@@ -54,6 +70,23 @@ class FaultPlan {
   void note(const std::string& line) {
     trace_ += line;
     trace_ += '\n';
+  }
+
+  // Draw a kill point for the next journal "process lifetime": the crash
+  // fires within the next `max_ops` durable operations. Recorded in the
+  // trace so a schedule's kill/restart sequence replays from its seed.
+  CrashPoint draw_crash_point(std::uint64_t max_ops) {
+    CrashPoint point;
+    point.armed = true;
+    point.ops_remaining = static_cast<std::uint64_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(max_ops)));
+    point.tear_fraction = static_cast<double>(rng_.uniform_int(0, 100)) / 100.0;
+    point.commit_survives = rng_.chance(0.5);
+    ++stats_.crash_points;
+    note("crash-point: ops=" + std::to_string(point.ops_remaining) +
+         " tear=" + std::to_string(point.tear_fraction) +
+         " commit_survives=" + (point.commit_survives ? "yes" : "no"));
+    return point;
   }
 
   const std::string& trace() const { return trace_; }

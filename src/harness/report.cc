@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/proxy.h"
+
 namespace dfi {
 
 Report::Report(std::string title) : title_(std::move(title)) {}
@@ -45,6 +47,26 @@ void Report::print() const {
   for (const auto& cells : rows_) print_row(cells);
   for (const auto& text : notes_) std::printf("  note: %s\n", text.c_str());
   std::printf("\n");
+}
+
+Report recovery_report(const ProxyStats& stats) {
+  Report report("Recovery & degraded-mode summary");
+  report.columns({"counter", "value"});
+  const auto row = [&report](const char* name, std::uint64_t value) {
+    report.row({name, std::to_string(value)});
+  };
+  row("degraded entries", stats.degraded_entries);
+  row("degraded exits", stats.degraded_exits);
+  row("packet-ins suppressed while degraded (fail-secure)",
+      stats.degraded_suppressed);
+  row("packet-ins forwarded while degraded (fail-open)",
+      stats.degraded_forwarded);
+  row("reconnect backoff retries", stats.backoff_retries);
+  row("table-0 resync clears", stats.resync_clears);
+  row("journal replays", stats.journal_replays);
+  row("journal records replayed", stats.journal_records_replayed);
+  row("journal torn tails truncated", stats.journal_torn_tails);
+  return report;
 }
 
 }  // namespace dfi

@@ -8,6 +8,8 @@
 
 namespace dfi {
 
+struct ProxyStats;
+
 class Report {
  public:
   explicit Report(std::string title);
@@ -27,5 +29,11 @@ class Report {
   std::vector<std::vector<std::string>> rows_;
   std::vector<std::string> notes_;
 };
+
+// Recovery/degradation summary (DESIGN.md §6): renders the failure-time
+// counters DfiProxy::stats() mirrors from the HealthMonitor, Journal and
+// PCP — degraded window entries/exits, gated Packet-in outcomes, reconnect
+// backoff retries, Table-0 resync clears and journal replay activity.
+Report recovery_report(const ProxyStats& stats);
 
 }  // namespace dfi

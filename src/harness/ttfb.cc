@@ -115,6 +115,7 @@ TtfbResult run_ttfb_experiment(const TtfbConfig& config) {
   result.background_flows = *bg_count;
   if (dfi != nullptr) {
     result.control_plane_drops = dfi->pcp().stats().dropped_overload;
+    result.proxy = dfi->proxy().stats();
   }
   return result;
 }

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "common/sim_time.h"
+#include "core/proxy.h"
 #include "sim/stats.h"
 
 namespace dfi {
@@ -40,6 +41,9 @@ struct TtfbResult {
   int probes_failed = 0;      // timed out entirely
   std::uint64_t background_flows = 0;
   std::uint64_t control_plane_drops = 0;  // PCP queue rejections
+  // Full proxy counters at end of run (with_dfi only), including the
+  // recovery/degradation mirrors — feed to recovery_report().
+  ProxyStats proxy;
 };
 
 TtfbResult run_ttfb_experiment(const TtfbConfig& config);

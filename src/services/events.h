@@ -27,6 +27,7 @@ inline const std::string kSiemSessions = "siem.sessions";
 inline const std::string kErmBindings = "erm.bindings";
 inline const std::string kPolicyCommands = "policy.commands";
 inline const std::string kRuleFlush = "pcp.flush";
+inline const std::string kHealthHeartbeats = "health.heartbeats";
 }  // namespace topics
 
 // --------------------------------------------------------- service events
@@ -53,6 +54,15 @@ struct SessionEvent {
   Username user;
   Hostname host;
   bool logged_on = false;
+  SimTime at{};
+};
+
+// One liveness beat from a supervised component (a sensor feed, a PDP, a
+// shard worker watchdog). The HealthMonitor (core/health_monitor.h) tracks
+// the latest beat per component name; a component whose beat is older than
+// the configured deadline degrades the control plane.
+struct HeartbeatEvent {
+  std::string component;
   SimTime at{};
 };
 

@@ -2,6 +2,17 @@
 
 namespace dfi {
 
+namespace {
+
+// One liveness beat per translated source event: the HealthMonitor's view
+// of "this feed is alive" tracks the feed actually delivering data.
+void maybe_beat(MessageBus& bus, const std::string& component, SimTime at) {
+  if (component.empty()) return;
+  bus.publish(topics::kHealthHeartbeats, HeartbeatEvent{component, at});
+}
+
+}  // namespace
+
 std::string to_string(BindingKind kind) {
   switch (kind) {
     case BindingKind::kUserHost: return "user-host";
@@ -16,6 +27,7 @@ IpMacSensor::IpMacSensor(MessageBus& bus)
     : bus_(bus),
       subscription_(bus.subscribe<DhcpLeaseEvent>(
           topics::kDhcpEvents, [this](const DhcpLeaseEvent& event) {
+            maybe_beat(bus_, heartbeat_component_, event.at);
             BindingEvent binding;
             binding.kind = BindingKind::kIpMac;
             binding.retracted = event.released;
@@ -29,6 +41,7 @@ HostIpSensor::HostIpSensor(MessageBus& bus)
     : bus_(bus),
       subscription_(bus.subscribe<DnsRecordEvent>(
           topics::kDnsEvents, [this](const DnsRecordEvent& event) {
+            maybe_beat(bus_, heartbeat_component_, event.at);
             BindingEvent binding;
             binding.kind = BindingKind::kHostIp;
             binding.retracted = event.removed;
@@ -42,6 +55,7 @@ UserHostSensor::UserHostSensor(MessageBus& bus)
     : bus_(bus),
       subscription_(bus.subscribe<SessionEvent>(
           topics::kSiemSessions, [this](const SessionEvent& event) {
+            maybe_beat(bus_, heartbeat_component_, event.at);
             BindingEvent binding;
             binding.kind = BindingKind::kUserHost;
             binding.retracted = !event.logged_on;

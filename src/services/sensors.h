@@ -9,7 +9,14 @@
 // The fourth binding (MAC <-> switch port) has no data-plane authoritative
 // service; it is observed from Packet-in events inside the PCP, which
 // publishes the same BindingEvent type (see core/pcp.h).
+//
+// Liveness (DESIGN.md §6): a sensor with heartbeats enabled publishes a
+// HeartbeatEvent on `health.heartbeats` for every source event it
+// translates, so the HealthMonitor can detect a feed going quiet. Off by
+// default — existing experiments see no extra bus traffic.
 #pragma once
+
+#include <string>
 
 #include "bus/message_bus.h"
 #include "services/events.h"
@@ -21,8 +28,13 @@ class IpMacSensor {
  public:
   explicit IpMacSensor(MessageBus& bus);
 
+  void enable_heartbeats(std::string component) {
+    heartbeat_component_ = std::move(component);
+  }
+
  private:
   MessageBus& bus_;
+  std::string heartbeat_component_;  // empty = heartbeats off
   Subscription subscription_;
 };
 
@@ -31,8 +43,13 @@ class HostIpSensor {
  public:
   explicit HostIpSensor(MessageBus& bus);
 
+  void enable_heartbeats(std::string component) {
+    heartbeat_component_ = std::move(component);
+  }
+
  private:
   MessageBus& bus_;
+  std::string heartbeat_component_;
   Subscription subscription_;
 };
 
@@ -41,8 +58,13 @@ class UserHostSensor {
  public:
   explicit UserHostSensor(MessageBus& bus);
 
+  void enable_heartbeats(std::string component) {
+    heartbeat_component_ = std::move(component);
+  }
+
  private:
   MessageBus& bus_;
+  std::string heartbeat_component_;
   Subscription subscription_;
 };
 
@@ -50,6 +72,15 @@ class UserHostSensor {
 struct SensorSuite {
   explicit SensorSuite(MessageBus& bus)
       : ip_mac(bus), host_ip(bus), user_host(bus) {}
+
+  // Turn on liveness beats for all three feeds under canonical names
+  // (sensor.dhcp / sensor.dns / sensor.siem). Pair with
+  // HealthMonitor::watch() on the same names to enforce deadlines.
+  void enable_heartbeats() {
+    ip_mac.enable_heartbeats("sensor.dhcp");
+    host_ip.enable_heartbeats("sensor.dns");
+    user_host.enable_heartbeats("sensor.siem");
+  }
 
   IpMacSensor ip_mac;
   HostIpSensor host_ip;

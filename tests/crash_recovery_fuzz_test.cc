@@ -1,0 +1,563 @@
+// Crash-recovery fuzz campaign (DESIGN.md §6).
+//
+// Hundreds of seeded kill/restart schedules against the journaled control
+// plane: each schedule runs several "process lifetimes" of random policy
+// inserts/revokes, binding events and compactions against a journal whose
+// store is armed with a FaultPlan crash point, kills the process mid-durable
+// -operation, restarts, and recovers. After every recovery the restored
+// state must be byte-identical to a never-crashed oracle:
+//
+//   * save_policies/save_bindings text equal (rule ids, PDP ownership,
+//     priorities, binding sets),
+//   * policy and binding epochs and next_id equal,
+//   * random policy queries, enrichments and spoof validations equal
+//     (differential check through the public query API),
+//   * compiled Table-0 rules byte-identical on the wire for a shared
+//     packet workload (cookies cite rule ids, so this pins id recovery).
+//
+// The WAL boundary op is genuinely ambiguous: a crash during append can
+// leave the record fully durable (tear == 1.0, or the kill landed on the
+// sync after the append) even though the dying process never applied it in
+// memory. Recovery then correctly replays an operation the crashed process
+// never saw complete. The oracle accepts either world — the recovered state
+// must match the oracle *without* the boundary op or the oracle *with* it,
+// and the campaign continues from whichever matched. Anything else is a
+// violation.
+//
+// Every fourth schedule additionally drives a degraded window through a
+// full DfiSystem proxy session and asserts invariant I1: with fail-secure
+// gating, no Packet-in reaches the controller (or the PCP) while the window
+// is open, and Table 0 is resynced wholesale on recovery.
+//
+// Reproduction mirrors the invariant fuzzer: DFI_FUZZ_SEED=<seed> (or
+// --seed=<seed>) replays one schedule; DFI_FUZZ_SCHEDULES=<n> (or
+// --schedules=<n>) bounds the campaign (CI's sanitizer stages use this).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.h"
+#include "common/logging.h"
+#include "core/dfi_system.h"
+#include "core/journal.h"
+#include "core/pcp.h"
+#include "core/persistence.h"
+#include "fault/fault_plan.h"
+#include "openflow/wire.h"
+#include "sim/simulator.h"
+
+namespace dfi {
+namespace {
+
+std::optional<std::uint64_t> g_seed_override;
+std::size_t g_total_schedules = 600;
+
+// ----------------------------------------------------------- op vocabulary
+
+// One logical control-plane mutation. Schedules record every *committed* op
+// so the oracle can be reconstructed at any process boundary by replaying
+// the list into a fresh plane.
+struct CrashOp {
+  enum class Kind { kInsert, kRevoke, kBinding, kCompact };
+  Kind kind = Kind::kInsert;
+  PolicyRule rule;           // kInsert
+  std::uint32_t priority = 0;
+  std::string pdp;
+  PolicyRuleId revoke_id{};  // kRevoke
+  BindingEvent event;        // kBinding
+};
+
+struct Plane {
+  Plane() : manager(bus), erm(bus) {}
+  MessageBus bus;
+  PolicyManager manager;
+  EntityResolutionManager erm;
+};
+
+PolicyRule random_rule(Rng& rng) {
+  PolicyRule rule;
+  rule.action = rng.chance(0.5) ? PolicyAction::kAllow : PolicyAction::kDeny;
+  if (rng.chance(0.6)) rule.properties.ether_type = 0x0800;
+  if (rng.chance(0.4)) rule.properties.ip_proto = rng.chance(0.5) ? 6 : 17;
+  const auto endpoint = [&rng](EndpointSpec& spec) {
+    if (rng.chance(0.3)) spec.user = Username{"user" + std::to_string(rng.uniform_int(0, 5))};
+    if (rng.chance(0.3)) spec.host = Hostname{"host" + std::to_string(rng.uniform_int(0, 5))};
+    if (rng.chance(0.4)) {
+      spec.ip = Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(rng.uniform_int(1, 30)));
+    }
+    if (rng.chance(0.3)) spec.l4_port = static_cast<std::uint16_t>(rng.uniform_int(1, 2000));
+  };
+  endpoint(rule.source);
+  endpoint(rule.destination);
+  return rule;
+}
+
+BindingEvent random_binding(Rng& rng) {
+  BindingEvent event;
+  event.kind = static_cast<BindingKind>(rng.uniform_int(0, 3));
+  event.retracted = rng.chance(0.25);
+  event.user = Username{"user" + std::to_string(rng.uniform_int(0, 5))};
+  event.host = Hostname{"host" + std::to_string(rng.uniform_int(0, 5))};
+  event.ip = Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(rng.uniform_int(1, 30)));
+  event.mac = MacAddress::from_u64(static_cast<std::uint64_t>(rng.uniform_int(1, 40)));
+  event.dpid = Dpid{static_cast<std::uint64_t>(rng.uniform_int(1, 3))};
+  event.port = PortNo{static_cast<std::uint32_t>(rng.uniform_int(1, 24))};
+  return event;
+}
+
+CrashOp draw_op(Rng& rng, const PolicyManager& manager) {
+  CrashOp op;
+  const double roll = rng.uniform_real(0.0, 1.0);
+  if (roll < 0.35) {
+    op.kind = CrashOp::Kind::kInsert;
+    op.rule = random_rule(rng);
+    op.priority = static_cast<std::uint32_t>(rng.uniform_int(1, 5));
+    op.pdp = "pdp" + std::to_string(rng.uniform_int(0, 2));
+  } else if (roll < 0.55) {
+    const auto rules = manager.rules();
+    if (rules.empty()) {
+      op.kind = CrashOp::Kind::kInsert;
+      op.rule = random_rule(rng);
+      op.priority = static_cast<std::uint32_t>(rng.uniform_int(1, 5));
+      op.pdp = "pdp" + std::to_string(rng.uniform_int(0, 2));
+    } else {
+      op.kind = CrashOp::Kind::kRevoke;
+      op.revoke_id =
+          rules[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(rules.size()) - 1))]
+              .id;
+    }
+  } else if (roll < 0.92) {
+    op.kind = CrashOp::Kind::kBinding;
+    op.event = random_binding(rng);
+  } else {
+    op.kind = CrashOp::Kind::kCompact;
+  }
+  return op;
+}
+
+// Apply one op to a plane. `journal` is only consulted for compaction (the
+// oracle replays with journal == nullptr, where compaction is a no-op — it
+// never changes logical state). May throw CrashException when the plane's
+// journal store has an armed crash point.
+void apply_op(Plane& plane, Journal* journal, const CrashOp& op) {
+  switch (op.kind) {
+    case CrashOp::Kind::kInsert:
+      plane.manager.insert(op.rule, PdpPriority{op.priority}, op.pdp);
+      break;
+    case CrashOp::Kind::kRevoke:
+      plane.manager.revoke(op.revoke_id);
+      break;
+    case CrashOp::Kind::kBinding:
+      plane.erm.apply(op.event);
+      break;
+    case CrashOp::Kind::kCompact:
+      if (journal != nullptr) {
+        const Status status = journal->compact(plane.manager, plane.erm);
+        ASSERT_TRUE(status.ok()) << status.error().message;
+      }
+      break;
+  }
+}
+
+std::unique_ptr<Plane> replay_oracle(const std::vector<CrashOp>& ops) {
+  auto plane = std::make_unique<Plane>();
+  for (const CrashOp& op : ops) apply_op(*plane, nullptr, op);
+  return plane;
+}
+
+// ------------------------------------------------------------- comparisons
+
+std::string describe_mismatch(const Plane& a, const Plane& b) {
+  std::string out;
+  if (save_policies(a.manager) != save_policies(b.manager)) out += " policies";
+  if (save_bindings(a.erm) != save_bindings(b.erm)) out += " bindings";
+  if (a.manager.epoch() != b.manager.epoch()) out += " policy-epoch";
+  if (a.erm.epoch() != b.erm.epoch()) out += " binding-epoch";
+  if (a.manager.next_id() != b.manager.next_id()) out += " next-id";
+  return out;
+}
+
+bool state_equal(const Plane& a, const Plane& b) {
+  return describe_mismatch(a, b).empty();
+}
+
+// Differential check through the query APIs: recovered and oracle planes
+// must answer identically, not just serialize identically.
+void check_queries(Rng& rng, const Plane& recovered, const Plane& oracle,
+                   std::vector<std::string>& violations) {
+  for (int i = 0; i < 6; ++i) {
+    FlowView flow;
+    flow.ether_type = rng.chance(0.7) ? 0x0800 : 0x0806;
+    if (rng.chance(0.5)) flow.ip_proto = rng.chance(0.5) ? 6 : 17;
+    const auto endpoint = [&rng](EndpointView& view) {
+      if (rng.chance(0.6)) {
+        view.ip = Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(rng.uniform_int(1, 30)));
+      }
+      if (rng.chance(0.5)) view.l4_port = static_cast<std::uint16_t>(rng.uniform_int(1, 2000));
+      if (rng.chance(0.4)) view.hostnames.push_back(Hostname{"host" + std::to_string(rng.uniform_int(0, 5))});
+      if (rng.chance(0.4)) view.usernames.push_back(Username{"user" + std::to_string(rng.uniform_int(0, 5))});
+    };
+    endpoint(flow.src);
+    endpoint(flow.dst);
+    const PolicyDecision got = recovered.manager.query(flow);
+    const PolicyDecision want = oracle.manager.query(flow);
+    if (got.action != want.action || got.rule_id != want.rule_id ||
+        got.default_deny != want.default_deny) {
+      violations.push_back("query divergence: recovered rule " +
+                           std::to_string(got.rule_id.value) + " vs oracle " +
+                           std::to_string(want.rule_id.value));
+      return;
+    }
+  }
+  for (int i = 0; i < 6; ++i) {
+    const Ipv4Address ip(10, 0, 0, static_cast<std::uint8_t>(rng.uniform_int(1, 30)));
+    const auto mac = MacAddress::from_u64(static_cast<std::uint64_t>(rng.uniform_int(1, 40)));
+    if (recovered.erm.hosts_of_ip(ip) != oracle.erm.hosts_of_ip(ip) ||
+        recovered.erm.mac_of_ip(ip) != oracle.erm.mac_of_ip(ip)) {
+      violations.push_back("erm enrichment divergence at ip " + ip.to_string());
+      return;
+    }
+    const SpoofCheck got = recovered.erm.validate(mac, ip, std::nullopt, std::nullopt);
+    const SpoofCheck want = oracle.erm.validate(mac, ip, std::nullopt, std::nullopt);
+    if (got.spoofed != want.spoofed) {
+      violations.push_back("spoof validation divergence at ip " + ip.to_string());
+      return;
+    }
+  }
+}
+
+// Wire-level Table-0 differential: identical Packet-in workloads through
+// zero-latency PCPs over both planes must emit byte-identical FlowMods
+// (cookie == deciding rule id, so this pins exact id recovery).
+void check_table0(std::uint64_t seed, Rng& rng, Plane& recovered, Plane& oracle,
+                  std::vector<std::string>& violations) {
+  Simulator sim_a;
+  Simulator sim_b;
+  PcpConfig config;
+  config.zero_latency = true;
+  PolicyCompilationPoint pcp_a(sim_a, recovered.bus, recovered.erm,
+                               recovered.manager, config, Rng(seed ^ 0x7ab1));
+  PolicyCompilationPoint pcp_b(sim_b, oracle.bus, oracle.erm, oracle.manager,
+                               config, Rng(seed ^ 0x7ab1));
+  std::vector<std::uint8_t> wire_a;
+  std::vector<std::uint8_t> wire_b;
+  const auto capture = [](std::vector<std::uint8_t>& wire) {
+    return [&wire](const OfMessage& message) {
+      const std::vector<std::uint8_t> bytes = encode(message);
+      wire.insert(wire.end(), bytes.begin(), bytes.end());
+    };
+  };
+  pcp_a.register_switch(Dpid{1}, capture(wire_a));
+  pcp_b.register_switch(Dpid{1}, capture(wire_b));
+
+  for (int i = 0; i < 8; ++i) {
+    const Packet packet = make_tcp_packet(
+        MacAddress::from_u64(static_cast<std::uint64_t>(rng.uniform_int(1, 40))),
+        MacAddress::from_u64(static_cast<std::uint64_t>(rng.uniform_int(1, 40))),
+        Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(rng.uniform_int(1, 30))),
+        Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(rng.uniform_int(1, 30))),
+        static_cast<std::uint16_t>(rng.uniform_int(1, 2000)),
+        static_cast<std::uint16_t>(rng.uniform_int(1, 2000)));
+    PacketInMsg msg;
+    msg.table_id = 0;
+    msg.in_port = PortNo{static_cast<std::uint32_t>(rng.uniform_int(1, 24))};
+    msg.data = packet.serialize();
+    const PcpDecision a = pcp_a.decide(Dpid{1}, msg);
+    const PcpDecision b = pcp_b.decide(Dpid{1}, msg);
+    if (a.allow != b.allow || a.policy.rule_id != b.policy.rule_id) {
+      violations.push_back("table0 decision divergence: rule " +
+                           std::to_string(a.policy.rule_id.value) + " vs " +
+                           std::to_string(b.policy.rule_id.value));
+      return;
+    }
+  }
+  if (wire_a != wire_b) {
+    violations.push_back("table0 wire divergence: " + std::to_string(wire_a.size()) +
+                         " vs " + std::to_string(wire_b.size()) + " bytes");
+  }
+}
+
+// ------------------------------------------------- degraded-window I1 check
+
+// Drive a full DfiSystem proxy session through a fail-secure degraded
+// window: every table-0 Packet-in inside the window must be suppressed
+// (nothing to the controller, nothing to the PCP — invariant I1), and
+// recovery must clear Table 0 wholesale.
+void check_degraded_window(std::uint64_t seed, Rng& rng,
+                           std::vector<std::string>& violations) {
+  Simulator sim;
+  MessageBus bus;
+  DfiConfig config = DfiConfig::functional();
+  config.seed = seed;
+  config.health.enabled = true;
+  config.health.degraded_mode = DegradedMode::kFailSecure;
+  config.health.recovering_hold = seconds(0.0);
+  DfiSystem system(sim, bus, config);
+
+  std::vector<std::vector<std::uint8_t>> to_controller;
+  std::vector<std::vector<std::uint8_t>> to_switch;
+  DfiProxy::Session& session = system.proxy().create_session(
+      [&to_switch](const std::vector<std::uint8_t>& bytes) { to_switch.push_back(bytes); },
+      [&to_controller](const std::vector<std::uint8_t>& bytes) {
+        to_controller.push_back(bytes);
+      });
+
+  FeaturesReplyMsg features;
+  features.datapath_id = Dpid{9};
+  features.n_tables = 4;
+  session.from_switch(encode(OfMessage{1, features}));
+  sim.run();
+
+  const auto send_miss = [&](std::uint16_t src_port) {
+    PacketInMsg msg;
+    msg.table_id = 0;
+    msg.in_port = PortNo{3};
+    msg.data = make_tcp_packet(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                               Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                               src_port, 80)
+                   .serialize();
+    session.from_switch(encode(OfMessage{2, msg}));
+    sim.run();
+  };
+
+  system.health().enter_degraded("fuzz-window");
+  const std::size_t controller_before = to_controller.size();
+  const std::uint64_t pcp_before = system.pcp().stats().packet_ins;
+  const int packets = static_cast<int>(rng.uniform_int(1, 5));
+  for (int i = 0; i < packets; ++i) {
+    send_miss(static_cast<std::uint16_t>(3000 + i));
+  }
+  if (to_controller.size() != controller_before) {
+    violations.push_back("I1 violated: Packet-in reached the controller in a degraded window");
+  }
+  if (system.pcp().stats().packet_ins != pcp_before) {
+    violations.push_back("I1 violated: Packet-in reached the PCP in a degraded window");
+  }
+  if (system.proxy().stats().degraded_suppressed !=
+      static_cast<std::uint64_t>(packets)) {
+    violations.push_back("degraded gate miscounted suppressions");
+  }
+  system.health().exit_degraded("fuzz-window");
+  sim.run();
+  if (system.pcp().stats().resync_clears < 1) {
+    violations.push_back("no Table-0 resync after the degraded window closed");
+  }
+}
+
+// ------------------------------------------------------------ one schedule
+
+struct ScheduleResult {
+  std::vector<std::string> violations;
+  std::string trace;
+  std::uint64_t crashes = 0;
+  std::uint64_t torn_tails = 0;
+  std::uint64_t adoptions = 0;   // durable boundary ops replayed by recovery
+  std::uint64_t discards = 0;    // boundary ops lost to the crash
+  std::uint64_t compactions = 0;
+  std::uint64_t snapshots_loaded = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t i1_windows = 0;
+};
+
+ScheduleResult run_schedule(std::uint64_t seed) {
+  ScheduleResult result;
+  FaultPlan plan(seed);
+  Rng& rng = plan.rng();
+  InMemoryJournalStore store;
+  std::vector<CrashOp> committed;
+  std::optional<CrashOp> pending;  // boundary op of the previous lifetime
+
+  const int lifetimes = static_cast<int>(rng.uniform_int(3, 6));
+  for (int life = 0; life < lifetimes; ++life) {
+    auto sut = std::make_unique<Plane>();
+    Journal journal(store);
+    const Result<JournalRecovery> recovery =
+        journal.recover(sut->manager, sut->erm);
+    if (!recovery.ok()) {
+      result.violations.push_back("recovery failed at lifetime " +
+                                  std::to_string(life) + ": " +
+                                  recovery.error().message);
+      break;
+    }
+    ++result.recoveries;
+    result.records_replayed += recovery.value().records_replayed;
+    if (recovery.value().tail_truncated) ++result.torn_tails;
+    if (recovery.value().snapshot_loaded) ++result.snapshots_loaded;
+
+    // Resolve the WAL boundary: the recovered state must match the oracle
+    // without the crashed op, or — when its record went fully durable —
+    // with it. Adopt whichever world the bytes chose.
+    std::unique_ptr<Plane> oracle = replay_oracle(committed);
+    if (pending.has_value()) {
+      const bool without = state_equal(*sut, *oracle);
+      std::vector<CrashOp> with_ops = committed;
+      with_ops.push_back(*pending);
+      std::unique_ptr<Plane> oracle_with = replay_oracle(with_ops);
+      const bool with = state_equal(*sut, *oracle_with);
+      if (with) {
+        committed = std::move(with_ops);
+        oracle = std::move(oracle_with);
+        ++result.adoptions;
+        plan.note("boundary op durable: adopted");
+      } else if (without) {
+        ++result.discards;
+        plan.note("boundary op torn: discarded");
+      } else {
+        result.violations.push_back(
+            "lifetime " + std::to_string(life) +
+            ": recovered state matches neither oracle (without:" +
+            describe_mismatch(*sut, *oracle) + ") (with:" +
+            describe_mismatch(*sut, *oracle_with) + ")");
+        break;
+      }
+      pending.reset();
+    } else if (!state_equal(*sut, *oracle)) {
+      result.violations.push_back("lifetime " + std::to_string(life) +
+                                  ": recovered state diverged:" +
+                                  describe_mismatch(*sut, *oracle));
+      break;
+    }
+    check_queries(rng, *sut, *oracle, result.violations);
+    if (!result.violations.empty()) break;
+
+    // Final lifetime: no further mutations — run the wire-level epilogue on
+    // the fully recovered plane and stop.
+    if (life + 1 == lifetimes) {
+      check_table0(seed, rng, *sut, *oracle, result.violations);
+      break;
+    }
+
+    // Run a random op burst with a seeded kill armed. Each journaled op
+    // costs two durable store ops (append + sync), compaction two more, so
+    // the crash point window covers the whole burst with room to miss —
+    // lifetimes that outlive their kill shut down cleanly.
+    sut->manager.attach_journal(&journal);
+    sut->erm.attach_journal(&journal);
+    const int budget = static_cast<int>(rng.uniform_int(4, 16));
+    store.arm_crash(plan.draw_crash_point(
+        static_cast<std::uint64_t>(2 * budget + 2)));
+    bool crashed = false;
+    for (int i = 0; i < budget && !crashed; ++i) {
+      const CrashOp op = draw_op(rng, sut->manager);
+      try {
+        apply_op(*sut, &journal, op);
+        if (op.kind == CrashOp::Kind::kCompact) {
+          ++result.compactions;
+        } else {
+          committed.push_back(op);
+        }
+      } catch (const CrashException&) {
+        crashed = true;
+        ++result.crashes;
+        plan.note("crash at lifetime " + std::to_string(life) + " op " +
+                  std::to_string(i));
+        // A compaction crash has no logical boundary op: the store holds
+        // either the old or the new image of the same state.
+        if (op.kind != CrashOp::Kind::kCompact) pending = op;
+      }
+    }
+    if (!crashed) store.disarm();
+  }
+
+  if (seed % 4 == 0 && result.violations.empty()) {
+    check_degraded_window(seed, rng, result.violations);
+    ++result.i1_windows;
+  }
+  result.trace = plan.trace();
+  return result;
+}
+
+std::string replay_instructions(std::uint64_t seed) {
+  return "replay: DFI_FUZZ_SEED=" + std::to_string(seed) +
+         " ./crash_recovery_fuzz_test";
+}
+
+void expect_clean(std::uint64_t seed, const ScheduleResult& result) {
+  if (result.violations.empty()) return;
+  std::string details;
+  for (const std::string& violation : result.violations) {
+    details += "  " + violation + "\n";
+  }
+  ADD_FAILURE() << result.violations.size() << " violation(s) at seed " << seed
+                << ":\n"
+                << details << replay_instructions(seed);
+}
+
+// ------------------------------------------------------------ the campaign
+
+TEST(CrashRecoveryFuzz, Campaign) {
+  std::size_t schedules = g_total_schedules;
+  if (g_seed_override.has_value()) schedules = 1;
+  ScheduleResult coverage;
+  for (std::size_t i = 0; i < schedules; ++i) {
+    const std::uint64_t seed =
+        g_seed_override.value_or(0xc4a5ull * 1000003ull + i);
+    const ScheduleResult result = run_schedule(seed);
+    expect_clean(seed, result);
+    coverage.crashes += result.crashes;
+    coverage.torn_tails += result.torn_tails;
+    coverage.adoptions += result.adoptions;
+    coverage.discards += result.discards;
+    coverage.compactions += result.compactions;
+    coverage.snapshots_loaded += result.snapshots_loaded;
+    coverage.records_replayed += result.records_replayed;
+    coverage.recoveries += result.recoveries;
+    coverage.i1_windows += result.i1_windows;
+    if (::testing::Test::HasFailure()) break;  // first failing seed is enough
+  }
+  if (g_seed_override.has_value()) return;
+  // The campaign must have exercised every crash class it claims to cover.
+  EXPECT_GT(coverage.crashes, 0u);
+  EXPECT_GT(coverage.torn_tails, 0u);        // partial tears truncated
+  EXPECT_GT(coverage.adoptions, 0u);         // durable boundary ops replayed
+  EXPECT_GT(coverage.discards, 0u);          // torn boundary ops lost
+  EXPECT_GT(coverage.compactions, 0u);
+  EXPECT_GT(coverage.snapshots_loaded, 0u);  // recovery from a compacted log
+  EXPECT_GT(coverage.records_replayed, 0u);
+  EXPECT_GT(coverage.recoveries, schedules);  // several lifetimes per schedule
+  EXPECT_GT(coverage.i1_windows, 0u);
+}
+
+// Same seed => byte-identical crash schedule, trace and outcome. The replay
+// contract the DFI_FUZZ_SEED workflow rests on.
+TEST(CrashRecoveryFuzz, ScheduleIsDeterministic) {
+  const std::uint64_t seed = g_seed_override.value_or(1234567);
+  const ScheduleResult a = run_schedule(seed);
+  const ScheduleResult b = run_schedule(seed);
+  expect_clean(seed, a);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.torn_tails, b.torn_tails);
+  EXPECT_EQ(a.adoptions, b.adoptions);
+  EXPECT_EQ(a.records_replayed, b.records_replayed);
+}
+
+}  // namespace
+}  // namespace dfi
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  dfi::Logger::instance().set_level(dfi::LogLevel::kError);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      dfi::g_seed_override = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--schedules=", 0) == 0) {
+      dfi::g_total_schedules = std::strtoull(arg.c_str() + 12, nullptr, 10);
+    }
+  }
+  if (const char* seed = std::getenv("DFI_FUZZ_SEED")) {
+    dfi::g_seed_override = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* schedules = std::getenv("DFI_FUZZ_SCHEDULES")) {
+    dfi::g_total_schedules = std::strtoull(schedules, nullptr, 10);
+  }
+  return RUN_ALL_TESTS();
+}

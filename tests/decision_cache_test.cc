@@ -10,6 +10,7 @@
 #include "bus/message_bus.h"
 #include "core/decision_cache.h"
 #include "core/pcp.h"
+#include "core/persistence.h"
 #include "sim/simulator.h"
 
 namespace dfi {
@@ -270,6 +271,58 @@ TEST_F(DecisionCacheTest, CapacityBoundsHeldUnderManyFlows) {
     EXPECT_LE(pcp_->decision_cache_size(), 4u);
   }
   EXPECT_GT(pcp_->decision_cache_stats().evictions, 0u);
+}
+
+// Regression for the reload epoch-aliasing hole: a decision cached before
+// a crash is stamped with the pre-crash policy epoch. A plain reload
+// replays only surviving rules and restarts the epoch counter *behind*
+// that stamp; enough later inserts march it back onto the stamped value —
+// against a different policy database — and the stale verdict replays.
+// Reloading with epoch_floor (what Journal::recover does via
+// advance_epoch_to) keeps every post-reload epoch strictly beyond any
+// pre-crash stamp.
+TEST(DecisionCacheUnit, ReloadEpochFloorKeepsPreCrashStampsStale) {
+  MessageBus bus;
+  PolicyManager manager(bus);
+  PolicyRule allow;
+  allow.action = PolicyAction::kAllow;
+  const PolicyRuleId doomed =
+      manager.insert(allow, PdpPriority{10}, "pdp-a");  // epoch 1
+  PolicyRule deny;
+  deny.action = PolicyAction::kDeny;
+  deny.destination.l4_port = 22;
+  manager.insert(deny, PdpPriority{20}, "pdp-b");  // epoch 2
+  manager.revoke(doomed);                          // epoch 3
+
+  // A verdict cached pre-crash, stamped with the live epochs.
+  DecisionCache<int> cache(8);
+  FlowKey key;
+  key.src_mac = 0xa11ce;
+  cache.store(key, 42, manager.epoch(), /*binding_epoch=*/0);
+  const std::string snapshot = save_policies(manager);
+
+  // Restart without the floor: the replayed database sits at epoch 1; two
+  // unrelated inserts later the counter reads 3 again and the pre-crash
+  // stamp validates against a database it never saw.
+  MessageBus bus2;
+  PolicyManager plain(bus2);
+  ASSERT_TRUE(load_policies(plain, snapshot).ok());
+  ASSERT_LT(plain.epoch(), manager.epoch());
+  plain.insert(allow, PdpPriority{30}, "pdp-c");
+  plain.insert(deny, PdpPriority{40}, "pdp-d");
+  ASSERT_EQ(plain.epoch(), manager.epoch());
+  EXPECT_NE(cache.lookup(key, plain.epoch(), 0), nullptr);  // the bug
+
+  // Restart with the floor: the same two inserts land at epochs 4 and 5 —
+  // no post-reload epoch can ever equal a pre-crash stamp.
+  MessageBus bus3;
+  PolicyManager floored(bus3);
+  ASSERT_TRUE(load_policies(floored, snapshot, manager.epoch()).ok());
+  EXPECT_EQ(floored.epoch(), manager.epoch());
+  floored.insert(allow, PdpPriority{30}, "pdp-c");
+  floored.insert(deny, PdpPriority{40}, "pdp-d");
+  EXPECT_GT(floored.epoch(), manager.epoch());
+  EXPECT_EQ(cache.lookup(key, floored.epoch(), 0), nullptr);
 }
 
 TEST_F(DecisionCacheTest, UnparsableTrafficIsNotCached) {

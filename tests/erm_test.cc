@@ -4,6 +4,7 @@
 
 #include "bus/message_bus.h"
 #include "core/entity_resolution.h"
+#include "core/persistence.h"
 #include "services/dhcp.h"
 #include "services/dns.h"
 #include "services/sensors.h"
@@ -260,6 +261,45 @@ TEST(ErmSensorsTest, ServicesFeedErmThroughSensors) {
   // Release retracts the IP<->MAC binding.
   dhcp.release(mac);
   EXPECT_FALSE(erm.mac_of_ip(leased.value()).has_value());
+}
+
+// Regression: reloading a binding snapshot replays only the *surviving*
+// assertions, so without a floor the epoch counter restarts behind its
+// pre-crash value — and later mutations can march it back to a value that
+// pre-crash decision-cache stamps already cite, with different binding
+// state behind it. load_bindings' epoch_floor closes the hole.
+TEST(ErmReload, EpochFloorPreventsPreCrashStampAliasing) {
+  MessageBus bus;
+  EntityResolutionManager erm(bus);
+  erm.apply(user_host("alice", "h1"));
+  erm.apply(user_host("alice", "h1", /*retract=*/true));
+  erm.apply(user_host("bob", "h2"));
+  const std::uint64_t pre_crash_epoch = erm.epoch();
+  ASSERT_EQ(pre_crash_epoch, 3u);
+  const std::string snapshot = save_bindings(erm);
+
+  // Plain reload: only bob's binding survives, the epoch lands at 1.
+  MessageBus bus2;
+  EntityResolutionManager reloaded(bus2);
+  ASSERT_TRUE(load_bindings(reloaded, snapshot).ok());
+  ASSERT_LT(reloaded.epoch(), pre_crash_epoch);
+
+  // Two unrelated mutations later, the counter aliases the pre-crash value
+  // while the binding state is very different — any cached decision
+  // stamped (binding_epoch=3) before the crash would now validate.
+  reloaded.apply(user_host("carol", "h3"));
+  reloaded.apply(user_host("dave", "h4"));
+  EXPECT_EQ(reloaded.epoch(), pre_crash_epoch);  // the aliasing hazard
+  EXPECT_NE(save_bindings(reloaded), snapshot);
+
+  // Floored reload: the counter can never revisit pre-crash values.
+  MessageBus bus3;
+  EntityResolutionManager floored(bus3);
+  ASSERT_TRUE(load_bindings(floored, snapshot, pre_crash_epoch).ok());
+  EXPECT_EQ(floored.epoch(), pre_crash_epoch);
+  floored.apply(user_host("carol", "h3"));
+  floored.apply(user_host("dave", "h4"));
+  EXPECT_GT(floored.epoch(), pre_crash_epoch + 1);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "bus/message_bus.h"
+#include "common/rng.h"
 #include "core/persistence.h"
 
 namespace dfi {
@@ -205,6 +206,102 @@ TEST_F(PersistenceTest, ControlPlaneRestartPreservesDecisions) {
     const PolicyDecision after = decide(manager2, erm2, port);
     EXPECT_EQ(before.action, after.action) << "port " << port;
     EXPECT_EQ(before.default_deny, after.default_deny) << "port " << port;
+  }
+}
+
+// ------------------------------------------------ round-trip property test
+
+PolicyRule random_rule(Rng& rng) {
+  PolicyRule rule;
+  rule.action = rng.chance(0.5) ? PolicyAction::kAllow : PolicyAction::kDeny;
+  if (rng.chance(0.5)) {
+    rule.properties.ether_type = static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff));
+  }
+  if (rng.chance(0.4)) {
+    rule.properties.ip_proto = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const auto random_endpoint = [&rng](EndpointSpec& spec) {
+    if (rng.chance(0.3)) spec.user = Username{"user" + std::to_string(rng.uniform_int(0, 9))};
+    if (rng.chance(0.3)) spec.host = Hostname{"host" + std::to_string(rng.uniform_int(0, 9))};
+    if (rng.chance(0.3)) {
+      spec.ip = Ipv4Address(10, 0, static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                            static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    if (rng.chance(0.3)) spec.l4_port = static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff));
+    if (rng.chance(0.3)) spec.mac = MacAddress::from_u64(static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 24)));
+    if (rng.chance(0.2)) spec.switch_port = PortNo{static_cast<std::uint32_t>(rng.uniform_int(1, 48))};
+    if (rng.chance(0.2)) spec.dpid = Dpid{static_cast<std::uint64_t>(rng.uniform_int(1, 16))};
+  };
+  random_endpoint(rule.source);
+  random_endpoint(rule.destination);
+  return rule;
+}
+
+BindingEvent random_binding(Rng& rng) {
+  BindingEvent event;
+  const int kind = static_cast<int>(rng.uniform_int(0, 3));
+  event.kind = static_cast<BindingKind>(kind);
+  event.user = Username{"user" + std::to_string(rng.uniform_int(0, 9))};
+  event.host = Hostname{"host" + std::to_string(rng.uniform_int(0, 9))};
+  event.ip = Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(rng.uniform_int(1, 250)));
+  event.mac = MacAddress::from_u64(static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 16)));
+  event.dpid = Dpid{static_cast<std::uint64_t>(rng.uniform_int(1, 4))};
+  event.port = PortNo{static_cast<std::uint32_t>(rng.uniform_int(1, 48))};
+  return event;
+}
+
+TEST_F(PersistenceTest, RandomStatesRoundTripByteIdentically) {
+  // Property: for any policy/binding state, save -> load -> save is the
+  // identity on the serialized text, and the reloaded database preserves
+  // PDP ownership and priorities — including ties, whose relative order is
+  // insertion order and must survive the trip.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 0x9e37);
+    MessageBus bus;
+    PolicyManager manager(bus);
+    EntityResolutionManager erm(bus);
+
+    const int rule_count = static_cast<int>(rng.uniform_int(0, 30));
+    // A reduced priority palette forces plenty of ties.
+    for (int i = 0; i < rule_count; ++i) {
+      const PdpPriority priority{static_cast<std::uint32_t>(rng.uniform_int(1, 4))};
+      const std::string pdp = "pdp" + std::to_string(rng.uniform_int(0, 2));
+      manager.insert(random_rule(rng), priority, pdp);
+    }
+    const int binding_count = static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < binding_count; ++i) {
+      BindingEvent event = random_binding(rng);
+      event.retracted = rng.chance(0.2);  // some retractions of maybe-absent bindings
+      erm.apply(event);
+    }
+
+    const std::string policies = save_policies(manager);
+    const std::string bindings = save_bindings(erm);
+
+    MessageBus bus2;
+    PolicyManager manager2(bus2);
+    EntityResolutionManager erm2(bus2);
+    const auto loaded_policies = load_policies(manager2, policies);
+    ASSERT_TRUE(loaded_policies.ok()) << "seed " << seed << ": "
+                                      << loaded_policies.error().message;
+    const auto loaded_bindings = load_bindings(erm2, bindings);
+    ASSERT_TRUE(loaded_bindings.ok()) << "seed " << seed << ": "
+                                      << loaded_bindings.error().message;
+
+    // Byte-identical second save: serialization is canonical.
+    EXPECT_EQ(save_policies(manager2), policies) << "seed " << seed;
+    EXPECT_EQ(save_bindings(erm2), bindings) << "seed " << seed;
+
+    // Ownership, priority, and tie order survive position by position.
+    const auto before = manager.rules();
+    const auto after = manager2.rules();
+    ASSERT_EQ(before.size(), after.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i].pdp_name, after[i].pdp_name) << "seed " << seed;
+      EXPECT_EQ(before[i].priority, after[i].priority) << "seed " << seed;
+      EXPECT_EQ(before[i].rule, after[i].rule) << "seed " << seed;
+    }
+    EXPECT_EQ(erm2.binding_count(), erm.binding_count()) << "seed " << seed;
   }
 }
 

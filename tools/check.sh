@@ -13,9 +13,16 @@
 #          build, plus bounded campaigns under ASan+UBSan and TSan.
 #          DFI_FUZZ_SCHEDULES / DFI_FUZZ_SEED override campaign size and
 #          seed (see tests/fuzz_invariants_test.cc).
+#   recovery  the crash-recovery fuzz campaign (tests/
+#          crash_recovery_fuzz_test.cc): seeded kill/restart schedules
+#          against the journaled control plane, byte-identical recovery
+#          asserted against a no-crash oracle, plus the journal and health
+#          -monitor component tests — full campaign on the plain build,
+#          bounded campaigns under ASan+UBSan and TSan. The same
+#          DFI_FUZZ_SCHEDULES / DFI_FUZZ_SEED knobs apply.
 #
 # Usage: tools/check.sh [--no-sanitize] [stage...]
-#   no stages        -> all of tier1 asan tsan fuzz
+#   no stages        -> all of tier1 asan tsan fuzz recovery
 #   --no-sanitize    -> tier1 only (kept for compatibility)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,12 +33,12 @@ STAGES=()
 for arg in "$@"; do
   case "$arg" in
     --no-sanitize) STAGES=(tier1) ;;
-    tier1|asan|tsan|fuzz) STAGES+=("$arg") ;;
-    *) echo "unknown stage: $arg (want tier1, asan, tsan, fuzz)" >&2; exit 2 ;;
+    tier1|asan|tsan|fuzz|recovery) STAGES+=("$arg") ;;
+    *) echo "unknown stage: $arg (want tier1, asan, tsan, fuzz, recovery)" >&2; exit 2 ;;
   esac
 done
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(tier1 asan tsan fuzz)
+  STAGES=(tier1 asan tsan fuzz recovery)
 fi
 
 want() { local s; for s in "${STAGES[@]}"; do [[ "$s" == "$1" ]] && return 0; done; return 1; }
@@ -98,6 +105,34 @@ if want fuzz; then
   cmake --build build-tsan -j "${JOBS}" --target fuzz_invariants_test
   DFI_FUZZ_SCHEDULES="${DFI_FUZZ_TSAN_SCHEDULES:-200}" \
     ./build-tsan/tests/fuzz_invariants_test
+fi
+
+if want recovery; then
+  echo "== recovery: journal + health-monitor component tests =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target \
+    crash_recovery_fuzz_test journal_test health_monitor_test persistence_test
+  ./build/tests/journal_test
+  ./build/tests/health_monitor_test
+  ./build/tests/persistence_test
+
+  echo "== recovery: full crash-recovery fuzz campaign (plain build) =="
+  ./build/tests/crash_recovery_fuzz_test
+
+  echo "== recovery: bounded campaign under ASan+UBSan =="
+  cmake -B build-asan -S . -DDFI_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target \
+    crash_recovery_fuzz_test journal_test health_monitor_test
+  ./build-asan/tests/journal_test
+  ./build-asan/tests/health_monitor_test
+  DFI_FUZZ_SCHEDULES="${DFI_RECOVERY_ASAN_SCHEDULES:-300}" \
+    ./build-asan/tests/crash_recovery_fuzz_test
+
+  echo "== recovery: bounded campaign under TSan =="
+  cmake -B build-tsan -S . -DDFI_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target crash_recovery_fuzz_test
+  DFI_FUZZ_SCHEDULES="${DFI_RECOVERY_TSAN_SCHEDULES:-150}" \
+    ./build-tsan/tests/crash_recovery_fuzz_test
 fi
 
 echo "== all requested stages passed =="
