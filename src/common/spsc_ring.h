@@ -1,0 +1,105 @@
+// Bounded lock-free single-producer/single-consumer ring (DESIGN.md §5).
+//
+// The shard pool's hot path moves one small struct per Packet-in in each
+// direction: control thread -> worker (ingress jobs) and worker -> control
+// thread (completions). A mutex per transfer is the dominant cost at
+// 100k+ decisions/s, so each direction gets one of these rings: exactly one
+// producer thread calls try_push and exactly one consumer thread calls
+// try_pop, and the only synchronization is two atomic cursors.
+//
+// Capacity semantics: the *logical* capacity is exactly what the caller
+// asked for — try_push fails once `capacity()` items are in flight — while
+// the slot array is rounded up to a power of two so wrap-around is a mask,
+// not a modulo. This keeps the shard pool's "queue full -> drop" behavior
+// bit-compatible with the mutex-guarded deque it replaces.
+//
+// Memory ordering: cursor *publish* stores (tail after a push, head after a
+// pop) are seq_cst, as are the empty()/full() cursor loads. That is
+// slightly stronger than the usual release/acquire pairing on purpose: the
+// shard pool's sleep/wake protocol is a Dekker-style handshake —
+//   sleeper:  store sleeping-flag; re-check ring state; wait
+//   waker:    publish to ring;     load sleeping-flag;   notify if set
+// which is only lost-wakeup-free when the flag and cursor accesses are all
+// in the single seq_cst total order (one side must see the other's store).
+// The cost is nanoseconds per transfer; a missed wakeup is a hang.
+//
+// T must be default-constructible and move-assignable. Failed try_push
+// leaves the value untouched so the caller can retry or drop it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dfi {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        mask_(round_up_pow2(capacity_) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Producer side. Returns false (value untouched) when the ring holds
+  // capacity() items.
+  bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= capacity_) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  // Cursor views, callable from either thread. From the "wrong" side the
+  // answer is conservative-stale (a sleeping consumer may see empty just
+  // before a push lands), which the seq_cst sleep/wake handshake above is
+  // designed around.
+  bool empty() const {
+    return head_.load(std::memory_order_seq_cst) ==
+           tail_.load(std::memory_order_seq_cst);
+  }
+  bool full() const { return size() >= capacity_; }
+  std::size_t size() const {
+    const std::uint64_t head = head_.load(std::memory_order_seq_cst);
+    const std::uint64_t tail = tail_.load(std::memory_order_seq_cst);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;  // logical bound enforced by try_push
+  const std::size_t mask_;      // slots_.size() - 1 (power of two)
+  std::vector<T> slots_;
+  // Consumer cursor and producer cursor; monotonically increasing, masked
+  // on use. 64-bit so wrap-around of the counter itself is a non-issue.
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace dfi

@@ -90,8 +90,8 @@ DecisionSnapshots PolicyCompilationPoint::capture_snapshots() const {
   return DecisionSnapshots{erm_.snapshot_view(), policy_.snapshot_view()};
 }
 
-bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
-                                              DecisionCallback done) {
+bool PolicyCompilationPoint::submit_simulated_one(Dpid dpid, PacketInMsg msg,
+                                                  DecisionCallback done) {
   ++stats_.packet_ins;
 
   // Sample the simulated cost of this decision's subtasks (Table II). The
@@ -110,36 +110,68 @@ bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
   DecisionInput input = make_decision_input(dpid, msg);
   const std::size_t shard = pool_.shard_of(input.flow_key);
 
-  bool accepted = false;
-  if (pool_.backend() == PcpBackend::kSimulated) {
-    // Decision-time context capture: the DES serializes everything, so
-    // running the sensor + snapshot capture when service *completes* makes
-    // each completion exactly one step of the single-threaded oracle.
-    accepted = pool_.submit_simulated(
-        shard, [total_ms]() { return milliseconds(total_ms); },
-        [this, dpid, input = std::move(input), done = std::move(done),
-         binding_ms, policy_ms, other_ms, total_ms](SimTime, SimTime) mutable {
-          binding_latency_ms_.add(binding_ms);
-          policy_latency_ms_.add(policy_ms);
-          other_latency_ms_.add(other_ms);
-          total_latency_ms_.add(total_ms);
-          const DecisionEffects effects = decide_from_input(input);
-          apply_effects(dpid, effects, done);
-        });
-  } else {
+  // Decision-time context capture: the DES serializes everything, so
+  // running the sensor + snapshot capture when service *completes* makes
+  // each completion exactly one step of the single-threaded oracle.
+  const bool accepted = pool_.submit_simulated(
+      shard, [total_ms]() { return milliseconds(total_ms); },
+      [this, dpid, input = std::move(input), done = std::move(done),
+       binding_ms, policy_ms, other_ms, total_ms](SimTime, SimTime) mutable {
+        binding_latency_ms_.add(binding_ms);
+        policy_latency_ms_.add(policy_ms);
+        other_latency_ms_.add(other_ms);
+        total_latency_ms_.add(total_ms);
+        const DecisionEffects effects = decide_from_input(input);
+        apply_effects(dpid, effects, done);
+      });
+  if (!accepted) ++stats_.dropped_overload;
+  return accepted;
+}
+
+std::size_t PolicyCompilationPoint::submit_threaded_batch(BatchItem* items,
+                                                          std::size_t count) {
+  // One snapshot pair for the whole batch (the refcount hoist): no
+  // control-thread effect can run between these submissions, so per-item
+  // captures would return the identical pair anyway — batch submission is
+  // byte-identical to a back-to-back handle_packet_in loop by construction.
+  // Workers borrow the context by raw pointer; retire_batches frees it.
+  auto context = std::make_unique<BatchContext>();
+  context->snapshots = capture_snapshots();
+  context->policy_epoch = context->snapshots.policy->epoch();
+  context->binding_epoch = context->snapshots.erm.epoch();
+  BatchContext* ctx = context.get();
+
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    BatchItem& item = items[i];
+    ++stats_.packet_ins;
+
+    // Table II draws, per item and before shard routing, in the same order
+    // as per-packet submission (see submit_simulated_one).
+    double binding_ms = 0.0, policy_ms = 0.0, other_ms = 0.0;
+    if (!config_.zero_latency) {
+      binding_ms = rng_.lognormal(binding_service_);
+      policy_ms = rng_.lognormal(policy_service_);
+      other_ms = rng_.lognormal(other_service_);
+    }
+    const double total_ms = binding_ms + policy_ms + other_ms;
+
+    DecisionInput input = make_decision_input(item.dpid, item.msg);
+    const std::size_t shard = pool_.shard_of(input.flow_key);
+
     // Submit-time context capture: workers must not read live ERM/policy
-    // state, so the immutable snapshot pair and the one location scalar are
-    // fixed here, on the control thread. The location sensor runs later, in
-    // the apply closure, so binding updates still happen in submission
-    // order against the live ERM.
+    // state, so the snapshot pair (batch-wide) and the one location scalar
+    // (per item) are fixed here, on the control thread. The location
+    // sensor runs later, in the apply closure, so binding updates still
+    // happen in submission order against the live ERM.
     if (input.packet.has_value()) {
       input.prior_src_location =
-          erm_.location_of_mac(dpid, input.packet->eth.src);
+          erm_.location_of_mac(item.dpid, input.packet->eth.src);
     }
-    accepted = pool_.submit_threaded(
+    item.accepted = pool_.submit_threaded(
         shard,
-        [this, dpid, shard, input = std::move(input), done = std::move(done),
-         snapshots = capture_snapshots(), binding_ms, policy_ms, other_ms,
+        [this, ctx, dpid = item.dpid, shard, input = std::move(input),
+         done = std::move(item.done), binding_ms, policy_ms, other_ms,
          total_ms]() mutable -> std::function<void()> {
           if (total_ms > 0.0) {
             // The paper's PCP spends its Table II service time blocked on
@@ -150,14 +182,13 @@ bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
             std::this_thread::sleep_for(
                 std::chrono::duration<double, std::milli>(total_ms));
           }
-          const std::uint64_t policy_epoch = snapshots.policy->epoch();
-          const std::uint64_t binding_epoch = snapshots.erm.epoch();
           DecisionEffects effects =
-              decide_on_snapshots(input, snapshots, *caches_[shard], config_);
+              decide_on_snapshots(input, ctx->snapshots, *caches_[shard], config_);
           return [this, dpid, input = std::move(input),
                   effects = std::move(effects), done = std::move(done),
-                  policy_epoch, binding_epoch, binding_ms, policy_ms, other_ms,
-                  total_ms]() mutable {
+                  policy_epoch = ctx->policy_epoch,
+                  binding_epoch = ctx->binding_epoch, binding_ms, policy_ms,
+                  other_ms, total_ms]() mutable {
             binding_latency_ms_.add(binding_ms);
             policy_latency_ms_.add(policy_ms);
             other_latency_ms_.add(other_ms);
@@ -179,9 +210,63 @@ bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
             apply_effects(dpid, effects, done);
           };
         });
+    if (item.accepted) {
+      ++accepted;
+    } else {
+      ++stats_.dropped_overload;
+    }
   }
-  if (!accepted) ++stats_.dropped_overload;
+  if (accepted > 0) {
+    batches_.push_back(PendingBatch{pool_.submitted_seq(), std::move(context)});
+  }
   return accepted;
+}
+
+void PolicyCompilationPoint::retire_batches() {
+  const std::uint64_t applied = pool_.applied_seq();
+  while (!batches_.empty() && batches_.front().end_seq <= applied) {
+    batches_.pop_front();
+  }
+}
+
+std::size_t PolicyCompilationPoint::poll_completions() {
+  const std::size_t applied = pool_.poll_completions();
+  retire_batches();
+  return applied;
+}
+
+void PolicyCompilationPoint::wait_idle() {
+  pool_.wait_idle();
+  retire_batches();
+}
+
+bool PolicyCompilationPoint::handle_packet_in(Dpid dpid, PacketInMsg msg,
+                                              DecisionCallback done) {
+  if (pool_.backend() == PcpBackend::kSimulated) {
+    return submit_simulated_one(dpid, std::move(msg), std::move(done));
+  }
+  // Threaded: a batch of one through the shared batch path, so per-packet
+  // and batched submission are the same code (and provably byte-identical).
+  BatchItem item{dpid, std::move(msg), std::move(done)};
+  submit_threaded_batch(&item, 1);
+  return item.accepted;
+}
+
+std::size_t PolicyCompilationPoint::handle_packet_in_batch(
+    std::vector<BatchItem>& items) {
+  if (items.empty()) return 0;
+  if (pool_.backend() == PcpBackend::kSimulated) {
+    // The DES serializes everything; batching has nothing to hoist. Loop
+    // the per-item path so Table I stays bit-for-bit.
+    std::size_t accepted = 0;
+    for (BatchItem& item : items) {
+      item.accepted =
+          submit_simulated_one(item.dpid, std::move(item.msg), std::move(item.done));
+      if (item.accepted) ++accepted;
+    }
+    return accepted;
+  }
+  return submit_threaded_batch(items.data(), items.size());
 }
 
 DecisionEffects PolicyCompilationPoint::decide_from_input(DecisionInput& input) {

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -106,6 +107,27 @@ class PolicyCompilationPoint {
   // the threaded one.
   bool handle_packet_in(Dpid dpid, PacketInMsg msg, DecisionCallback done);
 
+  // One Packet-in of a batch submission (handle_packet_in_batch). The PCP
+  // sets `accepted` per item; a rejected item's packet is dropped exactly
+  // like a rejected handle_packet_in (the caller counts it).
+  struct BatchItem {
+    Dpid dpid{};
+    PacketInMsg msg;
+    DecisionCallback done;
+    bool accepted = false;
+  };
+
+  // Submit a batch of Packet-ins. Byte-identical outcome to calling
+  // handle_packet_in per item back-to-back (no poll in between); the
+  // difference is cost: the threaded backend captures the ERM/policy
+  // snapshot pair ONCE for the whole batch and workers borrow it by plain
+  // pointer for the batch lifetime, so the per-packet shared_ptr refcount
+  // bumps disappear from the submit loop (DESIGN.md §5, batched datapath).
+  // The simulated backend loops the per-item path — batching is a no-op
+  // there by construction, keeping Table I bit-for-bit. Returns how many
+  // items were accepted.
+  std::size_t handle_packet_in_batch(std::vector<BatchItem>& items);
+
   // Synchronous decision core (no queueing/latency): capture snapshots,
   // decide, apply effects, all inline on the calling thread. The
   // single-threaded oracle the sharded backends are differential-tested
@@ -114,8 +136,9 @@ class PolicyCompilationPoint {
 
   // Threaded backend only: release finished decisions' effects on the
   // calling (control) thread, in submission order. No-ops for kSimulated.
-  std::size_t poll_completions() { return pool_.poll_completions(); }
-  void wait_idle() { pool_.wait_idle(); }
+  // Also retires batch snapshot contexts whose last borrower has applied.
+  std::size_t poll_completions();
+  void wait_idle();
 
   // Fault injection (DESIGN.md §6): forwarded to the shard pool. Threaded
   // backend only.
@@ -146,6 +169,29 @@ class PolicyCompilationPoint {
   const SampleStats& total_latency_ms() const { return total_latency_ms_; }
 
  private:
+  // Snapshot pair shared by every job of one threaded batch. Workers
+  // borrow it by raw pointer; the context outlives its borrowers because
+  // it is retired only once the pool's applied seq has passed the batch's
+  // last submitted seq (abandoned jobs advance that seq too, so worker
+  // death cannot leak a context).
+  struct BatchContext {
+    DecisionSnapshots snapshots;
+    std::uint64_t policy_epoch = 0;
+    std::uint64_t binding_epoch = 0;
+  };
+  struct PendingBatch {
+    std::uint64_t end_seq = 0;
+    std::unique_ptr<BatchContext> context;
+  };
+
+  // Threaded submission of `count` items sharing one BatchContext; sets
+  // each item's `accepted`, returns how many were accepted.
+  std::size_t submit_threaded_batch(BatchItem* items, std::size_t count);
+  // Simulated per-item submission (the pre-batching handle_packet_in body).
+  bool submit_simulated_one(Dpid dpid, PacketInMsg msg, DecisionCallback done);
+  // Free batch contexts whose jobs have all applied or been abandoned.
+  void retire_batches();
+
   // Decision-time context + pure decide, in oracle order: sensor first,
   // then snapshot capture, then decide_on_snapshots against the shard's
   // cache. Shared by decide() and the simulated backend's completions.
@@ -174,6 +220,11 @@ class PolicyCompilationPoint {
   LogNormalParams binding_service_{};
   LogNormalParams policy_service_{};
   LogNormalParams other_service_{};
+  // Live batch contexts in submission order (front retires first).
+  // Declared before pool_ on purpose: members destroy in reverse order, so
+  // the pool joins its workers — the only other readers of a context —
+  // before any context is freed.
+  std::deque<PendingBatch> batches_;
   PcpShardPool pool_;
   // One decision cache per shard; a flow's hash pins it to one shard, so
   // each cache is touched only by that shard's execution context (the DES

@@ -11,13 +11,19 @@
 //     the paper-calibrated single-PCP model (Table I / Fig. 4) and any N
 //     stays deterministic.
 //
-//   * kThreads — one std::thread worker per shard with a bounded FIFO
-//     queue. Work runs concurrently for real; each job returns an "apply"
-//     closure that the pool releases back to the control thread strictly in
-//     submission order (a sequence-numbered reorder buffer), so all side
-//     effects — stats, bus publishes, rule installation, done callbacks —
-//     happen single-threaded and in a deterministic order regardless of how
-//     worker execution interleaves.
+//   * kThreads — one std::thread worker per shard fed by a pair of bounded
+//     lock-free SPSC rings (common/spsc_ring.h): an ingress ring the
+//     control thread pushes jobs into, and a completion ring the worker
+//     pushes finished "apply" closures into, drained by the control thread.
+//     No mutex is taken on the per-packet path; the per-shard mutex and the
+//     global done_mu_ exist only to park idle/backpressured threads, and
+//     are touched exclusively through an armed-sleeper flag handshake (see
+//     spsc_ring.h's ordering notes). Apply closures are released back to
+//     the control thread strictly in submission order via a
+//     sequence-numbered reorder buffer, so all side effects — stats, bus
+//     publishes, rule installation, done callbacks — happen single-threaded
+//     and in a deterministic order regardless of how worker execution
+//     interleaves.
 //
 // The pool is pure transport: it never inspects packets, snapshots, or
 // decisions. The PCP shell decides what runs where (core/pcp.cc).
@@ -26,7 +32,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/spsc_ring.h"
 #include "core/decision_cache.h"
 #include "core/pcp_decide.h"
 #include "sim/service_station.h"
@@ -49,6 +55,12 @@ enum class WorkerFault {
   kNone,
   kStall,  // worker sleeps briefly first — models a wedged decision
   kKill,   // worker abandons the job and exits — models a crashed shard
+  // Worker runs the decision, then dies before publishing the completion on
+  // its ring — models a crash in the window where shard-local state (the
+  // decision cache) already saw the job but its effects never reach the
+  // control thread. Observably identical to kKill (the job is abandoned)
+  // except for that cache residue.
+  kKillAfterDecide,
 };
 
 class PcpShardPool {
@@ -88,7 +100,7 @@ class PcpShardPool {
 
   // ---------------------------------------------------- threaded backend
   // Enqueue work on a shard's worker. Control thread only. Returns false
-  // when the shard's queue is full (the caller counts the drop).
+  // when the shard's ingress ring is full (the caller counts the drop).
   bool submit_threaded(std::size_t shard, ThreadWork work);
 
   // Run apply closures of finished jobs, in submission order, stopping at
@@ -103,9 +115,19 @@ class PcpShardPool {
   std::size_t poll_completions();
 
   // Block until every accepted job has been applied or abandoned. Control
-  // thread only. Wakes on worker death too, so a killed shard can never
-  // wedge the caller (the recovery path above drains its queue).
+  // thread only. Sleeps with an armed-waiter flag: workers take done_mu_
+  // and notify only while the control thread is actually parked, so a
+  // pipelined caller never pays a wakeup (or a lock) per completion.
+  // Wakes on worker death too, so a killed shard can never wedge the
+  // caller (the recovery path above drains its rings).
   void wait_idle();
+
+  // Sequence counters, control thread only. Every accepted job gets the
+  // next submit seq; applied_seq advances past applied *and* abandoned
+  // jobs. The PCP shell uses these to retire batch-shared snapshot
+  // contexts once every job borrowing them has retired (core/pcp.h).
+  std::uint64_t submitted_seq() const { return next_submit_seq_; }
+  std::uint64_t applied_seq() const { return next_apply_seq_; }
 
   // ---------------------------------------------------- fault injection
   // Install (or clear, with nullptr) the worker fault probe. Threaded
@@ -118,7 +140,7 @@ class PcpShardPool {
   std::size_t respawn_dead_workers();
 
   std::size_t dead_workers() const;
-  // Jobs killed by the probe: accepted but neither executed nor applied.
+  // Jobs killed by the probe: accepted but never applied.
   std::uint64_t jobs_abandoned() const { return jobs_abandoned_.load(); }
 
   // Jobs accepted but not yet (simulated: dispatched; threaded: taken by a
@@ -133,28 +155,73 @@ class PcpShardPool {
   }
 
  private:
+  struct IngressJob {
+    std::uint64_t seq = 0;
+    ThreadWork work;
+  };
+  // A null apply marks a job the probe abandoned (poll_completions skips
+  // its seq without running anything).
+  struct Completion {
+    std::uint64_t seq = 0;
+    std::function<void()> apply;
+  };
+
   struct ThreadShard {
     std::size_t index = 0;
+    // control thread -> worker; capacity is the configured queue bound.
+    SpscRing<IngressJob> ingress;
+    // worker -> control thread. Sized past the ingress bound so a worker
+    // only blocks when the control thread has not drained for a long time;
+    // push_completion handles that backpressure.
+    SpscRing<Completion> done;
+    std::atomic<bool> stop{false};
+    // Set by the worker when the fault probe kills it, strictly before the
+    // abandoning completion is published (so any control thread that has
+    // drained that completion also sees dead). A dead shard rejects
+    // submissions; its stranded ingress ring is drained inline by
+    // poll_completions until respawn_dead_workers revives the worker —
+    // safe, because a dead worker never touches its rings again.
+    std::atomic<bool> dead{false};
+    // Armed-sleeper handshake (spsc_ring.h): true only while the worker is
+    // parked on cv (idle ingress or full done ring). The control thread
+    // locks mu and notifies only when it observes the flag.
+    std::atomic<bool> sleeping{false};
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::pair<std::uint64_t, ThreadWork>> queue;
-    bool stop = false;
-    // Set by the worker (under mu) when the fault probe kills it. A dead
-    // shard rejects submissions; its stranded queue is drained inline by
-    // poll_completions until respawn_dead_workers revives the worker.
-    bool dead = false;
     SampleStats latency_us;  // written by the worker thread only
     std::thread worker;
+
+    ThreadShard(std::size_t idx, std::size_t queue_capacity)
+        : index(idx), ingress(queue_capacity), done(2 * queue_capacity + 2) {}
   };
 
   void worker_loop(ThreadShard& shard);
+  void spawn_worker(ThreadShard& shard);
+  // Worker side: publish a completion, blocking (armed sleep) while the
+  // done ring is full. Returns false only when stop was requested first.
+  bool push_completion(ThreadShard& shard, Completion completion);
+  // Worker side: die on `seq` — mark the shard dead, publish the
+  // abandoning null completion, wake the control thread.
+  void kill_worker(ThreadShard& shard, std::uint64_t seq);
+  // Control side: wake a shard's worker if it is parked (new ingress work
+  // or freed done-ring space).
+  void wake_worker(ThreadShard& shard);
+  // Worker side: wake the control thread if wait_idle is parked.
+  void wake_control();
+  // Control side: pop every shard's done ring into the reorder buffer.
+  // Returns how many completions moved.
+  std::size_t drain_completion_rings();
   // Execute jobs stranded on dead shards inline (control thread), filing
   // their applies into the reorder buffer under their original seq.
   void recover_dead_shards();
+  // wait_idle's wake predicate: some completion is drainable or some dead
+  // shard has stranded work to recover.
+  bool completions_pending() const;
 
   const PcpBackend backend_;
   const std::size_t shards_;
   const std::size_t queue_capacity_;
+  const bool pin_workers_;
 
   // kSimulated: one station per shard (unique_ptr: stations are immovable).
   std::vector<std::unique_ptr<ServiceStation>> stations_;
@@ -163,16 +230,19 @@ class PcpShardPool {
   std::vector<std::unique_ptr<ThreadShard>> thread_shards_;
   std::uint64_t next_submit_seq_ = 0;  // control thread only
   std::uint64_t next_apply_seq_ = 0;   // control thread only
+  // seq -> apply closure, control thread only (filled by draining the
+  // completion rings; no lock — workers never touch it).
+  std::map<std::uint64_t, std::function<void()>> completed_;
+  // Armed-waiter handshake for wait_idle: done_mu_ guards nothing but the
+  // park itself; workers take it only when control_waiting_ is set.
   std::mutex done_mu_;
   std::condition_variable done_cv_;
-  // seq -> apply closure; a null closure marks a job the probe abandoned
-  // (poll_completions skips it without running anything).
-  std::map<std::uint64_t, std::function<void()>> completed_;
-  // Guarded by done_mu_ (workers read it once per job).
+  std::atomic<bool> control_waiting_{false};
+  // Probe storage: has_probe_ keeps the common case (no probe armed) free
+  // of locks; probe_mu_ serializes the read-vs-install race while armed.
+  std::mutex probe_mu_;
+  std::atomic<bool> has_probe_{false};
   WorkerFaultProbe fault_probe_;
-  // Jobs stranded in dead shards' queues, visible to wait_idle's wait
-  // predicate without taking shard locks.
-  std::atomic<std::uint64_t> stranded_jobs_{0};
   std::atomic<std::uint64_t> jobs_abandoned_{0};
 };
 

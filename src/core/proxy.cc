@@ -16,7 +16,11 @@ DfiProxy::DfiProxy(Simulator& sim, PolicyCompilationPoint& pcp, ProxyConfig conf
 }
 
 DfiProxy::~DfiProxy() {
+  *alive_ = false;
   for (const auto& session : sessions_) {
+    // Outstanding deferred deliveries must become no-ops: the sessions and
+    // the pool die with the proxy.
+    *session->alive_ = false;
     if (session->dpid_.has_value()) pcp_.unregister_switch(*session->dpid_);
   }
 }
@@ -51,6 +55,12 @@ void DfiProxy::destroy_session(Session& session) {
   // Kill outstanding closures first: an in-flight PCP decision callback or
   // deferred delivery may fire after the erase below frees the session.
   *session.alive_ = false;
+  // A pending coalesced egress buffer dies with the session — undelivered,
+  // but returned to the pool so outstanding-buffer accounting stays exact.
+  if (session.pending_egress_active_) {
+    session.pending_egress_active_ = false;
+    pool_.release(std::move(session.pending_egress_));
+  }
   if (session.dpid_.has_value()) pcp_.unregister_switch(*session.dpid_);
   for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
     if (it->get() == &session) {
@@ -58,6 +68,10 @@ void DfiProxy::destroy_session(Session& session) {
       return;
     }
   }
+}
+
+void DfiProxy::flush_egress() {
+  for (const auto& session : sessions_) session->flush_switch_egress();
 }
 
 void DfiProxy::after_proxy_delay(std::function<void()> deliver) {
@@ -84,9 +98,17 @@ void DfiProxy::Session::send_to_controller(const OfMessage& message) {
 }
 
 void DfiProxy::Session::defer_to_switch(OfMessage message) {
+  if (proxy_.config_.coalesce_egress) {
+    // Decided FlowMods (and every other switch-bound message) join the
+    // session's pending multi-frame write instead of paying a deferred
+    // delivery each. encode_scratch_ keeps its capacity across appends.
+    encode_into(message, encode_scratch_);
+    append_switch_bytes(encode_scratch_.data(), encode_scratch_.size());
+    return;
+  }
   std::vector<std::uint8_t> frame = proxy_.pool_.acquire();
   encode_into(message, frame);
-  defer_bytes_to_switch(std::move(frame));
+  defer_frame_to_switch(std::move(frame));
 }
 
 void DfiProxy::Session::defer_to_controller(OfMessage message) {
@@ -96,18 +118,61 @@ void DfiProxy::Session::defer_to_controller(OfMessage message) {
 }
 
 void DfiProxy::Session::defer_bytes_to_switch(std::vector<std::uint8_t> frame) {
-  proxy_.after_proxy_delay([this, alive = alive_, out = std::move(frame)]() mutable {
-    // A dead session leaves the buffer to the closure's destructor: with
-    // `this` untrusted, even the pool is out of reach.
-    if (!*alive) return;
+  if (proxy_.config_.coalesce_egress) {
+    append_switch_bytes(frame.data(), frame.size());
+    proxy_.pool_.release(std::move(frame));
+    return;
+  }
+  defer_frame_to_switch(std::move(frame));
+}
+
+void DfiProxy::Session::append_switch_bytes(const std::uint8_t* data,
+                                            std::size_t size) {
+  if (!pending_egress_active_) {
+    pending_egress_ = proxy_.pool_.acquire();
+    pending_egress_active_ = true;
+  }
+  pending_egress_.insert(pending_egress_.end(), data, data + size);
+  // Watermark backpressure: one buffer never grows past roughly the
+  // configured bound, so a quiet flush_egress() caller still sees bounded
+  // per-session memory and the switch sees timely writes under load.
+  if (pending_egress_.size() >= proxy_.config_.egress_watermark_bytes) {
+    flush_switch_egress();
+  }
+}
+
+void DfiProxy::Session::flush_switch_egress() {
+  if (!pending_egress_active_) return;
+  pending_egress_active_ = false;
+  std::vector<std::uint8_t> out = std::move(pending_egress_);
+  pending_egress_ = {};
+  defer_frame_to_switch(std::move(out));
+}
+
+void DfiProxy::Session::defer_frame_to_switch(std::vector<std::uint8_t> frame) {
+  proxy_.after_proxy_delay([this, proxy = &proxy_, alive = alive_,
+                            proxy_alive = proxy_.alive_,
+                            out = std::move(frame)]() mutable {
+    if (!*alive) {
+      // Severed session: nothing is delivered, but the pooled buffer still
+      // goes home (through the proxy pointer — `this` is untrusted here)
+      // so outstanding-buffer accounting returns to zero at quiesce.
+      if (*proxy_alive) proxy->pool_.release(std::move(out));
+      return;
+    }
     to_switch_(out);
     proxy_.pool_.release(std::move(out));
   });
 }
 
 void DfiProxy::Session::defer_bytes_to_controller(std::vector<std::uint8_t> frame) {
-  proxy_.after_proxy_delay([this, alive = alive_, out = std::move(frame)]() mutable {
-    if (!*alive) return;
+  proxy_.after_proxy_delay([this, proxy = &proxy_, alive = alive_,
+                            proxy_alive = proxy_.alive_,
+                            out = std::move(frame)]() mutable {
+    if (!*alive) {
+      if (*proxy_alive) proxy->pool_.release(std::move(out));
+      return;
+    }
     to_controller_(out);
     proxy_.pool_.release(std::move(out));
   });
@@ -118,15 +183,23 @@ void DfiProxy::Session::from_switch(const std::vector<std::uint8_t>& chunk) {
   FrameView view;
   for (;;) {
     const FrameStatus status = switch_decoder_.next_frame(view);
-    if (status == FrameStatus::kAwait) return;
+    if (status == FrameStatus::kAwait) break;
     ++proxy_.stats_.from_switch;
     if (status == FrameStatus::kCorrupt) {
       ++proxy_.stats_.malformed;
       DFI_WARN << "proxy: malformed frame from switch: frame length < 8";
-      return;  // the decoder reset the stream
+      break;  // the decoder reset the stream
     }
     fast_path_from_switch(view);
   }
+  // A Packet-in run never outlives its chunk: everything the switch sent
+  // in this read is on its way to the PCP before control returns.
+  flush_packet_ins();
+  // Same rule for the coalesced write side: whatever this read produced for
+  // the switch (handshake replies, resync clears, shifted mods) goes out at
+  // chunk end, not at the next watermark crossing — a below-watermark
+  // handshake must not wedge waiting for unrelated traffic.
+  flush_switch_egress();
 }
 
 void DfiProxy::Session::from_controller(const std::vector<std::uint8_t>& chunk) {
@@ -134,15 +207,16 @@ void DfiProxy::Session::from_controller(const std::vector<std::uint8_t>& chunk) 
   FrameView view;
   for (;;) {
     const FrameStatus status = controller_decoder_.next_frame(view);
-    if (status == FrameStatus::kAwait) return;
+    if (status == FrameStatus::kAwait) break;
     ++proxy_.stats_.from_controller;
     if (status == FrameStatus::kCorrupt) {
       ++proxy_.stats_.malformed;
       DFI_WARN << "proxy: malformed frame from controller: frame length < 8";
-      return;
+      break;
     }
     fast_path_from_controller(view);
   }
+  flush_switch_egress();
 }
 
 void DfiProxy::Session::fast_path_from_switch(const FrameView& view) {
@@ -215,7 +289,28 @@ void DfiProxy::Session::fast_path_from_controller(const FrameView& view) {
   handle_controller_message(std::move(result).value());
 }
 
+void DfiProxy::Session::flush_packet_ins() {
+  if (pending_pins_.empty()) return;
+  proxy_.pcp_.handle_packet_in_batch(pending_pins_);
+  for (const auto& item : pending_pins_) {
+    if (!item.accepted) {
+      // PCP queue full: dropped exactly like a rejected handle_packet_in;
+      // the flow re-enters on endpoint retransmission (paper Section V-A).
+      ++proxy_.stats_.packet_ins_suppressed;
+    }
+  }
+  pending_pins_.clear();
+}
+
 void DfiProxy::Session::handle_switch_message(OfMessage message) {
+  // Packet-in batching collects *consecutive* table-0 Packet-ins only: any
+  // other message type flushes the pending run first, so the PCP sees
+  // submissions in exact arrival order.
+  if (!pending_pins_.empty()) {
+    const auto* packet_in = std::get_if<PacketInMsg>(&message.payload);
+    if (packet_in == nullptr || packet_in->table_id != 0) flush_packet_ins();
+  }
+
   // Learn identity from the handshake and register this switch with the
   // PCP; the PCP's writes (Table 0 flow mods) go straight to the switch,
   // not through table shifting.
@@ -262,24 +357,35 @@ void DfiProxy::Session::handle_switch_message(OfMessage message) {
       }
       ++proxy_.stats_.packet_ins_to_pcp;
       const std::uint32_t xid = message.xid;
-      PacketInMsg copy = *packet_in;
+      // The decision callback delivers the allow verdict; identical for
+      // the per-packet and batched submission paths below.
+      auto on_decision = [this, alive = alive_, xid,
+                          original = *packet_in](const PcpDecision& decision) {
+        // Session torn down while the decision was in flight: nothing
+        // to deliver and `this` may be gone — the token is the only
+        // safe thing to touch.
+        if (!*alive) return;
+        if (!decision.allow) {
+          ++proxy_.stats_.packet_ins_suppressed;
+          return;  // denied: the controller never sees this packet
+        }
+        ++proxy_.stats_.packet_ins_forwarded;
+        // Table 0 in the controller's shifted view is its own first
+        // table, so table_id 0 is already correct after the allow.
+        defer_to_controller(OfMessage{xid, original});
+      };
+      if (proxy_.config_.batch_packet_ins) {
+        // Join the current run; from_switch (or the next non-Packet-in
+        // message) flushes it to handle_packet_in_batch.
+        PolicyCompilationPoint::BatchItem item;
+        item.dpid = *dpid_;
+        item.msg = *packet_in;
+        item.done = std::move(on_decision);
+        pending_pins_.push_back(std::move(item));
+        return;
+      }
       const bool accepted = proxy_.pcp_.handle_packet_in(
-          *dpid_, std::move(copy),
-          [this, alive = alive_, xid,
-           original = *packet_in](const PcpDecision& decision) {
-            // Session torn down while the decision was in flight: nothing
-            // to deliver and `this` may be gone — the token is the only
-            // safe thing to touch.
-            if (!*alive) return;
-            if (!decision.allow) {
-              ++proxy_.stats_.packet_ins_suppressed;
-              return;  // denied: the controller never sees this packet
-            }
-            ++proxy_.stats_.packet_ins_forwarded;
-            // Table 0 in the controller's shifted view is its own first
-            // table, so table_id 0 is already correct after the allow.
-            defer_to_controller(OfMessage{xid, original});
-          });
+          *dpid_, PacketInMsg(*packet_in), std::move(on_decision));
       if (!accepted) {
         // PCP queue full: the packet-in is dropped entirely; the flow
         // re-enters on endpoint retransmission (paper Section V-A).

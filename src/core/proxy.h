@@ -45,6 +45,23 @@ struct ProxyConfig {
   double latency_mean_ms = 0.16;
   double latency_sd_ms = 0.72;
   bool zero_latency = false;
+
+  // Batched datapath (DESIGN.md §5). Both default off: batching coalesces
+  // per-delivery latency draws and defers switch-bound writes, so the
+  // paper-calibrated reproduction and every pre-existing test keep exact
+  // per-message behavior unless a caller opts in.
+  //
+  // batch_packet_ins: hand each maximal run of consecutive table-0
+  // Packet-ins in a chunk to the PCP as one handle_packet_in_batch call
+  // (one snapshot capture per run instead of per packet). Runs never span
+  // a chunk or another message type, so submission order is unchanged.
+  bool batch_packet_ins = false;
+  // coalesce_egress: append switch-bound messages into one pooled buffer
+  // per session and deliver them as a single multi-frame write when the
+  // watermark is crossed or DfiProxy::flush_egress() runs (OpenFlow frames
+  // are self-delimiting, so concatenation is valid framing).
+  bool coalesce_egress = false;
+  std::size_t egress_watermark_bytes = 16 * 1024;
 };
 
 struct ProxyStats {
@@ -116,14 +133,26 @@ class DfiProxy {
     void send_to_switch(const OfMessage& message);
     void send_to_controller(const OfMessage& message);
     // Queue a message for delivery after the proxy processing delay. The
-    // delivery no-ops if the session is destroyed in the meantime. Messages
-    // are encoded into pooled buffers at defer time; the byte variants take
-    // an already-encoded (pooled) frame and return it to the pool after
-    // delivery.
+    // delivery no-ops if the session is destroyed in the meantime (the
+    // pooled buffer still returns to the pool). Messages are encoded into
+    // pooled buffers at defer time; the byte variants take an
+    // already-encoded (pooled) frame and return it to the pool after
+    // delivery. With coalesce_egress the switch-bound variants append to
+    // the pending egress buffer instead of deferring one frame each.
     void defer_to_switch(OfMessage message);
     void defer_to_controller(OfMessage message);
     void defer_bytes_to_switch(std::vector<std::uint8_t> frame);
     void defer_bytes_to_controller(std::vector<std::uint8_t> frame);
+    // Coalesced egress: append raw frame bytes to the pending switch-bound
+    // buffer (acquiring it lazily), flushing at the watermark.
+    void append_switch_bytes(const std::uint8_t* data, std::size_t size);
+    // Deliver the pending coalesced buffer as one multi-frame write.
+    void flush_switch_egress();
+    // The single deferred-delivery path every switch-bound (pooled) frame
+    // or coalesced buffer funnels through.
+    void defer_frame_to_switch(std::vector<std::uint8_t> frame);
+    // Packet-in batching: submit the pending run to the PCP as one batch.
+    void flush_packet_ins();
 
     DfiProxy& proxy_;
     SendFn to_switch_;
@@ -132,6 +161,16 @@ class DfiProxy {
     FrameDecoder controller_decoder_;
     std::optional<Dpid> dpid_;
     std::uint8_t switch_num_tables_ = 0;
+    // Coalesced egress state (coalesce_egress only): the pending pooled
+    // buffer, valid while pending_egress_active_, plus a reused encode
+    // scratch so appends allocate nothing in steady state.
+    std::vector<std::uint8_t> pending_egress_;
+    bool pending_egress_active_ = false;
+    std::vector<std::uint8_t> encode_scratch_;
+    // Packet-in batching state (batch_packet_ins only): the current run of
+    // consecutive table-0 Packet-ins, flushed before any other message and
+    // at the end of every chunk — never carried across either boundary.
+    std::vector<PolicyCompilationPoint::BatchItem> pending_pins_;
     // Liveness token: deferred deliveries and in-flight PCP decision
     // callbacks capture this instead of trusting `this` to outlive them.
     // destroy_session() flips it, turning every outstanding closure into a
@@ -156,6 +195,12 @@ class DfiProxy {
   void destroy_session(Session& session);
 
   std::size_t session_count() const { return sessions_.size(); }
+
+  // Coalesced egress only: deliver every session's pending switch-bound
+  // buffer. Owners of the event loop call this at batch boundaries (the
+  // bench after a submission burst, the fuzz harness inside drain); the
+  // watermark bounds how much can ever be pending between calls.
+  void flush_egress();
 
   // Degraded-mode gate (DESIGN.md §6). While the attached HealthMonitor
   // reports a non-healthy plane, undecided table-0 Packet-ins are not
@@ -190,6 +235,11 @@ class DfiProxy {
   // Frame buffers shared by every session: forwarding reuses capacity
   // instead of allocating per message.
   FrameBufferPool pool_;
+  // Proxy-level liveness token, flipped in the destructor: a deferred
+  // delivery whose session died can still return its pooled buffer as long
+  // as the proxy (and so the pool) is alive — pool accounting must reach
+  // zero outstanding at quiesce, severed sessions included.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   mutable ProxyStats stats_;
   SampleStats latency_ms_;
 };

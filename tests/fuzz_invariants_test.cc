@@ -59,6 +59,7 @@ struct Coverage {
   std::uint64_t frames_fast_path = 0;
   std::uint64_t frames_patched = 0;
   std::uint64_t frames_decoded = 0;
+  std::uint64_t batch_bursts = 0;
 
   void add(const FuzzResult& result) {
     packet_ins += result.packet_ins;
@@ -80,6 +81,7 @@ struct Coverage {
     frames_fast_path += result.frames_fast_path;
     frames_patched += result.frames_patched;
     frames_decoded += result.frames_decoded;
+    batch_bursts += result.batch_bursts;
   }
 };
 
@@ -107,7 +109,7 @@ TEST(FuzzCampaign, SimulatedSingleShard) {
   base.backend = PcpBackend::kSimulated;
   base.shards = 1;
   base.steps = 8;
-  const Coverage c = run_campaign(base, 11, 30);
+  const Coverage c = run_campaign(base, 11, 22);
   if (g_seed_override.has_value()) return;
   // The paper-shaped single-PCP plane, fully exercised end to end.
   EXPECT_GT(c.packet_ins, 0u);
@@ -138,7 +140,7 @@ TEST(FuzzCampaign, SimulatedFourShards) {
   base.backend = PcpBackend::kSimulated;
   base.shards = 4;
   base.steps = 8;
-  const Coverage c = run_campaign(base, 23, 25);
+  const Coverage c = run_campaign(base, 23, 13);
   if (g_seed_override.has_value()) return;
   EXPECT_GT(c.packet_ins, 0u);
   EXPECT_GT(c.installs, 0u);
@@ -187,6 +189,44 @@ TEST(FuzzCampaign, ThreadedWorkerFaults) {
   EXPECT_GT(c.jobs_abandoned, 0u);
 }
 
+// Batched datapath (DESIGN.md §5): Packet-in batching + coalesced egress
+// with a small watermark, so batch decide, watermark flushes, severs and
+// policy churn interleave. Same five invariants, plus the pool-quiesce
+// check the harness runs at final settle (in_use() == 0: coalesced buffers
+// stranded on severed sessions must still return to the pool).
+TEST(FuzzCampaign, BatchedDatapath) {
+  FuzzOptions base;
+  base.backend = PcpBackend::kSimulated;
+  base.shards = 2;
+  base.steps = 8;
+  base.batched_datapath = true;
+  const Coverage c = run_campaign(base, 71, 10);
+  if (g_seed_override.has_value()) return;
+  EXPECT_GT(c.packet_ins, 0u);
+  EXPECT_GT(c.installs, 0u);
+  EXPECT_GT(c.severs, 0u);
+  EXPECT_GT(c.batch_bursts, 0u);  // multi-Packet-in chunks actually formed
+}
+
+// Batched datapath on the threaded backend with the full kill probe armed
+// (kKill, kStall, and kKillAfterDecide — a worker dying between running a
+// batch item's decision and publishing its completion). Severs race the
+// window between batch decide and the coalesced egress flush.
+TEST(FuzzCampaign, BatchedThreadedWorkerFaults) {
+  FuzzOptions base;
+  base.backend = PcpBackend::kThreads;
+  base.shards = 2;
+  base.steps = 6;
+  base.worker_faults = true;
+  base.batched_datapath = true;
+  const Coverage c = run_campaign(base, 83, 10);
+  if (g_seed_override.has_value()) return;
+  EXPECT_GT(c.packet_ins, 0u);
+  EXPECT_GT(c.installs, 0u);
+  EXPECT_GT(c.batch_bursts, 0u);
+  EXPECT_GT(c.jobs_abandoned, 0u);
+}
+
 // Same seed + options => byte-identical fault trace and equal observable
 // counters. This is the replayability contract every debugging workflow
 // rests on.
@@ -229,6 +269,25 @@ TEST(FuzzDeterminism, ThreadedScheduleIsByteIdentical) {
   EXPECT_EQ(a.installs_seen, b.installs_seen);
   EXPECT_EQ(a.forwards_seen, b.forwards_seen);
   EXPECT_EQ(a.severs, b.severs);
+}
+
+TEST(FuzzDeterminism, BatchedScheduleIsByteIdentical) {
+  FuzzOptions options;
+  options.seed = 515151;
+  options.backend = PcpBackend::kSimulated;
+  options.shards = 2;
+  options.steps = 8;
+  options.batched_datapath = true;
+  const FuzzResult a = run_fuzz_schedule(options);
+  const FuzzResult b = run_fuzz_schedule(options);
+  expect_clean(options, a);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.packet_ins, b.packet_ins);
+  EXPECT_EQ(a.installs_seen, b.installs_seen);
+  EXPECT_EQ(a.forwards_seen, b.forwards_seen);
+  EXPECT_EQ(a.batch_bursts, b.batch_bursts);
+  EXPECT_GT(a.batch_bursts, 0u);
 }
 
 TEST(FuzzDeterminism, WorkerFaultScheduleTraceIsStable) {

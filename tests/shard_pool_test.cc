@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <random>
 #include <sstream>
@@ -286,6 +287,43 @@ PcpConfig base_config() {
   return config;
 }
 
+// Candidate: the same script through handle_packet_in_batch, chopping each
+// round's 50 Packet-ins into submission bursts of `burst` (the last burst is
+// a remainder). One burst = one snapshot capture in the threaded backend, so
+// this is the path that proves "snapshot once per batch" is observationally
+// identical to "snapshot per packet": control-plane mutations only happen at
+// round boundaries, where the pool is drained.
+void run_pool_batched(World& world, const std::vector<Batch>& script,
+                      PcpBackend backend, std::size_t burst) {
+  for (const Batch& batch : script) {
+    for (const ControlOp& op : batch.control) world.apply(op);
+    std::size_t offset = 0;
+    while (offset < batch.packets.size()) {
+      const std::size_t n = std::min(burst, batch.packets.size() - offset);
+      std::vector<PolicyCompilationPoint::BatchItem> items(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const PacketOp& packet = batch.packets[offset + i];
+        const std::size_t index = world.results.size();
+        world.results.emplace_back();
+        items[i].dpid = packet.dpid;
+        items[i].msg = world.packet_in_for(packet);
+        items[i].done = [&world, index](const PcpDecision& decision) {
+          world.results[index] = result_of(decision);
+        };
+      }
+      const std::size_t accepted = world.pcp.handle_packet_in_batch(items);
+      ASSERT_EQ(accepted, n) << "queue sized to never drop in this test";
+      for (const auto& item : items) ASSERT_TRUE(item.accepted);
+      offset += n;
+    }
+    if (backend == PcpBackend::kSimulated) {
+      world.sim.run();
+    } else {
+      world.pcp.wait_idle();
+    }
+  }
+}
+
 // ---------------------------------------------------------------- the test
 
 TEST(ShardPoolDifferential, AllShardCountsAndBackendsMatchOracleByteForByte) {
@@ -407,6 +445,126 @@ TEST(ShardPoolDifferential, ThreadedEffectsAreDeferredUntilPolled) {
   EXPECT_EQ(done_calls, 1);
   EXPECT_FALSE(world.add_writes.empty());
   EXPECT_EQ(world.pcp.stats().rules_installed, 1u);
+}
+
+// ------------------------------------------------------- batched submission
+//
+// ISSUE 6 satellite: batch submission (handle_packet_in_batch, one snapshot
+// pair per burst, coalesced completion retirement) must be byte-identical to
+// per-packet submission at every burst size, on both backends. Burst sizes
+// cover the degenerate batch (1), a remainder-producing odd size (7), a
+// typical chunk (64), and the full ring capacity (512) — one burst fills the
+// ingress rings to the exact configured bound.
+
+TEST(ShardPoolBatch, BatchSizesAreByteIdenticalToPerPacket) {
+  const std::vector<Batch> script = make_script(0xBA7C4ull);
+
+  // The per-packet candidate is the reference here (itself pinned to the
+  // oracle by ShardPoolDifferential above): batching must not perturb any
+  // observable relative to it — including install order and ERM epoch, which
+  // the threaded reorder buffer pins exactly.
+  PcpConfig reference_config = base_config();
+  reference_config.backend = PcpBackend::kThreads;
+  reference_config.shards = 4;
+  World reference(reference_config);
+  run_pool(reference, script, PcpBackend::kThreads);
+  ASSERT_FALSE(reference.add_writes.empty());
+
+  for (const PcpBackend backend : {PcpBackend::kSimulated, PcpBackend::kThreads}) {
+    for (const std::size_t burst : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{512}}) {
+      std::ostringstream label;
+      label << (backend == PcpBackend::kSimulated ? "simulated" : "threads")
+            << "/burst=" << burst;
+      SCOPED_TRACE(label.str());
+
+      PcpConfig config = base_config();
+      config.backend = backend;
+      config.shards = 4;
+      World world(config);
+      run_pool_batched(world, script, backend, burst);
+
+      ASSERT_EQ(world.results.size(), reference.results.size());
+      for (std::size_t i = 0; i < world.results.size(); ++i) {
+        EXPECT_EQ(world.results[i].verdict, reference.results[i].verdict)
+            << "packet " << i;
+        EXPECT_EQ(world.results[i].rule_bytes, reference.results[i].rule_bytes)
+            << "packet " << i;
+      }
+      EXPECT_EQ(world.delete_wire, reference.delete_wire);
+
+      // Several simulated shards legitimately reorder installs (distinct
+      // service stations); the threaded reorder buffer pins exact order.
+      std::vector<std::vector<std::uint8_t>> got_adds = world.add_writes;
+      std::vector<std::vector<std::uint8_t>> want_adds = reference.add_writes;
+      if (backend != PcpBackend::kThreads) {
+        std::sort(got_adds.begin(), got_adds.end());
+        std::sort(want_adds.begin(), want_adds.end());
+      }
+      EXPECT_EQ(got_adds, want_adds);
+
+      const PcpStats& got = world.pcp.stats();
+      const PcpStats& want = reference.pcp.stats();
+      EXPECT_EQ(got.packet_ins, want.packet_ins);
+      EXPECT_EQ(got.allowed, want.allowed);
+      EXPECT_EQ(got.denied, want.denied);
+      EXPECT_EQ(got.default_denied, want.default_denied);
+      EXPECT_EQ(got.spoof_denied, want.spoof_denied);
+      EXPECT_EQ(got.unparsable, want.unparsable);
+      EXPECT_EQ(got.rules_installed, want.rules_installed);
+      EXPECT_EQ(got.dropped_overload, 0u);
+      if (backend == PcpBackend::kThreads) {
+        EXPECT_EQ(got.mac_moves, want.mac_moves);
+        EXPECT_EQ(world.erm.epoch(), reference.erm.epoch());
+      }
+      EXPECT_EQ(world.policy.size(), reference.policy.size());
+    }
+  }
+}
+
+TEST(ShardPoolBatch, PartialAcceptanceMarksItemsIndividually) {
+  // A burst larger than the remaining ring space must accept a prefix-per-
+  // shard, flag exactly the accepted items, and count the rest as overload
+  // drops — the proxy uses the per-item flag to suppress only rejected pins.
+  PcpConfig config;
+  config.zero_latency = true;
+  config.backend = PcpBackend::kThreads;
+  config.shards = 1;
+  config.queue_capacity = 4;
+  World world(config);
+  // Stall the lone worker so nothing drains while the burst lands.
+  world.pcp.set_worker_fault_probe(
+      [](std::size_t, std::uint64_t) { return WorkerFault::kStall; });
+
+  // 50 items against a 4-deep ring: every acceptance past 4 costs the
+  // stalling worker 200us, so the burst always overruns by a wide margin.
+  std::vector<PolicyCompilationPoint::BatchItem> items(50);
+  std::atomic<int> done_calls{0};
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    PacketOp op;
+    op.packet = make_tcp_packet(mac_of(0), mac_of(1), ip_of(0), ip_of(1),
+                                static_cast<std::uint16_t>(1000 + i), 445);
+    items[i].dpid = Dpid{1};
+    items[i].msg = world.packet_in_for(op);
+    items[i].done = [&done_calls](const PcpDecision&) { ++done_calls; };
+  }
+  const std::size_t accepted = world.pcp.handle_packet_in_batch(items);
+  // The ring holds exactly queue_capacity; the worker may have popped a few
+  // before stalling, so "at least capacity, less than all" is the bound.
+  EXPECT_GE(accepted, 4u);
+  EXPECT_LT(accepted, items.size());
+  // The per-item flag is the contract: the proxy counts a suppression for
+  // exactly the items the batch could not place. (Which items land is
+  // timing-dependent — the stalling worker may free a slot mid-burst — so
+  // the flags, not their positions, are asserted.)
+  std::size_t flagged = 0;
+  for (const auto& item : items) flagged += item.accepted ? 1u : 0u;
+  EXPECT_EQ(flagged, accepted);
+  EXPECT_EQ(world.pcp.stats().dropped_overload, items.size() - accepted);
+
+  world.pcp.set_worker_fault_probe(nullptr);
+  world.pcp.wait_idle();
+  EXPECT_EQ(done_calls.load(), static_cast<int>(accepted));
 }
 
 // ------------------------------------------- fault-injection regressions

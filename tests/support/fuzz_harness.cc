@@ -52,7 +52,8 @@ std::string describe(const FuzzOptions& options) {
      << " shards=" << options.shards << " steps=" << options.steps
      << " worker_faults=" << options.worker_faults
      << " wildcard_caching=" << options.wildcard_caching
-     << " cache=" << options.decision_cache_capacity;
+     << " cache=" << options.decision_cache_capacity
+     << " batched=" << options.batched_datapath;
   return os.str();
 }
 
@@ -85,18 +86,24 @@ class FuzzWorld {
         model_(bus_),  // after erm_: mirrors each binding event post-apply
         pcp_(sim_, bus_, erm_, policy_, pcp_config(options),
              Rng(options.seed ^ 0xDF1D0C5ull)),
-        proxy_(sim_, pcp_, ProxyConfig{0.0, 0.0, /*zero_latency=*/true},
+        proxy_(sim_, pcp_, proxy_config(options),
                Rng(options.seed ^ 0xF00DFEEDull)) {
     if (options_.backend == PcpBackend::kThreads && options_.worker_faults) {
       const std::uint64_t seed = options_.seed;
-      pcp_.set_worker_fault_probe([seed](std::size_t shard, std::uint64_t seq) {
-        const std::uint64_t h =
-            mix64(seed ^ 0x5EEDFA017ull ^ (static_cast<std::uint64_t>(shard) << 48) ^
-                  seq);
-        if (h % 23 == 0) return WorkerFault::kKill;
-        if (h % 11 == 0) return WorkerFault::kStall;
-        return WorkerFault::kNone;
-      });
+      const bool batched = options_.batched_datapath;
+      pcp_.set_worker_fault_probe(
+          [seed, batched](std::size_t shard, std::uint64_t seq) {
+            const std::uint64_t h =
+                mix64(seed ^ 0x5EEDFA017ull ^
+                      (static_cast<std::uint64_t>(shard) << 48) ^ seq);
+            // Batched schedules only: crash after the decision ran but
+            // before its completion publishes — mid-batch, the worker dies
+            // in the publish window with cache residue left behind.
+            if (batched && h % 29 == 0) return WorkerFault::kKillAfterDecide;
+            if (h % 23 == 0) return WorkerFault::kKill;
+            if (h % 11 == 0) return WorkerFault::kStall;
+            return WorkerFault::kNone;
+          });
     }
 
     for (std::uint64_t d : {std::uint64_t{1}, std::uint64_t{2}}) {
@@ -157,6 +164,7 @@ class FuzzWorld {
     result.severs = severs_;
     result.reconnects = reconnects_;
     result.pool_jobs_checked = pool_jobs_checked_;
+    result.batch_bursts = packet_in_bursts_;
     const ProxyStats& proxy_stats = proxy_.stats();
     result.frames_fast_path = proxy_stats.frames_fast_path;
     result.frames_patched = proxy_stats.frames_patched;
@@ -173,6 +181,20 @@ class FuzzWorld {
     config.zero_latency = true;
     config.wildcard_caching = options.wildcard_caching;
     config.decision_cache_capacity = options.decision_cache_capacity;
+    return config;
+  }
+
+  static ProxyConfig proxy_config(const FuzzOptions& options) {
+    ProxyConfig config;
+    config.latency_mean_ms = 0.0;
+    config.latency_sd_ms = 0.0;
+    config.zero_latency = true;
+    // Batched schedules run Packet-in batching and egress coalescing with a
+    // tiny watermark, so mid-step watermark flushes race severs and policy
+    // churn instead of everything draining at the step boundary.
+    config.batch_packet_ins = options.batched_datapath;
+    config.coalesce_egress = options.batched_datapath;
+    config.egress_watermark_bytes = 512;
     return config;
   }
 
@@ -523,7 +545,46 @@ class FuzzWorld {
     }
   }
 
+  // Batched schedules: one chunk carrying several table-0 Packet-in frames
+  // back to back, the shape that actually forms multi-item batches (a
+  // switch flushing a full TCP segment of misses). Injected straight into
+  // the switch->proxy stream like the runt path; an occasional runt rides
+  // inside the burst so unparsable frames are decided within a batch too.
+  void packet_in_burst() {
+    SwitchLink& link = *links_[static_cast<std::size_t>(
+        plan_.rng().uniform_int(0, static_cast<std::int64_t>(links_.size()) - 1))];
+    const auto n = plan_.rng().uniform_int(3, 8);
+    std::vector<std::uint8_t> chunk;
+    for (std::int64_t i = 0; i < n; ++i) {
+      PacketInMsg msg;
+      msg.table_id = 0;
+      msg.in_port = PortNo{static_cast<std::uint32_t>(plan_.rng().uniform_int(1, 4))};
+      if (plan_.chance(0.08)) {
+        msg.data = {0xde, 0xad, 0xbe};
+      } else {
+        const std::size_t s = entity();
+        const std::size_t d = entity();
+        const MacAddress src_mac =
+            mac_of(plan_.chance(0.2) ? (s + 1) % kEntities : s);
+        const auto sport =
+            static_cast<std::uint16_t>(1000 + 1000 * plan_.rng().uniform_int(0, 2));
+        const std::uint16_t dport = plan_.chance(0.5) ? 445 : 80;
+        const Packet packet =
+            plan_.chance(0.25)
+                ? make_udp_packet(src_mac, mac_of(d), ip_of(s), ip_of(d), sport, dport)
+                : make_tcp_packet(src_mac, mac_of(d), ip_of(s), ip_of(d), sport, dport);
+        msg.data = packet.serialize();
+      }
+      const std::vector<std::uint8_t> frame = encode(OfMessage{next_xid_++, msg});
+      chunk.insert(chunk.end(), frame.begin(), frame.end());
+    }
+    plan_.note("packet-in burst n=" + std::to_string(n));
+    ++packet_in_bursts_;
+    link.from_switch->offer(chunk);
+  }
+
   void data_packets() {
+    if (options_.batched_datapath && plan_.chance(0.7)) packet_in_burst();
     const auto n = plan_.rng().uniform_int(8, 24);
     for (std::int64_t i = 0; i < n; ++i) {
       SwitchLink& link = *links_[static_cast<std::size_t>(
@@ -568,9 +629,15 @@ class FuzzWorld {
   }
 
   void drain() {
+    // flush_egress delivers any coalesced switch-bound buffers below the
+    // watermark (a no-op for per-message schedules): applying completions
+    // in wait_idle appends installs to the pending buffers, so each flush
+    // follows a wait and precedes the sim run that delivers it.
     pcp_.wait_idle();
+    proxy_.flush_egress();
     sim_.run();
     pcp_.wait_idle();
+    proxy_.flush_egress();
     sim_.run();
   }
 
@@ -606,6 +673,13 @@ class FuzzWorld {
     }
     drain();
     sweep_table0();
+    // Quiesce accounting: every pooled frame buffer — deferred deliveries,
+    // coalesced egress, buffers stranded on severed sessions — must have
+    // returned to the pool once nothing is in flight.
+    if (proxy_.buffer_pool().in_use() != 0) {
+      violation("pool", std::to_string(proxy_.buffer_pool().in_use()) +
+                            " pooled buffers outstanding at quiesce");
+    }
   }
 
   // I5: submission-order effect application under worker kills, checked on
@@ -697,6 +771,7 @@ class FuzzWorld {
   std::uint64_t severs_ = 0;
   std::uint64_t reconnects_ = 0;
   std::uint64_t pool_jobs_checked_ = 0;
+  std::uint64_t packet_in_bursts_ = 0;
 };
 
 }  // namespace

@@ -51,6 +51,14 @@ struct FuzzOptions {
   // the cookie invariants (I2/I3) still apply to every install.
   bool wildcard_caching = false;
   std::size_t decision_cache_capacity = 64;
+  // Exercise the batched datapath (DESIGN.md §5): the proxy batches
+  // consecutive table-0 Packet-ins into handle_packet_in_batch calls and
+  // coalesces switch-bound egress into pooled multi-frame writes; the
+  // schedule injects multi-Packet-in chunks so real batches form, and (with
+  // worker_faults) the kill probe gains kKillAfterDecide — a crash in the
+  // completion-publish window, mid-batch. Default off: every pre-existing
+  // variant keeps its exact per-message behavior and byte-identical trace.
+  bool batched_datapath = false;
 };
 
 struct FuzzResult {
@@ -75,6 +83,7 @@ struct FuzzResult {
   std::uint64_t stale_redecides = 0;
   std::uint64_t jobs_abandoned = 0;
   std::uint64_t pool_jobs_checked = 0;  // I5 sub-schedule jobs verified
+  std::uint64_t batch_bursts = 0;       // multi-Packet-in chunks injected
   // Wire fast-path counters (DESIGN.md §5): the switch<->proxy streams run
   // through classify()/patch_table_refs() + pooled buffers, so a healthy
   // campaign must show pass-through and patched frames, not only decodes.

@@ -2,12 +2,12 @@
 # Repo check, split into stages so CI can run them as separate jobs:
 #
 #   tier1  configure + build + full ctest suite (the 400+ tier-1 tests),
-#          then the proxy-datapath bench in smoke mode gated against
-#          bench/baselines/BENCH_proxy_datapath.baseline.json
+#          then the proxy-datapath and scale-out benches in smoke mode,
+#          each gated against its committed baseline under bench/baselines/
 #   asan   ASan+UBSan build (-DDFI_SANITIZE=ON) of the memory-sensitive
 #          component tests — including the proxy teardown regressions
-#   tsan   TSan build (-DDFI_SANITIZE=thread) of the threaded shard-pool
-#          and bus tests
+#   tsan   TSan build (-DDFI_SANITIZE=thread) of the SPSC ring stress, the
+#          threaded shard-pool and bus tests
 #   fuzz   the model-based invariant fuzz campaign (tests/support/
 #          fuzz_harness.cc): the full deterministic campaign on the plain
 #          build, plus bounded campaigns under ASan+UBSan and TSan.
@@ -56,6 +56,12 @@ if want tier1; then
   # conservative floors; a >10% regression below a floor fails the stage.
   (cd build/bench && ./bench_micro_proxy_datapath --smoke \
     --check-baseline ../../bench/baselines/BENCH_proxy_datapath.baseline.json)
+
+  echo "== tier-1: batched-datapath scale-out bench (smoke + baseline gate) =="
+  # Batch-mode decisions/s for the SPSC-ring datapath vs the committed
+  # conservative floors; a >10% shortfall below a floor fails the stage.
+  (cd build/bench && ./bench_ablation_scaleout --smoke \
+    --check-baseline ../../bench/baselines/BENCH_scaleout.baseline.json)
 fi
 
 if want asan; then
@@ -79,10 +85,11 @@ fi
 if want tsan; then
   echo "== sanitizer build (TSan, threaded backend) =="
   cmake -B build-tsan -S . -DDFI_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${JOBS}" --target shard_pool_test bus_test \
-    proxy_test
+  cmake --build build-tsan -j "${JOBS}" --target spsc_ring_test \
+    shard_pool_test bus_test proxy_test
 
   echo "== sanitizer tests (TSan) =="
+  ./build-tsan/tests/spsc_ring_test
   ./build-tsan/tests/shard_pool_test
   ./build-tsan/tests/bus_test
   ./build-tsan/tests/proxy_test
