@@ -1,0 +1,100 @@
+// Paged copy-on-write tables keyed by dense entity ids.
+//
+// PR 2's snapshot isolation rebuilt the whole ErmIdentityTables on every
+// dirty epoch — O(total bindings) per publication, which is exactly what a
+// million-entity ERM cannot afford when one log-on event lands between two
+// Packet-in bursts. A CowTable instead stores its values in fixed-size
+// pages behind a shared root: taking a snapshot is a root-pointer copy, and
+// the *next* mutation path-copies only the root page vector and the one
+// dirty page — O(changed), independent of table size.
+//
+// Race-freedom without use_count() probes (see the caveat in
+// common/snapshot.h): sharing is tracked by generation tags, not refcounts.
+// `freeze()` — called by the owner every time it publishes a snapshot —
+// bumps the table's generation; a page (or the root) whose tag lags the
+// current generation may be referenced by some snapshot and is cloned
+// before the first write, while structures created after the latest freeze
+// carry the current tag and are mutated in place. The control thread never
+// writes memory a snapshot can reach, so readers need no synchronization
+// beyond the snapshot handoff itself.
+//
+// Single-writer contract (same as common/snapshot.h): all mutation and
+// freezing happen on the control thread; reader threads only ever touch
+// frozen copies obtained through a published snapshot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dfi {
+
+struct CowTableStats {
+  std::uint64_t page_copies = 0;   // pages cloned because a snapshot shares them
+  std::uint64_t root_copies = 0;   // root vectors cloned after a freeze
+};
+
+template <typename V, std::uint32_t kPageShift = 9>
+class CowTable {
+ public:
+  static constexpr std::uint32_t kPageSize = 1u << kPageShift;
+  static constexpr std::uint32_t kPageMask = kPageSize - 1;
+
+  CowTable() : root_(std::make_shared<Root>()) {}
+
+  // Readable slot for `id`, or nullptr when the id was never written in
+  // this version. Safe on any thread holding a frozen copy.
+  const V* find(std::uint32_t id) const {
+    const Root& root = *root_;
+    const std::uint32_t page_index = id >> kPageShift;
+    if (page_index >= root.pages.size()) return nullptr;
+    const Page* page = root.pages[page_index].get();
+    if (page == nullptr) return nullptr;
+    return &page->slots[id & kPageMask];
+  }
+
+  // Writer only: mark every currently reachable page as potentially shared.
+  // Call once per published snapshot; the next mutation of each shared
+  // page clones it first.
+  void freeze() { ++generation_; }
+
+  // Writer only: writable slot for `id`, path-copying shared structure.
+  V& mutate(std::uint32_t id) {
+    if (root_->tag != generation_) {
+      root_ = std::make_shared<Root>(Root{generation_, root_->pages});
+      ++stats_.root_copies;
+    }
+    const std::uint32_t page_index = id >> kPageShift;
+    if (page_index >= root_->pages.size()) root_->pages.resize(page_index + 1);
+    std::shared_ptr<Page>& page = root_->pages[page_index];
+    if (page == nullptr) {
+      page = std::make_shared<Page>();
+      page->tag = generation_;
+    } else if (page->tag != generation_) {
+      page = std::make_shared<Page>(*page);
+      page->tag = generation_;
+      ++stats_.page_copies;
+    }
+    return page->slots[id & kPageMask];
+  }
+
+  std::size_t page_count() const { return root_->pages.size(); }
+  const CowTableStats& stats() const { return stats_; }
+
+ private:
+  struct Page {
+    std::uint64_t tag = 0;
+    std::array<V, kPageSize> slots{};
+  };
+  struct Root {
+    std::uint64_t tag = 0;
+    std::vector<std::shared_ptr<Page>> pages;
+  };
+
+  std::shared_ptr<Root> root_;
+  std::uint64_t generation_ = 0;
+  CowTableStats stats_;
+};
+
+}  // namespace dfi

@@ -5,10 +5,12 @@
 // is expected. All wrappers are trivially copyable value types.
 #pragma once
 
+#include <charconv>
 #include <compare>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 namespace dfi {
 
@@ -70,15 +72,34 @@ struct Hostname {
   friend auto operator<=>(const Hostname&, const Hostname&) = default;
 };
 
-inline std::string to_string(Dpid d) { return "dpid:" + std::to_string(d.value); }
+namespace types_detail {
+
+// "prefix:1234" in one allocation. The old `prefix + std::to_string(v)`
+// shape allocated a temporary for the digits and usually a second buffer
+// for the concatenation — these run on hot paths (flow-table cookie dumps,
+// spoof reasons, log lines), so format digits on the stack and reserve the
+// exact length once.
+inline std::string tagged_number(std::string_view prefix, std::uint64_t value) {
+  char digits[20];  // max u64 is 20 digits
+  const auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), value);
+  std::string out;
+  out.reserve(prefix.size() + static_cast<std::size_t>(end - digits));
+  out.append(prefix);
+  out.append(digits, end);
+  return out;
+}
+
+}  // namespace types_detail
+
+inline std::string to_string(Dpid d) { return types_detail::tagged_number("dpid:", d.value); }
 inline std::string to_string(PortNo p) {
   if (p == kPortFlood) return "port:FLOOD";
   if (p == kPortController) return "port:CONTROLLER";
   if (p == kPortAny) return "port:ANY";
-  return "port:" + std::to_string(p.value);
+  return types_detail::tagged_number("port:", p.value);
 }
-inline std::string to_string(Cookie c) { return "cookie:" + std::to_string(c.value); }
-inline std::string to_string(PolicyRuleId id) { return "policy:" + std::to_string(id.value); }
+inline std::string to_string(Cookie c) { return types_detail::tagged_number("cookie:", c.value); }
+inline std::string to_string(PolicyRuleId id) { return types_detail::tagged_number("policy:", id.value); }
 inline std::string to_string(const Username& u) { return u.value; }
 inline std::string to_string(const Hostname& h) { return h.value; }
 
@@ -109,16 +130,8 @@ struct hash<dfi::PolicyRuleId> {
     return hash<uint64_t>{}(id.value);
   }
 };
-template <>
-struct hash<dfi::Username> {
-  size_t operator()(const dfi::Username& u) const noexcept {
-    return hash<string>{}(u.value);
-  }
-};
-template <>
-struct hash<dfi::Hostname> {
-  size_t operator()(const dfi::Hostname& h) const noexcept {
-    return hash<string>{}(h.value);
-  }
-};
+// No hash specializations for Username/Hostname: the compact entity plane
+// (common/intern.h) keys every identity container on interned EntityIds, so
+// string-keyed hash maps of these types no longer exist. Keeping the
+// specializations deleted stops them from quietly coming back.
 }  // namespace std

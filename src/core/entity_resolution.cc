@@ -9,29 +9,63 @@
 namespace dfi {
 namespace {
 
-template <typename Map, typename K, typename V>
-bool insert_pair(Map& forward, const K& key, const V& value) {
-  return forward[key].insert(value).second;
+// Copy-on-write sorted-posting-list edits. The list order is the
+// *presentation* order of the entities (lexicographic for names, numeric
+// for addresses) so enrichment and persistence output need no sorting;
+// `less` supplies that order. Both return whether the list changed —
+// redundant edits must not bump the ERM epoch.
+template <typename Less>
+bool posting_insert(CowTable<PostingListPtr>& table, EntityId key, EntityId id,
+                    Less&& less) {
+  const PostingListPtr* slot = table.find(key.value);
+  const PostingListPtr current = slot != nullptr ? *slot : nullptr;
+  if (current == nullptr || current->empty()) {
+    table.mutate(key.value) =
+        std::make_shared<const std::vector<EntityId>>(1, id);
+    return true;
+  }
+  const auto pos = std::lower_bound(current->begin(), current->end(), id, less);
+  if (pos != current->end() && *pos == id) return false;
+  std::vector<EntityId> next;
+  next.reserve(current->size() + 1);
+  next.insert(next.end(), current->begin(), pos);
+  next.push_back(id);
+  next.insert(next.end(), pos, current->end());
+  table.mutate(key.value) =
+      std::make_shared<const std::vector<EntityId>>(std::move(next));
+  return true;
 }
 
-template <typename Map, typename K, typename V>
-bool erase_pair(Map& forward, const K& key, const V& value) {
-  const auto it = forward.find(key);
-  if (it == forward.end()) return false;
-  const bool erased = it->second.erase(value) > 0;
-  if (it->second.empty()) forward.erase(it);
-  return erased;
+template <typename Less>
+bool posting_erase(CowTable<PostingListPtr>& table, EntityId key, EntityId id,
+                   Less&& less) {
+  const PostingListPtr* slot = table.find(key.value);
+  const PostingListPtr current = slot != nullptr ? *slot : nullptr;
+  if (current == nullptr || current->empty()) return false;
+  const auto pos = std::lower_bound(current->begin(), current->end(), id, less);
+  if (pos == current->end() || *pos != id) return false;
+  if (current->size() == 1) {
+    table.mutate(key.value) = nullptr;  // empty list == absent key
+    return true;
+  }
+  std::vector<EntityId> next;
+  next.reserve(current->size() - 1);
+  next.insert(next.end(), current->begin(), pos);
+  next.insert(next.end(), pos + 1, current->end());
+  table.mutate(key.value) =
+      std::make_shared<const std::vector<EntityId>>(std::move(next));
+  return true;
 }
 
-template <typename Map, typename K>
-auto values_of(const Map& forward, const K& key)
-    -> std::vector<typename Map::mapped_type::value_type> {
-  const auto it = forward.find(key);
-  if (it == forward.end()) return {};
-  return {it->second.begin(), it->second.end()};
+const std::vector<EntityId>* list_of(const CowTable<PostingListPtr>& table,
+                                     EntityId key) {
+  if (!key.valid()) return nullptr;
+  const PostingListPtr* slot = table.find(key.value);
+  if (slot == nullptr || *slot == nullptr || (*slot)->empty()) return nullptr;
+  return slot->get();
 }
 
-// Deterministic snapshot order over a hash map: keys sorted ascending.
+// Deterministic snapshot order over the location map: keys sorted ascending.
 template <typename Map>
 auto sorted_keys(const Map& map) {
   std::vector<typename Map::key_type> keys;
@@ -57,45 +91,80 @@ void EntityResolutionManager::apply(const BindingEvent& event) {
   // without the journal knowing the dedup rules.
   if (journal_ != nullptr) journal_->append_binding(event);
   ++stats_.binding_updates;
+
+  EntityInterner& interner = *identity_.interner;
+  const auto by_user = [&](EntityId a, EntityId b) {
+    return interner.users().view(a) < interner.users().view(b);
+  };
+  const auto by_host = [&](EntityId a, EntityId b) {
+    return interner.hosts().view(a) < interner.hosts().view(b);
+  };
+  const auto by_ip = [&](EntityId a, EntityId b) {
+    return interner.ips().key(a) < interner.ips().key(b);
+  };
+
   // `changed` tracks whether the event mutated state: redundant
   // re-assertions and retractions of absent bindings must not bump the
   // epoch (they cannot alter any decision) or they would needlessly flush
   // the PCP's decision cache.
   bool changed = false;
   switch (event.kind) {
-    case BindingKind::kUserHost:
+    case BindingKind::kUserHost: {
+      const EntityId user = interner.users().intern(event.user.value);
+      const EntityId host = interner.hosts().intern(event.host.value);
       if (event.retracted) {
-        changed |= erase_pair(identity_.user_to_hosts, event.user, event.host);
-        changed |= erase_pair(identity_.host_to_users, event.host, event.user);
+        const bool fwd = posting_erase(identity_.user_to_hosts, user, host, by_host);
+        changed = posting_erase(identity_.host_to_users, host, user, by_user) || fwd;
+        if (fwd) --user_host_bindings_;
       } else {
-        changed |= insert_pair(identity_.user_to_hosts, event.user, event.host);
-        changed |= insert_pair(identity_.host_to_users, event.host, event.user);
+        const bool fwd = posting_insert(identity_.user_to_hosts, user, host, by_host);
+        changed = posting_insert(identity_.host_to_users, host, user, by_user) || fwd;
+        if (fwd) ++user_host_bindings_;
       }
       break;
-    case BindingKind::kHostIp:
+    }
+    case BindingKind::kHostIp: {
+      const EntityId host = interner.hosts().intern(event.host.value);
+      const EntityId ip = interner.ips().intern(event.ip.value());
       if (event.retracted) {
-        changed |= erase_pair(identity_.host_to_ips, event.host, event.ip);
-        changed |= erase_pair(identity_.ip_to_hosts, event.ip, event.host);
+        const bool fwd = posting_erase(identity_.host_to_ips, host, ip, by_ip);
+        changed = posting_erase(identity_.ip_to_hosts, ip, host, by_host) || fwd;
+        if (fwd) --host_ip_bindings_;
       } else {
-        changed |= insert_pair(identity_.host_to_ips, event.host, event.ip);
-        changed |= insert_pair(identity_.ip_to_hosts, event.ip, event.host);
+        const bool fwd = posting_insert(identity_.host_to_ips, host, ip, by_ip);
+        changed = posting_insert(identity_.ip_to_hosts, ip, host, by_host) || fwd;
+        if (fwd) ++host_ip_bindings_;
       }
       break;
-    case BindingKind::kIpMac:
+    }
+    case BindingKind::kIpMac: {
+      const EntityId ip = interner.ips().intern(event.ip.value());
+      const EntityId mac = interner.macs().intern(event.mac.to_u64());
+      const std::uint64_t* slot = identity_.ip_to_mac.find(ip.value);
+      const std::uint64_t bound = slot != nullptr ? *slot : 0;
+      const std::uint64_t packed = event.mac.to_u64() + 1;
       if (event.retracted) {
-        changed |= identity_.ip_to_mac.erase(event.ip) > 0;
-        changed |= erase_pair(identity_.mac_to_ips, event.mac, event.ip);
-      } else {
-        // DHCP is authoritative: a lease replaces any prior MAC for the IP.
-        if (const auto prev = identity_.ip_to_mac.find(event.ip);
-            prev != identity_.ip_to_mac.end() && prev->second != event.mac) {
-          erase_pair(identity_.mac_to_ips, prev->second, event.ip);
+        if (bound != 0) {
+          identity_.ip_to_mac.mutate(ip.value) = 0;
+          --ip_mac_bindings_;
           changed = true;
         }
-        changed |= insert_pair(identity_.mac_to_ips, event.mac, event.ip);
-        if (changed) identity_.ip_to_mac[event.ip] = event.mac;
+        changed |= posting_erase(identity_.mac_to_ips, mac, ip, by_ip);
+      } else {
+        // DHCP is authoritative: a lease replaces any prior MAC for the IP.
+        if (bound != 0 && bound != packed) {
+          const EntityId prev = interner.macs().find(bound - 1);
+          posting_erase(identity_.mac_to_ips, prev, ip, by_ip);
+          changed = true;
+        }
+        changed |= posting_insert(identity_.mac_to_ips, mac, ip, by_ip);
+        if (changed) {
+          if (bound == 0) ++ip_mac_bindings_;
+          identity_.ip_to_mac.mutate(ip.value) = packed;
+        }
       }
       break;
+    }
     case BindingKind::kMacLocation: {
       const auto key = std::make_pair(event.dpid, event.mac);
       if (event.retracted) {
@@ -116,6 +185,10 @@ void EntityResolutionManager::apply(const BindingEvent& event) {
       break;
     }
   }
+  // Keep the reader-side IP lookup current: any IP this event named is now
+  // interned and must be findable by the live validate/enrich path (reader
+  // threads use the capture taken at their snapshot's publication).
+  identity_.ip_lookup = identity_.interner->ips().reader();
   if (changed) {
     ++epoch_;
     // Any epoch bump must reach the next published snapshot, even when the
@@ -135,6 +208,11 @@ void EntityResolutionManager::advance_epoch_to(std::uint64_t epoch) {
 ErmSnapshot EntityResolutionManager::snapshot_view() const {
   const auto tables = snapshot_cache_.get([this]() {
     ++stats_.snapshot_rebuilds;
+    // O(changed), not O(total): freeze marks the paged tables shared and
+    // the struct copy is six root pointers plus the interner handle. The
+    // deep work — cloning the pages a future mutation dirties — happens
+    // lazily, per page, on the control thread.
+    identity_.freeze_all();
     return std::make_shared<const ErmIdentityTables>(identity_);
   });
   return ErmSnapshot(tables, epoch_);
@@ -168,29 +246,72 @@ SpoofCheck EntityResolutionManager::validate(const std::optional<MacAddress>& ma
 }
 
 std::vector<Hostname> EntityResolutionManager::hosts_of_ip(Ipv4Address ip) const {
-  return values_of(identity_.ip_to_hosts, ip);
+  const EntityInterner& interner = *identity_.interner;
+  std::vector<Hostname> out;
+  if (const auto* list = list_of(identity_.ip_to_hosts, interner.ips().find(ip.value()))) {
+    out.reserve(list->size());
+    for (const EntityId host : *list) {
+      out.push_back(Hostname{std::string(interner.hosts().view(host))});
+    }
+  }
+  return out;
 }
 
 std::vector<Ipv4Address> EntityResolutionManager::ips_of_host(const Hostname& host) const {
-  return values_of(identity_.host_to_ips, host);
+  const EntityInterner& interner = *identity_.interner;
+  std::vector<Ipv4Address> out;
+  if (const auto* list = list_of(identity_.host_to_ips, interner.hosts().find(host.value))) {
+    out.reserve(list->size());
+    for (const EntityId ip : *list) {
+      out.push_back(Ipv4Address(static_cast<std::uint32_t>(interner.ips().key(ip))));
+    }
+  }
+  return out;
 }
 
 std::vector<Username> EntityResolutionManager::users_of_host(const Hostname& host) const {
-  return values_of(identity_.host_to_users, host);
+  const EntityInterner& interner = *identity_.interner;
+  std::vector<Username> out;
+  if (const auto* list = list_of(identity_.host_to_users, interner.hosts().find(host.value))) {
+    out.reserve(list->size());
+    for (const EntityId user : *list) {
+      out.push_back(Username{std::string(interner.users().view(user))});
+    }
+  }
+  return out;
 }
 
 std::vector<Hostname> EntityResolutionManager::hosts_of_user(const Username& user) const {
-  return values_of(identity_.user_to_hosts, user);
+  const EntityInterner& interner = *identity_.interner;
+  std::vector<Hostname> out;
+  if (const auto* list = list_of(identity_.user_to_hosts, interner.users().find(user.value))) {
+    out.reserve(list->size());
+    for (const EntityId host : *list) {
+      out.push_back(Hostname{std::string(interner.hosts().view(host))});
+    }
+  }
+  return out;
 }
 
 std::optional<MacAddress> EntityResolutionManager::mac_of_ip(Ipv4Address ip) const {
-  const auto it = identity_.ip_to_mac.find(ip);
-  if (it == identity_.ip_to_mac.end()) return std::nullopt;
-  return it->second;
+  const EntityId id = identity_.interner->ips().find(ip.value());
+  if (!id.valid()) return std::nullopt;
+  const std::uint64_t* slot = identity_.ip_to_mac.find(id.value);
+  if (slot == nullptr || *slot == 0) return std::nullopt;
+  return MacAddress::from_u64(*slot - 1);
 }
 
 std::vector<Ipv4Address> EntityResolutionManager::ips_of_mac(MacAddress mac) const {
-  return values_of(identity_.mac_to_ips, mac);
+  const EntityInterner& interner = *identity_.interner;
+  std::vector<Ipv4Address> out;
+  if (const auto* list =
+          list_of(identity_.mac_to_ips, interner.macs().find(mac.to_u64()))) {
+    out.reserve(list->size());
+    for (const EntityId ip : *list) {
+      out.push_back(Ipv4Address(static_cast<std::uint32_t>(interner.ips().key(ip))));
+    }
+  }
+  return out;
 }
 
 std::optional<PortNo> EntityResolutionManager::location_of_mac(Dpid dpid,
@@ -201,32 +322,61 @@ std::optional<PortNo> EntityResolutionManager::location_of_mac(Dpid dpid,
 }
 
 std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
+  const EntityInterner& interner = *identity_.interner;
   std::vector<BindingEvent> out;
   out.reserve(binding_count());
-  for (const auto& user : sorted_keys(identity_.user_to_hosts)) {
-    for (const auto& host : identity_.user_to_hosts.at(user)) {
+
+  // Presentation order matches the old ordered-set layout exactly: outer
+  // entities ascending by name/address, inner lists already sorted.
+  const auto sorted_by_name = [](const StringInterner& names,
+                                 const CowTable<PostingListPtr>& table) {
+    std::vector<EntityId> ids;
+    for (std::uint32_t i = 0; i < names.size(); ++i) {
+      const PostingListPtr* slot = table.find(i);
+      if (slot != nullptr && *slot != nullptr && !(*slot)->empty()) {
+        ids.push_back(EntityId{i});
+      }
+    }
+    std::sort(ids.begin(), ids.end(), [&](EntityId a, EntityId b) {
+      return names.view(a) < names.view(b);
+    });
+    return ids;
+  };
+
+  for (const EntityId user : sorted_by_name(interner.users(), identity_.user_to_hosts)) {
+    for (const EntityId host : **identity_.user_to_hosts.find(user.value)) {
       BindingEvent event;
       event.kind = BindingKind::kUserHost;
-      event.user = user;
-      event.host = host;
+      event.user = Username{std::string(interner.users().view(user))};
+      event.host = Hostname{std::string(interner.hosts().view(host))};
       out.push_back(std::move(event));
     }
   }
-  for (const auto& host : sorted_keys(identity_.host_to_ips)) {
-    for (const auto& ip : identity_.host_to_ips.at(host)) {
+  for (const EntityId host : sorted_by_name(interner.hosts(), identity_.host_to_ips)) {
+    for (const EntityId ip : **identity_.host_to_ips.find(host.value)) {
       BindingEvent event;
       event.kind = BindingKind::kHostIp;
-      event.host = host;
-      event.ip = ip;
+      event.host = Hostname{std::string(interner.hosts().view(host))};
+      event.ip = Ipv4Address(static_cast<std::uint32_t>(interner.ips().key(ip)));
       out.push_back(std::move(event));
     }
   }
-  for (const auto& ip : sorted_keys(identity_.ip_to_mac)) {
-    BindingEvent event;
-    event.kind = BindingKind::kIpMac;
-    event.ip = ip;
-    event.mac = identity_.ip_to_mac.at(ip);
-    out.push_back(std::move(event));
+  {
+    std::vector<EntityId> bound_ips;
+    for (std::uint32_t i = 0; i < interner.ips().size(); ++i) {
+      const std::uint64_t* slot = identity_.ip_to_mac.find(i);
+      if (slot != nullptr && *slot != 0) bound_ips.push_back(EntityId{i});
+    }
+    std::sort(bound_ips.begin(), bound_ips.end(), [&](EntityId a, EntityId b) {
+      return interner.ips().key(a) < interner.ips().key(b);
+    });
+    for (const EntityId ip : bound_ips) {
+      BindingEvent event;
+      event.kind = BindingKind::kIpMac;
+      event.ip = Ipv4Address(static_cast<std::uint32_t>(interner.ips().key(ip)));
+      event.mac = MacAddress::from_u64(*identity_.ip_to_mac.find(ip.value) - 1);
+      out.push_back(std::move(event));
+    }
   }
   for (const auto& key : sorted_keys(mac_location_)) {
     BindingEvent event;
@@ -240,10 +390,8 @@ std::vector<BindingEvent> EntityResolutionManager::snapshot() const {
 }
 
 std::size_t EntityResolutionManager::binding_count() const {
-  std::size_t count = mac_location_.size() + identity_.ip_to_mac.size();
-  for (const auto& [user, hosts] : identity_.user_to_hosts) count += hosts.size();
-  for (const auto& [host, ips] : identity_.host_to_ips) count += ips.size();
-  return count;
+  return user_host_bindings_ + host_ip_bindings_ + ip_mac_bindings_ +
+         mac_location_.size();
 }
 
 }  // namespace dfi

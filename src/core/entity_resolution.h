@@ -11,16 +11,23 @@
 // agree with the authoritative bindings (e.g. a source IP bound by DHCP to
 // a different MAC marks the packet spoofed, and the PCP denies it).
 //
-// Snapshot isolation (DESIGN.md §5): the identity bindings live in an
-// ErmIdentityTables (core/erm_snapshot.h) and the manager publishes
-// immutable, epoch-stamped ErmSnapshot views of them on demand. The PCP
-// decision path reads only snapshots; the live maps are mutated exclusively
-// on the control thread. Snapshots are rebuilt lazily — at most once per
-// epoch-bumping mutation, no matter how many decisions run in between.
+// Compact entity plane (DESIGN.md §8): every user/host/IP/MAC named in a
+// binding is interned once into a per-kind namespace (common/intern.h) and
+// the identity tables are paged copy-on-write structures keyed by the
+// resulting dense 32-bit ids (core/erm_snapshot.h). Strings exist only at
+// the boundaries — sensor events in, enrichment output and persistence
+// text out — so memory per binding and decision latency stay flat as the
+// entity population grows.
+//
+// Snapshot isolation (DESIGN.md §5): the manager publishes immutable,
+// epoch-stamped ErmSnapshot views on demand. The PCP decision path reads
+// only snapshots; the live tables are mutated exclusively on the control
+// thread. Publication is O(1) — a root-pointer capture — and the next
+// mutation after a publication path-copies only the dirty page, so the
+// per-event publication cost is O(changed), not O(total bindings).
 #pragma once
 
 #include <optional>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -78,6 +85,15 @@ class EntityResolutionManager {
   const ErmStats& stats() const { return stats_; }
   std::size_t binding_count() const;
 
+  // The shared id<->name store; ids are stable for the manager's lifetime.
+  const EntityInterner& interner() const { return *identity_.interner; }
+
+  // Aggregate copy-on-write counters of the identity tables — how many
+  // pages/roots mutations had to clone because a published snapshot shared
+  // them. The erm_scale bench reports these to prove publication is
+  // O(changed).
+  CowTableStats cow_stats() const { return identity_.cow_stats(); }
+
   // Monotonic version of the binding state, bumped on every applied event
   // that could change an enrichment or spoof-validation result. Decision
   // caches (core/decision_cache.h) stamp entries with this epoch; a
@@ -94,15 +110,17 @@ class EntityResolutionManager {
   // exception every first packet of a new host would flush the cache.
   std::uint64_t epoch() const { return epoch_; }
 
-  // Immutable snapshot of the identity bindings at the current epoch. The
-  // frozen tables are shared, not copied, until the next epoch-bumping
-  // mutation forces a rebuild; first MAC-location sightings (see epoch())
-  // leave outstanding snapshots untouched.
+  // Immutable snapshot of the identity bindings at the current epoch.
+  // O(1): the paged tables are captured by root pointer and marked frozen;
+  // later mutations path-copy only what they touch. At most one capture
+  // per epoch-bumping mutation, no matter how many decisions run in
+  // between; first MAC-location sightings (see epoch()) reuse the cached
+  // capture untouched.
   ErmSnapshot snapshot_view() const;
 
   // Every current binding, as assertion events (persistence snapshots and
   // diagnostics; replaying them into a fresh ERM reproduces this state).
-  // Deterministically ordered regardless of hash-map iteration order.
+  // Deterministically ordered regardless of interning order.
   std::vector<BindingEvent> snapshot() const;
 
   // ------------------------------------------------- durability (WAL)
@@ -130,16 +148,22 @@ class EntityResolutionManager {
   MessageBus& bus_;
   Subscription subscription_;
 
-  // Live identity bindings: user<->host, host<->IP, IP<->MAC multimaps.
-  // The outer maps are hash-indexed (enrichment and spoof validation sit on
-  // the Packet-in hot path); the inner sets stay ordered so enrichment
-  // output and persistence snapshots are deterministic. Mutated only via
-  // apply(); published to the decision path as frozen copies.
-  ErmIdentityTables identity_;
+  // Live identity bindings: interned, paged copy-on-write tables (see
+  // core/erm_snapshot.h for layout and ordering invariants). Mutated only
+  // via apply(); published to the decision path by frozen capture.
+  // `mutable` because publication-from-const (snapshot_view) must mark the
+  // tables frozen — a bookkeeping write, not a logical mutation.
+  mutable ErmIdentityTables identity_;
   // (dpid, mac) -> port. At most one port per MAC per switch; the PCP's
   // location sensor replaces the binding when a MAC legitimately moves.
   // Deliberately outside the snapshot (see core/erm_snapshot.h).
   std::unordered_map<std::pair<Dpid, MacAddress>, PortNo, LocationKeyHash> mac_location_;
+
+  // Incremental binding tallies (binding_count() must not walk the paged
+  // tables at million-entity scale).
+  std::size_t user_host_bindings_ = 0;
+  std::size_t host_ip_bindings_ = 0;
+  std::size_t ip_mac_bindings_ = 0;
 
   std::uint64_t epoch_ = 0;
   Journal* journal_ = nullptr;

@@ -5,42 +5,28 @@
 namespace dfi {
 namespace {
 
-// Probe one posting map with one observed value.
-template <typename Map, typename Key, typename Fn>
-void probe(const Map& map, const std::optional<Key>& observed, Fn&& fn) {
-  if (!observed.has_value()) return;
-  const auto it = map.find(*observed);
+// Probe one posting map with one observed key (already packed to the map's
+// integer key type by the caller).
+template <typename Map, typename Fn>
+void probe_key(const Map& map, typename Map::key_type key,
+               const std::vector<const StoredPolicyRule*>& slots, Fn&& fn) {
+  const auto it = map.find(key);
   if (it == map.end()) return;
-  for (const StoredPolicyRule* stored : it->second) fn(stored);
+  for (const std::uint32_t ref : it->second) fn(slots[ref]);
 }
 
-// Probe one posting map with every enriched identifier bound to the
-// endpoint (user/host fields are sets under late binding).
-template <typename Map, typename Key, typename Fn>
-void probe_each(const Map& map, const std::vector<Key>& observed, Fn&& fn) {
-  if (map.empty()) return;
-  for (const Key& key : observed) {
-    const auto it = map.find(key);
-    if (it == map.end()) continue;
-    for (const StoredPolicyRule* stored : it->second) fn(stored);
-  }
-}
-
-// Overlap probing: a rule pivoted on field f with value v overlaps the new
-// rule on f iff the new rule wildcards f or names the same v — so a
-// concrete spec costs one probe, a wildcard spec visits the whole map.
-template <typename Map, typename Key, typename Fn>
-void probe_overlap(const Map& map, const std::optional<Key>& spec, Fn&& fn) {
-  if (spec.has_value()) {
-    const auto it = map.find(*spec);
-    if (it == map.end()) return;
-    for (const StoredPolicyRule* stored : it->second) fn(stored);
-    return;
-  }
+template <typename Map, typename Fn>
+void probe_all(const Map& map, const std::vector<const StoredPolicyRule*>& slots,
+               Fn&& fn) {
   for (const auto& [key, list] : map) {
-    for (const StoredPolicyRule* stored : list) fn(stored);
+    for (const std::uint32_t ref : list) fn(slots[ref]);
   }
 }
+
+// Pack a concrete spec value to its posting-map key.
+std::uint32_t key_of(Ipv4Address ip) { return ip.value(); }
+std::uint64_t key_of(MacAddress mac) { return mac.to_u64(); }
+std::uint64_t key_of(Dpid dpid) { return dpid.value; }
 
 }  // namespace
 
@@ -48,22 +34,31 @@ PolicyRuleIndex::RuleList& PolicyRuleIndex::posting_list(Bucket& bucket,
                                                          const PolicyRule& rule) {
   const EndpointSpec& src = rule.source;
   const EndpointSpec& dst = rule.destination;
-  if (src.ip) return bucket.src_ip[*src.ip];
-  if (dst.ip) return bucket.dst_ip[*dst.ip];
-  if (src.mac) return bucket.src_mac[*src.mac];
-  if (dst.mac) return bucket.dst_mac[*dst.mac];
-  if (src.user) return bucket.src_user[*src.user];
-  if (dst.user) return bucket.dst_user[*dst.user];
-  if (src.host) return bucket.src_host[*src.host];
-  if (dst.host) return bucket.dst_host[*dst.host];
-  if (src.dpid) return bucket.src_dpid[*src.dpid];
-  if (dst.dpid) return bucket.dst_dpid[*dst.dpid];
+  if (src.ip) return bucket.src_ip[src.ip->value()];
+  if (dst.ip) return bucket.dst_ip[dst.ip->value()];
+  if (src.mac) return bucket.src_mac[src.mac->to_u64()];
+  if (dst.mac) return bucket.dst_mac[dst.mac->to_u64()];
+  if (src.user) return bucket.src_user[users_.intern(src.user->value).value];
+  if (dst.user) return bucket.dst_user[users_.intern(dst.user->value).value];
+  if (src.host) return bucket.src_host[hosts_.intern(src.host->value).value];
+  if (dst.host) return bucket.dst_host[hosts_.intern(dst.host->value).value];
+  if (src.dpid) return bucket.src_dpid[src.dpid->value];
+  if (dst.dpid) return bucket.dst_dpid[dst.dpid->value];
   return bucket.wildcard;
 }
 
 void PolicyRuleIndex::insert(const StoredPolicyRule* stored) {
+  RuleRef ref;
+  if (!free_refs_.empty()) {
+    ref = free_refs_.back();
+    free_refs_.pop_back();
+    slots_[ref] = stored;
+  } else {
+    ref = static_cast<RuleRef>(slots_.size());
+    slots_.push_back(stored);
+  }
   Bucket& bucket = buckets_[stored->priority.value];
-  posting_list(bucket, stored->rule).push_back(stored);
+  posting_list(bucket, stored->rule).push_back(ref);
   ++bucket.size;
   ++size_;
 }
@@ -73,8 +68,12 @@ void PolicyRuleIndex::remove(const StoredPolicyRule* stored) {
   if (bucket_it == buckets_.end()) return;
   Bucket& bucket = bucket_it->second;
   RuleList& list = posting_list(bucket, stored->rule);
-  const auto it = std::find(list.begin(), list.end(), stored);
+  const auto it = std::find_if(list.begin(), list.end(), [&](RuleRef ref) {
+    return slots_[ref] == stored;
+  });
   if (it == list.end()) return;
+  slots_[*it] = nullptr;
+  free_refs_.push_back(*it);
   list.erase(it);
   --bucket.size;
   --size_;
@@ -83,10 +82,28 @@ void PolicyRuleIndex::remove(const StoredPolicyRule* stored) {
 
 void PolicyRuleIndex::clear() {
   buckets_.clear();
+  slots_.clear();
+  free_refs_.clear();
   size_ = 0;
 }
 
 const StoredPolicyRule* PolicyRuleIndex::best_match(const FlowView& flow) const {
+  // Resolve the flow's user/host names to index-local ids once, outside the
+  // bucket walk. A name no rule ever pivoted on has no id — drop it here
+  // rather than hashing the string once per bucket.
+  std::vector<std::uint32_t> src_users, dst_users, src_hosts, dst_hosts;
+  const auto resolve = [](const StringInterner& names, const auto& observed,
+                          std::vector<std::uint32_t>& out) {
+    for (const auto& name : observed) {
+      const EntityId id = names.find(name.value);
+      if (id.valid()) out.push_back(id.value);
+    }
+  };
+  resolve(users_, flow.src.usernames, src_users);
+  resolve(users_, flow.dst.usernames, dst_users);
+  resolve(hosts_, flow.src.hostnames, src_hosts);
+  resolve(hosts_, flow.dst.hostnames, dst_hosts);
+
   for (const auto& [priority, bucket] : buckets_) {
     if (stats_enabled_) ++stats_.buckets_visited;
     const StoredPolicyRule* best = nullptr;
@@ -100,17 +117,17 @@ const StoredPolicyRule* PolicyRuleIndex::best_match(const FlowView& flow) const 
         best = stored;  // equal-priority conflict: Deny wins
       }
     };
-    probe(bucket.src_ip, flow.src.ip, consider);
-    probe(bucket.dst_ip, flow.dst.ip, consider);
-    probe(bucket.src_mac, flow.src.mac, consider);
-    probe(bucket.dst_mac, flow.dst.mac, consider);
-    probe_each(bucket.src_user, flow.src.usernames, consider);
-    probe_each(bucket.dst_user, flow.dst.usernames, consider);
-    probe_each(bucket.src_host, flow.src.hostnames, consider);
-    probe_each(bucket.dst_host, flow.dst.hostnames, consider);
-    probe(bucket.src_dpid, flow.src.dpid, consider);
-    probe(bucket.dst_dpid, flow.dst.dpid, consider);
-    for (const StoredPolicyRule* stored : bucket.wildcard) consider(stored);
+    if (flow.src.ip) probe_key(bucket.src_ip, flow.src.ip->value(), slots_, consider);
+    if (flow.dst.ip) probe_key(bucket.dst_ip, flow.dst.ip->value(), slots_, consider);
+    if (flow.src.mac) probe_key(bucket.src_mac, flow.src.mac->to_u64(), slots_, consider);
+    if (flow.dst.mac) probe_key(bucket.dst_mac, flow.dst.mac->to_u64(), slots_, consider);
+    for (const std::uint32_t id : src_users) probe_key(bucket.src_user, id, slots_, consider);
+    for (const std::uint32_t id : dst_users) probe_key(bucket.dst_user, id, slots_, consider);
+    for (const std::uint32_t id : src_hosts) probe_key(bucket.src_host, id, slots_, consider);
+    for (const std::uint32_t id : dst_hosts) probe_key(bucket.dst_host, id, slots_, consider);
+    if (flow.src.dpid) probe_key(bucket.src_dpid, flow.src.dpid->value, slots_, consider);
+    if (flow.dst.dpid) probe_key(bucket.dst_dpid, flow.dst.dpid->value, slots_, consider);
+    for (const std::uint32_t ref : bucket.wildcard) consider(slots_[ref]);
     if (best != nullptr) return best;  // no lower bucket can outrank this one
   }
   return nullptr;
@@ -123,21 +140,42 @@ void PolicyRuleIndex::for_each_overlap_candidate(
     if (stats_enabled_) ++stats_.overlap_candidates;
     fn(*stored);
   };
+  // Overlap probing: a rule pivoted on field f with value v overlaps the
+  // new rule on f iff the new rule wildcards f or names the same v — so a
+  // concrete spec costs one probe, a wildcard spec visits the whole map.
+  // A concretely named user/host that no indexed rule ever pivoted on has
+  // no index-local id and therefore an empty candidate set for that map.
+  const auto sweep_value = [&](const auto& map, const auto& spec) {
+    if (!spec.has_value()) {
+      probe_all(map, slots_, visit);
+    } else {
+      probe_key(map, key_of(*spec), slots_, visit);
+    }
+  };
+  const auto sweep_name = [&](const auto& map, const auto& spec,
+                              const StringInterner& names) {
+    if (!spec.has_value()) {
+      probe_all(map, slots_, visit);
+      return;
+    }
+    const EntityId id = names.find(spec->value);
+    if (id.valid()) probe_key(map, id.value, slots_, visit);
+  };
   // greater<> ordering: upper_bound yields the first bucket with priority
   // strictly below the new rule's.
   for (auto it = buckets_.upper_bound(below.value); it != buckets_.end(); ++it) {
     const Bucket& bucket = it->second;
-    probe_overlap(bucket.src_ip, rule.source.ip, visit);
-    probe_overlap(bucket.dst_ip, rule.destination.ip, visit);
-    probe_overlap(bucket.src_mac, rule.source.mac, visit);
-    probe_overlap(bucket.dst_mac, rule.destination.mac, visit);
-    probe_overlap(bucket.src_user, rule.source.user, visit);
-    probe_overlap(bucket.dst_user, rule.destination.user, visit);
-    probe_overlap(bucket.src_host, rule.source.host, visit);
-    probe_overlap(bucket.dst_host, rule.destination.host, visit);
-    probe_overlap(bucket.src_dpid, rule.source.dpid, visit);
-    probe_overlap(bucket.dst_dpid, rule.destination.dpid, visit);
-    for (const StoredPolicyRule* stored : bucket.wildcard) visit(stored);
+    sweep_value(bucket.src_ip, rule.source.ip);
+    sweep_value(bucket.dst_ip, rule.destination.ip);
+    sweep_value(bucket.src_mac, rule.source.mac);
+    sweep_value(bucket.dst_mac, rule.destination.mac);
+    sweep_name(bucket.src_user, rule.source.user, users_);
+    sweep_name(bucket.dst_user, rule.destination.user, users_);
+    sweep_name(bucket.src_host, rule.source.host, hosts_);
+    sweep_name(bucket.dst_host, rule.destination.host, hosts_);
+    sweep_value(bucket.src_dpid, rule.source.dpid);
+    sweep_value(bucket.dst_dpid, rule.destination.dpid);
+    for (const std::uint32_t ref : bucket.wildcard) visit(slots_[ref]);
   }
 }
 

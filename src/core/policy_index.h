@@ -11,6 +11,14 @@
 // constrained solely by ports / flow properties) live on the bucket's
 // wildcard list.
 //
+// Compact entity plane (DESIGN.md §8): posting lists hold packed 32-bit
+// rule refs into a slot registry, not 8-byte rule pointers, and the posting
+// maps are keyed on raw integer values — IPs as u32, MACs/DPIDs as u64,
+// user/host names as ids from index-local interners — so a 100k-rule store
+// costs a fraction of the string-keyed layout and every probe hashes a
+// machine word. A queried name that was never named by any rule maps to no
+// id and is skipped without touching a bucket.
+//
 // Query: walk buckets from the highest priority down. A bucket's candidate
 // set is its wildcard list plus, for each pivot field, the posting list
 // keyed by the flow's observed value for that field (enriched user/host
@@ -38,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/intern.h"
 #include "common/types.h"
 #include "core/policy.h"
 
@@ -62,6 +71,13 @@ struct PolicyIndexStats {
 
 class PolicyRuleIndex {
  public:
+  PolicyRuleIndex() = default;
+  // The index-local interners are append-only and address-stable; the index
+  // itself is built in place wherever it lives (PolicyManager member,
+  // PolicySnapshot member) and never copied.
+  PolicyRuleIndex(const PolicyRuleIndex&) = delete;
+  PolicyRuleIndex& operator=(const PolicyRuleIndex&) = delete;
+
   // `stored` must outlive its presence in the index and keep (rule,
   // priority) unchanged while indexed.
   void insert(const StoredPolicyRule* stored);
@@ -90,25 +106,40 @@ class PolicyRuleIndex {
   const PolicyIndexStats& stats() const { return stats_; }
 
  private:
-  using RuleList = std::vector<const StoredPolicyRule*>;
+  // Packed reference into slots_; posting lists hold these, not pointers.
+  using RuleRef = std::uint32_t;
+  using RuleList = std::vector<RuleRef>;
 
   struct Bucket {
-    std::unordered_map<Ipv4Address, RuleList> src_ip, dst_ip;
-    std::unordered_map<MacAddress, RuleList> src_mac, dst_mac;
-    std::unordered_map<Username, RuleList> src_user, dst_user;
-    std::unordered_map<Hostname, RuleList> src_host, dst_host;
-    std::unordered_map<Dpid, RuleList> src_dpid, dst_dpid;
+    std::unordered_map<std::uint32_t, RuleList> src_ip, dst_ip;    // IP value
+    std::unordered_map<std::uint64_t, RuleList> src_mac, dst_mac;  // MAC u48
+    std::unordered_map<std::uint32_t, RuleList> src_user, dst_user;  // user id
+    std::unordered_map<std::uint32_t, RuleList> src_host, dst_host;  // host id
+    std::unordered_map<std::uint64_t, RuleList> src_dpid, dst_dpid;
     RuleList wildcard;
     std::size_t size = 0;
   };
 
   // The posting list `rule` belongs to within `bucket` (pivot selection is
-  // a pure function of the rule, so insert and remove agree).
-  static RuleList& posting_list(Bucket& bucket, const PolicyRule& rule);
+  // a pure function of the rule, so insert and remove agree). Interns any
+  // pivot name, so only the insert/remove path may call it.
+  RuleList& posting_list(Bucket& bucket, const PolicyRule& rule);
 
   // Buckets in descending PDP priority: queries early-exit on the first
   // bucket containing a match.
   std::map<std::uint32_t, Bucket, std::greater<std::uint32_t>> buckets_;
+
+  // Rule-ref registry: refs index slots_, freed refs are recycled so the
+  // registry stays dense under rule churn.
+  std::vector<const StoredPolicyRule*> slots_;
+  std::vector<RuleRef> free_refs_;
+
+  // Index-local name namespaces for user/host pivots. Append-only: a
+  // removed rule's names stay interned (bounded by distinct names ever
+  // seen, which the 100k-rule plane is sized for).
+  StringInterner users_;
+  StringInterner hosts_;
+
   std::size_t size_ = 0;
   bool stats_enabled_ = true;
   mutable PolicyIndexStats stats_;

@@ -34,6 +34,7 @@
 // --schedules=<n>) bounds the campaign (CI's sanitizer stages use this).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <optional>
@@ -184,6 +185,63 @@ std::string describe_mismatch(const Plane& a, const Plane& b) {
 
 bool state_equal(const Plane& a, const Plane& b) {
   return describe_mismatch(a, b).empty();
+}
+
+// Interned-state oracle: a recovered ERM rebuilt its interner and paged
+// tables from WAL text, so every binding its canonical export names must
+// resolve through the interned lookup path and answer identically via the
+// live query APIs. Catches recovery bugs where the text state is right but
+// the id-keyed tables (or the interner itself) diverged.
+void check_interned_state(const Plane& recovered,
+                          std::vector<std::string>& violations) {
+  const EntityInterner& interner = recovered.erm.interner();
+  for (const BindingEvent& event : recovered.erm.snapshot()) {
+    switch (event.kind) {
+      case BindingKind::kUserHost: {
+        if (!interner.users().find(event.user.value).valid() ||
+            !interner.hosts().find(event.host.value).valid()) {
+          violations.push_back("interned oracle: un-interned user/host " +
+                               event.user.value + "/" + event.host.value);
+          return;
+        }
+        const auto hosts = recovered.erm.hosts_of_user(event.user);
+        if (std::find(hosts.begin(), hosts.end(), event.host) == hosts.end()) {
+          violations.push_back("interned oracle: hosts_of_user(" +
+                               event.user.value + ") lacks " + event.host.value);
+          return;
+        }
+        break;
+      }
+      case BindingKind::kHostIp: {
+        const auto hosts = recovered.erm.hosts_of_ip(event.ip);
+        if (std::find(hosts.begin(), hosts.end(), event.host) == hosts.end()) {
+          violations.push_back("interned oracle: hosts_of_ip(" +
+                               event.ip.to_string() + ") lacks " +
+                               event.host.value);
+          return;
+        }
+        break;
+      }
+      case BindingKind::kIpMac: {
+        if (recovered.erm.mac_of_ip(event.ip) != event.mac) {
+          violations.push_back("interned oracle: mac_of_ip(" +
+                               event.ip.to_string() + ") != " +
+                               event.mac.to_string());
+          return;
+        }
+        break;
+      }
+      case BindingKind::kMacLocation: {
+        const auto port = recovered.erm.location_of_mac(event.dpid, event.mac);
+        if (!port.has_value() || *port != event.port) {
+          violations.push_back("interned oracle: location_of_mac mismatch for " +
+                               event.mac.to_string());
+          return;
+        }
+        break;
+      }
+    }
+  }
 }
 
 // Differential check through the query APIs: recovered and oracle planes
@@ -424,6 +482,7 @@ ScheduleResult run_schedule(std::uint64_t seed) {
       break;
     }
     check_queries(rng, *sut, *oracle, result.violations);
+    check_interned_state(*sut, result.violations);
     if (!result.violations.empty()) break;
 
     // Final lifetime: no further mutations — run the wire-level epilogue on

@@ -302,5 +302,89 @@ TEST(ErmReload, EpochFloorPreventsPreCrashStampAliasing) {
   EXPECT_GT(floored.epoch(), pre_crash_epoch + 1);
 }
 
+// ------------------------------------------------ compact entity plane
+
+TEST_F(ErmTest, InternedIdsStableAcrossEpochs) {
+  erm_.apply(user_host("alice", "h1"));
+  const EntityId alice = erm_.interner().users().find("alice");
+  const EntityId h1 = erm_.interner().hosts().find("h1");
+  ASSERT_TRUE(alice.valid());
+  ASSERT_TRUE(h1.valid());
+
+  // Retract, churn other entities across several epochs, re-assert: the
+  // ids never change, and an id captured in an old snapshot still names
+  // the same strings.
+  erm_.apply(user_host("alice", "h1", /*retract=*/true));
+  erm_.apply(user_host("bob", "h2"));
+  erm_.apply(host_ip("h3", Ipv4Address(10, 0, 0, 3)));
+  erm_.apply(user_host("alice", "h1"));
+  EXPECT_EQ(erm_.interner().users().find("alice"), alice);
+  EXPECT_EQ(erm_.interner().hosts().find("h1"), h1);
+  EXPECT_EQ(erm_.interner().users().view(alice), "alice");
+  EXPECT_EQ(erm_.interner().hosts().view(h1), "h1");
+}
+
+TEST_F(ErmTest, HeldSnapshotImmutableUnderMutation) {
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 5), MacAddress::from_u64(5)));
+  erm_.apply(host_ip("h5", Ipv4Address(10, 0, 0, 5)));
+  erm_.apply(user_host("alice", "h5"));
+  const ErmSnapshot held = erm_.snapshot_view();
+
+  // Rebind the IP's world: user logs off, DHCP hands the IP elsewhere.
+  erm_.apply(user_host("alice", "h5", /*retract=*/true));
+  erm_.apply(host_ip("h5", Ipv4Address(10, 0, 0, 5), /*retract=*/true));
+  erm_.apply(ip_mac(Ipv4Address(10, 0, 0, 5), MacAddress::from_u64(99)));
+
+  // The held snapshot still answers from its epoch's world...
+  EndpointView view;
+  view.ip = Ipv4Address(10, 0, 0, 5);
+  const EndpointView old_world = held.enrich(view);
+  ASSERT_EQ(old_world.hostnames.size(), 1u);
+  EXPECT_EQ(old_world.hostnames[0], Hostname{"h5"});
+  ASSERT_EQ(old_world.usernames.size(), 1u);
+  EXPECT_EQ(old_world.usernames[0], Username{"alice"});
+  EXPECT_TRUE(held.validate_identity(MacAddress::from_u64(99),
+                                     Ipv4Address(10, 0, 0, 5))
+                  .spoofed);
+
+  // ...while the live ERM answers from the new one.
+  EXPECT_TRUE(erm_.enrich(view).hostnames.empty());
+  EXPECT_FALSE(erm_.validate(MacAddress::from_u64(99), Ipv4Address(10, 0, 0, 5),
+                             std::nullopt, std::nullopt)
+                   .spoofed);
+}
+
+TEST_F(ErmTest, IncrementalPublicationSharesUntouchedPages) {
+  // Load enough hosts to span several copy-on-write pages, publish, then
+  // mutate one binding: only the dirty pages may be cloned.
+  constexpr std::uint32_t kHosts = 4096;  // 8 pages of 512 slots
+  for (std::uint32_t h = 0; h < kHosts; ++h) {
+    erm_.apply(host_ip(("host" + std::to_string(h)).c_str(),
+                       Ipv4Address(0x0a000000u + h)));
+  }
+  (void)erm_.snapshot_view();
+  const CowTableStats at_publish = erm_.cow_stats();
+
+  erm_.apply(host_ip("host7", Ipv4Address(0x0a000007u), /*retract=*/true));
+  (void)erm_.snapshot_view();
+  const CowTableStats after = erm_.cow_stats();
+  // One host-ip retraction touches two tables; each clones at most the one
+  // page holding the dirty slot (plus its root vector).
+  EXPECT_LE(after.page_copies - at_publish.page_copies, 2u);
+  EXPECT_LE(after.root_copies - at_publish.root_copies, 2u);
+}
+
+TEST_F(ErmTest, RedundantEventCausesNoPageCopies) {
+  erm_.apply(user_host("alice", "h1"));
+  (void)erm_.snapshot_view();
+  const std::uint64_t epoch = erm_.epoch();
+  const CowTableStats before = erm_.cow_stats();
+  // Re-asserting an existing binding mutates nothing: no epoch bump (the
+  // long-standing contract) and, new with CoW tables, no page clones.
+  erm_.apply(user_host("alice", "h1"));
+  EXPECT_EQ(erm_.epoch(), epoch);
+  EXPECT_EQ(erm_.cow_stats().page_copies, before.page_copies);
+}
+
 }  // namespace
 }  // namespace dfi

@@ -60,6 +60,7 @@ struct Coverage {
   std::uint64_t frames_patched = 0;
   std::uint64_t frames_decoded = 0;
   std::uint64_t batch_bursts = 0;
+  std::uint64_t snapshot_probes = 0;
 
   void add(const FuzzResult& result) {
     packet_ins += result.packet_ins;
@@ -82,6 +83,7 @@ struct Coverage {
     frames_patched += result.frames_patched;
     frames_decoded += result.frames_decoded;
     batch_bursts += result.batch_bursts;
+    snapshot_probes += result.snapshot_probes;
   }
 };
 
@@ -189,6 +191,40 @@ TEST(FuzzCampaign, ThreadedWorkerFaults) {
   EXPECT_GT(c.jobs_abandoned, 0u);
 }
 
+// Incremental snapshot publication (DESIGN.md §8): binding churn schedules
+// interleave snapshot captures with policy revokes; snapshots held across
+// steps must keep answering from the world they were published in while
+// I3/I4 keep holding for the live plane.
+TEST(FuzzCampaign, IncrementalSnapshots) {
+  FuzzOptions base;
+  base.backend = PcpBackend::kSimulated;
+  base.shards = 2;
+  base.steps = 8;
+  base.incremental_snapshots = true;
+  const Coverage c = run_campaign(base, 97, 12);
+  if (g_seed_override.has_value()) return;
+  EXPECT_GT(c.packet_ins, 0u);
+  EXPECT_GT(c.installs, 0u);
+  EXPECT_GT(c.severs, 0u);
+  EXPECT_GT(c.snapshot_probes, 0u);  // held publications actually verified
+}
+
+// Same churn/revoke interleave against the threaded backend: in-flight
+// decisions carry yet more snapshot references, so held publications race
+// stale-completion re-decides too.
+TEST(FuzzCampaign, IncrementalSnapshotsThreaded) {
+  FuzzOptions base;
+  base.backend = PcpBackend::kThreads;
+  base.shards = 2;
+  base.steps = 6;
+  base.incremental_snapshots = true;
+  const Coverage c = run_campaign(base, 103, 10);
+  if (g_seed_override.has_value()) return;
+  EXPECT_GT(c.packet_ins, 0u);
+  EXPECT_GT(c.installs, 0u);
+  EXPECT_GT(c.snapshot_probes, 0u);
+}
+
 // Batched datapath (DESIGN.md §5): Packet-in batching + coalesced egress
 // with a small watermark, so batch decide, watermark flushes, severs and
 // policy churn interleave. Same five invariants, plus the pool-quiesce
@@ -288,6 +324,24 @@ TEST(FuzzDeterminism, BatchedScheduleIsByteIdentical) {
   EXPECT_EQ(a.forwards_seen, b.forwards_seen);
   EXPECT_EQ(a.batch_bursts, b.batch_bursts);
   EXPECT_GT(a.batch_bursts, 0u);
+}
+
+TEST(FuzzDeterminism, IncrementalSnapshotScheduleIsByteIdentical) {
+  FuzzOptions options;
+  options.seed = 626262;
+  options.backend = PcpBackend::kSimulated;
+  options.shards = 2;
+  options.steps = 8;
+  options.incremental_snapshots = true;
+  const FuzzResult a = run_fuzz_schedule(options);
+  const FuzzResult b = run_fuzz_schedule(options);
+  expect_clean(options, a);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.packet_ins, b.packet_ins);
+  EXPECT_EQ(a.installs_seen, b.installs_seen);
+  EXPECT_EQ(a.snapshot_probes, b.snapshot_probes);
+  EXPECT_GT(a.snapshot_probes, 0u);
 }
 
 TEST(FuzzDeterminism, WorkerFaultScheduleTraceIsStable) {

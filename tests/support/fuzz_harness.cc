@@ -10,6 +10,7 @@
 
 #include "bus/message_bus.h"
 #include "common/hash.h"
+#include "core/erm_snapshot.h"
 #include "core/pcp.h"
 #include "core/proxy.h"
 #include "fault/fault_channel.h"
@@ -53,7 +54,8 @@ std::string describe(const FuzzOptions& options) {
      << " worker_faults=" << options.worker_faults
      << " wildcard_caching=" << options.wildcard_caching
      << " cache=" << options.decision_cache_capacity
-     << " batched=" << options.batched_datapath;
+     << " batched=" << options.batched_datapath
+     << " incsnap=" << options.incremental_snapshots;
   return os.str();
 }
 
@@ -165,6 +167,7 @@ class FuzzWorld {
     result.reconnects = reconnects_;
     result.pool_jobs_checked = pool_jobs_checked_;
     result.batch_bursts = packet_in_bursts_;
+    result.snapshot_probes = snapshot_probes_;
     const ProxyStats& proxy_stats = proxy_.stats();
     result.frames_fast_path = proxy_stats.frames_fast_path;
     result.frames_patched = proxy_stats.frames_patched;
@@ -401,6 +404,11 @@ class FuzzWorld {
     controller_traffic();
     data_packets();
     flush_channels();
+    // Incremental publication: capture a snapshot right after binding churn
+    // flushed, so the revokes/severs below race against a held publication.
+    if (options_.incremental_snapshots && plan_.chance(0.7)) {
+      snapshot_probe("postflush");
+    }
     // Races in-flight decisions: the threaded backend has submissions whose
     // snapshots predate this mutation; its stale-completion re-decide is
     // what keeps I3/I4 true.
@@ -409,6 +417,13 @@ class FuzzWorld {
       if (link->connected && plan_.chance(0.10)) sever(*link);
     }
     drain();
+    if (options_.incremental_snapshots) {
+      // A second capture after the drain (the post-churn world), then every
+      // held snapshot — including ones from earlier steps — must still
+      // answer from the world it was published in.
+      if (plan_.chance(0.7)) snapshot_probe("postdrain");
+      check_held_snapshots();
+    }
     // The respawn draw must be unconditional and the note count-free: whether
     // a probe kill has landed by end-of-step (and how many workers it took)
     // races the drain, so gating the draw on dead_workers() — or noting the
@@ -742,6 +757,58 @@ class FuzzWorld {
     pool_jobs_checked_ = accepted;
   }
 
+  // ---------------------------------------- incremental snapshot probes
+
+  // One held publication: the snapshot, the entity probed at capture time,
+  // and the answers it gave then. Re-asking later must return the same
+  // bytes no matter what the live ERM did since (DESIGN.md §8): an
+  // incremental publish clones only the pages it touches, so a stale clone
+  // would surface here as a drifted answer or a moved epoch.
+  struct HeldSnapshot {
+    ErmSnapshot snap;
+    std::size_t captured_step;
+    Ipv4Address ip;
+    std::uint64_t epoch;
+    std::vector<Hostname> hostnames;
+    std::vector<Username> usernames;
+  };
+
+  void snapshot_probe(const std::string& tag) {
+    const std::size_t e = entity();
+    const Ipv4Address ip = ip_of(e);
+    ErmSnapshot snap = erm_.snapshot_view();
+    EndpointView view;
+    view.ip = ip;
+    EndpointView enriched = snap.enrich(std::move(view));
+    plan_.note(tag + ": hold snapshot epoch=" + std::to_string(snap.epoch()) +
+               " e=" + std::to_string(e) +
+               " hosts=" + std::to_string(enriched.hostnames.size()) +
+               " users=" + std::to_string(enriched.usernames.size()));
+    const std::uint64_t epoch = snap.epoch();
+    held_.push_back(HeldSnapshot{std::move(snap), step_, ip, epoch,
+                                 std::move(enriched.hostnames),
+                                 std::move(enriched.usernames)});
+    ++snapshot_probes_;
+    if (held_.size() > 4) held_.erase(held_.begin());
+  }
+
+  void check_held_snapshots() {
+    for (const HeldSnapshot& held : held_) {
+      const std::string tag =
+          "held snapshot (step " + std::to_string(held.captured_step) + ")";
+      if (held.snap.epoch() != held.epoch) {
+        violation("I4", tag + " epoch moved: " + std::to_string(held.epoch) +
+                            " -> " + std::to_string(held.snap.epoch()));
+      }
+      EndpointView view;
+      view.ip = held.ip;
+      const EndpointView now = held.snap.enrich(std::move(view));
+      if (now.hostnames != held.hostnames || now.usernames != held.usernames) {
+        violation("I4", tag + " answer drifted under churn");
+      }
+    }
+  }
+
   std::size_t entity() {
     return static_cast<std::size_t>(plan_.rng().uniform_int(0, kEntities - 1));
   }
@@ -763,6 +830,8 @@ class FuzzWorld {
   std::unique_ptr<FaultChannel<BindingEvent>> flap_;
 
   std::vector<PolicyRuleId> inserted_;
+  std::vector<HeldSnapshot> held_;
+  std::uint64_t snapshot_probes_ = 0;
   std::vector<std::string> violations_;
   std::size_t step_ = 0;
   std::uint32_t next_xid_ = 100;

@@ -59,6 +59,14 @@ struct FuzzOptions {
   // completion-publish window, mid-batch. Default off: every pre-existing
   // variant keeps its exact per-message behavior and byte-identical trace.
   bool batched_datapath = false;
+  // Exercise incremental snapshot publication (DESIGN.md §8): the schedule
+  // captures ErmSnapshots between binding churn and policy revokes, keeps a
+  // window of them alive across steps, and after every drain asserts each
+  // held snapshot still answers from the world it was published in (epoch
+  // and enrichment byte-stable) while I3/I4 keep holding for live traffic.
+  // Default off: every pre-existing variant keeps its exact per-message
+  // behavior and byte-identical trace.
+  bool incremental_snapshots = false;
 };
 
 struct FuzzResult {
@@ -84,6 +92,7 @@ struct FuzzResult {
   std::uint64_t jobs_abandoned = 0;
   std::uint64_t pool_jobs_checked = 0;  // I5 sub-schedule jobs verified
   std::uint64_t batch_bursts = 0;       // multi-Packet-in chunks injected
+  std::uint64_t snapshot_probes = 0;    // held-snapshot captures verified
   // Wire fast-path counters (DESIGN.md §5): the switch<->proxy streams run
   // through classify()/patch_table_refs() + pooled buffers, so a healthy
   // campaign must show pass-through and patched frames, not only decodes.

@@ -62,6 +62,13 @@ if want tier1; then
   # conservative floors; a >10% shortfall below a floor fails the stage.
   (cd build/bench && ./bench_ablation_scaleout --smoke \
     --check-baseline ../../bench/baselines/BENCH_scaleout.baseline.json)
+
+  echo "== tier-1: entity-plane scale bench (smoke + baseline gate) =="
+  # Interned-entity decision latency, incremental-publish throughput, and
+  # RSS/binding vs committed floors; in-process scaling gates (decision
+  # latency <=2x, publish <=10x across the sweep) run in every mode.
+  (cd build/bench && ./bench_erm_scale --smoke \
+    --check-baseline ../../bench/baselines/BENCH_erm_scale.baseline.json)
 fi
 
 if want asan; then
@@ -69,9 +76,10 @@ if want asan; then
   cmake -B build-asan -S . -DDFI_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "${JOBS}" --target \
     policy_index_test decision_cache_test policy_manager_test erm_test \
-    pcp_test bus_test proxy_test flush_test
+    intern_test pcp_test bus_test proxy_test flush_test
 
   echo "== sanitizer tests =="
+  ./build-asan/tests/intern_test
   ./build-asan/tests/policy_index_test
   ./build-asan/tests/decision_cache_test
   ./build-asan/tests/policy_manager_test
@@ -86,9 +94,10 @@ if want tsan; then
   echo "== sanitizer build (TSan, threaded backend) =="
   cmake -B build-tsan -S . -DDFI_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target spsc_ring_test \
-    shard_pool_test bus_test proxy_test
+    shard_pool_test bus_test proxy_test intern_test
 
   echo "== sanitizer tests (TSan) =="
+  ./build-tsan/tests/intern_test
   ./build-tsan/tests/spsc_ring_test
   ./build-tsan/tests/shard_pool_test
   ./build-tsan/tests/bus_test
