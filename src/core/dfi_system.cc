@@ -21,6 +21,13 @@ DfiSystem::DfiSystem(Simulator& sim, MessageBus& bus, DfiConfig config)
   });
 }
 
+void DfiSystem::pump() {
+  sim_.run();
+  pcp_.wait_idle();
+  proxy_.flush_egress();
+  sim_.run();
+}
+
 void DfiSystem::enable_durability(Journal& journal) {
   policy_manager_.attach_journal(&journal);
   erm_.attach_journal(&journal);

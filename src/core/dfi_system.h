@@ -65,6 +65,14 @@ class DfiSystem {
   SensorSuite& sensors() { return sensors_; }
   HealthMonitor& health() { return health_; }
 
+  // Drain everything that is ready to run right now: deliver deferred
+  // proxy frames, wait out in-flight PCP decisions, then flush coalesced
+  // egress and deliver what that produced. The socket frontend
+  // (src/net/asyncio/frontend.cc) calls this at read-batch boundaries so a
+  // wall-clock transport drives the simulated control plane exactly the
+  // way the in-process drain loop does.
+  void pump();
+
   // Attach `journal` as the durable write-ahead log: every PolicyManager
   // insert/revoke and ERM binding event is appended (and synced) before it
   // takes effect, and the proxy's stats() mirror its recovery counters.

@@ -142,6 +142,13 @@ class HealthMonitor {
   // attempt number.
   SimDuration backoff_delay(int attempt);
 
+  // Wall-clock reconnect supervisors (src/net/asyncio/conman.cc) mirror
+  // supervise_reconnect on the event-loop timer wheel instead of the
+  // simulator; they account their attempts here so HealthStats stays the
+  // single ledger of reconnect activity regardless of transport.
+  void count_backoff_retry() { ++stats_.backoff_retries; }
+  void count_reconnect_abandoned() { ++stats_.reconnects_abandoned; }
+
   // ----------------------------------------------------------- evaluation
   // Re-evaluate conditions, run transitions (and their callbacks), respawn
   // dead shards. Called internally by every mutator and by gating().

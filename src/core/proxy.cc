@@ -178,28 +178,54 @@ void DfiProxy::Session::defer_bytes_to_controller(std::vector<std::uint8_t> fram
   });
 }
 
+void DfiProxy::Session::switch_frame(const FrameView& view) {
+  ++proxy_.stats_.from_switch;
+  fast_path_from_switch(view);
+}
+
+void DfiProxy::Session::controller_frame(const FrameView& view) {
+  ++proxy_.stats_.from_controller;
+  fast_path_from_controller(view);
+}
+
+void DfiProxy::Session::switch_batch_end() {
+  // A Packet-in run never outlives its read batch: everything the switch
+  // sent in this read is on its way to the PCP before control returns.
+  flush_packet_ins();
+  // Same rule for the coalesced write side: whatever this read produced for
+  // the switch (handshake replies, resync clears, shifted mods) goes out at
+  // batch end, not at the next watermark crossing — a below-watermark
+  // handshake must not wedge waiting for unrelated traffic.
+  flush_switch_egress();
+}
+
+void DfiProxy::Session::controller_batch_end() { flush_switch_egress(); }
+
+void DfiProxy::Session::switch_stream_corrupt() {
+  ++proxy_.stats_.from_switch;
+  ++proxy_.stats_.malformed;
+  DFI_WARN << "proxy: malformed frame from switch: frame length < 8";
+}
+
+void DfiProxy::Session::controller_stream_corrupt() {
+  ++proxy_.stats_.from_controller;
+  ++proxy_.stats_.malformed;
+  DFI_WARN << "proxy: malformed frame from controller: frame length < 8";
+}
+
 void DfiProxy::Session::from_switch(const std::vector<std::uint8_t>& chunk) {
   switch_decoder_.feed(chunk);
   FrameView view;
   for (;;) {
     const FrameStatus status = switch_decoder_.next_frame(view);
     if (status == FrameStatus::kAwait) break;
-    ++proxy_.stats_.from_switch;
     if (status == FrameStatus::kCorrupt) {
-      ++proxy_.stats_.malformed;
-      DFI_WARN << "proxy: malformed frame from switch: frame length < 8";
+      switch_stream_corrupt();
       break;  // the decoder reset the stream
     }
-    fast_path_from_switch(view);
+    switch_frame(view);
   }
-  // A Packet-in run never outlives its chunk: everything the switch sent
-  // in this read is on its way to the PCP before control returns.
-  flush_packet_ins();
-  // Same rule for the coalesced write side: whatever this read produced for
-  // the switch (handshake replies, resync clears, shifted mods) goes out at
-  // chunk end, not at the next watermark crossing — a below-watermark
-  // handshake must not wedge waiting for unrelated traffic.
-  flush_switch_egress();
+  switch_batch_end();
 }
 
 void DfiProxy::Session::from_controller(const std::vector<std::uint8_t>& chunk) {
@@ -208,15 +234,13 @@ void DfiProxy::Session::from_controller(const std::vector<std::uint8_t>& chunk) 
   for (;;) {
     const FrameStatus status = controller_decoder_.next_frame(view);
     if (status == FrameStatus::kAwait) break;
-    ++proxy_.stats_.from_controller;
     if (status == FrameStatus::kCorrupt) {
-      ++proxy_.stats_.malformed;
-      DFI_WARN << "proxy: malformed frame from controller: frame length < 8";
+      controller_stream_corrupt();
       break;
     }
-    fast_path_from_controller(view);
+    controller_frame(view);
   }
-  flush_switch_egress();
+  controller_batch_end();
 }
 
 void DfiProxy::Session::fast_path_from_switch(const FrameView& view) {

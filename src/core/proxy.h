@@ -119,6 +119,21 @@ class DfiProxy {
     void from_switch(const std::vector<std::uint8_t>& chunk);
     void from_controller(const std::vector<std::uint8_t>& chunk);
 
+    // Socket-transport entry points (src/net/asyncio): a Connection owns
+    // its FrameDecoder and readv()s into it directly, so complete frames
+    // arrive here with no intermediate chunk copy. *_frame processes one
+    // frame; *_batch_end flushes the Packet-in run and coalesced egress
+    // exactly where from_switch/from_controller would at chunk end;
+    // *_stream_corrupt records the transport hitting unrecoverable framing
+    // (length < 8). from_switch/from_controller are thin wrappers over
+    // these, so both transports share one code path.
+    void switch_frame(const FrameView& view);
+    void controller_frame(const FrameView& view);
+    void switch_batch_end();
+    void controller_batch_end();
+    void switch_stream_corrupt();
+    void controller_stream_corrupt();
+
     std::optional<Dpid> dpid() const { return dpid_; }
 
    private:
@@ -215,6 +230,10 @@ class DfiProxy {
   const ProxyStats& stats() const;
   const SampleStats& latency_ms() const { return latency_ms_; }
   const FrameBufferPool& buffer_pool() const { return pool_; }
+  // Mutable access for transports that acquire/release pooled frames around
+  // the wire (src/net/asyncio) — same control-thread-only discipline as the
+  // proxy itself.
+  FrameBufferPool& buffer_pool() { return pool_; }
 
  private:
   friend class Session;

@@ -1,0 +1,183 @@
+// Seeded socket shim for deterministic replay of socket schedules
+// (DESIGN.md §9, the transport-level sibling of FaultChannel).
+//
+// A FaultSocket is an in-memory SocketOps endpoint: the test harness
+// injects raw bytes with peer_write() and collects the connection's output
+// with peer_drain(), while the Connection under test runs its real readv/
+// writev machinery against it. Every IO call consults a dedicated seeded
+// Rng (NOT the schedule's FaultPlan rng — existing schedules must keep
+// their byte-identical traces when the socket shim is disabled) and may
+//   - truncate a read/write to a random prefix          (short_read/write)
+//   - report EAGAIN despite available bytes/space       (eagain_* storms)
+//   - cap every write at a few bytes                    (slow_drain_cap)
+//   - reset the stream at a preset byte offset, landing
+//     mid-frame like a real RST                         (rst_after_bytes)
+// Fault decisions are appended to the FaultPlan trace (when attached) so a
+// socket schedule replays byte-identically from its seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+#include "net/asyncio/socket_ops.h"
+
+namespace dfi {
+
+struct FaultSocketSpec {
+  double short_read = 0.0;    // P(read delivers a random prefix)
+  double eagain_read = 0.0;   // P(EAGAIN despite buffered bytes)
+  double short_write = 0.0;   // P(write accepts a random prefix)
+  double eagain_write = 0.0;  // P(EAGAIN despite queue space)
+  std::size_t slow_drain_cap = 0;    // >0: peer accepts at most this per write
+  std::uint64_t rst_after_bytes = 0;  // >0: reset once this many bytes read
+  // Forced progress: after this many consecutive EAGAINs on one side the
+  // next call succeeds, so drain loops terminate.
+  int max_eagain_run = 8;
+};
+
+class FaultSocket final : public net::SocketOps {
+ public:
+  FaultSocket(FaultSocketSpec spec, std::uint64_t seed, FaultPlan* plan = nullptr)
+      : spec_(spec), rng_(seed), plan_(plan) {}
+
+  // ------------------------------------------------------------ test side
+  void peer_write(const std::vector<std::uint8_t>& bytes) {
+    in_.insert(in_.end(), bytes.begin(), bytes.end());
+  }
+  // Bytes the connection wrote, in order; clears the output queue.
+  std::vector<std::uint8_t> peer_drain() {
+    std::vector<std::uint8_t> out;
+    out.swap(out_);
+    return out;
+  }
+  // Orderly shutdown: reads report EOF once the buffered bytes are drained.
+  void peer_shutdown() { peer_shutdown_ = true; }
+  void reset_now() { reset_ = true; }
+  std::size_t pending_in() const { return in_.size() - in_pos_; }
+  std::size_t pending_out() const { return out_.size(); }
+  bool reset() const { return reset_; }
+
+  // ------------------------------------------------------------ SocketOps
+  net::IoResult read_vec(const MutableByteSpan* spans, std::size_t count) override {
+    if (closed_ || reset_) return {net::IoStatus::kReset, 0};
+    if (spec_.rst_after_bytes > 0 && read_total_ >= spec_.rst_after_bytes) {
+      trip_reset("rst mid-stream after " + std::to_string(read_total_) + "B");
+      return {net::IoStatus::kReset, 0};
+    }
+    std::size_t avail = in_.size() - in_pos_;
+    if (spec_.rst_after_bytes > 0) {
+      avail = std::min<std::size_t>(
+          avail, static_cast<std::size_t>(spec_.rst_after_bytes - read_total_));
+    }
+    if (avail == 0) {
+      if (peer_shutdown_ && in_pos_ == in_.size()) return {net::IoStatus::kEof, 0};
+      if (spec_.rst_after_bytes > 0 && in_pos_ < in_.size()) {
+        trip_reset("rst mid-stream after " + std::to_string(read_total_) + "B");
+        return {net::IoStatus::kReset, 0};
+      }
+      return {net::IoStatus::kWouldBlock, 0};
+    }
+    if (draw(spec_.eagain_read, &eagain_reads_)) {
+      note("sock: eagain-read");
+      return {net::IoStatus::kWouldBlock, 0};
+    }
+    std::size_t n = avail;
+    if (n > 1 && plan_chance(spec_.short_read)) {
+      n = static_cast<std::size_t>(rng_.uniform_int(1, static_cast<std::int64_t>(n)));
+      note("sock: short-read " + std::to_string(n) + "/" + std::to_string(avail));
+    }
+    std::size_t copied = 0;
+    for (std::size_t i = 0; i < count && copied < n; ++i) {
+      const std::size_t take = std::min(n - copied, spans[i].size);
+      if (take == 0) continue;
+      std::memcpy(spans[i].data, in_.data() + in_pos_, take);
+      in_pos_ += take;
+      copied += take;
+    }
+    read_total_ += copied;
+    compact_in();
+    return {net::IoStatus::kOk, copied};
+  }
+
+  net::IoResult write_vec(const net::ConstByteSpan* spans, std::size_t count) override {
+    if (closed_ || reset_) return {net::IoStatus::kReset, 0};
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < count; ++i) total += spans[i].size;
+    if (total == 0) return {net::IoStatus::kOk, 0};
+    if (draw(spec_.eagain_write, &eagain_writes_)) {
+      note("sock: eagain-write");
+      return {net::IoStatus::kWouldBlock, 0};
+    }
+    std::size_t n = total;
+    if (spec_.slow_drain_cap > 0) n = std::min(n, spec_.slow_drain_cap);
+    if (n > 1 && plan_chance(spec_.short_write)) {
+      n = static_cast<std::size_t>(rng_.uniform_int(1, static_cast<std::int64_t>(n)));
+      note("sock: short-write " + std::to_string(n) + "/" + std::to_string(total));
+    }
+    std::size_t put = 0;
+    for (std::size_t i = 0; i < count && put < n; ++i) {
+      const std::size_t take = std::min(n - put, spans[i].size);
+      out_.insert(out_.end(), spans[i].data, spans[i].data + take);
+      put += take;
+    }
+    return {net::IoStatus::kOk, put};
+  }
+
+  void close() override { closed_ = true; }
+  int fd() const override { return -1; }  // in-memory: pumped manually
+
+ private:
+  bool plan_chance(double p) { return p > 0.0 && rng_.chance(p); }
+
+  bool draw(double p, int* run) {
+    if (!plan_chance(p)) {
+      *run = 0;
+      return false;
+    }
+    if (++*run > spec_.max_eagain_run) {
+      *run = 0;
+      return false;  // forced progress
+    }
+    return true;
+  }
+
+  void trip_reset(const std::string& why) {
+    if (!reset_) note("sock: " + why);
+    reset_ = true;
+  }
+
+  void note(const std::string& line) {
+    if (plan_ != nullptr) plan_->note(line);
+  }
+
+  void compact_in() {
+    if (in_pos_ == in_.size()) {
+      in_.clear();
+      in_pos_ = 0;
+    } else if (in_pos_ >= 64 * 1024) {
+      in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(in_pos_));
+      in_pos_ = 0;
+    }
+  }
+
+  FaultSocketSpec spec_;
+  Rng rng_;
+  FaultPlan* plan_ = nullptr;
+
+  std::vector<std::uint8_t> in_;
+  std::size_t in_pos_ = 0;
+  std::uint64_t read_total_ = 0;
+  std::vector<std::uint8_t> out_;
+  bool peer_shutdown_ = false;
+  bool reset_ = false;
+  bool closed_ = false;
+  int eagain_reads_ = 0;
+  int eagain_writes_ = 0;
+};
+
+}  // namespace dfi

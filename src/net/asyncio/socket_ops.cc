@@ -1,0 +1,85 @@
+#include "net/asyncio/socket_ops.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace dfi::net {
+
+namespace {
+
+constexpr std::size_t kMaxIovecs = 64;
+
+IoResult map_errno() {
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    return IoResult{IoStatus::kWouldBlock, 0};
+  }
+  return IoResult{IoStatus::kReset, 0};
+}
+
+}  // namespace
+
+IoResult RealSocket::read_vec(const MutableByteSpan* spans, std::size_t count) {
+  iovec iov[kMaxIovecs];
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count && n < kMaxIovecs; ++i) {
+    if (spans[i].size == 0) continue;
+    iov[n].iov_base = spans[i].data;
+    iov[n].iov_len = spans[i].size;
+    ++n;
+  }
+  if (n == 0) return IoResult{IoStatus::kOk, 0};
+  ssize_t got;
+  do {
+    got = ::readv(fd_, iov, static_cast<int>(n));
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) return map_errno();
+  if (got == 0) return IoResult{IoStatus::kEof, 0};
+  return IoResult{IoStatus::kOk, static_cast<std::size_t>(got)};
+}
+
+IoResult RealSocket::write_vec(const ConstByteSpan* spans, std::size_t count) {
+  iovec iov[kMaxIovecs];
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count && n < kMaxIovecs; ++i) {
+    if (spans[i].size == 0) continue;
+    iov[n].iov_base = const_cast<std::uint8_t*>(spans[i].data);
+    iov[n].iov_len = spans[i].size;
+    ++n;
+  }
+  if (n == 0) return IoResult{IoStatus::kOk, 0};
+  // sendmsg + MSG_NOSIGNAL instead of writev: a peer that RSTs mid-stream
+  // must surface as kReset on this connection, not SIGPIPE the process.
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = n;
+  ssize_t put;
+  do {
+    put = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+  } while (put < 0 && errno == EINTR);
+  if (put < 0) return map_errno();
+  return IoResult{IoStatus::kOk, static_cast<std::size_t>(put)};
+}
+
+void RealSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool make_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) return false;
+  const int one = 1;
+  // Best-effort: fails harmlessly on non-TCP descriptors.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+}  // namespace dfi::net

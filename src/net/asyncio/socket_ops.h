@@ -1,0 +1,73 @@
+// Byte-stream IO abstraction for the socket datapath (DESIGN.md §9).
+//
+// Connection's read/write machinery — vectored reads into FrameDecoder tail
+// spans, coalesced writev egress, watermark backpressure — is written
+// against this interface so the exact same code runs over real nonblocking
+// TCP sockets in production and over the seeded in-memory FaultSocket
+// (src/fault/fault_socket.h) the invariant fuzzer replays deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "openflow/wire.h"  // MutableByteSpan
+
+namespace dfi::net {
+
+struct ConstByteSpan {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
+enum class IoStatus : std::uint8_t {
+  kOk,          // `bytes` were transferred (> 0)
+  kWouldBlock,  // no progress possible now; wait for readiness
+  kEof,         // orderly shutdown from the peer (reads only)
+  kReset,       // connection reset / broken pipe
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+};
+
+class SocketOps {
+ public:
+  virtual ~SocketOps() = default;
+
+  // Scatter-read into up to `count` writable spans, in order.
+  virtual IoResult read_vec(const MutableByteSpan* spans, std::size_t count) = 0;
+  // Gather-write from up to `count` spans, in order. Partial writes are
+  // normal; the caller retries the unwritten suffix on the next readiness.
+  virtual IoResult write_vec(const ConstByteSpan* spans, std::size_t count) = 0;
+  virtual void close() = 0;
+  // Underlying descriptor for event-loop registration; -1 for in-memory
+  // implementations (which are pumped manually instead).
+  virtual int fd() const = 0;
+};
+
+// Real nonblocking TCP socket: readv/writev syscalls with errno mapped onto
+// IoStatus. Takes ownership of an already-nonblocking descriptor.
+class RealSocket final : public SocketOps {
+ public:
+  explicit RealSocket(int fd) : fd_(fd) {}
+  ~RealSocket() override { close(); }
+
+  RealSocket(const RealSocket&) = delete;
+  RealSocket& operator=(const RealSocket&) = delete;
+
+  IoResult read_vec(const MutableByteSpan* spans, std::size_t count) override;
+  IoResult write_vec(const ConstByteSpan* spans, std::size_t count) override;
+  void close() override;
+  int fd() const override { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+// Set O_NONBLOCK (and TCP_NODELAY for TCP sockets — the proxy does its own
+// coalescing, Nagle only adds latency). Returns false on fcntl failure.
+bool make_nonblocking(int fd);
+
+}  // namespace dfi::net

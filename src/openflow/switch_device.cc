@@ -134,7 +134,21 @@ void SwitchDevice::flood(PortNo in_port, const std::vector<std::uint8_t>& bytes)
 }
 
 void SwitchDevice::receive_control(const std::vector<std::uint8_t>& chunk) {
-  control_decoder_.feed(chunk);
+  if (secure_ != nullptr) {
+    // One sealed record per delivery; open in place into a pooled buffer.
+    std::vector<std::uint8_t> plain = control_pool_.acquire();
+    const auto opened = secure_->open_into(chunk.data(), chunk.size(), plain);
+    if (!opened.ok()) {
+      DFI_WARN << to_string(config_.dpid)
+               << " rejected control record: " << opened.error().message;
+      control_pool_.release(std::move(plain));
+      return;
+    }
+    control_decoder_.feed(plain);
+    control_pool_.release(std::move(plain));
+  } else {
+    control_decoder_.feed(chunk);
+  }
   for (auto& result : control_decoder_.drain()) {
     if (!result.ok()) {
       DFI_WARN << to_string(config_.dpid)
@@ -305,7 +319,17 @@ void SwitchDevice::send_to_control(const OfMessage& message) {
   if (!control_output_) return;
   std::vector<std::uint8_t> frame = control_pool_.acquire();
   encode_into(message, frame);
-  control_output_(frame);
+  if (secure_ != nullptr) {
+    // Pooled seal path: encode into one pooled buffer, seal in place into a
+    // second — a secured link leaving via a real socket still allocates
+    // nothing per frame at steady state.
+    std::vector<std::uint8_t> sealed = control_pool_.acquire();
+    secure_->seal_into(frame.data(), frame.size(), sealed);
+    control_output_(sealed);
+    control_pool_.release(std::move(sealed));
+  } else {
+    control_output_(frame);
+  }
   control_pool_.release(std::move(frame));
 }
 

@@ -18,6 +18,7 @@
 #include "common/types.h"
 #include "openflow/messages.h"
 #include "openflow/pipeline.h"
+#include "openflow/secure_channel.h"
 #include "openflow/wire.h"
 
 namespace dfi {
@@ -67,6 +68,16 @@ class SwitchDevice {
   // and emit the initial HELLO.
   void connect_control(ControlOutputFn output);
 
+  // Front the control channel with a TLS surrogate (both directions; the
+  // channel must outlive this object, nullptr detaches). Egress reuses the
+  // pooled seal_into path — encode into one pooled buffer, seal in place
+  // into a second — so a secured link leaving via a real socket still
+  // allocates nothing per frame at steady state. Ingress expects one
+  // sealed record per receive_control() delivery (the record format has no
+  // outer framing); records that fail to open are dropped and counted by
+  // the channel.
+  void secure_control(SecureChannel* channel) { secure_ = channel; }
+
   // A data-plane packet arrives on `in_port`.
   void receive_packet(PortNo in_port, const std::vector<std::uint8_t>& bytes);
 
@@ -112,6 +123,7 @@ class SwitchDevice {
   Pipeline pipeline_;
   std::map<PortNo, Port> ports_;
   ControlOutputFn control_output_;
+  SecureChannel* secure_ = nullptr;
   FrameDecoder control_decoder_;
   // Control egress is synchronous (callback returns before the buffer is
   // released), so one small pool serves every outbound message.

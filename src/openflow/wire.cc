@@ -1,5 +1,6 @@
 #include "openflow/wire.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -1220,32 +1221,72 @@ Result<OfMessage> decode(const FrameView& view) {
   return decode_frame(view.data(), view.size());
 }
 
-void FrameDecoder::feed(const std::vector<std::uint8_t>& chunk) {
-  if (read_pos_ == buffer_.size()) {
-    // Fully drained: recycle the storage outright.
-    buffer_.clear();
+void FrameDecoder::compact_for_input() {
+  if (read_pos_ == end_pos_) {
+    // Fully drained: recycle the storage outright (capacity is kept).
     read_pos_ = 0;
-  } else if (read_pos_ > 0 && read_pos_ >= buffer_.size() - read_pos_) {
+    end_pos_ = 0;
+  } else if (read_pos_ > 0 && read_pos_ >= end_pos_ - read_pos_) {
     // The consumed prefix outweighs the live tail: compact once. The move
     // cost is bounded by bytes consumed since the last compaction, so the
     // decoder stays amortized O(1) per byte even under 1-byte feeds.
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(read_pos_));
+    std::memmove(buffer_.data(), buffer_.data() + read_pos_,
+                 end_pos_ - read_pos_);
+    end_pos_ -= read_pos_;
     read_pos_ = 0;
   }
-  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+}
+
+void FrameDecoder::feed(const std::vector<std::uint8_t>& chunk) {
+  if (chunk.empty()) return;
+  compact_for_input();
+  if (buffer_.size() < end_pos_ + chunk.size()) {
+    buffer_.resize(std::max(buffer_.size() * 2, end_pos_ + chunk.size()));
+  }
+  std::memcpy(buffer_.data() + end_pos_, chunk.data(), chunk.size());
+  end_pos_ += chunk.size();
+}
+
+std::size_t FrameDecoder::writable_spans(std::size_t min_bytes,
+                                         MutableByteSpan spans[2]) {
+  constexpr std::size_t kSpillBytes = 16 * 1024;
+  compact_for_input();
+  if (buffer_.size() - end_pos_ < min_bytes) {
+    buffer_.resize(std::max(buffer_.size() * 2, end_pos_ + min_bytes));
+  }
+  if (spill_.size() < kSpillBytes) spill_.resize(kSpillBytes);
+  last_tail_ = buffer_.size() - end_pos_;
+  spans[0] = MutableByteSpan{buffer_.data() + end_pos_, last_tail_};
+  spans[1] = MutableByteSpan{spill_.data(), spill_.size()};
+  return 2;
+}
+
+void FrameDecoder::commit(std::size_t n) {
+  const std::size_t into_tail = std::min(n, last_tail_);
+  end_pos_ += into_tail;
+  const std::size_t overrun = n - into_tail;
+  if (overrun > 0) {
+    // The read spilled past the tail: fold the spill block in. Bounded by
+    // the spill size, and rare — the next writable_spans() doubles the tail.
+    if (buffer_.size() < end_pos_ + overrun) {
+      buffer_.resize(std::max(buffer_.size() * 2, end_pos_ + overrun));
+    }
+    std::memcpy(buffer_.data() + end_pos_, spill_.data(), overrun);
+    end_pos_ += overrun;
+  }
+  last_tail_ = buffer_.size() - end_pos_;
 }
 
 FrameStatus FrameDecoder::next_frame(FrameView& view) {
-  const std::size_t available = buffer_.size() - read_pos_;
+  const std::size_t available = end_pos_ - read_pos_;
   if (available < 8) return FrameStatus::kAwait;
   const std::size_t frame_len =
       (static_cast<std::size_t>(buffer_[read_pos_ + 2]) << 8) |
       buffer_[read_pos_ + 3];
   if (frame_len < 8) {
     // Unrecoverable framing corruption: reset the stream.
-    buffer_.clear();
     read_pos_ = 0;
+    end_pos_ = 0;
     return FrameStatus::kCorrupt;
   }
   if (available < frame_len) return FrameStatus::kAwait;

@@ -119,28 +119,57 @@ enum class FrameStatus : std::uint8_t {
   kCorrupt,  // framing destroyed (length < 8); stream was reset
 };
 
+// Writable region of decoder-owned storage, for scatter input (readv).
+struct MutableByteSpan {
+  std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
 // Stream decoder: feed arbitrary byte chunks, pop complete frames. Models
 // the TCP byte-stream the proxy actually reads. Consumed bytes are
-// reclaimed by compacting the buffer at most once per feed (amortized O(1)
+// reclaimed by compacting the buffer at most once per input (amortized O(1)
 // per byte — never the old erase-from-front per drain).
+//
+// Two input paths share the same storage:
+//   feed(chunk)              — contiguous append copy (in-process streams)
+//   writable_spans + commit  — scatter input: a readv lands directly in the
+//                              decoder's tail capacity, no intermediate copy
 class FrameDecoder {
  public:
   void feed(const std::vector<std::uint8_t>& chunk);
 
+  // Scatter input (socket transport). Compacts, grows the tail to at least
+  // min_bytes, and returns writable spans for a vectored read: spans[0] is
+  // the buffer's spare tail, spans[1] a fixed spill block so one large
+  // readv can land more than min_bytes in a single syscall. Always returns
+  // 2 spans. commit(n) then adopts the first n bytes written across the
+  // spans in order; bytes that overran into the spill block are folded into
+  // the main buffer (paid only on overrun — the next writable_spans() grows
+  // the tail, so steady state stays single-span and copy-free).
+  std::size_t writable_spans(std::size_t min_bytes, MutableByteSpan spans[2]);
+  void commit(std::size_t n);
+
   // Zero-copy: yields a view over the next complete frame in internal
-  // storage. The view is valid until the next feed(). kCorrupt resets the
-  // stream (framing is unrecoverable once a length field is < 8).
+  // storage. The view is valid until the next feed() or commit(). kCorrupt
+  // resets the stream (framing is unrecoverable once a length field is < 8).
   FrameStatus next_frame(FrameView& view);
 
   // Returns decoded messages in arrival order; malformed frames produce an
   // Error result but do not desynchronize the stream (length-prefixed).
   std::vector<Result<OfMessage>> drain();
 
-  std::size_t buffered_bytes() const { return buffer_.size() - read_pos_; }
+  std::size_t buffered_bytes() const { return end_pos_ - read_pos_; }
 
  private:
+  void compact_for_input();
+
+  // buffer_.size() is the allocated extent in use; valid bytes live in
+  // [read_pos_, end_pos_), and [end_pos_, buffer_.size()) is writable tail.
   std::vector<std::uint8_t> buffer_;
+  std::vector<std::uint8_t> spill_;
   std::size_t read_pos_ = 0;
+  std::size_t end_pos_ = 0;
+  std::size_t last_tail_ = 0;  // spans[0].size at the last writable_spans()
 };
 
 }  // namespace dfi

@@ -61,6 +61,9 @@ struct Coverage {
   std::uint64_t frames_decoded = 0;
   std::uint64_t batch_bursts = 0;
   std::uint64_t snapshot_probes = 0;
+  std::uint64_t socket_reads = 0;
+  std::uint64_t socket_writes = 0;
+  std::uint64_t socket_would_block = 0;
 
   void add(const FuzzResult& result) {
     packet_ins += result.packet_ins;
@@ -84,6 +87,9 @@ struct Coverage {
     frames_decoded += result.frames_decoded;
     batch_bursts += result.batch_bursts;
     snapshot_probes += result.snapshot_probes;
+    socket_reads += result.socket_reads;
+    socket_writes += result.socket_writes;
+    socket_would_block += result.socket_would_block;
   }
 };
 
@@ -263,6 +269,73 @@ TEST(FuzzCampaign, BatchedThreadedWorkerFaults) {
   EXPECT_GT(c.jobs_abandoned, 0u);
 }
 
+// Socket transport (DESIGN.md §9): the switch<->proxy streams ride the
+// real Connection machinery — scatter readv into the decoder, bounded
+// writev egress — over seeded FaultSockets whose lossless fault repertoire
+// (short reads/writes, EAGAIN storms, slow drain) reshapes every IO call.
+// I1-I5 must hold unchanged, including across severed and reconnected
+// peers (each reconnect builds fresh sockets mid-campaign).
+TEST(FuzzCampaign, SocketTransport) {
+  FuzzOptions base;
+  base.backend = PcpBackend::kSimulated;
+  base.shards = 2;
+  base.steps = 8;
+  base.socket_transport = true;
+  const Coverage c = run_campaign(base, 109, 15);
+  if (g_seed_override.has_value()) return;
+  EXPECT_GT(c.packet_ins, 0u);
+  EXPECT_GT(c.installs, 0u);
+  EXPECT_GT(c.forwards, 0u);
+  EXPECT_GT(c.severs, 0u);
+  EXPECT_GT(c.reconnects, 0u);
+  // The socket layer really carried the streams and really misbehaved.
+  EXPECT_GT(c.socket_reads, 0u);
+  EXPECT_GT(c.socket_writes, 0u);
+  EXPECT_GT(c.socket_would_block, 0u);
+}
+
+TEST(FuzzCampaign, SocketTransportBatched) {
+  FuzzOptions base;
+  base.backend = PcpBackend::kSimulated;
+  base.shards = 2;
+  base.steps = 8;
+  base.socket_transport = true;
+  base.batched_datapath = true;
+  const Coverage c = run_campaign(base, 127, 10);
+  if (g_seed_override.has_value()) return;
+  EXPECT_GT(c.packet_ins, 0u);
+  EXPECT_GT(c.batch_bursts, 0u);
+  EXPECT_GT(c.socket_reads, 0u);
+  EXPECT_GT(c.socket_would_block, 0u);
+}
+
+// The transport-differential proof: the same schedule with the socket
+// layer on and off must emit byte-identical proxy egress (FNV hash over
+// both directions in delivery order) and identical observable counters —
+// the socket datapath is a transparent carrier, faults and all.
+TEST(FuzzDifferential, SocketTransportEgressByteIdentical) {
+  for (std::uint64_t seed : {9001ull, 9002ull, 9003ull, 9004ull, 9005ull}) {
+    FuzzOptions off;
+    off.seed = seed;
+    off.backend = PcpBackend::kSimulated;
+    off.shards = 2;
+    off.steps = 8;
+    FuzzOptions on = off;
+    on.socket_transport = true;
+    const FuzzResult direct = run_fuzz_schedule(off);
+    const FuzzResult socketed = run_fuzz_schedule(on);
+    expect_clean(off, direct);
+    expect_clean(on, socketed);
+    EXPECT_EQ(direct.egress_hash, socketed.egress_hash) << "seed " << seed;
+    EXPECT_EQ(direct.packet_ins, socketed.packet_ins) << "seed " << seed;
+    EXPECT_EQ(direct.installs_seen, socketed.installs_seen) << "seed " << seed;
+    EXPECT_EQ(direct.forwards_seen, socketed.forwards_seen) << "seed " << seed;
+    EXPECT_EQ(direct.denies, socketed.denies) << "seed " << seed;
+    EXPECT_EQ(direct.resync_clears, socketed.resync_clears) << "seed " << seed;
+    EXPECT_GT(socketed.socket_reads, 0u) << "seed " << seed;
+  }
+}
+
 // Same seed + options => byte-identical fault trace and equal observable
 // counters. This is the replayability contract every debugging workflow
 // rests on.
@@ -324,6 +397,25 @@ TEST(FuzzDeterminism, BatchedScheduleIsByteIdentical) {
   EXPECT_EQ(a.forwards_seen, b.forwards_seen);
   EXPECT_EQ(a.batch_bursts, b.batch_bursts);
   EXPECT_GT(a.batch_bursts, 0u);
+}
+
+TEST(FuzzDeterminism, SocketScheduleIsByteIdentical) {
+  FuzzOptions options;
+  options.seed = 606060;
+  options.backend = PcpBackend::kSimulated;
+  options.shards = 2;
+  options.steps = 8;
+  options.socket_transport = true;
+  const FuzzResult a = run_fuzz_schedule(options);
+  const FuzzResult b = run_fuzz_schedule(options);
+  expect_clean(options, a);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.egress_hash, b.egress_hash);
+  EXPECT_EQ(a.socket_reads, b.socket_reads);
+  EXPECT_EQ(a.socket_writes, b.socket_writes);
+  EXPECT_EQ(a.socket_would_block, b.socket_would_block);
+  EXPECT_GT(a.socket_reads, 0u);
 }
 
 TEST(FuzzDeterminism, IncrementalSnapshotScheduleIsByteIdentical) {

@@ -4,6 +4,7 @@
 #include "common/frame_buffer_pool.h"
 #include "common/rng.h"
 #include "openflow/secure_channel.h"
+#include "openflow/switch_device.h"
 #include "openflow/wire.h"
 
 namespace dfi {
@@ -148,6 +149,82 @@ TEST(SecureChannel, PooledBuffersForwardWithoutSteadyStateAllocation) {
   // Every post-warm-up acquire was served from the free list.
   EXPECT_EQ(pool.stats().allocations, warm.allocations);
   EXPECT_EQ(pool.stats().reuses, warm.reuses + 200);
+}
+
+// --------------------------------------------------------------------------
+// SwitchDevice::secure_control: the switch's control channel fronted by the
+// TLS surrogate, egress through the pooled seal_into path (DESIGN.md §9).
+
+class SecuredSwitchTest : public ::testing::Test {
+ protected:
+  SecuredSwitchTest()
+      : device_(SwitchConfig{Dpid{7}, 4, 256}, [] { return SimTime{}; }),
+        device_side_(0x515ull),
+        proxy_side_(0x515ull) {
+    device_.secure_control(&device_side_);
+    device_.connect_control([this](const std::vector<std::uint8_t>& chunk) {
+      raw_chunks_.push_back(chunk);
+      const auto opened = proxy_side_.open(chunk);
+      ASSERT_TRUE(opened.ok()) << opened.error().message;
+      decoder_.feed(opened.value());
+      for (auto& result : decoder_.drain()) {
+        ASSERT_TRUE(result.ok());
+        control_out_.push_back(std::move(result).value());
+      }
+    });
+  }
+
+  void send_sealed(const OfMessage& message) {
+    device_.receive_control(proxy_side_.seal(encode(message)));
+  }
+
+  SwitchDevice device_;
+  SecureChannel device_side_;
+  SecureChannel proxy_side_;
+  FrameDecoder decoder_;
+  std::vector<std::vector<std::uint8_t>> raw_chunks_;
+  std::vector<OfMessage> control_out_;
+};
+
+TEST_F(SecuredSwitchTest, ControlEgressIsSealedAndRoundTrips) {
+  // The HELLO emitted on connect already traveled sealed.
+  ASSERT_FALSE(control_out_.empty());
+  EXPECT_EQ(control_out_[0].type(), OfType::kHello);
+  // Every raw chunk carries the record overhead, not bare OpenFlow: the
+  // record number prefix means the first byte is never an OF version.
+  for (const auto& chunk : raw_chunks_) {
+    ASSERT_GE(chunk.size(), 24u);  // 8B record number + 16B tag
+    EXPECT_NE(chunk[0], 0x01);
+  }
+  send_sealed(OfMessage{5, FeaturesRequestMsg{}});
+  ASSERT_EQ(control_out_.size(), 2u);
+  const auto* reply = std::get_if<FeaturesReplyMsg>(&control_out_[1].payload);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->datapath_id, Dpid{7});
+}
+
+TEST_F(SecuredSwitchTest, TamperedIngressRecordIsDroppedNotParsed) {
+  auto record = proxy_side_.seal(encode(OfMessage{5, FeaturesRequestMsg{}}));
+  record[record.size() / 2] ^= 0x40;
+  const auto before = control_out_.size();
+  device_.receive_control(record);
+  EXPECT_EQ(control_out_.size(), before);  // no reply, no error frame
+  EXPECT_EQ(device_side_.rejected(), 1u);
+}
+
+TEST_F(SecuredSwitchTest, SealedEgressAllocatesNothingAtSteadyState) {
+  // Warm the control pool: ingress open_into plus egress encode+seal each
+  // size their pooled buffers on the first few messages.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    send_sealed(OfMessage{i + 10, EchoRequestMsg{{0xab, 0xcd}}});
+  }
+  const auto warm = device_.control_buffer_pool().stats();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    send_sealed(OfMessage{i + 100, EchoRequestMsg{{0xab, 0xcd}}});
+  }
+  EXPECT_EQ(control_out_.size(), 105u);  // HELLO + 4 warm + 100 measured
+  // The secured egress path reused pooled capacity for every record.
+  EXPECT_EQ(device_.control_buffer_pool().stats().allocations, warm.allocations);
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 #include "core/pcp.h"
 #include "core/proxy.h"
 #include "fault/fault_channel.h"
+#include "fault/fault_socket.h"
+#include "net/asyncio/connection.h"
 #include "net/packet.h"
 #include "openflow/switch_device.h"
 #include "openflow/wire.h"
@@ -46,6 +48,14 @@ Ipv4Address ip_of(std::size_t i) {
 Hostname host_of(std::size_t i) { return Hostname{"h" + std::to_string(i)}; }
 Username user_of(std::size_t i) { return Username{"u" + std::to_string(i)}; }
 
+std::uint64_t fnv1a(std::uint64_t h, const std::vector<std::uint8_t>& bytes) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 std::string describe(const FuzzOptions& options) {
   std::ostringstream os;
   os << "seed=" << options.seed << " backend="
@@ -55,7 +65,8 @@ std::string describe(const FuzzOptions& options) {
      << " wildcard_caching=" << options.wildcard_caching
      << " cache=" << options.decision_cache_capacity
      << " batched=" << options.batched_datapath
-     << " incsnap=" << options.incremental_snapshots;
+     << " incsnap=" << options.incremental_snapshots
+     << " socket=" << options.socket_transport;
   return os.str();
 }
 
@@ -75,6 +86,14 @@ struct SwitchLink {
   FrameDecoder controller_tap;  // proxy -> controller egress
   bool connected = false;
   bool ever_connected = false;
+  // socket_transport: manual-mode Connections carrying the two switch-side
+  // byte streams over seeded FaultSockets (pointers borrowed from the
+  // Connections, which own them).
+  std::unique_ptr<net::Connection> rx_conn;  // switch -> proxy
+  std::unique_ptr<net::Connection> tx_conn;  // proxy -> switch
+  FaultSocket* rx_sock = nullptr;
+  FaultSocket* tx_sock = nullptr;
+  std::vector<std::uint8_t> rx_accum;  // frames reassembled from rx_conn
 };
 
 class FuzzWorld {
@@ -90,6 +109,7 @@ class FuzzWorld {
              Rng(options.seed ^ 0xDF1D0C5ull)),
         proxy_(sim_, pcp_, proxy_config(options),
                Rng(options.seed ^ 0xF00DFEEDull)) {
+    socket_rng_ = Rng(options.seed ^ 0x50CCE77Aull);
     if (options_.backend == PcpBackend::kThreads && options_.worker_faults) {
       const std::uint64_t seed = options_.seed;
       const bool batched = options_.batched_datapath;
@@ -114,8 +134,13 @@ class FuzzWorld {
       const std::string tag = "sw" + std::to_string(d);
       link->from_switch = std::make_unique<FaultChannel<std::vector<std::uint8_t>>>(
           tag + "->proxy", draw_spec(), plan_,
-          [&ref](const std::vector<std::uint8_t>& bytes) {
-            if (ref.session != nullptr) ref.session->from_switch(bytes);
+          [this, &ref](const std::vector<std::uint8_t>& bytes) {
+            if (ref.session == nullptr) return;
+            if (ref.rx_conn != nullptr) {
+              deliver_via_socket(ref, bytes);
+            } else {
+              ref.session->from_switch(bytes);
+            }
           });
       link->from_controller = std::make_unique<FaultChannel<OfMessage>>(
           "ctl->proxy(" + tag + ")", draw_spec(), plan_,
@@ -173,6 +198,11 @@ class FuzzWorld {
     result.frames_patched = proxy_stats.frames_patched;
     result.frames_decoded = proxy_stats.frames_decoded;
     result.pool_hit_rate = proxy_stats.pool_hit_rate();
+    for (auto& link : links_) detach_sockets(*link);
+    result.socket_reads = socket_reads_;
+    result.socket_writes = socket_writes_;
+    result.socket_would_block = socket_would_block_;
+    result.egress_hash = egress_hash_;
   }
 
  private:
@@ -253,7 +283,79 @@ class FuzzWorld {
     });
     link.from_switch->restore();
     link.from_controller->restore();
+    if (options_.socket_transport) attach_sockets(link, tag);
     link.connected = true;
+  }
+
+  // -------------------------------------------------- socket transport
+
+  // Lossless fault spec: short reads/writes, EAGAIN storms and slow drain
+  // reshape the IO-call pattern but never lose, reorder or corrupt bytes —
+  // the reassembled streams must be byte-identical to the direct path.
+  void attach_sockets(SwitchLink& link, const std::string& tag) {
+    FaultSocketSpec spec;
+    spec.short_read = 0.7;
+    spec.eagain_read = 0.25;
+    spec.short_write = 0.7;
+    spec.eagain_write = 0.25;
+    spec.slow_drain_cap = socket_rng_.chance(0.3) ? 7 : 0;
+    auto make_conn = [&](std::unique_ptr<net::Connection>& conn,
+                         FaultSocket*& sock) {
+      auto fault_sock =
+          std::make_unique<FaultSocket>(spec, socket_rng_.next_u64());
+      sock = fault_sock.get();
+      conn = std::make_unique<net::Connection>(nullptr, std::move(fault_sock),
+                                               net::Connection::Config{});
+      conn->start();
+    };
+    make_conn(link.rx_conn, link.rx_sock);
+    make_conn(link.tx_conn, link.tx_sock);
+    link.rx_conn->on_frame([&link](const FrameView& view) {
+      link.rx_accum.insert(link.rx_accum.end(), view.data(),
+                           view.data() + view.size());
+    });
+    link.rx_conn->on_corrupt([this, tag] {
+      violation("SOCKET", tag + ": corrupt frame through lossless socket");
+    });
+    link.rx_conn->on_closed([this, tag](const char* reason) {
+      violation("SOCKET", tag + ": rx connection closed: " + reason);
+    });
+    link.tx_conn->on_closed([this, tag](const char* reason) {
+      violation("SOCKET", tag + ": tx connection closed: " + reason);
+    });
+  }
+
+  // Carry one switch->proxy chunk through the real scatter-read machinery,
+  // then deliver it with the original call boundary so downstream batching
+  // is transport-independent.
+  void deliver_via_socket(SwitchLink& link, const std::vector<std::uint8_t>& bytes) {
+    link.rx_sock->peer_write(bytes);
+    while (link.rx_conn->open() && link.rx_sock->pending_in() > 0) {
+      link.rx_conn->handle_io(/*readable=*/true, /*writable=*/false);
+    }
+    std::vector<std::uint8_t> chunk;
+    chunk.swap(link.rx_accum);
+    if (chunk != bytes) {
+      violation("SOCKET", "switch->proxy stream diverged through FaultSocket");
+    }
+    if (link.session != nullptr && !chunk.empty()) {
+      link.session->from_switch(chunk);
+    }
+  }
+
+  void detach_sockets(SwitchLink& link) {
+    for (net::Connection* conn : {link.rx_conn.get(), link.tx_conn.get()}) {
+      if (conn == nullptr) continue;
+      socket_reads_ += conn->stats().reads;
+      socket_writes_ += conn->stats().writes;
+      socket_would_block_ +=
+          conn->stats().would_block_reads + conn->stats().would_block_writes;
+    }
+    link.rx_conn.reset();
+    link.tx_conn.reset();
+    link.rx_sock = nullptr;
+    link.tx_sock = nullptr;
+    link.rx_accum.clear();
   }
 
   // Channel cut + session teardown while work may still be in flight: the
@@ -263,6 +365,7 @@ class FuzzWorld {
     ++severs_;
     link.from_switch->sever();
     link.from_controller->sever();
+    detach_sockets(link);  // frames in the socket pipeline die with the cut
     DfiProxy::Session* session = link.session;
     link.session = nullptr;
     proxy_.destroy_session(*session);
@@ -272,6 +375,7 @@ class FuzzWorld {
   // ------------------------------------------------------------ the taps
 
   void on_to_switch(SwitchLink& link, const std::vector<std::uint8_t>& bytes) {
+    egress_hash_ = fnv1a(egress_hash_, bytes);
     link.switch_tap.feed(bytes);
     for (auto& result : link.switch_tap.drain()) {
       if (!result.ok()) {
@@ -283,7 +387,25 @@ class FuzzWorld {
         check_switch_flow_mod(link, *mod);
       }
     }
-    link.device.receive_control(bytes);
+    if (link.tx_conn != nullptr) {
+      // Proxy->switch egress rides the bounded-queue writev machinery; the
+      // drained byte stream must match what the proxy emitted.
+      if (!link.tx_conn->send(std::vector<std::uint8_t>(bytes))) {
+        violation("SOCKET", "tx egress queue rejected a frame");
+        link.device.receive_control(bytes);
+        return;
+      }
+      while (link.tx_conn->open() && link.tx_conn->pending_egress_bytes() > 0) {
+        link.tx_conn->flush();
+      }
+      const std::vector<std::uint8_t> drained = link.tx_sock->peer_drain();
+      if (drained != bytes) {
+        violation("SOCKET", "proxy->switch stream diverged through FaultSocket");
+      }
+      link.device.receive_control(drained);
+    } else {
+      link.device.receive_control(bytes);
+    }
   }
 
   void check_switch_flow_mod(SwitchLink& link, const FlowModMsg& mod) {
@@ -337,6 +459,7 @@ class FuzzWorld {
   }
 
   void on_to_controller(SwitchLink& link, const std::vector<std::uint8_t>& bytes) {
+    egress_hash_ = fnv1a(egress_hash_, bytes);
     link.controller_tap.feed(bytes);
     const std::string tag = "sw" + std::to_string(link.device.dpid().value);
     for (auto& result : link.controller_tap.drain()) {
@@ -841,6 +964,14 @@ class FuzzWorld {
   std::uint64_t reconnects_ = 0;
   std::uint64_t pool_jobs_checked_ = 0;
   std::uint64_t packet_in_bursts_ = 0;
+  // socket_transport state. The rng is dedicated (never FaultPlan's) and
+  // only drawn from when the flag is on, so pre-existing schedules keep
+  // byte-identical traces.
+  Rng socket_rng_{0};
+  std::uint64_t socket_reads_ = 0;
+  std::uint64_t socket_writes_ = 0;
+  std::uint64_t socket_would_block_ = 0;
+  std::uint64_t egress_hash_ = 1469598103934665603ull;  // FNV offset basis
 };
 
 }  // namespace

@@ -67,6 +67,16 @@ struct FuzzOptions {
   // Default off: every pre-existing variant keeps its exact per-message
   // behavior and byte-identical trace.
   bool incremental_snapshots = false;
+  // Run the switch<->proxy byte streams through the real socket-datapath
+  // machinery (DESIGN.md §9): each chunk the fault channel delivers is
+  // carried over a seeded FaultSocket into a manual-mode Connection —
+  // scatter readv into the decoder, bounded-queue writev egress — under a
+  // lossless fault spec (short reads/writes, EAGAIN storms, slow drain; no
+  // resets). The harness asserts the reassembled stream is byte-identical
+  // to the direct path, so I1-I5 and the egress hash must hold unchanged.
+  // All socket rng draws are gated on this flag: pre-existing variants keep
+  // their byte-identical traces.
+  bool socket_transport = false;
 };
 
 struct FuzzResult {
@@ -100,6 +110,15 @@ struct FuzzResult {
   std::uint64_t frames_patched = 0;
   std::uint64_t frames_decoded = 0;
   double pool_hit_rate = 0.0;
+  // Socket-transport variant (DESIGN.md §9): IO calls the FaultSockets
+  // served, and how often they forced the retry paths.
+  std::uint64_t socket_reads = 0;
+  std::uint64_t socket_writes = 0;
+  std::uint64_t socket_would_block = 0;
+  // FNV-1a over every byte the proxy emitted (both directions, in delivery
+  // order). Transport-independent: the same schedule must produce the same
+  // hash with socket_transport on or off — the differential proof.
+  std::uint64_t egress_hash = 0;
 };
 
 // Replay one fault schedule. Deterministic: equal options produce an equal

@@ -1,6 +1,9 @@
 // Round-trip and robustness tests for the OpenFlow 1.3 wire codec.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/rng.h"
 #include "openflow/wire.h"
 
@@ -292,6 +295,153 @@ TEST(FrameDecoderTest, NextFrameCorruptLengthResets) {
   EXPECT_EQ(decoder.next_frame(view), FrameStatus::kCorrupt);
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
   EXPECT_EQ(decoder.next_frame(view), FrameStatus::kAwait);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter input (writable_spans/commit): the readv path used by the socket
+// transport. These are regressions for partial reads that split frames
+// mid-header and mid-body — the exact shapes short TCP reads produce.
+
+namespace {
+
+// Copy `bytes` into the decoder through the scatter API in chunks of
+// `commit_size` (the tail of the stream may be smaller).
+void scatter_in(FrameDecoder& decoder, const std::vector<std::uint8_t>& bytes,
+                std::size_t commit_size) {
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t n = std::min(commit_size, bytes.size() - pos);
+    MutableByteSpan spans[2];
+    ASSERT_EQ(decoder.writable_spans(n, spans), 2u);
+    ASSERT_GE(spans[0].size, n);
+    std::memcpy(spans[0].data, bytes.data() + pos, n);
+    decoder.commit(n);
+    pos += n;
+  }
+}
+
+}  // namespace
+
+TEST(FrameDecoderScatterTest, PartialReadSplitMidHeader) {
+  const auto frame = encode(OfMessage{7, EchoRequestMsg{{1, 2, 3, 4}}});
+  ASSERT_GT(frame.size(), 8u);
+  FrameDecoder decoder;
+  FrameView view;
+
+  // First read delivers 3 bytes — not even a full header.
+  scatter_in(decoder, {frame.begin(), frame.begin() + 3}, 3);
+  EXPECT_EQ(decoder.next_frame(view), FrameStatus::kAwait);
+  EXPECT_EQ(decoder.buffered_bytes(), 3u);
+
+  // Second read completes the header but not the body.
+  scatter_in(decoder, {frame.begin() + 3, frame.begin() + 9}, 6);
+  EXPECT_EQ(decoder.next_frame(view), FrameStatus::kAwait);
+
+  // Third read completes the frame; the view is byte-identical.
+  scatter_in(decoder, {frame.begin() + 9, frame.end()}, frame.size());
+  ASSERT_EQ(decoder.next_frame(view), FrameStatus::kFrame);
+  EXPECT_EQ(std::vector<std::uint8_t>(view.data(), view.data() + view.size()),
+            frame);
+  EXPECT_EQ(decoder.next_frame(view), FrameStatus::kAwait);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoderScatterTest, OneByteCommitsAcrossManyFrames) {
+  // Drip-feed a multi-frame stream one byte per readv: every frame boundary
+  // is split mid-header and mid-body at some point.
+  std::vector<std::uint8_t> stream;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::uint32_t xid = 0; xid < 40; ++xid) {
+    frames.push_back(encode(OfMessage{xid, EchoRequestMsg{{0xaa, 0xbb}}}));
+    stream.insert(stream.end(), frames.back().begin(), frames.back().end());
+  }
+  FrameDecoder decoder;
+  std::size_t decoded = 0;
+  for (const std::uint8_t byte : stream) {
+    scatter_in(decoder, {byte}, 1);
+    FrameView view;
+    while (decoder.next_frame(view) == FrameStatus::kFrame) {
+      ASSERT_LT(decoded, frames.size());
+      EXPECT_EQ(
+          std::vector<std::uint8_t>(view.data(), view.data() + view.size()),
+          frames[decoded]);
+      ++decoded;
+    }
+    // Scatter input must compact like feed(): residue stays under one frame.
+    ASSERT_LT(decoder.buffered_bytes(), 16u);
+  }
+  EXPECT_EQ(decoded, frames.size());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoderScatterTest, SpillOverrunFoldsIn) {
+  // A readv that fills the primary tail span and overruns into the spill
+  // block must fold the overflow back in transparently.
+  std::vector<std::uint8_t> payload(300, 0x5c);
+  const auto frame = encode(OfMessage{9, EchoRequestMsg{payload}});
+
+  FrameDecoder decoder;
+  MutableByteSpan spans[2];
+  ASSERT_EQ(decoder.writable_spans(16, spans), 2u);
+  ASSERT_GE(spans[0].size, 16u);
+  ASSERT_GT(spans[1].size, frame.size());  // spill block is 16 KiB
+
+  // Scatter the frame across both spans exactly as readv would.
+  const std::size_t into_primary = std::min(spans[0].size, frame.size());
+  std::memcpy(spans[0].data, frame.data(), into_primary);
+  if (into_primary < frame.size()) {
+    std::memcpy(spans[1].data, frame.data() + into_primary,
+                frame.size() - into_primary);
+  }
+  ASSERT_LT(into_primary, frame.size()) << "frame must overrun the tail span";
+  decoder.commit(frame.size());
+
+  FrameView view;
+  ASSERT_EQ(decoder.next_frame(view), FrameStatus::kFrame);
+  EXPECT_EQ(std::vector<std::uint8_t>(view.data(), view.data() + view.size()),
+            frame);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoderScatterTest, MixedFeedAndScatterEquivalence) {
+  // Interleaving the two input paths (the fuzz harness does this when the
+  // socket shim is mid-stream) must decode the same frames as feed() alone.
+  Rng rng(0xd00dfeedull);
+  std::vector<std::uint8_t> stream;
+  std::size_t expect_frames = 0;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<std::uint8_t> body(
+        static_cast<std::size_t>(rng.uniform_int(0, 64)), 0x11);
+    const auto frame = encode(
+        OfMessage{static_cast<std::uint32_t>(i), EchoReplyMsg{body}});
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    ++expect_frames;
+  }
+
+  FrameDecoder scatter_decoder;
+  FrameDecoder feed_decoder;
+  std::size_t pos = 0;
+  std::size_t scatter_frames = 0;
+  std::size_t feed_frames = 0;
+  while (pos < stream.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.uniform_int(1, 23)), stream.size() - pos);
+    const std::vector<std::uint8_t> chunk(stream.begin() + static_cast<std::ptrdiff_t>(pos),
+                                          stream.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    if (rng.chance(0.5)) {
+      scatter_in(scatter_decoder, chunk, n);
+    } else {
+      scatter_decoder.feed(chunk);
+    }
+    feed_decoder.feed(chunk);
+    FrameView view;
+    while (scatter_decoder.next_frame(view) == FrameStatus::kFrame) ++scatter_frames;
+    while (feed_decoder.next_frame(view) == FrameStatus::kFrame) ++feed_frames;
+    ASSERT_EQ(scatter_decoder.buffered_bytes(), feed_decoder.buffered_bytes());
+    pos += n;
+  }
+  EXPECT_EQ(scatter_frames, expect_frames);
+  EXPECT_EQ(feed_frames, expect_frames);
 }
 
 // Property: random valid messages survive random chunking.

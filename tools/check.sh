@@ -2,8 +2,9 @@
 # Repo check, split into stages so CI can run them as separate jobs:
 #
 #   tier1  configure + build + full ctest suite (the 400+ tier-1 tests),
-#          then the proxy-datapath and scale-out benches in smoke mode,
-#          each gated against its committed baseline under bench/baselines/
+#          then the proxy-datapath, scale-out, entity-plane and socket-
+#          datapath benches in smoke mode, each gated against its committed
+#          baseline under bench/baselines/
 #   asan   ASan+UBSan build (-DDFI_SANITIZE=ON) of the memory-sensitive
 #          component tests — including the proxy teardown regressions
 #   tsan   TSan build (-DDFI_SANITIZE=thread) of the SPSC ring stress, the
@@ -69,6 +70,14 @@ if want tier1; then
   # latency <=2x, publish <=10x across the sweep) run in every mode.
   (cd build/bench && ./bench_erm_scale --smoke \
     --check-baseline ../../bench/baselines/BENCH_erm_scale.baseline.json)
+
+  echo "== tier-1: socket datapath bench (smoke + baseline gate) =="
+  # Loopback TCP echo through the epoll event loop + readv/writev
+  # Connections: frames/s and p50/p99 vs committed floors, the best-b64
+  # figure vs 50% of the BENCH_proxy_datapath mixed figure, and zero
+  # steady-state allocations asserted in-binary.
+  (cd build/bench && ./bench_socket_datapath --smoke \
+    --check-baseline ../../bench/baselines/BENCH_socket_datapath.baseline.json)
 fi
 
 if want asan; then
@@ -76,7 +85,9 @@ if want asan; then
   cmake -B build-asan -S . -DDFI_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "${JOBS}" --target \
     policy_index_test decision_cache_test policy_manager_test erm_test \
-    intern_test pcp_test bus_test proxy_test flush_test
+    intern_test pcp_test bus_test proxy_test flush_test \
+    event_loop_test conman_test fault_socket_test socket_frontend_test \
+    secure_channel_test wire_test
 
   echo "== sanitizer tests =="
   ./build-asan/tests/intern_test
@@ -88,13 +99,23 @@ if want asan; then
   ./build-asan/tests/bus_test
   ./build-asan/tests/proxy_test
   ./build-asan/tests/flush_test
+  # Socket datapath: real-fd lifecycle (epoll registration, accept/dial,
+  # scatter readv/writev, teardown with frames in flight) is exactly the
+  # use-after-free / partial-buffer surface ASan exists for.
+  ./build-asan/tests/event_loop_test
+  ./build-asan/tests/conman_test
+  ./build-asan/tests/fault_socket_test
+  ./build-asan/tests/socket_frontend_test
+  ./build-asan/tests/secure_channel_test
+  ./build-asan/tests/wire_test
 fi
 
 if want tsan; then
   echo "== sanitizer build (TSan, threaded backend) =="
   cmake -B build-tsan -S . -DDFI_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target spsc_ring_test \
-    shard_pool_test bus_test proxy_test intern_test
+    shard_pool_test bus_test proxy_test intern_test \
+    event_loop_test conman_test
 
   echo "== sanitizer tests (TSan) =="
   ./build-tsan/tests/intern_test
@@ -102,6 +123,11 @@ if want tsan; then
   ./build-tsan/tests/shard_pool_test
   ./build-tsan/tests/bus_test
   ./build-tsan/tests/proxy_test
+  # The event loop's cross-thread surface: eventfd wakeup + posted-closure
+  # handoff (the shard-pool egress injection path), exercised by the
+  # loop-thread tests; conman adds timer-wheel reconnect races.
+  ./build-tsan/tests/event_loop_test
+  ./build-tsan/tests/conman_test
 fi
 
 if want fuzz; then
