@@ -153,15 +153,12 @@ void DfiProxy::Session::defer_frame_to_switch(std::vector<std::uint8_t> frame) {
   proxy_.after_proxy_delay([this, proxy = &proxy_, alive = alive_,
                             proxy_alive = proxy_.alive_,
                             out = std::move(frame)]() mutable {
-    if (!*alive) {
-      // Severed session: nothing is delivered, but the pooled buffer still
-      // goes home (through the proxy pointer — `this` is untrusted here)
-      // so outstanding-buffer accounting returns to zero at quiesce.
-      if (*proxy_alive) proxy->pool_.release(std::move(out));
-      return;
-    }
-    to_switch_(out);
-    proxy_.pool_.release(std::move(out));
+    // Severed session: nothing is delivered. Either way the pooled buffer
+    // goes home through the captured proxy pointer, never `this` — the
+    // SendFn may request teardown of its own session (the socket frontend's
+    // overflow sever), after which `this` is untrusted.
+    if (*alive) to_switch_(out);
+    if (*proxy_alive) proxy->pool_.release(std::move(out));
   });
 }
 
@@ -169,12 +166,8 @@ void DfiProxy::Session::defer_bytes_to_controller(std::vector<std::uint8_t> fram
   proxy_.after_proxy_delay([this, proxy = &proxy_, alive = alive_,
                             proxy_alive = proxy_.alive_,
                             out = std::move(frame)]() mutable {
-    if (!*alive) {
-      if (*proxy_alive) proxy->pool_.release(std::move(out));
-      return;
-    }
-    to_controller_(out);
-    proxy_.pool_.release(std::move(out));
+    if (*alive) to_controller_(out);
+    if (*proxy_alive) proxy->pool_.release(std::move(out));
   });
 }
 

@@ -43,6 +43,14 @@ ConnectionManager::ConnectionManager(EventLoop& loop, ConmanConfig config,
 ConnectionManager::~ConnectionManager() {
   *alive_ = false;
   close_listeners();
+  // Dials still in flight: their completion closures see !*alive_ and
+  // return, so the fds must be reclaimed here — otherwise each one leaks
+  // with a dangling event-loop registration.
+  for (const int fd : pending_dial_fds_) {
+    loop_.remove_fd(fd);
+    ::close(fd);
+  }
+  pending_dial_fds_.clear();
 }
 
 Result<std::uint16_t> ConnectionManager::listen(const std::string& ip,
@@ -99,8 +107,18 @@ void ConnectionManager::handle_accept(int listen_fd) {
     socklen_t len = sizeof(addr);
     const int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN or transient accept error: wait for next readiness
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // backlog drained
+      // Transient resource failure (EMFILE/ENFILE/ENOBUFS/ENOMEM): the
+      // connections already queued in the backlog will not re-edge the
+      // edge-triggered listener, so re-arm on a short timer instead of
+      // stalling until a fresh SYN arrives.
+      ++stats_.accept_retries;
+      loop_.schedule_after_ms(config_.accept_retry_ms,
+                              [this, alive = alive_, listen_fd] {
+                                if (*alive) handle_accept(listen_fd);
+                              });
+      return;
     }
     const std::string ip = peer_ip_of(addr);
     if (live_connections_ >= config_.max_connections) {
@@ -179,10 +197,13 @@ void ConnectionManager::dial(const std::string& ip, std::uint16_t port,
   auto pending = std::make_shared<Pending>();
   pending->on_result = std::move(on_result);
   auto finish = [this, alive = alive_, fd, pending](bool ok) {
+    // When the manager died mid-dial its destructor reclaimed the fd; the
+    // late-firing closure must not touch it.
     if (!*alive || pending->done) return;
     pending->done = true;
     loop_.cancel_timer(pending->timer);
     loop_.remove_fd(fd);
+    pending_dial_fds_.erase(fd);
     if (ok) {
       pending->on_result(adopt(fd, /*peer_ip=*/""));
     } else {
@@ -203,6 +224,7 @@ void ConnectionManager::dial(const std::string& ip, std::uint16_t port,
     pending->on_result(nullptr);
     return;
   }
+  pending_dial_fds_.insert(fd);
   pending->timer = loop_.schedule_after_ms(config_.connect_timeout_ms,
                                            [finish] { finish(false); });
 }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/result.h"
 #include "core/health_monitor.h"
@@ -29,11 +30,15 @@ struct ConmanConfig {
   std::size_t max_connections = 1024;
   std::size_t per_ip_limit = 256;
   std::uint64_t connect_timeout_ms = 10 * 1000;
+  // Re-arm delay after a transient accept() resource failure (EMFILE etc.):
+  // the queued backlog will not re-edge an edge-triggered listener.
+  std::uint64_t accept_retry_ms = 10;
   Connection::Config connection;
 };
 
 struct ConmanStats {
   std::uint64_t accepted = 0;
+  std::uint64_t accept_retries = 0;  // transient accept failures re-armed
   std::uint64_t rejected_per_ip = 0;
   std::uint64_t rejected_capacity = 0;
   std::uint64_t dialed = 0;
@@ -93,6 +98,10 @@ class ConnectionManager {
   HealthMonitor* health_ = nullptr;
 
   std::unordered_map<int, AcceptFn> listeners_;
+  // Nonblocking connects still in flight: reclaimed in the destructor so a
+  // teardown mid-dial neither leaks the fd nor leaves its loop registration
+  // dangling.
+  std::unordered_set<int> pending_dial_fds_;
   std::unordered_map<std::string, std::size_t> per_ip_;
   std::size_t live_connections_ = 0;
   ConmanStats stats_;

@@ -30,9 +30,15 @@ void Connection::handle_io(bool readable, bool writable, bool error) {
   auto alive = alive_;
   if (writable && open_) flush();
   if (!*alive || !open_) return;
-  // Errors are drained through the read path: the next read reports
-  // EOF/reset with whatever bytes the kernel still buffered delivered first.
   if (readable || error) handle_readable();
+  if (!*alive || !open_) return;
+  // Errors are drained through the read path: reads report EOF/reset with
+  // whatever bytes the kernel still buffered delivered first. But a paused
+  // peer does not read (whether paused on entry or paused mid-batch by
+  // backpressure), and edge-triggered epoll will not report the event
+  // again — close now, or a connection whose peer died during backpressure
+  // lingers until a resume that may never come.
+  if (error && reads_paused_) close("peer error while paused");
 }
 
 void Connection::handle_readable() {

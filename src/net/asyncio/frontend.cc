@@ -86,8 +86,13 @@ void SocketFrontend::bind_session(Peer& peer) {
         to_switch ? target->switch_conn.get() : target->controller_conn.get();
     if (out == nullptr ||
         !out->send(pool.acquire_copy(bytes.data(), bytes.size()))) {
+      // We are on the session's own SendFn stack here: sever_peer only
+      // marks the peer closing and defers the session destruction, so the
+      // std::function currently executing is never freed under itself.
       sever_peer(id, "egress overflow");
+      return;
     }
+    dirty_peers_.insert(id);
   };
   peer.session = &proxy.create_session(
       [deliver, p](const std::vector<std::uint8_t>& bytes) {
@@ -106,12 +111,10 @@ void SocketFrontend::bind_session(Peer& peer) {
       p->session->controller_batch_end();
     }
     // Deliver everything the batch deferred (possibly into *other* peers'
-    // egress queues — the simulator is shared), then push it to the wire.
+    // egress queues — the simulator is shared), then push exactly the peers
+    // that received egress to the wire.
     system_.pump();
-    for (auto& [other_id, other] : peers_) {
-      if (other->switch_conn) other->switch_conn->flush();
-      if (other->controller_conn) other->controller_conn->flush();
-    }
+    flush_dirty();
   };
 
   Connection& sw = *peer.switch_conn;
@@ -165,8 +168,24 @@ void SocketFrontend::sever_peer(std::uint64_t peer_id, const char* reason) {
   if (it == peers_.end()) return;
   Peer* p = it->second.get();
   if (p->closing) return;
+  // Mark first: every further delivery, frame callback and backpressure
+  // callback on this peer no-ops from here on. The teardown itself is
+  // deferred one loop turn because this may be running inside the session's
+  // own SendFn (egress overflow) or a Connection's handle_io — destroying
+  // the session here would free the std::function currently executing, and
+  // destroying the Connection would free the object whose method is on the
+  // stack.
   p->closing = true;
   DFI_DEBUG << "frontend: severing peer " << peer_id << " (" << reason << ")";
+  loop_.post([this, alive = alive_, peer_id, reason] {
+    if (*alive) finish_sever(peer_id, reason);
+  });
+}
+
+void SocketFrontend::finish_sever(std::uint64_t peer_id, const char* reason) {
+  auto it = peers_.find(peer_id);
+  if (it == peers_.end()) return;
+  Peer* p = it->second.get();
   if (p->session != nullptr) {
     // Session-first teardown: the liveness token turns every outstanding
     // deferred delivery and in-flight decision callback into a no-op.
@@ -176,10 +195,24 @@ void SocketFrontend::sever_peer(std::uint64_t peer_id, const char* reason) {
   }
   if (p->switch_conn) p->switch_conn->close(reason);
   if (p->controller_conn) p->controller_conn->close(reason);
-  // The Connections may be mid-handle_io on this stack; free them next tick.
-  loop_.post([this, alive = alive_, peer_id] {
-    if (*alive) peers_.erase(peer_id);
-  });
+  // Posted context: no SendFn or Connection frame is on the stack (close()
+  // above re-enters sever_peer via closed_fn, which no-ops on the closing
+  // flag), so the Peer and its Connections can be freed right here.
+  peers_.erase(it);
+}
+
+void SocketFrontend::flush_dirty() {
+  if (dirty_peers_.empty()) return;
+  // deliver() may dirty peers again while a flush runs; swap the set out so
+  // the iteration stays stable.
+  auto dirty = std::move(dirty_peers_);
+  dirty_peers_.clear();
+  for (const std::uint64_t id : dirty) {
+    auto it = peers_.find(id);
+    if (it == peers_.end()) continue;
+    if (it->second->switch_conn) it->second->switch_conn->flush();
+    if (it->second->controller_conn) it->second->controller_conn->flush();
+  }
 }
 
 void SocketFrontend::arm_tick() {
@@ -188,10 +221,7 @@ void SocketFrontend::arm_tick() {
     if (!*alive) return;
     system_.pump();
     system_.health().poll();
-    for (auto& [id, peer] : peers_) {
-      if (peer->switch_conn) peer->switch_conn->flush();
-      if (peer->controller_conn) peer->controller_conn->flush();
-    }
+    flush_dirty();
     arm_tick();
   });
 }

@@ -19,16 +19,22 @@
 // producing the bytes) and resumes them at the low watermark.
 //
 // Teardown is session-first and fail-secure: any close — switch side,
-// controller side, send overflow — destroys the proxy session immediately
-// (outstanding deferred deliveries no-op via the liveness token) and closes
-// both sockets; the switch is expected to reconnect, which replays the
-// handshake and re-registers with the PCP (Table-0 resync on recovery).
+// controller side, send overflow — marks the peer closing on the spot
+// (every further delivery and frame callback no-ops) and finishes one loop
+// turn later: destroy the proxy session (outstanding deferred deliveries
+// no-op via the liveness token) and close both sockets. The deferral is
+// load-bearing — a sever can be requested from inside the session's own
+// SendFn (egress overflow) or a Connection's handle_io, and destroying
+// either from its own stack is use-after-free. The switch is expected to
+// reconnect, which replays the handshake and re-registers with the PCP
+// (Table-0 resync on recovery).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/result.h"
 #include "core/dfi_system.h"
@@ -85,7 +91,13 @@ class SocketFrontend {
                           const std::string& peer_ip);
   void on_controller_link(std::uint64_t peer_id, std::unique_ptr<Connection> conn);
   void bind_session(Peer& peer);
+  // Marks the peer closing immediately; the actual teardown runs on a
+  // posted continuation (see finish_sever) because a sever can be requested
+  // from deep inside the peer's own callback stack.
   void sever_peer(std::uint64_t peer_id, const char* reason);
+  void finish_sever(std::uint64_t peer_id, const char* reason);
+  // Flush egress of exactly the peers deliver() touched since the last call.
+  void flush_dirty();
   void arm_tick();
 
   EventLoop& loop_;
@@ -94,6 +106,9 @@ class SocketFrontend {
   ConnectionManager conman_;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Peer>> peers_;
+  // Peers whose egress queues deliver() fed since the last flush_dirty():
+  // batch-end flushing walks only these, not every live peer.
+  std::unordered_set<std::uint64_t> dirty_peers_;
   std::uint64_t next_peer_id_ = 1;
   FrontendStats stats_;
 

@@ -357,6 +357,51 @@ TEST(ConmanTest, EgressWatermarkBackpressurePausesAndResumesReads) {
   ::close(client);
 }
 
+// A manager destroyed while a nonblocking connect is still in flight must
+// reclaim the pending fd and its loop registration; the dial callback never
+// fires.
+TEST(ConmanTest, DestroyMidDialReclaimsPendingFd) {
+  EventLoop loop;
+  // A listener whose backlog is never drained: once the accept queue fills,
+  // further connects sit in SYN_SENT — exactly the in-flight state a
+  // teardown mid-dial has to clean up.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  std::vector<int> fillers;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    make_nonblocking(fd);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    fillers.push_back(fd);
+  }
+
+  const std::size_t baseline = loop.fd_count();
+  bool called = false;
+  {
+    ConnectionManager conman(loop, {});
+    conman.dial("127.0.0.1", port,
+                [&](std::unique_ptr<Connection>) { called = true; });
+    loop.run_once(0);
+    ASSERT_FALSE(called) << "dial completed despite a full backlog";
+    EXPECT_EQ(loop.fd_count(), baseline + 1);  // the pending connect
+  }
+  EXPECT_EQ(loop.fd_count(), baseline);
+  EXPECT_FALSE(called);
+  loop.run_once(0);  // late events for the dead dial are no-ops
+  EXPECT_FALSE(called);
+
+  for (const int fd : fillers) ::close(fd);
+  ::close(listen_fd);
+}
+
 // A full bounded egress queue fails send() instead of blocking or growing
 // without bound — the owner treats that as a sever.
 TEST(ConmanTest, BoundedEgressQueueRejectsWhenFull) {

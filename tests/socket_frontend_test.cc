@@ -413,6 +413,39 @@ TEST(SocketFrontendTest, ControllerUnreachableSeversSwitchAfterCappedBackoff) {
   EXPECT_EQ(world.system.health().degraded_refs(), 0u);
 }
 
+// Regression: an egress-overflow sever is requested from inside the
+// session's own SendFn. Destroying the session there would free the
+// std::function currently executing (and the deferred-delivery closure
+// behind it) — the teardown must be deferred off the SendFn stack.
+TEST(SocketFrontendTest, EgressOverflowSeversOffTheSendFnStack) {
+  FrontendWorld world;
+  FrontendConfig config;
+  // A zero-capacity egress queue makes the very first delivery overflow.
+  config.conman.connection.max_egress_frames = 0;
+  ASSERT_TRUE(world.start(config));
+
+  RawPeer sw = connect_switch(world.port);
+  ASSERT_TRUE(world.pump_until(
+      [&] { return world.frontend->stats().sessions_opened == 1; }));
+  sw.send_frame(encode(OfMessage{1, HelloMsg{}}));
+
+  // The Hello's passthrough delivery toward the controller is rejected,
+  // severing the peer: session destroyed on a later loop turn, both
+  // sockets closed, and every pooled buffer home again.
+  ASSERT_TRUE(world.pump_until(
+      [&] { return world.frontend->stats().sessions_closed == 1; }));
+  ASSERT_TRUE(world.pump_until([&] { return world.frontend->peer_count() == 0; }));
+  EXPECT_EQ(world.system.proxy().session_count(), 0u);
+  ASSERT_TRUE(world.pump_until([&] {
+    sw.drain();
+    return sw.eof;
+  }));
+  ASSERT_TRUE(world.pump_until([&] {
+    world.system.pump();
+    return world.system.proxy().buffer_pool().in_use() == 0;
+  }));
+}
+
 TEST(SocketFrontendTest, TeardownWithFramesInFlightHoldsLivenessToken) {
   FrontendWorld world;
   ASSERT_TRUE(world.start());
