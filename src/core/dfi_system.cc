@@ -45,4 +45,8 @@ Result<JournalRecovery> DfiSystem::recover_from(Journal& journal) {
   return recovery;
 }
 
+void DfiSystem::attach_store_health(FileJournalStore& store) {
+  store.attach_health(&health_);
+}
+
 }  // namespace dfi

@@ -30,6 +30,7 @@
 namespace dfi {
 
 class Journal;
+class FileJournalStore;
 struct JournalRecovery;
 
 struct DfiConfig {
@@ -86,6 +87,11 @@ class DfiSystem {
   // are journaled. Returns the replay summary or the first corruption
   // beyond the torn tail.
   Result<JournalRecovery> recover_from(Journal& journal);
+
+  // Route `store`'s durable-IO failures (failed fsync/rename) into this
+  // system's HealthMonitor as a `journal-io` degraded window: a database
+  // whose durability barrier is failing must not back trusted decisions.
+  void attach_store_health(FileJournalStore& store);
 
  private:
   Simulator& sim_;

@@ -103,9 +103,72 @@ void HealthMonitor::reconnect_attempt(const std::string& name,
       });
 }
 
+void HealthMonitor::enable_failover(ReplicaRole role,
+                                    std::function<void()> on_promote) {
+  failover_enabled_ = true;
+  on_promote_ = std::move(on_promote);
+  set_role(role);
+}
+
+void HealthMonitor::set_role(ReplicaRole role) {
+  if (role_ == ReplicaRole::kPrimary && role != ReplicaRole::kPrimary) {
+    ++stats_.demotions;
+    DFI_WARN << "health: primary demoted to " << to_string(role);
+  }
+  role_ = role;
+  // (Re)arm the peer-staleness clock: a primary that never shows up is as
+  // dead as one that stopped beating.
+  if (role_ == ReplicaRole::kStandby) last_peer_beat_ = sim_.now();
+  poll();
+}
+
+void HealthMonitor::peer_heartbeat() {
+  if (!failover_enabled_ || role_ != ReplicaRole::kStandby) return;
+  ++stats_.heartbeats;
+  last_peer_beat_ = sim_.now();
+  poll();
+}
+
+void HealthMonitor::promote_now() {
+  if (!failover_enabled_ || role_ != ReplicaRole::kStandby) return;
+  if (in_poll_) {
+    run_promotion();
+    return;
+  }
+  in_poll_ = true;
+  run_promotion();
+  in_poll_ = false;
+  poll();  // settle the state machine through the post-handover conditions
+}
+
+bool HealthMonitor::peer_stale() const {
+  return failover_enabled_ && role_ == ReplicaRole::kStandby &&
+         sim_.now() - last_peer_beat_ > config_.failover_deadline;
+}
+
+void HealthMonitor::run_promotion() {
+  role_ = ReplicaRole::kPromoting;
+  DFI_WARN << "health: replication peer stale, promoting standby";
+  // The handover runs inside an explicit degraded window: between the
+  // peer's death and the promoted node's Table-0 resync no decision is
+  // trustworthy. Refs are touched directly (not enter/exit_degraded) —
+  // this already runs under the in_poll_ guard.
+  ++degraded_refs_;
+  if (state_ == HealthState::kHealthy) transition_to(HealthState::kDegraded);
+  if (on_promote_) on_promote_();
+  if (degraded_refs_ > 0) --degraded_refs_;
+  role_ = ReplicaRole::kPrimary;
+  ++stats_.promotions;
+}
+
 void HealthMonitor::poll() {
   if (in_poll_) return;  // transition callbacks may mutate; don't recurse
   in_poll_ = true;
+
+  // Failover first: the handover changes the conditions the state machine
+  // below evaluates (the stale peer is the standby's problem to inherit,
+  // not to stay degraded over forever).
+  if (peer_stale()) run_promotion();
 
   const std::size_t dead = dead_shards_ ? dead_shards_() : 0;
   const bool bad = conditions_bad(dead);

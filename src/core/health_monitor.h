@@ -70,6 +70,27 @@ inline const char* to_string(HealthState state) {
 // What the proxy does with undecided table-0 Packet-ins while degraded.
 enum class DegradedMode { kFailSecure, kFailOpen };
 
+// Warm-standby pair role (DESIGN.md §6.3). kNone: replication disabled —
+// the monitor behaves exactly as before. A standby whose peer heartbeat
+// goes stale past failover_deadline runs the handover:
+//
+//   kStandby -> kPromoting -> kPrimary
+//
+// kPromoting is entered inside a degraded window (decisions during the
+// handover are gated fail-secure) and exits once the promotion callback —
+// fence-epoch bump, journal finalize, Table-0 resync — returns.
+enum class ReplicaRole { kNone, kPrimary, kStandby, kPromoting };
+
+inline const char* to_string(ReplicaRole role) {
+  switch (role) {
+    case ReplicaRole::kNone: return "none";
+    case ReplicaRole::kPrimary: return "primary";
+    case ReplicaRole::kStandby: return "standby";
+    case ReplicaRole::kPromoting: return "promoting";
+  }
+  return "?";
+}
+
 struct HealthConfig {
   bool enabled = false;  // default off: existing experiments unperturbed
   DegradedMode degraded_mode = DegradedMode::kFailSecure;
@@ -87,6 +108,12 @@ struct HealthConfig {
   SimDuration backoff_cap = seconds(30.0);
   double backoff_jitter = 0.5;  // uniform in [1-j, 1+j] applied to the delay
   int max_reconnect_attempts = 20;  // 0 = unlimited (caller bounds the sim)
+
+  // A standby whose peer heartbeat is older than this starts promotion.
+  // Deliberately separate from heartbeat_deadline: the replication stream
+  // beats at its own cadence, and failover should not be coupled to local
+  // component liveness.
+  SimDuration failover_deadline = seconds(2.0);
 };
 
 struct HealthStats {
@@ -97,6 +124,8 @@ struct HealthStats {
   std::uint64_t backoff_retries = 0;
   std::uint64_t reconnects_abandoned = 0;
   std::uint64_t shard_respawns = 0;
+  std::uint64_t promotions = 0;   // kStandby -> kPrimary handovers completed
+  std::uint64_t demotions = 0;    // set_role away from kPrimary (fenced out)
 };
 
 class HealthMonitor {
@@ -149,6 +178,27 @@ class HealthMonitor {
   void count_backoff_retry() { ++stats_.backoff_retries; }
   void count_reconnect_abandoned() { ++stats_.reconnects_abandoned; }
 
+  // ------------------------------------------------------------- failover
+  // Place this node in a warm-standby pair (DESIGN.md §6.3). `on_promote`
+  // runs synchronously inside the promotion's degraded window; it is the
+  // embedder's handover: bump the journal fence epoch, finalize replication
+  // state, resync Table 0. A standby promotes when its peer heartbeat goes
+  // stale past failover_deadline (evaluated on every poll), or immediately
+  // via promote_now() — e.g. on a peer RST/FIN from the replication link.
+  void enable_failover(ReplicaRole role, std::function<void()> on_promote);
+  // Reassign the role without a handover: a freshly (re)connected replica
+  // adopting standby, or a deposed primary standing down after observing a
+  // higher fence. Demoting away from kPrimary counts stats().demotions and
+  // (re)arms the peer-staleness clock.
+  void set_role(ReplicaRole role);
+  ReplicaRole role() const { return role_; }
+  // Liveness beat from the replication peer (stream heartbeat or any
+  // received record). Only meaningful for a standby.
+  void peer_heartbeat();
+  // Run the handover now (peer declared dead out-of-band). No-op unless
+  // failover is enabled and the role is kStandby.
+  void promote_now();
+
   // ----------------------------------------------------------- evaluation
   // Re-evaluate conditions, run transitions (and their callbacks), respawn
   // dead shards. Called internally by every mutator and by gating().
@@ -176,6 +226,9 @@ class HealthMonitor {
  private:
   void transition_to(HealthState next);
   bool conditions_bad(std::size_t dead_shards);
+  // The handover itself: kPromoting + degraded window around on_promote_.
+  void run_promotion();
+  bool peer_stale() const;
   void schedule_tick();
   void reconnect_attempt(const std::string& name,
                          std::shared_ptr<std::function<bool()>> connect,
@@ -191,6 +244,11 @@ class HealthMonitor {
   std::uint64_t degraded_refs_ = 0;
   std::function<std::size_t()> dead_shards_;
   std::function<std::size_t()> respawn_shards_;
+
+  ReplicaRole role_ = ReplicaRole::kNone;
+  bool failover_enabled_ = false;
+  std::function<void()> on_promote_;
+  SimTime last_peer_beat_{};
 
   HealthState state_ = HealthState::kHealthy;
   SimTime recovering_since_{};

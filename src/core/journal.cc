@@ -9,6 +9,7 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "core/health_monitor.h"
 #include "core/persistence.h"
 
 namespace dfi {
@@ -129,15 +130,56 @@ FileJournalStore::FileJournalStore(std::string path) : path_(std::move(path)) {
 FileJournalStore::~FileJournalStore() {
   if (fd_ >= 0) ::close(fd_);
   if (rewrite_fd_ >= 0) ::close(rewrite_fd_);
+  // Balance an open degraded window: the store's failure condition dies
+  // with it, and the monitor's refcount must not leak.
+  if (io_degraded_ && health_ != nullptr) health_->exit_degraded("journal-io");
+}
+
+void FileJournalStore::attach_health(HealthMonitor* health) {
+  if (health == nullptr && io_degraded_ && health_ != nullptr) {
+    health_->exit_degraded("journal-io");
+    io_degraded_ = false;
+  }
+  health_ = health;
+}
+
+void FileJournalStore::io_failure(const char* what) {
+  ++io_failures_;
+  DFI_WARN << "journal: " << what << " failed on " << path_;
+  if (io_degraded_) return;
+  io_degraded_ = true;
+  // Fail-secure: a durability barrier that is failing means decisions made
+  // against this database must not be trusted — hold a degraded window
+  // until a durable operation fully succeeds again.
+  if (health_ != nullptr) health_->enter_degraded("journal-io");
+}
+
+void FileJournalStore::io_recovered() {
+  if (!io_degraded_) return;
+  io_degraded_ = false;
+  if (health_ != nullptr) health_->exit_degraded("journal-io");
+}
+
+bool FileJournalStore::sync_parent_dir() {
+  const auto slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path_.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) return false;
+  const bool ok = ::fsync(dfd) == 0;
+  ::close(dfd);
+  return ok;
 }
 
 void FileJournalStore::append(const std::uint8_t* data, std::size_t size) {
-  if (fd_ < 0) return;
+  if (fd_ < 0) {
+    io_failure("append (store not open)");
+    return;
+  }
   std::size_t written = 0;
   while (written < size) {
     const ::ssize_t n = ::write(fd_, data + written, size - written);
     if (n <= 0) {
-      DFI_WARN << "journal: short write to " << path_;
+      io_failure("write");
       return;
     }
     written += static_cast<std::size_t>(n);
@@ -145,7 +187,12 @@ void FileJournalStore::append(const std::uint8_t* data, std::size_t size) {
 }
 
 void FileJournalStore::sync() {
-  if (fd_ >= 0) ::fsync(fd_);
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) {
+    io_failure("fsync");
+    return;
+  }
+  io_recovered();
 }
 
 std::vector<std::uint8_t> FileJournalStore::read_all() const {
@@ -163,7 +210,7 @@ std::vector<std::uint8_t> FileJournalStore::read_all() const {
 
 void FileJournalStore::truncate(std::size_t size) {
   if (fd_ >= 0 && ::ftruncate(fd_, static_cast<::off_t>(size)) != 0) {
-    DFI_WARN << "journal: ftruncate failed on " << path_;
+    io_failure("ftruncate");
   }
 }
 
@@ -182,7 +229,7 @@ void FileJournalStore::append_rewrite(const std::uint8_t* data, std::size_t size
   while (written < size) {
     const ::ssize_t n = ::write(rewrite_fd_, data + written, size - written);
     if (n <= 0) {
-      DFI_WARN << "journal: short rewrite write";
+      io_failure("rewrite write");
       return;
     }
     written += static_cast<std::size_t>(n);
@@ -191,19 +238,35 @@ void FileJournalStore::append_rewrite(const std::uint8_t* data, std::size_t size
 
 void FileJournalStore::commit_rewrite() {
   if (rewrite_fd_ < 0) return;
-  ::fsync(rewrite_fd_);
+  const bool staged_ok = ::fsync(rewrite_fd_) == 0;
   ::close(rewrite_fd_);
   rewrite_fd_ = -1;
-  const std::string tmp = path_ + ".rewrite";
-  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
-    DFI_WARN << "journal: rename failed for " << path_;
+  if (!staged_ok) {
+    // Committing an unsynced staging file could swap in a hole where the
+    // log was; keep the old image.
+    io_failure("rewrite fsync");
     return;
   }
+  const std::string tmp = path_ + ".rewrite";
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    io_failure("rename");
+    return;
+  }
+  // The rename orders the swap but only a parent-directory fsync makes the
+  // new directory entry durable: without it a power cut can resurrect the
+  // pre-compaction image.
+  const bool dir_ok = sync_parent_dir();
   if (fd_ >= 0) ::close(fd_);
   fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND);
   if (fd_ < 0) {
-    DFI_WARN << "journal: cannot reopen " << path_;
+    io_failure("reopen");
+    return;
   }
+  if (!dir_ok) {
+    io_failure("parent-dir fsync");
+    return;
+  }
+  io_recovered();
 }
 
 // ---------------------------------------------------------------- Journal
@@ -218,14 +281,43 @@ std::string Journal::frame(const std::string& payload) {
   return out;
 }
 
-void Journal::append_record(const std::string& payload) {
-  if (replaying_) return;
+void Journal::append_raw(const std::string& payload) {
   const std::string framed = frame(payload);
   store_.append(reinterpret_cast<const std::uint8_t*>(framed.data()),
                 framed.size());
   store_.sync();
   ++stats_.appends;
   stats_.bytes_appended += framed.size();
+}
+
+void Journal::append_record(const std::string& payload) {
+  if (replaying_) return;
+  if (fenced_out()) {
+    // Deposed: a higher fencing epoch exists somewhere. Nothing this
+    // journal writes can become authoritative again, so the mutation must
+    // not happen (fail-secure).
+    ++stats_.fenced_appends;
+    throw FencedException{};
+  }
+  append_raw(payload);
+  if (append_observer_) append_observer_(payload);
+}
+
+Status Journal::set_fence_epoch(std::uint64_t epoch) {
+  if (epoch < fence_epoch_) {
+    return Status::Fail(ErrorCode::kInvalidArgument,
+                        "journal: fence epoch may not regress");
+  }
+  if (epoch == fence_epoch_) return Status::Ok();
+  if (!replaying_) append_raw("f|" + std::to_string(epoch));
+  fence_epoch_ = epoch;
+  if (epoch > observed_fence_) observed_fence_ = epoch;
+  ++stats_.fence_bumps;
+  return Status::Ok();
+}
+
+void Journal::observe_fence(std::uint64_t epoch) {
+  if (epoch > observed_fence_) observed_fence_ = epoch;
 }
 
 void Journal::append_policy_insert(PolicyRuleId id, const StoredPolicyRule& stored,
@@ -339,6 +431,17 @@ Status Journal::apply_record(const std::string& payload, PolicyManager& manager,
     manager.advance_epoch_to(epoch_after);
     return Status::Ok();
   }
+  if (payload.rfind("f|", 0) == 0) {
+    std::uint64_t epoch = 0;
+    try {
+      epoch = std::stoull(payload.substr(2));
+    } catch (...) {
+      return malformed("bad fence record");
+    }
+    if (epoch > fence_epoch_) fence_epoch_ = epoch;
+    if (epoch > observed_fence_) observed_fence_ = epoch;
+    return Status::Ok();
+  }
   if (payload.rfind("b|", 0) == 0) {
     if (payload.size() < 4 || (payload[2] != '+' && payload[2] != '-') ||
         payload[3] != '|') {
@@ -422,12 +525,8 @@ Status Journal::apply_snapshot(const std::string& payload, PolicyManager& manage
   return Status::Ok();
 }
 
-Status Journal::compact(const PolicyManager& manager,
-                        const EntityResolutionManager& erm) {
-  if (replaying_) {
-    return Status::Fail(ErrorCode::kInvalidArgument,
-                        "journal: compact during replay");
-  }
+std::string Journal::snapshot_payload(const PolicyManager& manager,
+                                      const EntityResolutionManager& erm) {
   std::string ids_csv;
   for (const StoredPolicyRule& stored : manager.rules()) {
     if (!ids_csv.empty()) ids_csv += ",";
@@ -440,13 +539,71 @@ Status Journal::compact(const PolicyManager& manager,
   payload += save_policies(manager);
   payload += "---\n";
   payload += save_bindings(erm);
+  return payload;
+}
 
+Status Journal::compact(const PolicyManager& manager,
+                        const EntityResolutionManager& erm) {
+  if (replaying_) {
+    return Status::Fail(ErrorCode::kInvalidArgument,
+                        "journal: compact during replay");
+  }
+  const std::string payload = snapshot_payload(manager, erm);
   const std::string framed = frame(payload);
   store_.begin_rewrite();
   store_.append_rewrite(reinterpret_cast<const std::uint8_t*>(framed.data()),
                         framed.size());
+  if (fence_epoch_ > 0) {
+    // The fencing epoch survives compaction: a deposed-then-compacted
+    // journal must still recover knowing which epoch it wrote under.
+    const std::string fence = frame("f|" + std::to_string(fence_epoch_));
+    store_.append_rewrite(reinterpret_cast<const std::uint8_t*>(fence.data()),
+                          fence.size());
+  }
   store_.commit_rewrite();
   ++stats_.compactions;
+  return Status::Ok();
+}
+
+Status Journal::ingest_replicated(const std::string& payload,
+                                  PolicyManager& manager,
+                                  EntityResolutionManager& erm) {
+  if (replaying_) {
+    return Status::Fail(ErrorCode::kInvalidArgument,
+                        "journal: ingest during replay");
+  }
+  // WAL ordering holds on the standby too: the record is durable in the
+  // local store before its effects land in the managers.
+  append_raw(payload);
+  replaying_ = true;  // restore_* path; suppress re-journaling via apply()
+  const Status status = apply_record(payload, manager, erm, false);
+  replaying_ = false;
+  return status;
+}
+
+Status Journal::install_snapshot(const std::string& snapshot_payload,
+                                 std::uint64_t fence_epoch, PolicyManager& manager,
+                                 EntityResolutionManager& erm) {
+  if (replaying_) {
+    return Status::Fail(ErrorCode::kInvalidArgument,
+                        "journal: install_snapshot during replay");
+  }
+  const std::string framed = frame(snapshot_payload);
+  store_.begin_rewrite();
+  store_.append_rewrite(reinterpret_cast<const std::uint8_t*>(framed.data()),
+                        framed.size());
+  if (fence_epoch > 0) {
+    const std::string fence = frame("f|" + std::to_string(fence_epoch));
+    store_.append_rewrite(reinterpret_cast<const std::uint8_t*>(fence.data()),
+                          fence.size());
+  }
+  store_.commit_rewrite();
+  replaying_ = true;
+  const Status status = apply_snapshot(snapshot_payload, manager, erm);
+  replaying_ = false;
+  if (!status.ok()) return status;
+  if (fence_epoch > fence_epoch_) fence_epoch_ = fence_epoch;
+  if (fence_epoch > observed_fence_) observed_fence_ = fence_epoch;
   return Status::Ok();
 }
 

@@ -21,10 +21,18 @@
 //   p-|<id>|<epoch_after>                               rule revoked
 //   b|+|binding|...                                     binding asserted
 //   b|-|binding|...                                     binding retracted
+//   f|<epoch>                                           fencing epoch set
 //   snapshot|v1|next_id=..|policy_epoch=..|binding_epoch=..|ids=..
 //   <save_policies text>
 //   ---
 //   <save_bindings text>                                compaction record
+//
+// Fencing (DESIGN.md §6.3): a replicated pair stamps every shipped record
+// with the shipping journal's fencing epoch. Promotion bumps the epoch (a
+// durable `f|` record), and a deposed primary that *observes* a higher
+// epoch — from the survivor's stream or a fence-reject — refuses every
+// further append (FencedException, fail-secure): whatever it would write
+// can no longer become authoritative.
 //
 // Crash injection: the store is where a process dies, so the fault
 // substrate arms it with a seeded CrashPoint (src/fault/fault_plan.h).
@@ -34,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -46,10 +55,18 @@
 
 namespace dfi {
 
+class HealthMonitor;
+
 // Thrown by a JournalStore when an armed CrashPoint fires mid-operation.
 // Models the process dying: whatever the store persisted before the throw
 // is what a restart will find.
 struct CrashException {};
+
+// Thrown by Journal::append_* on a journal that has observed a higher
+// fencing epoch than its own: the owner was deposed, and a mutation it
+// durably applied could silently diverge from the promoted survivor.
+// Fail-secure means the mutation must not happen at all.
+struct FencedException {};
 
 // Durable byte store under the journal: an append-only live image plus an
 // atomically-committed rewrite area for compaction. The in-memory
@@ -110,9 +127,14 @@ class InMemoryJournalStore final : public JournalStore {
   CrashPoint crash_;
 };
 
-// Real-file store: append+fsync on the live path, write-temp+rename on
-// commit_rewrite. I/O errors log and degrade (this is the experiment
-// surrogate, not a database); crash injection is the in-memory store's job.
+// Real-file store: append+fsync on the live path, write-temp+rename+
+// parent-directory-fsync on commit_rewrite (the rename alone orders the
+// swap but does not make it durable — the directory entry must be synced
+// too). Every fsync/rename return value is checked; a failure is surfaced
+// through the attached HealthMonitor as a `journal-io` degraded window
+// (fail-secure: decisions must not trust a database whose durability
+// barrier is failing) that closes on the next fully-successful durable
+// operation. Crash injection is the in-memory store's job.
 class FileJournalStore final : public JournalStore {
  public:
   explicit FileJournalStore(std::string path);
@@ -126,12 +148,27 @@ class FileJournalStore final : public JournalStore {
   void append_rewrite(const std::uint8_t* data, std::size_t size) override;
   void commit_rewrite() override;
 
+  // Surface IO failures as a ref-counted degraded window on `health`
+  // instead of a log line. The monitor must outlive this store (or be
+  // detached with nullptr first).
+  void attach_health(HealthMonitor* health);
+
   const std::string& path() const { return path_; }
+  bool io_degraded() const { return io_degraded_; }
+  std::uint64_t io_failures() const { return io_failures_; }
 
  private:
+  void io_failure(const char* what);
+  void io_recovered();
+  // fsync the directory holding path_ (rename durability).
+  bool sync_parent_dir();
+
   std::string path_;
   int fd_ = -1;
   int rewrite_fd_ = -1;
+  HealthMonitor* health_ = nullptr;
+  bool io_degraded_ = false;
+  std::uint64_t io_failures_ = 0;
 };
 
 struct JournalStats {
@@ -143,6 +180,8 @@ struct JournalStats {
   std::uint64_t torn_bytes_discarded = 0;
   std::uint64_t compactions = 0;
   std::uint64_t snapshots_loaded = 0;
+  std::uint64_t fence_bumps = 0;         // f| records written
+  std::uint64_t fenced_appends = 0;      // appends refused while fenced out
 };
 
 struct JournalRecovery {
@@ -161,20 +200,61 @@ class Journal {
 
   // WAL appends, called by PolicyManager/ERM *before* mutating (no-ops
   // while recover() is replaying — replayed operations are already in the
-  // log). `epoch_after` is the epoch the mutation will establish.
+  // log). `epoch_after` is the epoch the mutation will establish. Throw
+  // FencedException on a fenced-out journal (see fencing, above).
   void append_policy_insert(PolicyRuleId id, const StoredPolicyRule& stored,
                             std::uint64_t epoch_after);
   void append_policy_revoke(PolicyRuleId id, std::uint64_t epoch_after);
   void append_binding(const BindingEvent& event);
 
+  // ------------------------------------------------- fencing (replication)
+  // This journal's own fencing epoch; every record a replica ships is
+  // stamped with it. 0 until a pair has ever failed over.
+  std::uint64_t fence_epoch() const { return fence_epoch_; }
+  // Highest epoch seen anywhere (own writes or observe_fence).
+  std::uint64_t observed_fence() const { return observed_fence_; }
+  // Fenced out: a higher epoch than our own has been observed — the owner
+  // was deposed, and every append_* refuses with FencedException.
+  bool fenced_out() const { return observed_fence_ > fence_epoch_; }
+
+  // Durably set this journal's fencing epoch (an `f|` record; must not
+  // regress). A standby adopting its primary's epoch passes it verbatim;
+  // promotion passes observed_fence()+1, which also clears fenced_out().
+  Status set_fence_epoch(std::uint64_t epoch);
+  // Learn of a peer's epoch (from a shipped record header or a fence
+  // reject). Higher than our own => fenced out from here on.
+  void observe_fence(std::uint64_t epoch);
+
+  // Observe every record append (after it is durable): the replication
+  // primary ships records from here. Not invoked during replay or for
+  // fence records (the stream header carries the fence).
+  void set_append_observer(std::function<void(const std::string& payload)> fn) {
+    append_observer_ = std::move(fn);
+  }
+
   // Replay the store into `manager`/`erm`, which must be freshly
   // constructed (recovery restores absolute state, it does not merge).
   // Truncates the torn tail at the first bad record, loads the snapshot
   // record if present, then replays the WAL tail — restoring rule ids,
-  // next_id, and both epochs exactly as they were when the last completed
-  // append returned.
+  // next_id, both epochs and the fencing epoch exactly as they were when
+  // the last completed append returned.
   Result<JournalRecovery> recover(PolicyManager& manager,
                                   EntityResolutionManager& erm);
+
+  // -------------------------------------------- replication ingest (standby)
+  // Durably append one record payload produced by a peer journal's append
+  // path, then apply it through the same replay machinery recovery uses
+  // (restore_* hooks; no re-journaling, no flush side effects). The store
+  // may throw CrashException mid-append — the standby process boundary.
+  Status ingest_replicated(const std::string& payload, PolicyManager& manager,
+                           EntityResolutionManager& erm);
+
+  // Bootstrap: atomically replace the whole store with one snapshot record
+  // (plus the peer's fence epoch) and apply it into the expected-fresh
+  // managers — the standby-side mirror of compact().
+  Status install_snapshot(const std::string& snapshot_payload,
+                          std::uint64_t fence_epoch, PolicyManager& manager,
+                          EntityResolutionManager& erm);
 
   // Snapshot+compact: atomically replace the log with one snapshot record
   // of the current state. The store's commit is the atomicity boundary; a
@@ -187,9 +267,19 @@ class Journal {
   const JournalStats& stats() const { return stats_; }
   JournalStore& store() { return store_; }
 
+  // Frame one payload exactly as the store persists it (tests and the
+  // replication stream share the format).
+  static std::string frame(const std::string& payload);
+
+  // The snapshot record payload compact() would write for this state — the
+  // replication primary ships it for standby bootstrap.
+  static std::string snapshot_payload(const PolicyManager& manager,
+                                      const EntityResolutionManager& erm);
+
  private:
   void append_record(const std::string& payload);
-  static std::string frame(const std::string& payload);
+  // Append bypassing the fenced_out gate (fence records themselves).
+  void append_raw(const std::string& payload);
 
   Status apply_record(const std::string& payload, PolicyManager& manager,
                       EntityResolutionManager& erm, bool first_record);
@@ -198,6 +288,9 @@ class Journal {
 
   JournalStore& store_;
   bool replaying_ = false;
+  std::uint64_t fence_epoch_ = 0;
+  std::uint64_t observed_fence_ = 0;
+  std::function<void(const std::string&)> append_observer_;
   JournalStats stats_;
 };
 

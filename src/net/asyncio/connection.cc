@@ -49,8 +49,19 @@ void Connection::handle_readable() {
   std::size_t consumed = 0;
   while (open_ && !reads_paused_) {
     MutableByteSpan spans[2];
-    decoder_.writable_spans(config_.readv_min_bytes, spans);
-    const IoResult r = socket_->read_vec(spans, 2);
+    std::size_t span_count = 2;
+    if (raw_fn_) {
+      // Raw-byte mode: no decoder; read into the scratch buffer and hand
+      // the chunk to the owner verbatim.
+      if (raw_buf_.size() < config_.readv_min_bytes) {
+        raw_buf_.resize(config_.readv_min_bytes);
+      }
+      spans[0] = {raw_buf_.data(), raw_buf_.size()};
+      span_count = 1;
+    } else {
+      decoder_.writable_spans(config_.readv_min_bytes, spans);
+    }
+    const IoResult r = socket_->read_vec(spans, span_count);
     if (r.status == IoStatus::kWouldBlock) {
       ++stats_.would_block_reads;
       break;
@@ -66,6 +77,22 @@ void Connection::handle_readable() {
     if (r.bytes == 0) break;
     ++stats_.reads;
     stats_.read_bytes += r.bytes;
+    if (raw_fn_) {
+      delivered = true;
+      raw_fn_(raw_buf_.data(), r.bytes);
+      if (!*alive) return;
+      if (!open_) break;
+      consumed += r.bytes;
+      if (consumed >= config_.read_budget_bytes) {
+        if (loop_) {
+          loop_->post([this, a = alive_] {
+            if (*a) handle_readable();
+          });
+        }
+        break;
+      }
+      continue;
+    }
     decoder_.commit(r.bytes);
     FrameView view;
     bool stream_dead = false;

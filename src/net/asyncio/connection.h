@@ -61,6 +61,7 @@ class Connection {
   };
 
   using FrameFn = std::function<void(const FrameView&)>;
+  using RawFn = std::function<void(const std::uint8_t* data, std::size_t size)>;
   using BatchEndFn = std::function<void()>;
   using CorruptFn = std::function<void()>;
   using ClosedFn = std::function<void(const char* reason)>;
@@ -75,6 +76,12 @@ class Connection {
 
   // Wire the owner in, then call start() to register with the loop.
   void on_frame(FrameFn fn) { frame_fn_ = std::move(fn); }
+  // Raw-byte mode: the stream is NOT OpenFlow (e.g. the replication
+  // journal stream) — bypass the FrameDecoder entirely and hand every read
+  // chunk to `fn` as-is. The owner does its own framing. Mutually
+  // exclusive with on_frame; set before start().
+  void set_raw_mode(RawFn fn) { raw_fn_ = std::move(fn); }
+  bool raw_mode() const { return static_cast<bool>(raw_fn_); }
   void on_batch_end(BatchEndFn fn) { batch_end_fn_ = std::move(fn); }
   void on_corrupt(CorruptFn fn) { corrupt_fn_ = std::move(fn); }
   // closed_fn must not destroy the Connection synchronously — defer the
@@ -127,6 +134,8 @@ class Connection {
   FrameDecoder decoder_;
 
   FrameFn frame_fn_;
+  RawFn raw_fn_;
+  std::vector<std::uint8_t> raw_buf_;  // raw-mode read scratch
   BatchEndFn batch_end_fn_;
   CorruptFn corrupt_fn_;
   ClosedFn closed_fn_;

@@ -1,0 +1,181 @@
+// Wire framing for the warm-standby replication stream (DESIGN.md §6.3).
+//
+// The stream is NOT OpenFlow: it rides a dedicated raw-byte connection
+// between the replica pair. Every frame carries the three fields the
+// protocol's safety argument rests on:
+//
+//   fence   the sender's fencing epoch. A receiver with a higher epoch
+//           answers kFenceReject and applies nothing — this is how a
+//           deposed primary that comes back learns it was deposed.
+//   seq     per-session sequence number for kRecord (cumulative-ack space);
+//           for kSnapshot the sequence point the snapshot reflects; for
+//           kAck the highest contiguously applied sequence; for kHello the
+//           next sequence the standby expects.
+//   nonce   the primary's session identity, drawn fresh per primary
+//           lifetime. A nonce mismatch means the seq space is meaningless
+//           (the primary restarted or a new primary was promoted) and the
+//           standby must re-bootstrap from a snapshot.
+//
+// Layout (all integers little-endian, matching the journal's framing):
+//
+//   [magic u8][type u8][fence u64][seq u64][nonce u64][len u32][crc32 u32]
+//   [payload: len bytes]
+//
+// The CRC covers the payload only; header corruption is caught by the
+// magic/type/length checks. Any framing violation poisons the decoder —
+// a desynced byte stream cannot be re-framed, the link must be torn down
+// and re-dialed (exactly what a real TCP connection would do).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace dfi::repl {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,        // standby -> primary: subscribe / request catch-up
+  kSnapshot = 2,     // primary -> standby: full-state bootstrap
+  kRecord = 3,       // primary -> standby: one journal record payload
+  kAck = 4,          // standby -> primary: cumulative apply acknowledgement
+  kHeartbeat = 5,    // primary -> standby: liveness + high-water seq
+  kFenceReject = 6,  // either -> stale peer: your fence epoch is behind
+};
+
+inline const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kSnapshot: return "snapshot";
+    case FrameType::kRecord: return "record";
+    case FrameType::kAck: return "ack";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kFenceReject: return "fence-reject";
+  }
+  return "?";
+}
+
+inline constexpr std::uint8_t kReplMagic = 0xD5;
+inline constexpr std::size_t kReplHeaderSize = 1 + 1 + 8 + 8 + 8 + 4 + 4;
+// A snapshot of a million-binding ERM is large but bounded; anything past
+// this is framing corruption, not a real payload.
+inline constexpr std::uint32_t kMaxReplPayload = 256u * 1024u * 1024u;
+
+struct ReplFrame {
+  FrameType type = FrameType::kHeartbeat;
+  std::uint64_t fence = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t nonce = 0;
+  std::string payload;
+};
+
+namespace detail {
+inline void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+inline void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+}  // namespace detail
+
+inline std::string encode_frame(const ReplFrame& frame) {
+  std::string out;
+  out.reserve(kReplHeaderSize + frame.payload.size());
+  out.push_back(static_cast<char>(kReplMagic));
+  out.push_back(static_cast<char>(frame.type));
+  detail::put_u64(out, frame.fence);
+  detail::put_u64(out, frame.seq);
+  detail::put_u64(out, frame.nonce);
+  detail::put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  detail::put_u32(out,
+                  crc32(reinterpret_cast<const std::uint8_t*>(frame.payload.data()),
+                        frame.payload.size()));
+  out.append(frame.payload);
+  return out;
+}
+
+// Streaming decoder: feed arbitrary byte chunks, pop complete frames.
+// Poisoned forever on the first framing violation (bad magic, unknown
+// type, oversized length, CRC mismatch) — the caller must drop the link.
+class ReplFrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size) {
+    if (poisoned_) return;
+    buffer_.insert(buffer_.end(), data, data + size);
+    for (;;) {
+      if (buffer_.size() - pos_ < kReplHeaderSize) break;
+      const std::uint8_t* head = buffer_.data() + pos_;
+      if (head[0] != kReplMagic || head[1] < 1 || head[1] > 6) {
+        poisoned_ = true;
+        break;
+      }
+      const std::uint32_t len = detail::get_u32(head + 26);
+      if (len > kMaxReplPayload) {
+        poisoned_ = true;
+        break;
+      }
+      if (buffer_.size() - pos_ < kReplHeaderSize + len) break;
+      const std::uint32_t stored_crc = detail::get_u32(head + 30);
+      const std::uint8_t* body = head + kReplHeaderSize;
+      if (crc32(body, len) != stored_crc) {
+        poisoned_ = true;
+        break;
+      }
+      ReplFrame frame;
+      frame.type = static_cast<FrameType>(head[1]);
+      frame.fence = detail::get_u64(head + 2);
+      frame.seq = detail::get_u64(head + 10);
+      frame.nonce = detail::get_u64(head + 18);
+      frame.payload.assign(reinterpret_cast<const char*>(body), len);
+      frames_.push_back(std::move(frame));
+      pos_ += kReplHeaderSize + len;
+      compact();
+    }
+  }
+
+  bool next(ReplFrame& out) {
+    if (frames_.empty()) return false;
+    out = std::move(frames_.front());
+    frames_.pop_front();
+    return true;
+  }
+
+  bool poisoned() const { return poisoned_; }
+  void reset() {
+    buffer_.clear();
+    pos_ = 0;
+    frames_.clear();
+    poisoned_ = false;
+  }
+
+ private:
+  void compact() {
+    if (pos_ == buffer_.size()) {
+      buffer_.clear();
+      pos_ = 0;
+    } else if (pos_ >= 64 * 1024) {
+      buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+  }
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;
+  std::deque<ReplFrame> frames_;
+  bool poisoned_ = false;
+};
+
+}  // namespace dfi::repl

@@ -12,12 +12,16 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bus/message_bus.h"
+#include "fault/fault_plan.h"
 #include "common/rng.h"
 #include "core/health_monitor.h"
 #include "net/asyncio/conman.h"
@@ -281,6 +285,104 @@ TEST(ConmanTest, SupervisedDialRecoversWhenListenerAppears) {
   EXPECT_EQ(health.stats().reconnects_abandoned, 0u);
   EXPECT_EQ(health.degraded_refs(), 0u);
   EXPECT_EQ(health.stats().degraded_entries, 1u);
+}
+
+TEST(ConmanTest, ReconnectBackoffIsReplayableBoundedAndResets) {
+  // The supervised-dial schedule is drawn from the HealthMonitor's seeded
+  // Rng through backoff_delay(attempt). Seed two monitors from the same
+  // FaultPlan seed and the delay schedule must replay byte-identically;
+  // every delay must respect base*2^attempt scaling within the jitter
+  // band, capped; and passing attempt=0 again (a fresh supervision after a
+  // healthy interval) must restart at base scale.
+  HealthConfig hconfig;
+  hconfig.enabled = true;
+  hconfig.backoff_base = milliseconds(100);
+  hconfig.backoff_cap = seconds(30.0);
+  hconfig.backoff_jitter = 0.5;
+
+  const auto schedule_for = [&](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    Simulator sim;
+    MessageBus bus;
+    HealthMonitor health(sim, bus, hconfig, Rng(plan.rng().next_u64()));
+    std::vector<std::int64_t> delays;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      const SimDuration delay = health.backoff_delay(attempt);
+      plan.note("backoff: attempt=" + std::to_string(attempt) +
+                " us=" + std::to_string(delay.us));
+      delays.push_back(delay.us);
+    }
+    return std::make_pair(delays, plan.trace());
+  };
+
+  const auto [delays_a, trace_a] = schedule_for(0x5eed);
+  const auto [delays_b, trace_b] = schedule_for(0x5eed);
+  EXPECT_EQ(delays_a, delays_b);  // same seed -> same dial schedule
+  EXPECT_EQ(trace_a, trace_b);    // replay trace byte-identical
+  const auto [delays_c, trace_c] = schedule_for(0x5eee);
+  EXPECT_NE(delays_a, delays_c);  // a different seed diverges
+
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const double uncapped =
+        static_cast<double>(hconfig.backoff_base.us) * std::pow(2.0, attempt);
+    const double pre_jitter =
+        std::min(uncapped, static_cast<double>(hconfig.backoff_cap.us));
+    const double lo = pre_jitter * (1.0 - hconfig.backoff_jitter);
+    const double hi = pre_jitter * (1.0 + hconfig.backoff_jitter);
+    EXPECT_GE(delays_a[attempt], static_cast<std::int64_t>(lo)) << attempt;
+    EXPECT_LE(delays_a[attempt], static_cast<std::int64_t>(hi)) << attempt;
+  }
+
+  // Reset: a fresh attempt-0 draw is base-scale again, far below the
+  // capped tail the schedule had grown to.
+  Simulator sim;
+  MessageBus bus;
+  HealthMonitor health(sim, bus, hconfig, Rng(99));
+  const std::int64_t grown = health.backoff_delay(10).us;
+  const std::int64_t reset = health.backoff_delay(0).us;
+  EXPECT_LT(reset, grown / 16);
+}
+
+TEST(ConmanTest, SupervisedDialLedgerReplaysFromSeed) {
+  // Same seed, same closed port, same attempt budget: two independent
+  // supervised dials must land the identical ledger in HealthStats and
+  // ConmanStats (the schedule is deterministic even though the event loop
+  // runs on wall clock). And a fresh supervision after a success starts
+  // its backoff over: the second failing supervision retries exactly as
+  // many times as the first, not zero.
+  const auto run_failing_supervision = [](std::uint64_t seed,
+                                          HealthStats* out_stats) {
+    Simulator sim;
+    MessageBus bus;
+    HealthConfig hconfig;
+    hconfig.enabled = true;
+    hconfig.backoff_base = milliseconds(1.0);
+    hconfig.backoff_cap = milliseconds(4.0);
+    hconfig.max_reconnect_attempts = 3;
+    HealthMonitor health(sim, bus, hconfig, Rng(seed));
+    EventLoop loop;
+    ConnectionManager conman(loop, {}, &health);
+    bool called = false;
+    conman.dial_supervised("replication", "127.0.0.1", grab_free_port(),
+                           [&](std::unique_ptr<Connection> conn) {
+                             called = true;
+                             EXPECT_EQ(conn, nullptr);
+                           });
+    EXPECT_TRUE(pump_until(loop, [&] { return called; }));
+    *out_stats = health.stats();
+    return conman.stats();
+  };
+
+  HealthStats health_a;
+  HealthStats health_b;
+  const ConmanStats run_a = run_failing_supervision(0xabc, &health_a);
+  const ConmanStats run_b = run_failing_supervision(0xabc, &health_b);
+  EXPECT_EQ(run_a.reconnect_attempts, run_b.reconnect_attempts);
+  EXPECT_EQ(run_a.reconnects_abandoned, run_b.reconnects_abandoned);
+  EXPECT_EQ(run_a.dial_failures, run_b.dial_failures);
+  EXPECT_EQ(health_a.backoff_retries, health_b.backoff_retries);
+  EXPECT_EQ(health_a.reconnects_abandoned, health_b.reconnects_abandoned);
+  EXPECT_EQ(health_a.backoff_retries, 3u);  // the full attempt budget, every run
 }
 
 // Egress-watermark backpressure over a real loopback pair: a peer that

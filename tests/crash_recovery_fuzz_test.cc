@@ -41,14 +41,19 @@
 #include <string>
 #include <vector>
 
+#include <deque>
+#include <utility>
+
 #include "bus/message_bus.h"
 #include "common/logging.h"
 #include "core/dfi_system.h"
+#include "core/health_monitor.h"
 #include "core/journal.h"
 #include "core/pcp.h"
 #include "core/persistence.h"
 #include "fault/fault_plan.h"
 #include "openflow/wire.h"
+#include "replication/replica.h"
 #include "sim/simulator.h"
 
 namespace dfi {
@@ -532,20 +537,537 @@ ScheduleResult run_schedule(std::uint64_t seed) {
   return result;
 }
 
+// ===================================================================
+// Two-replica campaign: warm-standby pair under seeded kills on EITHER
+// side, link faults (partitions, torn chunking, frame corruption), fenced
+// failover and byte-identical promotion (DESIGN.md §6.3).
+//
+// Invariants checked every schedule:
+//   * after every kill, the survivor's plane is byte-identical to the
+//     no-failure oracle replayed over SOME prefix of the committed ops —
+//     never a mix, never a mutation the pair did not perform;
+//   * the prefix never regresses below what was last verified durable;
+//   * a deposed primary holding a stale fence NEVER appends: its next
+//     local mutation throws FencedException and its store bytes are
+//     untouched;
+//   * every promotion runs inside an open degraded window (the fail-secure
+//     gate that keeps I1 over the handover — the window's suppression
+//     semantics are proven by check_degraded_window on the same seeds);
+//   * after the pair quiesces, both nodes equal the full oracle, and the
+//     epilogue differential (queries, interned state, Table-0 wire) holds.
+
+// One machine of the pair. The store survives process deaths; the plane,
+// journal and Replica are one process incarnation.
+struct ReplMachine {
+  ReplMachine(Simulator& sim, MessageBus& health_bus, std::uint64_t seed)
+      : health(sim, health_bus, failover_config(), Rng(seed)) {}
+
+  static HealthConfig failover_config() {
+    HealthConfig config;
+    config.enabled = true;
+    return config;
+  }
+
+  // Start a fresh process. `recover` replays the machine's own WAL (the
+  // restarted-survivor path); a rejoining standby boots empty instead and
+  // re-seeds from the primary's snapshot.
+  void boot(bool recover, std::uint64_t replica_seed,
+            std::vector<std::string>& violations) {
+    kill();
+    plane = std::make_unique<Plane>();
+    journal = std::make_unique<Journal>(store);
+    if (recover) {
+      const Result<JournalRecovery> recovery =
+          journal->recover(plane->manager, plane->erm);
+      if (!recovery.ok()) {
+        violations.push_back("survivor WAL recovery failed: " +
+                             recovery.error().message);
+      }
+    }
+    plane->manager.attach_journal(journal.get());
+    plane->erm.attach_journal(journal.get());
+    ReplicaConfig config;
+    config.seed = replica_seed;
+    replica = std::make_unique<Replica>(config, *journal, plane->manager,
+                                        plane->erm, &health);
+  }
+
+  void kill() {
+    replica.reset();  // detaches the journal's append observer
+    journal.reset();
+    plane.reset();
+  }
+
+  bool alive() const { return replica != nullptr; }
+
+  InMemoryJournalStore store;
+  HealthMonitor health;
+  std::unique_ptr<Plane> plane;
+  std::unique_ptr<Journal> journal;
+  std::unique_ptr<Replica> replica;
+};
+
+// Queued byte link between the pair: sends enqueue, pump() delivers FIFO
+// in torn chunks. partition() silently eats bytes (the sender still
+// believes the link is up); drop_end() is a process death (RST the peer
+// observes). CrashException out of pump() is the standby's store dying
+// mid-ingest.
+struct ReplFuzzLink {
+  void bind(int side, Replica& replica) {
+    ends[side] = &replica;
+    replica.set_send([this, side](const std::string& bytes) {
+      if (partitioned) return;
+      queue.emplace_back(1 - side, bytes);
+    });
+  }
+
+  void drop_end(int side) {
+    queue.clear();
+    ends[side] = nullptr;
+    if (ends[1 - side] != nullptr) ends[1 - side]->on_link_down();
+  }
+
+  void partition() {
+    partitioned = true;
+    queue.clear();
+  }
+  void heal() { partitioned = false; }
+
+  // RST both ends observe (poisoned-decoder teardown).
+  void bounce() {
+    queue.clear();
+    for (Replica* end : ends) {
+      if (end != nullptr) end->on_link_down();
+    }
+  }
+
+  void pump(Rng& chunker) {
+    while (!queue.empty()) {
+      auto [dest, bytes] = std::move(queue.front());
+      queue.pop_front();
+      Replica* target = ends[dest];
+      if (target == nullptr) continue;  // destination process is dead
+      const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+      std::size_t off = 0;
+      while (off < bytes.size()) {
+        const auto want = static_cast<std::size_t>(chunker.uniform_int(1, 512));
+        const std::size_t take = std::min(want, bytes.size() - off);
+        target->on_bytes(data + off, take);
+        off += take;
+      }
+    }
+  }
+
+  Replica* ends[2] = {nullptr, nullptr};
+  std::deque<std::pair<int, std::string>> queue;
+  bool partitioned = false;
+};
+
+struct ReplScheduleResult {
+  std::vector<std::string> violations;
+  std::string trace;
+  std::uint64_t primary_kills = 0;
+  std::uint64_t standby_kills = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t wal_survivor_promotions = 0;  // standby restarted from own WAL
+  std::uint64_t fence_refusals = 0;           // stale-fence appends refused
+  std::uint64_t split_brains = 0;
+  std::uint64_t snapshot_rejoins = 0;
+  std::uint64_t tail_catchups = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t lost_op_suffixes = 0;  // unreplicated ops discarded by failover
+  std::uint64_t i1_windows = 0;
+};
+
+// The survivor must equal the oracle over some prefix of `committed` no
+// shorter than `floor` (the last verified durable point). Returns the
+// matched prefix length, or -1.
+std::ptrdiff_t find_matching_prefix(const Plane& survivor,
+                                    const std::vector<CrashOp>& committed,
+                                    std::size_t floor) {
+  for (std::size_t k = committed.size() + 1; k-- > 0;) {
+    if (k < floor) break;
+    const std::vector<CrashOp> prefix(committed.begin(),
+                                      committed.begin() + static_cast<std::ptrdiff_t>(k));
+    if (state_equal(survivor, *replay_oracle(prefix))) {
+      return static_cast<std::ptrdiff_t>(k);
+    }
+  }
+  return -1;
+}
+
+ReplScheduleResult run_replicated_schedule(std::uint64_t seed) {
+  ReplScheduleResult result;
+  FaultPlan plan(seed);
+  Rng& rng = plan.rng();
+
+  Simulator sim;
+  MessageBus health_bus;
+  ReplMachine machines[2] = {{sim, health_bus, seed ^ 0xaa},
+                             {sim, health_bus, seed ^ 0xbb}};
+  ReplFuzzLink link;
+  std::vector<CrashOp> committed;
+  std::size_t floor = 0;  // ops verified durable on the current primary chain
+  int prim = 0;
+
+  // Every promotion must happen inside an open degraded window: the
+  // fail-secure gate is what holds I1 over the handover.
+  const auto wire_promotion = [&](int side, ReplicaRole role) {
+    machines[side].health.enable_failover(role, [&, side] {
+      if (machines[side].health.state() == HealthState::kHealthy) {
+        result.violations.push_back("promotion ran outside a degraded window");
+      }
+      machines[side].replica->promote();
+      ++result.promotions;
+    });
+  };
+
+  machines[0].boot(false, seed ^ 0x1, result.violations);
+  machines[1].boot(false, seed ^ 0x2, result.violations);
+  wire_promotion(0, ReplicaRole::kPrimary);
+  wire_promotion(1, ReplicaRole::kStandby);
+  link.bind(0, *machines[0].replica);
+  link.bind(1, *machines[1].replica);
+  machines[0].replica->become_primary();
+  machines[1].replica->become_standby();
+  link.pump(rng);
+  if (machines[1].replica->stats().snapshots_installed != 1) {
+    result.violations.push_back("standby bootstrap snapshot never installed");
+  }
+
+  const auto pump_standby = [&]() -> bool {
+    // Returns false when the standby's store died mid-ingest.
+    try {
+      link.pump(rng);
+      return true;
+    } catch (const CrashException&) {
+      return false;
+    }
+  };
+
+  const int rounds = static_cast<int>(rng.uniform_int(2, 4));
+  for (int round = 0; round < rounds && result.violations.empty(); ++round) {
+    const int stby = 1 - prim;
+    ReplMachine& primary = machines[prim];
+    ReplMachine& standby = machines[stby];
+
+    // Rejoin a machine the previous round killed: fresh process, empty
+    // plane, snapshot re-seed from the live primary.
+    if (!standby.alive()) {
+      standby.boot(false, seed ^ static_cast<std::uint64_t>(0x100 + round),
+                   result.violations);
+      standby.health.set_role(ReplicaRole::kStandby);
+      link.bind(stby, *standby.replica);
+      const std::uint64_t before = standby.replica->stats().snapshots_installed;
+      standby.replica->become_standby();
+      if (!pump_standby()) {  // ingest cannot throw here: store disarmed
+        result.violations.push_back("rejoin pump crashed unexpectedly");
+        break;
+      }
+      if (standby.replica->stats().snapshots_installed != before + 1) {
+        result.violations.push_back("rejoined standby did not snapshot-seed");
+        break;
+      }
+      ++result.snapshot_rejoins;
+    }
+
+    const double scenario = rng.uniform_real(0.0, 1.0);
+    if (scenario < 0.25) {
+      // ---------------------------------------------- split-brain round
+      // Network split: the standby promotes while the old primary keeps
+      // running, oblivious. On heal the survivor fences it.
+      ++result.split_brains;
+      plan.note("round " + std::to_string(round) + ": split-brain");
+      link.partition();
+      // Ops committed during the split ship into the void: promotion will
+      // discard this unreplicated suffix (the lost-update window every
+      // asynchronous-replication failover has).
+      const int split_ops = static_cast<int>(rng.uniform_int(0, 3));
+      for (int i = 0; i < split_ops; ++i) {
+        const CrashOp op = draw_op(rng, primary.plane->manager);
+        try {
+          apply_op(*primary.plane, primary.journal.get(), op);
+          if (op.kind != CrashOp::Kind::kCompact) committed.push_back(op);
+        } catch (const CrashException&) {
+          result.violations.push_back("unexpected crash during split burst");
+        }
+      }
+      if (!result.violations.empty()) break;
+      standby.health.promote_now();
+      if (!standby.replica->is_primary()) {
+        result.violations.push_back("promote_now did not promote the standby");
+        break;
+      }
+      const std::ptrdiff_t k =
+          find_matching_prefix(*standby.plane, committed, floor);
+      if (k < 0) {
+        result.violations.push_back(
+            "split-brain survivor matches no committed prefix (floor " +
+            std::to_string(floor) + ")");
+        break;
+      }
+      result.lost_op_suffixes +=
+          committed.size() - static_cast<std::size_t>(k);
+      committed.resize(static_cast<std::size_t>(k));
+      floor = committed.size();
+      link.heal();
+
+      // The deposed primary pushes one more mutation before it learns of
+      // the new epoch: it applies locally and ships a stale-fenced record
+      // that the survivor must reject without applying. (Compaction ships
+      // nothing, so draw until we get a real mutation.)
+      const auto draw_mutation = [&](const PolicyManager& manager) {
+        CrashOp op = draw_op(rng, manager);
+        while (op.kind == CrashOp::Kind::kCompact) op = draw_op(rng, manager);
+        return op;
+      };
+      const CrashOp stale = draw_mutation(primary.plane->manager);
+      try {
+        apply_op(*primary.plane, primary.journal.get(), stale);
+      } catch (const CrashException&) {
+        result.violations.push_back("unexpected crash applying stale op");
+        break;
+      }
+      // The zombie still believes it is primary, so its heartbeat fires
+      // too — fence discovery must work even when the record itself never
+      // shipped (an unsynced zombie buffers instead of streaming).
+      primary.replica->tick_heartbeat();
+      const std::string survivor_image_before =
+          save_policies(standby.plane->manager) +
+          save_bindings(standby.plane->erm);
+      if (!pump_standby()) {
+        result.violations.push_back("unexpected standby crash in fence round");
+        break;
+      }
+      if (save_policies(standby.plane->manager) +
+              save_bindings(standby.plane->erm) !=
+          survivor_image_before) {
+        result.violations.push_back("stale-fenced record mutated the survivor");
+        break;
+      }
+      if (primary.replica->is_primary()) {
+        result.violations.push_back("deposed primary did not stand down");
+        break;
+      }
+      if (primary.journal->fenced_out()) {
+        // Dirty plane: the node is fenced and must refuse every further
+        // local append, leaving its store bytes untouched (fail-secure).
+        const std::size_t store_size = primary.store.size();
+        bool refused = false;
+        try {
+          apply_op(*primary.plane, primary.journal.get(),
+                   draw_mutation(primary.plane->manager));
+        } catch (const FencedException&) {
+          refused = true;
+        }
+        if (!refused || primary.store.size() != store_size) {
+          result.violations.push_back(
+              "deposed primary appended with a stale fence");
+          break;
+        }
+        ++result.fence_refusals;
+      } else if (primary.journal->fence_epoch() !=
+                 standby.journal->fence_epoch()) {
+        // The only legitimate way out of fenced_out is a clean rejoin: the
+        // deposed node's plane was still empty, so the stand-down's
+        // re-hello installed the survivor's snapshot and adopted its fence.
+        result.violations.push_back(
+            "deposed primary escaped the fence without adopting the epoch");
+        break;
+      }
+      // The zombie is torn down; the promoted survivor is the primary, and
+      // the old machine rejoins fresh next round.
+      link.drop_end(prim);
+      primary.kill();
+      prim = stby;
+      continue;
+    }
+
+    // ------------------------------------------------- crash/fault round
+    // Both stores may carry an armed kill; the link may partition or
+    // corrupt a frame mid-burst. Whoever dies first ends the burst.
+    const int budget = static_cast<int>(rng.uniform_int(3, 10));
+    const bool arm_primary = rng.chance(0.5);
+    const bool arm_standby = rng.chance(0.45);
+    if (arm_primary) {
+      primary.store.arm_crash(
+          plan.draw_crash_point(static_cast<std::uint64_t>(2 * budget + 2)));
+    }
+    if (arm_standby) {
+      standby.store.arm_crash(
+          plan.draw_crash_point(static_cast<std::uint64_t>(2 * budget + 2)));
+    }
+    const int partition_at =
+        rng.chance(0.3) ? static_cast<int>(rng.uniform_int(0, budget - 1)) : -1;
+    const bool corrupt_one = rng.chance(0.2);
+    bool primary_died = false;
+    bool standby_died = false;
+
+    for (int i = 0; i < budget; ++i) {
+      if (i == partition_at) link.partition();
+      const CrashOp op = draw_op(rng, primary.plane->manager);
+      try {
+        apply_op(*primary.plane, primary.journal.get(), op);
+        if (op.kind != CrashOp::Kind::kCompact) committed.push_back(op);
+      } catch (const CrashException&) {
+        primary_died = true;
+        plan.note("round " + std::to_string(round) + ": primary died at op " +
+                  std::to_string(i));
+        break;
+      }
+      if (corrupt_one && !link.queue.empty() && rng.chance(0.3)) {
+        link.queue.front().second[0] ^= 0xff;
+        ++result.corruptions;
+      }
+      if (!pump_standby()) {
+        standby_died = true;
+        plan.note("round " + std::to_string(round) + ": standby died at op " +
+                  std::to_string(i));
+        break;
+      }
+    }
+    primary.store.disarm();
+    if (standby.alive()) standby.store.disarm();
+
+    if (!primary_died && !standby_died) {
+      // Quiesce: heal any split, tear down any poisoned stream (the
+      // supervised redial re-hellos, as the real transport's reconnect
+      // does), and let the heartbeat drive gap detection + retransmit.
+      link.heal();
+      const std::uint64_t resyncs_before =
+          standby.replica->stats().resyncs_requested;
+      if (standby.replica->stats().decode_errors > 0) {
+        link.bounce();
+        standby.replica->become_standby();
+      }
+      primary.replica->tick_heartbeat();
+      if (!pump_standby()) {
+        result.violations.push_back("standby crashed after disarm");
+        break;
+      }
+      if (standby.replica->stats().resyncs_requested > resyncs_before) {
+        ++result.tail_catchups;
+      }
+      const std::unique_ptr<Plane> oracle = replay_oracle(committed);
+      if (!state_equal(*primary.plane, *oracle)) {
+        result.violations.push_back("round " + std::to_string(round) +
+                                    ": primary diverged from oracle:" +
+                                    describe_mismatch(*primary.plane, *oracle));
+        break;
+      }
+      if (!state_equal(*standby.plane, *oracle)) {
+        result.violations.push_back("round " + std::to_string(round) +
+                                    ": synced standby diverged from oracle:" +
+                                    describe_mismatch(*standby.plane, *oracle));
+        break;
+      }
+      floor = committed.size();
+      continue;
+    }
+
+    if (standby_died && !primary_died) {
+      // Standby process death mid-ingest (possibly a torn record in its
+      // WAL). The primary is authoritative and must still equal the full
+      // oracle; the standby rejoins fresh next round.
+      ++result.standby_kills;
+      link.drop_end(stby);
+      standby.kill();
+      const std::unique_ptr<Plane> oracle = replay_oracle(committed);
+      if (!state_equal(*primary.plane, *oracle)) {
+        result.violations.push_back(
+            "primary diverged after standby death:" +
+            describe_mismatch(*primary.plane, *oracle));
+        break;
+      }
+      floor = committed.size();
+      continue;
+    }
+
+    // Primary process death. Two survivor shapes, both byte-identical:
+    //   * the live standby promotes (HealthMonitor handover), or
+    //   * the standby ALSO dies (double fault) and restarts from its own
+    //     WAL — recovery truncates any torn ingest tail, then promotes.
+    ++result.primary_kills;
+    link.drop_end(prim);
+    primary.kill();
+    link.heal();
+    if (rng.chance(0.35)) {
+      plan.note("round " + std::to_string(round) +
+                ": double fault, standby restarts from WAL");
+      standby.kill();
+      standby.boot(true, seed ^ static_cast<std::uint64_t>(0x200 + round),
+                   result.violations);
+      if (!result.violations.empty()) break;
+      standby.health.set_role(ReplicaRole::kStandby);
+      link.bind(stby, *standby.replica);
+      ++result.wal_survivor_promotions;
+    }
+    standby.health.promote_now();
+    if (!standby.replica->is_primary()) {
+      result.violations.push_back("survivor failed to promote");
+      break;
+    }
+    const std::ptrdiff_t k = find_matching_prefix(*standby.plane, committed, floor);
+    if (k < 0) {
+      result.violations.push_back(
+          "survivor matches no committed prefix after primary death (floor " +
+          std::to_string(floor) + ", committed " +
+          std::to_string(committed.size()) + ")");
+      break;
+    }
+    result.lost_op_suffixes += committed.size() - static_cast<std::size_t>(k);
+    committed.resize(static_cast<std::size_t>(k));
+    floor = committed.size();
+    prim = stby;
+  }
+
+  // Epilogue: quiesce whatever survived and run the full differential
+  // against the oracle (queries, interned state, Table-0 wire bytes).
+  if (result.violations.empty()) {
+    ReplMachine& primary = machines[prim];
+    const std::unique_ptr<Plane> oracle = replay_oracle(committed);
+    if (!state_equal(*primary.plane, *oracle)) {
+      result.violations.push_back("final primary diverged:" +
+                                  describe_mismatch(*primary.plane, *oracle));
+    } else {
+      check_queries(rng, *primary.plane, *oracle, result.violations);
+      check_interned_state(*primary.plane, result.violations);
+      check_table0(seed, rng, *primary.plane, *oracle, result.violations);
+    }
+  }
+  // Tie invariant I1 to these schedules: the same fail-secure degraded
+  // window that wraps every promotion must suppress all Packet-ins.
+  if (seed % 4 == 1 && result.violations.empty()) {
+    check_degraded_window(seed, rng, result.violations);
+    ++result.i1_windows;
+  }
+  result.trace = plan.trace();
+  return result;
+}
+
 std::string replay_instructions(std::uint64_t seed) {
   return "replay: DFI_FUZZ_SEED=" + std::to_string(seed) +
          " ./crash_recovery_fuzz_test";
 }
 
-void expect_clean(std::uint64_t seed, const ScheduleResult& result) {
-  if (result.violations.empty()) return;
+void report_violations(std::uint64_t seed,
+                       const std::vector<std::string>& violations) {
+  if (violations.empty()) return;
   std::string details;
-  for (const std::string& violation : result.violations) {
+  for (const std::string& violation : violations) {
     details += "  " + violation + "\n";
   }
-  ADD_FAILURE() << result.violations.size() << " violation(s) at seed " << seed
+  ADD_FAILURE() << violations.size() << " violation(s) at seed " << seed
                 << ":\n"
                 << details << replay_instructions(seed);
+}
+
+void expect_clean(std::uint64_t seed, const ScheduleResult& result) {
+  report_violations(seed, result.violations);
+}
+
+void expect_clean(std::uint64_t seed, const ReplScheduleResult& result) {
+  report_violations(seed, result.violations);
 }
 
 // ------------------------------------------------------------ the campaign
@@ -581,6 +1103,60 @@ TEST(CrashRecoveryFuzz, Campaign) {
   EXPECT_GT(coverage.records_replayed, 0u);
   EXPECT_GT(coverage.recoveries, schedules);  // several lifetimes per schedule
   EXPECT_GT(coverage.i1_windows, 0u);
+}
+
+// The two-replica campaign: kill either node mid-stream under seeded
+// schedules, fence every failover, and hold the survivor byte-identical.
+TEST(CrashRecoveryFuzz, ReplicatedCampaign) {
+  std::size_t schedules = g_total_schedules;
+  if (g_seed_override.has_value()) schedules = 1;
+  ReplScheduleResult coverage;
+  for (std::size_t i = 0; i < schedules; ++i) {
+    const std::uint64_t seed =
+        g_seed_override.value_or(0x9e91ull * 1000003ull + i);
+    const ReplScheduleResult result = run_replicated_schedule(seed);
+    expect_clean(seed, result);
+    coverage.primary_kills += result.primary_kills;
+    coverage.standby_kills += result.standby_kills;
+    coverage.promotions += result.promotions;
+    coverage.wal_survivor_promotions += result.wal_survivor_promotions;
+    coverage.fence_refusals += result.fence_refusals;
+    coverage.split_brains += result.split_brains;
+    coverage.snapshot_rejoins += result.snapshot_rejoins;
+    coverage.tail_catchups += result.tail_catchups;
+    coverage.corruptions += result.corruptions;
+    coverage.lost_op_suffixes += result.lost_op_suffixes;
+    coverage.i1_windows += result.i1_windows;
+    if (::testing::Test::HasFailure()) break;  // first failing seed is enough
+  }
+  if (g_seed_override.has_value()) return;
+  // The campaign must have exercised every failure class it claims.
+  EXPECT_GT(coverage.primary_kills, 0u);
+  EXPECT_GT(coverage.standby_kills, 0u);
+  EXPECT_GT(coverage.promotions, 0u);
+  EXPECT_GT(coverage.wal_survivor_promotions, 0u);  // survivor from own WAL
+  EXPECT_GT(coverage.fence_refusals, 0u);   // stale fences refused appends
+  EXPECT_GT(coverage.split_brains, 0u);
+  EXPECT_GT(coverage.snapshot_rejoins, 0u);
+  EXPECT_GT(coverage.tail_catchups, 0u);    // heartbeat-driven gap resync
+  EXPECT_GT(coverage.corruptions, 0u);      // poisoned streams torn down
+  EXPECT_GT(coverage.lost_op_suffixes, 0u); // unreplicated suffixes discarded
+  EXPECT_GT(coverage.i1_windows, 0u);
+}
+
+// Same seed => byte-identical two-replica fault schedule and outcome.
+TEST(CrashRecoveryFuzz, ReplicatedScheduleIsDeterministic) {
+  const std::uint64_t seed = g_seed_override.value_or(7654321);
+  const ReplScheduleResult a = run_replicated_schedule(seed);
+  const ReplScheduleResult b = run_replicated_schedule(seed);
+  expect_clean(seed, a);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.primary_kills, b.primary_kills);
+  EXPECT_EQ(a.standby_kills, b.standby_kills);
+  EXPECT_EQ(a.promotions, b.promotions);
+  EXPECT_EQ(a.fence_refusals, b.fence_refusals);
+  EXPECT_EQ(a.lost_op_suffixes, b.lost_op_suffixes);
 }
 
 // Same seed => byte-identical crash schedule, trace and outcome. The replay

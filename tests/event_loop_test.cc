@@ -176,6 +176,73 @@ TEST_P(EventLoopBackendTest, WheelHandlesCollidingSlots) {
   loop.cancel_timer(0);  // unknown id: no-op
 }
 
+TEST_P(EventLoopBackendTest, DeadlineBeyondWheelHorizonDoesNotFireEarly) {
+  // A deadline further out than the 256-slot horizon wraps onto a slot
+  // that comes due many rotations earlier; the wheel must compare absolute
+  // deadlines, not slot membership.
+  EventLoop loop(config_for(GetParam()));
+  const std::uint64_t start = loop.now_ms();
+  bool near_fired = false;
+  bool far_fired = false;
+  std::uint64_t far_fire_at = 0;
+  loop.schedule_after_ms(5, [&] { near_fired = true; });
+  loop.schedule_after_ms(300, [&] {
+    far_fired = true;
+    far_fire_at = loop.now_ms() - start;
+  });
+  EXPECT_TRUE(pump_until(loop, [&] { return near_fired; }));
+  // The far timer survived the rotation that fired the near one.
+  EXPECT_FALSE(far_fired);
+  EXPECT_EQ(loop.timer_count(), 1u);
+  EXPECT_TRUE(pump_until(loop, [&] { return far_fired; }));
+  EXPECT_GE(far_fire_at, 300u);
+  EXPECT_EQ(loop.timer_count(), 0u);
+}
+
+TEST_P(EventLoopBackendTest, CancelTimerFromInsideFiringCallback) {
+  // Cancelling a pending timer from within another timer's callback must
+  // take effect (and cancelling yourself mid-fire must be a safe no-op).
+  EventLoop loop(config_for(GetParam()));
+  bool victim_fired = false;
+  bool canceller_fired = false;
+  EventLoop::TimerId victim = 0;
+  EventLoop::TimerId canceller = 0;
+  victim = loop.schedule_after_ms(60, [&] { victim_fired = true; });
+  canceller = loop.schedule_after_ms(1, [&] {
+    canceller_fired = true;
+    loop.cancel_timer(victim);     // not yet due: must never fire
+    loop.cancel_timer(canceller);  // self, already extracted: safe no-op
+  });
+  EXPECT_TRUE(pump_until(loop, [&] { return canceller_fired; }));
+  EXPECT_EQ(loop.timer_count(), 0u);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(120);
+  while (std::chrono::steady_clock::now() < deadline) loop.run_once(5);
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST_P(EventLoopBackendTest, ManyTimersInOneSlotAllFire) {
+  // Pile deadlines that hash to one wheel slot (multiples of 256 ms apart
+  // plus a shared base) alongside a burst at the same near deadline: every
+  // one must fire exactly once, in deadline order for distinct deadlines.
+  EventLoop loop(config_for(GetParam()));
+  int same_deadline_fires = 0;
+  for (int i = 0; i < 32; ++i) {
+    loop.schedule_after_ms(2, [&] { ++same_deadline_fires; });
+  }
+  std::vector<int> order;
+  loop.schedule_after_ms(2 + 256, [&] { order.push_back(1); });
+  loop.schedule_after_ms(2 + 512, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.timer_count(), 34u);
+  EXPECT_TRUE(pump_until(loop, [&] { return same_deadline_fires == 32; }));
+  EXPECT_TRUE(order.empty());  // far colliders still pending
+  EXPECT_EQ(loop.timer_count(), 2u);
+  EXPECT_TRUE(pump_until(loop, [&] { return order.size() == 2u; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(same_deadline_fires, 32);
+  EXPECT_EQ(loop.timer_count(), 0u);
+}
+
 TEST_P(EventLoopBackendTest, PostFromAnotherThreadWakesBlockedLoop) {
   EventLoop loop(config_for(GetParam()));
   std::atomic<bool> ran{false};

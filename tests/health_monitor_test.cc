@@ -134,6 +134,94 @@ TEST_F(HealthMonitorTest, DeadShardsDegradeThenRespawn) {
   EXPECT_EQ(monitor_.state(), HealthState::kRecovering);
 }
 
+TEST_F(HealthMonitorTest, StandbyPromotesWhenPeerGoesStale) {
+  int promoted = 0;
+  std::vector<std::pair<HealthState, HealthState>> transitions;
+  monitor_.on_transition([&](HealthState from, HealthState to) {
+    transitions.emplace_back(from, to);
+  });
+  monitor_.enable_failover(ReplicaRole::kStandby, [&] {
+    ++promoted;
+    // The handover runs inside the promotion's degraded window.
+    EXPECT_EQ(monitor_.role(), ReplicaRole::kPromoting);
+    EXPECT_TRUE(monitor_.degraded_refs() > 0 ||
+                monitor_.state() == HealthState::kDegraded);
+  });
+  EXPECT_EQ(monitor_.role(), ReplicaRole::kStandby);
+
+  // Peer beats keep the failover clock fed: no promotion.
+  sim_.schedule_after(seconds(1.5), [] {});
+  sim_.run();
+  monitor_.peer_heartbeat();
+  EXPECT_EQ(monitor_.role(), ReplicaRole::kStandby);
+  EXPECT_EQ(promoted, 0);
+
+  // Silence past the failover deadline: the next evaluation promotes.
+  sim_.schedule_after(seconds(2.5), [] {});
+  sim_.run();
+  monitor_.poll();
+  EXPECT_EQ(promoted, 1);
+  EXPECT_EQ(monitor_.role(), ReplicaRole::kPrimary);
+  EXPECT_EQ(monitor_.stats().promotions, 1u);
+  // The handover degraded the plane (resync discipline applies on the way
+  // back to healthy).
+  ASSERT_FALSE(transitions.empty());
+  EXPECT_EQ(transitions.front().second, HealthState::kDegraded);
+
+  // A promoted primary never re-promotes, however long it runs.
+  sim_.schedule_after(seconds(60.0), [] {});
+  sim_.run();
+  monitor_.poll();
+  EXPECT_EQ(promoted, 1);
+  EXPECT_EQ(monitor_.stats().promotions, 1u);
+}
+
+TEST_F(HealthMonitorTest, PromoteNowRunsHandoverImmediately) {
+  int promoted = 0;
+  monitor_.enable_failover(ReplicaRole::kStandby, [&] { ++promoted; });
+  monitor_.promote_now();
+  EXPECT_EQ(promoted, 1);
+  EXPECT_EQ(monitor_.role(), ReplicaRole::kPrimary);
+
+  // Idempotent: only a standby can promote.
+  monitor_.promote_now();
+  EXPECT_EQ(promoted, 1);
+}
+
+TEST_F(HealthMonitorTest, PrimaryNeverPromotesAndDemotionIsCounted) {
+  int promoted = 0;
+  monitor_.enable_failover(ReplicaRole::kPrimary, [&] { ++promoted; });
+  sim_.schedule_after(seconds(30.0), [] {});
+  sim_.run();
+  monitor_.poll();
+  EXPECT_EQ(promoted, 0);
+  EXPECT_EQ(monitor_.role(), ReplicaRole::kPrimary);
+
+  // Deposed: standing down counts and re-arms the peer clock.
+  monitor_.set_role(ReplicaRole::kStandby);
+  EXPECT_EQ(monitor_.stats().demotions, 1u);
+  EXPECT_EQ(monitor_.role(), ReplicaRole::kStandby);
+  // Freshly re-armed clock: no instant promotion despite the 30 s gap.
+  monitor_.poll();
+  EXPECT_EQ(promoted, 0);
+  // But continued silence promotes the demoted node like any standby.
+  sim_.schedule_after(seconds(3.0), [] {});
+  sim_.run();
+  monitor_.poll();
+  EXPECT_EQ(promoted, 1);
+}
+
+TEST_F(HealthMonitorTest, FailoverDisabledMonitorIgnoresPeerMachinery) {
+  monitor_.peer_heartbeat();
+  monitor_.promote_now();
+  sim_.schedule_after(seconds(30.0), [] {});
+  sim_.run();
+  monitor_.poll();
+  EXPECT_EQ(monitor_.role(), ReplicaRole::kNone);
+  EXPECT_EQ(monitor_.stats().promotions, 0u);
+  EXPECT_EQ(monitor_.state(), HealthState::kHealthy);
+}
+
 TEST_F(HealthMonitorTest, BackoffIsCappedExponentialWithBoundedJitter) {
   const HealthConfig& config = monitor_.config();
   for (int attempt = 0; attempt < 40; ++attempt) {

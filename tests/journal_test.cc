@@ -9,8 +9,11 @@
 
 #include "bus/message_bus.h"
 #include "common/crc32.h"
+#include "common/rng.h"
+#include "core/health_monitor.h"
 #include "core/journal.h"
 #include "core/persistence.h"
+#include "sim/simulator.h"
 
 namespace dfi {
 namespace {
@@ -412,6 +415,183 @@ TEST(Journal, FileStoreTruncatesTornTailOnDisk) {
   const auto recovery2 = reader2.recover(recovered2.manager, recovered2.erm);
   ASSERT_TRUE(recovery2.ok());
   EXPECT_FALSE(recovery2.value().tail_truncated);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FenceEpochPersistsAcrossRecoveryAndCompaction) {
+  InMemoryJournalStore store;
+  Journal journal(store);
+  Plane sut(&journal);
+  run_script(sut, 4);
+  ASSERT_TRUE(journal.set_fence_epoch(3).ok());
+  run_script(sut);  // more appends after the fence record
+  EXPECT_EQ(journal.fence_epoch(), 3u);
+  EXPECT_EQ(journal.stats().fence_bumps, 1u);
+
+  Plane recovered;
+  Journal reader(store);
+  ASSERT_TRUE(reader.recover(recovered.manager, recovered.erm).ok());
+  EXPECT_EQ(reader.fence_epoch(), 3u);
+  EXPECT_FALSE(reader.fenced_out());
+
+  // Compaction carries the fence into the rewritten image.
+  ASSERT_TRUE(reader.compact(recovered.manager, recovered.erm).ok());
+  Plane again;
+  Journal reader2(store);
+  ASSERT_TRUE(reader2.recover(again.manager, again.erm).ok());
+  EXPECT_EQ(reader2.fence_epoch(), 3u);
+  EXPECT_EQ(again.image(), recovered.image());
+}
+
+TEST(Journal, FencedOutAppendRefusesAndMutatesNothing) {
+  InMemoryJournalStore store;
+  Journal journal(store);
+  Plane sut(&journal);
+  run_script(sut, 3);
+  const std::string before = sut.image();
+  const std::size_t bytes_before = store.size();
+
+  // A higher epoch arrives from the promoted survivor: this journal's
+  // owner was deposed. Every mutation must fail closed.
+  journal.observe_fence(journal.fence_epoch() + 1);
+  ASSERT_TRUE(journal.fenced_out());
+  EXPECT_THROW(
+      sut.manager.insert(make_rule(7, PolicyAction::kDeny), PdpPriority{7}, "pdp-x"),
+      FencedException);
+  BindingEvent event = make_binding(BindingKind::kUserHost, 9);
+  EXPECT_THROW(sut.erm.apply(event), FencedException);
+  EXPECT_EQ(sut.image(), before);
+  EXPECT_EQ(store.size(), bytes_before);  // nothing durable either
+  EXPECT_EQ(journal.stats().fenced_appends, 2u);
+
+  // Adopting an epoch at or above everything observed clears the fence
+  // (this is what promotion does).
+  ASSERT_TRUE(journal.set_fence_epoch(journal.observed_fence() + 1).ok());
+  EXPECT_FALSE(journal.fenced_out());
+  sut.manager.insert(make_rule(7, PolicyAction::kDeny), PdpPriority{7}, "pdp-x");
+  EXPECT_NE(sut.image(), before);
+}
+
+TEST(Journal, FenceEpochMayNotRegress) {
+  InMemoryJournalStore store;
+  Journal journal(store);
+  ASSERT_TRUE(journal.set_fence_epoch(5).ok());
+  EXPECT_FALSE(journal.set_fence_epoch(4).ok());
+  EXPECT_TRUE(journal.set_fence_epoch(5).ok());  // idempotent, no new record
+  EXPECT_EQ(journal.stats().fence_bumps, 1u);
+}
+
+TEST(Journal, IngestReplicatedMirrorsPeerAppends) {
+  // Primary: journaled plane whose append observer captures every record.
+  InMemoryJournalStore primary_store;
+  Journal primary_journal(primary_store);
+  std::vector<std::string> shipped;
+  primary_journal.set_append_observer(
+      [&](const std::string& payload) { shipped.push_back(payload); });
+  Plane primary(&primary_journal);
+  run_script(primary);
+  ASSERT_FALSE(shipped.empty());
+
+  // Standby: fresh plane; ingest each record through the WAL-first path.
+  InMemoryJournalStore standby_store;
+  Journal standby_journal(standby_store);
+  Plane standby;
+  for (const std::string& payload : shipped) {
+    ASSERT_TRUE(
+        standby_journal.ingest_replicated(payload, standby.manager, standby.erm).ok());
+  }
+  EXPECT_EQ(standby.image(), primary.image());
+  EXPECT_EQ(standby.manager.epoch(), primary.manager.epoch());
+  EXPECT_EQ(standby.erm.epoch(), primary.erm.epoch());
+  EXPECT_EQ(standby.manager.next_id(), primary.manager.next_id());
+
+  // The standby's own journal is a valid WAL: recovery reproduces the
+  // same bytes (byte-identical promotion).
+  Plane recovered;
+  Journal reader(standby_store);
+  ASSERT_TRUE(reader.recover(recovered.manager, recovered.erm).ok());
+  EXPECT_EQ(recovered.image(), primary.image());
+}
+
+TEST(Journal, InstallSnapshotBootstrapsFreshPlane) {
+  InMemoryJournalStore primary_store;
+  Journal primary_journal(primary_store);
+  Plane primary(&primary_journal);
+  run_script(primary);
+  ASSERT_TRUE(primary_journal.set_fence_epoch(2).ok());
+  const std::string snapshot = Journal::snapshot_payload(primary.manager, primary.erm);
+
+  InMemoryJournalStore standby_store;
+  Journal standby_journal(standby_store);
+  Plane standby;
+  ASSERT_TRUE(standby_journal
+                  .install_snapshot(snapshot, primary_journal.fence_epoch(),
+                                    standby.manager, standby.erm)
+                  .ok());
+  EXPECT_EQ(standby.image(), primary.image());
+  EXPECT_EQ(standby.manager.next_id(), primary.manager.next_id());
+  EXPECT_EQ(standby_journal.fence_epoch(), 2u);
+
+  // Restart of the bootstrapped standby lands on the same state.
+  Plane recovered;
+  Journal reader(standby_store);
+  ASSERT_TRUE(reader.recover(recovered.manager, recovered.erm).ok());
+  EXPECT_EQ(recovered.image(), primary.image());
+  EXPECT_EQ(reader.fence_epoch(), 2u);
+}
+
+TEST(Journal, FileStoreIoFailureOpensDegradedWindow) {
+  // A store whose file cannot be opened fails every durable op; with a
+  // HealthMonitor attached that surfaces as a journal-io degraded window
+  // instead of a log line.
+  Simulator sim;
+  MessageBus bus;
+  HealthConfig config;
+  config.enabled = true;
+  config.recovering_hold = milliseconds(0);
+  HealthMonitor health(sim, bus, config, Rng(7));
+
+  const std::string path = ::testing::TempDir() + "no_such_dir_dfi/j.wal";
+  FileJournalStore store(path);
+  store.attach_health(&health);
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+
+  const std::uint8_t bytes[4] = {1, 2, 3, 4};
+  store.append(bytes, sizeof(bytes));
+  EXPECT_TRUE(store.io_degraded());
+  EXPECT_GE(store.io_failures(), 1u);
+  EXPECT_EQ(health.state(), HealthState::kDegraded);
+
+  // Repeated failures keep ONE window open (ref-counted, not stacked).
+  store.sync();
+  store.append(bytes, sizeof(bytes));
+  EXPECT_EQ(health.degraded_refs(), 1u);
+
+  // Detaching (or destruction) balances the window.
+  store.attach_health(nullptr);
+  EXPECT_EQ(health.degraded_refs(), 0u);
+}
+
+TEST(Journal, FileStoreRecoversHealthAfterSuccessfulDurableOp) {
+  Simulator sim;
+  MessageBus bus;
+  HealthConfig config;
+  config.enabled = true;
+  config.recovering_hold = milliseconds(0);
+  HealthMonitor health(sim, bus, config, Rng(7));
+
+  const std::string path = ::testing::TempDir() + "dfi_journal_health.wal";
+  std::remove(path.c_str());
+  FileJournalStore store(path);
+  store.attach_health(&health);
+
+  // Healthy path: append+sync works, no window ever opens.
+  const std::uint8_t bytes[4] = {9, 9, 9, 9};
+  store.append(bytes, sizeof(bytes));
+  store.sync();
+  EXPECT_FALSE(store.io_degraded());
+  EXPECT_EQ(store.io_failures(), 0u);
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
   std::remove(path.c_str());
 }
 

@@ -21,9 +21,17 @@
 #          -monitor component tests — full campaign on the plain build,
 #          bounded campaigns under ASan+UBSan and TSan. The same
 #          DFI_FUZZ_SCHEDULES / DFI_FUZZ_SEED knobs apply.
+#   replication  the two-replica failover campaign (the Replicated*
+#          schedules of tests/crash_recovery_fuzz_test.cc): seeded kills of
+#          either replica mid-stream over a faulty link, survivor state
+#          byte-identical to the no-failure oracle, fenced stand-down of
+#          every deposed primary — plus the replication component tests and
+#          the failover bench smoke. Full campaign on the plain build,
+#          bounded campaigns under ASan+UBSan and TSan
+#          (DFI_FUZZ_SCHEDULES / DFI_FUZZ_SEED apply here too).
 #
 # Usage: tools/check.sh [--no-sanitize] [stage...]
-#   no stages        -> all of tier1 asan tsan fuzz recovery
+#   no stages        -> all of tier1 asan tsan fuzz recovery replication
 #   --no-sanitize    -> tier1 only (kept for compatibility)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,12 +42,12 @@ STAGES=()
 for arg in "$@"; do
   case "$arg" in
     --no-sanitize) STAGES=(tier1) ;;
-    tier1|asan|tsan|fuzz|recovery) STAGES+=("$arg") ;;
-    *) echo "unknown stage: $arg (want tier1, asan, tsan, fuzz, recovery)" >&2; exit 2 ;;
+    tier1|asan|tsan|fuzz|recovery|replication) STAGES+=("$arg") ;;
+    *) echo "unknown stage: $arg (want tier1, asan, tsan, fuzz, recovery, replication)" >&2; exit 2 ;;
   esac
 done
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(tier1 asan tsan fuzz recovery)
+  STAGES=(tier1 asan tsan fuzz recovery replication)
 fi
 
 want() { local s; for s in "${STAGES[@]}"; do [[ "$s" == "$1" ]] && return 0; done; return 1; }
@@ -78,6 +86,14 @@ if want tier1; then
   # steady-state allocations asserted in-binary.
   (cd build/bench && ./bench_socket_datapath --smoke \
     --check-baseline ../../bench/baselines/BENCH_socket_datapath.baseline.json)
+
+  echo "== tier-1: failover bench (smoke + baseline gate) =="
+  # Warm-standby promotion drill (detection deadline, fenced stand-down,
+  # post-promotion FlowMod) and steady-state replication records/s —
+  # unreplicated vs in-memory link vs loopback ReplTransport — vs the
+  # committed floors; standby byte-identity asserted in-binary.
+  (cd build/bench && ./bench_failover --smoke \
+    --check-baseline ../../bench/baselines/BENCH_failover.baseline.json)
 fi
 
 if want asan; then
@@ -175,6 +191,35 @@ if want recovery; then
   cmake --build build-tsan -j "${JOBS}" --target crash_recovery_fuzz_test
   DFI_FUZZ_SCHEDULES="${DFI_RECOVERY_TSAN_SCHEDULES:-150}" \
     ./build-tsan/tests/crash_recovery_fuzz_test
+fi
+
+if want replication; then
+  echo "== replication: component tests =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target \
+    crash_recovery_fuzz_test replication_test conman_test
+  ./build/tests/replication_test
+  ./build/tests/conman_test
+
+  echo "== replication: full two-replica failover campaign (plain build) =="
+  ./build/tests/crash_recovery_fuzz_test \
+    --gtest_filter='CrashRecoveryFuzz.Replicated*'
+
+  echo "== replication: bounded campaign under ASan+UBSan =="
+  cmake -B build-asan -S . -DDFI_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target \
+    crash_recovery_fuzz_test replication_test
+  ./build-asan/tests/replication_test
+  DFI_FUZZ_SCHEDULES="${DFI_REPLICATION_ASAN_SCHEDULES:-300}" \
+    ./build-asan/tests/crash_recovery_fuzz_test \
+    --gtest_filter='CrashRecoveryFuzz.Replicated*'
+
+  echo "== replication: bounded campaign under TSan =="
+  cmake -B build-tsan -S . -DDFI_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target crash_recovery_fuzz_test
+  DFI_FUZZ_SCHEDULES="${DFI_REPLICATION_TSAN_SCHEDULES:-150}" \
+    ./build-tsan/tests/crash_recovery_fuzz_test \
+    --gtest_filter='CrashRecoveryFuzz.Replicated*'
 fi
 
 echo "== all requested stages passed =="
